@@ -1,0 +1,55 @@
+//! Server-side cost benchmarks: FedAvg weight averaging vs FedKEMF
+//! ensemble distillation, and weight snapshot/restore round-trips.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kemf_core::distill::{distill_ensemble, DistillConfig};
+use kemf_data::synth::{SynthConfig, SynthTask};
+use kemf_nn::model::Model;
+use kemf_nn::models::{Arch, ModelSpec};
+use kemf_nn::serialize::ModelState;
+
+fn bench_aggregation(c: &mut Criterion) {
+    let spec = ModelSpec::scaled(Arch::ResNet20, 3, 16, 10, 0);
+    let states: Vec<ModelState> =
+        (0..8).map(|s| Model::new(ModelSpec { seed: s, ..spec }).state()).collect();
+    let coeffs = vec![1.0f32; states.len()];
+    let mut g = c.benchmark_group("aggregate");
+    g.bench_function("weighted_average_8_resnet20", |bch| {
+        bch.iter(|| ModelState::weighted_average(black_box(&states), black_box(&coeffs)))
+    });
+
+    let task = SynthTask::new(SynthConfig::cifar_like(0));
+    let pool = task.generate_unlabeled(96, 0);
+    let mut teachers: Vec<Model> =
+        (0..4).map(|s| Model::new(ModelSpec { seed: s, ..spec })).collect();
+    g.bench_function("ensemble_distill_4teachers_96pool", |bch| {
+        let mut student = Model::new(ModelSpec { seed: 99, ..spec });
+        let cfg = DistillConfig { epochs: 1, ..Default::default() };
+        let mut seed = 0u64;
+        bch.iter(|| {
+            seed += 1;
+            distill_ensemble(&mut student, &mut teachers, &pool, &cfg, seed)
+        })
+    });
+    g.finish();
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    let model = Model::new(ModelSpec::scaled(Arch::ResNet32, 3, 16, 10, 0));
+    let state = model.state();
+    let mut target = Model::new(ModelSpec::scaled(Arch::ResNet32, 3, 16, 10, 1));
+    let mut g = c.benchmark_group("serialize");
+    g.bench_function("snapshot_resnet32", |bch| bch.iter(|| black_box(&model).state()));
+    g.bench_function("restore_resnet32", |bch| bch.iter(|| target.set_state(black_box(&state))));
+    g.finish();
+}
+
+criterion_group! {
+    name = aggregate;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(5))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_aggregation, bench_serialization
+}
+criterion_main!(aggregate);

@@ -1,0 +1,61 @@
+//! Micro-benchmarks of the numeric substrate: matmul variants, im2col
+//! convolution lowering, softmax, and the ensemble primitives.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kemf_tensor::conv::{im2col, ConvGeom};
+use kemf_tensor::matmul::{matmul_into, matmul_nt_into, matmul_tn_into};
+use kemf_tensor::ops::{elementwise_max, softmax};
+use kemf_tensor::rng::seeded_rng;
+use kemf_tensor::Tensor;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = seeded_rng(1);
+    let (m, k, n) = (64, 128, 64);
+    let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+    let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+    let bt = Tensor::randn(&[n, k], 1.0, &mut rng);
+    let at = Tensor::randn(&[k, m], 1.0, &mut rng);
+    let mut out = vec![0.0f32; m * n];
+    let mut g = c.benchmark_group("matmul");
+    g.bench_function("nn_64x128x64", |bch| {
+        bch.iter(|| matmul_into(black_box(a.data()), black_box(b.data()), &mut out, m, k, n))
+    });
+    g.bench_function("tn_64x128x64", |bch| {
+        bch.iter(|| matmul_tn_into(black_box(at.data()), black_box(b.data()), &mut out, m, k, n))
+    });
+    g.bench_function("nt_64x128x64", |bch| {
+        bch.iter(|| matmul_nt_into(black_box(a.data()), black_box(bt.data()), &mut out, m, k, n))
+    });
+    g.finish();
+}
+
+fn bench_conv_lowering(c: &mut Criterion) {
+    let mut rng = seeded_rng(2);
+    let geom = ConvGeom { n: 8, c: 8, h: 16, w: 16, kh: 3, kw: 3, stride: 1, pad: 1 };
+    let input = Tensor::randn(&[8, 8, 16, 16], 1.0, &mut rng);
+    let mut cols = vec![0.0f32; geom.patch_len() * geom.cols()];
+    c.bench_function("im2col_8x8x16x16_k3", |bch| {
+        bch.iter(|| im2col(black_box(input.data()), &geom, &mut cols))
+    });
+}
+
+fn bench_softmax_and_ensemble(c: &mut Criterion) {
+    let mut rng = seeded_rng(3);
+    let logits = Tensor::randn(&[256, 10], 1.0, &mut rng);
+    c.bench_function("softmax_256x10", |bch| bch.iter(|| softmax(black_box(&logits))));
+    let members: Vec<Tensor> = (0..8).map(|_| Tensor::randn(&[256, 10], 1.0, &mut rng)).collect();
+    let refs: Vec<&Tensor> = members.iter().collect();
+    c.bench_function("ensemble_max_8x256x10", |bch| {
+        bch.iter(|| elementwise_max(black_box(&refs)))
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_matmul, bench_conv_lowering, bench_softmax_and_ensemble
+}
+criterion_main!(kernels);

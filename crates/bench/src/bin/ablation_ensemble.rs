@@ -1,0 +1,83 @@
+//! Ablation studies:
+//!
+//! 1. **Ensemble strategy** (the paper's own ablation): max-logits vs
+//!    average-logits vs majority-vote targets for server distillation.
+//! 2. **Fusion mode**: ensemble distillation vs weight averaging.
+//! 3. **Knowledge extraction**: deep mutual learning vs decoupled local
+//!    training (`--no-dml` path), isolating the paper's DML contribution.
+//! 4. **Distillation temperature** sweep.
+
+use kemf_bench::*;
+use kemf_core::prelude::*;
+use kemf_fl::prelude::*;
+use kemf_nn::prelude::*;
+use kemf_tensor::rng::child_seed;
+
+fn build(
+    spec: &ExperimentSpec,
+    ctx: &FlContext,
+    task: &kemf_data::synth::SynthTask,
+    mutate: impl FnOnce(&mut FedKemfConfig),
+) -> FedKemf {
+    let (ch, hw) = spec.workload.shape();
+    let knowledge =
+        ModelSpec::scaled(spec.workload.knowledge_arch(), ch, hw, 10, child_seed(spec.seed, 0x6B0));
+    let clients =
+        uniform_specs(spec.arch, ctx.cfg.n_clients, ch, hw, 10, child_seed(spec.seed, 0xC7));
+    let pool = task.generate_unlabeled(spec.pool_samples(), 2);
+    let mut cfg = FedKemfConfig::uniform(knowledge, clients, pool);
+    mutate(&mut cfg);
+    FedKemf::new(cfg)
+}
+
+fn main() {
+    let args = Args::parse();
+    let mut spec = ExperimentSpec::quick(Workload::CifarLike, Arch::ResNet20);
+    apply_overrides(&mut spec, &args);
+    let window = args.get("window", 3usize);
+
+    let mut table = Table::new(
+        "Ablation — FedKEMF design choices",
+        &["variant", "converge_acc", "best_acc", "tail_std"],
+    );
+    let mut run_variant = |label: &str, mutate: Box<dyn FnOnce(&mut FedKemfConfig)>| {
+        let (ctx, task) = spec.build_ctx();
+        let mut algo = build(&spec, &ctx, &task, mutate);
+        let h = kemf_fl::engine::run(&mut algo, &ctx);
+        table.row(&[
+            label.into(),
+            fmt_pct(h.converged_accuracy(window)),
+            fmt_pct(h.best_accuracy()),
+            format!("{:.4}", h.tail_std(window)),
+        ]);
+    };
+
+    // 1. Ensemble strategies.
+    for (label, strategy) in [
+        ("max-logits (paper)", EnsembleStrategy::MaxLogits),
+        ("avg-logits", EnsembleStrategy::AvgLogits),
+        ("majority-vote", EnsembleStrategy::MajorityVote),
+    ] {
+        run_variant(label, Box::new(move |c| c.distill.strategy = strategy));
+    }
+    // 2. Fusion mode.
+    run_variant("weight-average fusion", Box::new(|c| c.fusion = FusionMode::WeightAverage));
+    // 3. Knowledge extraction off / paper-literal DML weighting.
+    run_variant("no deep mutual learning", Box::new(|c| c.mutual = false));
+    run_variant(
+        "paper-literal KL (w=1, no warmup)",
+        Box::new(|c| {
+            c.kl_weight = 1.0;
+            c.kl_warmup_rounds = 0;
+        }),
+    );
+    // 4. Distillation temperature.
+    for temp in [1.0f32, 4.0] {
+        run_variant(
+            Box::leak(format!("distill T={temp}").into_boxed_str()),
+            Box::new(move |c| c.distill.temperature = temp),
+        );
+    }
+
+    table.emit("ablation_ensemble");
+}

@@ -1,0 +1,60 @@
+//! Ablation: how tiny can the knowledge network be?
+//!
+//! FedKEMF's communication cost is exactly the knowledge network's size,
+//! so the width of θ_g trades accuracy against bytes. This harness sweeps
+//! the knowledge-network width and reports accuracy, per-round payload,
+//! and bytes-to-target — the frontier the paper's "tiny size network"
+//! claim lives on.
+
+use kemf_bench::*;
+use kemf_core::prelude::*;
+use kemf_fl::prelude::*;
+use kemf_nn::prelude::*;
+use kemf_tensor::rng::child_seed;
+
+fn main() {
+    let args = Args::parse();
+    let mut spec = ExperimentSpec::quick(Workload::CifarLike, Arch::ResNet20);
+    apply_overrides(&mut spec, &args);
+    let (ch, hw) = spec.workload.shape();
+    let widths: Vec<usize> = vec![2, 4, 8];
+
+    let mut table = Table::new(
+        "Ablation — knowledge-network width vs accuracy vs payload",
+        &["knet_width", "params", "round/client", "best_acc", "converge_acc", "bytes_to_80pct_of_best"],
+    );
+
+    // Shared context and local-model fleet across widths.
+    let (ctx, task) = spec.build_ctx();
+    let mut runs = Vec::new();
+    for &w in &widths {
+        let mut knowledge =
+            ModelSpec::scaled(spec.workload.knowledge_arch(), ch, hw, 10, child_seed(spec.seed, 0x6B0));
+        knowledge.width = w;
+        let clients =
+            uniform_specs(spec.arch, ctx.cfg.n_clients, ch, hw, 10, child_seed(spec.seed, 0xC7));
+        let pool = task.generate_unlabeled(spec.pool_samples(), 2);
+        let mut algo = FedKemf::new(FedKemfConfig::uniform(knowledge, clients, pool));
+        let payload = algo.payload_bytes();
+        let params = Model::new(knowledge).param_count();
+        let h = kemf_fl::engine::run(&mut algo, &ctx);
+        runs.push((w, params, payload, h));
+    }
+    let best_overall = runs.iter().map(|(_, _, _, h)| h.best_accuracy()).fold(0.0f32, f32::max);
+    let target = best_overall * 0.8;
+    for (w, params, payload, h) in &runs {
+        let bytes = match h.bytes_to_target(target) {
+            Some(b) => fmt_bytes(b as f64),
+            None => "n/a".into(),
+        };
+        table.row(&[
+            w.to_string(),
+            params.to_string(),
+            fmt_bytes(2.0 * *payload as f64),
+            fmt_pct(h.best_accuracy()),
+            fmt_pct(h.converged_accuracy(3)),
+            bytes,
+        ]);
+    }
+    table.emit("ablation_knet_size");
+}

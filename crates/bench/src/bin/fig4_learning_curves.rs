@@ -1,0 +1,62 @@
+//! Figure 4: top-1 average test accuracy vs communication rounds for
+//! FedKEMF vs FedAvg/FedProx/FedNova/SCAFFOLD on four model/task
+//! configurations (2-layer CNN on MNIST; VGG-11, ResNet-20, ResNet-32 on
+//! CIFAR-10), Dirichlet α = 0.1.
+//!
+//! Prints one accuracy series per (model, algorithm) pair and writes
+//! `bench_results/fig4_<model>.csv` with algorithms as columns.
+
+use kemf_bench::*;
+use kemf_nn::models::Arch;
+
+fn main() {
+    let args = Args::parse();
+    let configs: [(Workload, Arch, &str); 4] = [
+        (Workload::MnistLike, Arch::Cnn2, "2cnn_mnist"),
+        (Workload::CifarLike, Arch::Vgg11, "vgg11_cifar"),
+        (Workload::CifarLike, Arch::ResNet20, "resnet20_cifar"),
+        (Workload::CifarLike, Arch::ResNet32, "resnet32_cifar"),
+    ];
+    let only = args.get_str("model", "all");
+    for (workload, arch, slug) in configs {
+        if only != "all" && only != slug {
+            continue;
+        }
+        let mut spec = ExperimentSpec::quick(workload, arch);
+        apply_overrides(&mut spec, &args);
+        println!(
+            "\n### Fig 4 — {} on {} | {} clients, ratio {}, α={}, {} rounds",
+            arch.display(),
+            workload.display(),
+            spec.clients,
+            spec.sample_ratio,
+            spec.alpha,
+            spec.rounds
+        );
+        let mut series: Vec<(String, Vec<f32>)> = Vec::new();
+        for kind in ALL_ALGOS {
+            let h = run_experiment(kind, &spec);
+            println!(
+                "{:>9}: {}",
+                kind.display(),
+                h.accuracies()
+                    .iter()
+                    .map(|a| format!("{:.3}", a))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+            series.push((kind.display().to_string(), h.accuracies()));
+        }
+        // CSV: round, then one column per algorithm.
+        let cols: Vec<&str> = std::iter::once("round")
+            .chain(series.iter().map(|(n, _)| n.as_str()))
+            .collect();
+        let mut table = Table::new(format!("Fig 4 ({slug}) final accuracies"), &cols);
+        for r in 0..spec.rounds {
+            let mut cells = vec![(r + 1).to_string()];
+            cells.extend(series.iter().map(|(_, accs)| format!("{:.4}", accs[r])));
+            table.row(&cells);
+        }
+        table.emit(&format!("fig4_{slug}"));
+    }
+}

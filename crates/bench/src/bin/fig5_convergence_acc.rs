@@ -1,0 +1,45 @@
+//! Figure 5: convergence accuracy (higher = better) per algorithm and
+//! model configuration — the plateau-window mean of the Fig. 4 runs.
+
+use kemf_bench::*;
+use kemf_nn::models::Arch;
+
+fn main() {
+    let args = Args::parse();
+    let window = args.get("window", 3usize);
+    // `--seeds k` averages each cell over k seeds and reports mean±std.
+    let n_seeds = args.get("seeds", 1usize);
+    let configs: [(Workload, Arch, &str); 4] = [
+        (Workload::MnistLike, Arch::Cnn2, "2-CNN/MNIST"),
+        (Workload::CifarLike, Arch::Vgg11, "VGG-11/CIFAR"),
+        (Workload::CifarLike, Arch::ResNet20, "ResNet-20/CIFAR"),
+        (Workload::CifarLike, Arch::ResNet32, "ResNet-32/CIFAR"),
+    ];
+    let algo_names: Vec<&str> = ALL_ALGOS.iter().map(|a| a.display()).collect();
+    let cols: Vec<&str> = std::iter::once("model").chain(algo_names.iter().copied()).collect();
+    let mut table = Table::new("Fig 5 — convergence accuracy", &cols);
+    for (workload, arch, label) in configs {
+        let mut spec = ExperimentSpec::quick(workload, arch);
+        apply_overrides(&mut spec, &args);
+        let mut cells = vec![label.to_string()];
+        for kind in ALL_ALGOS {
+            let accs: Vec<f32> = (0..n_seeds)
+                .map(|s| {
+                    let mut sspec = spec;
+                    sspec.seed = spec.seed + s as u64 * 1000;
+                    run_experiment(kind, &sspec).converged_accuracy(window)
+                })
+                .collect();
+            let mean = accs.iter().sum::<f32>() / accs.len() as f32;
+            if n_seeds > 1 {
+                let var = accs.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>()
+                    / accs.len() as f32;
+                cells.push(format!("{}+-{:.2}", fmt_pct(mean), var.sqrt() * 100.0));
+            } else {
+                cells.push(fmt_pct(mean));
+            }
+        }
+        table.row(&cells);
+    }
+    table.emit("fig5_convergence_acc");
+}

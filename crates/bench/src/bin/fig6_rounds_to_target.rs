@@ -1,0 +1,50 @@
+//! Figure 6: communication rounds to achieve target accuracy (lower =
+//! better). The target defaults to a fraction of the best accuracy any
+//! algorithm reaches in the budget, so the comparison stays meaningful at
+//! reduced scale; pass `--target 0.55` for an absolute threshold.
+
+use kemf_bench::*;
+use kemf_nn::models::Arch;
+
+fn main() {
+    let args = Args::parse();
+    let target_frac = args.get("target-frac", 0.85f32);
+    let absolute: f32 = args.get("target", -1.0f32);
+    let configs: [(Workload, Arch, &str); 4] = [
+        (Workload::MnistLike, Arch::Cnn2, "2-CNN/MNIST"),
+        (Workload::CifarLike, Arch::Vgg11, "VGG-11/CIFAR"),
+        (Workload::CifarLike, Arch::ResNet20, "ResNet-20/CIFAR"),
+        (Workload::CifarLike, Arch::ResNet32, "ResNet-32/CIFAR"),
+    ];
+    let mut table = Table::new(
+        "Fig 6 — rounds to reach target accuracy",
+        &["model", "target", "FedAvg", "FedNova", "FedProx", "SCAFFOLD", "FedKEMF"],
+    );
+    for (workload, arch, label) in configs {
+        let mut spec = ExperimentSpec::quick(workload, arch);
+        apply_overrides(&mut spec, &args);
+        let histories: Vec<_> = ALL_ALGOS.iter().map(|k| run_experiment(*k, &spec)).collect();
+        let target = if absolute > 0.0 {
+            absolute
+        } else {
+            // The paper picks targets FedAvg can reach (65%/57%/60%); at
+            // reduced scale the analogue is a fraction of FedAvg's best.
+            let fedavg_best = histories
+                .iter()
+                .zip(ALL_ALGOS.iter())
+                .find(|(_, k)| **k == AlgoKind::FedAvg)
+                .map(|(h, _)| h.best_accuracy())
+                .unwrap_or(0.0);
+            fedavg_best * target_frac
+        };
+        let mut cells = vec![label.to_string(), fmt_pct(target)];
+        for h in &histories {
+            cells.push(match h.rounds_to_target(target) {
+                Some(r) => r.to_string(),
+                None => format!(">{}", spec.rounds),
+            });
+        }
+        table.row(&cells);
+    }
+    table.emit("fig6_rounds_to_target");
+}

@@ -1,0 +1,108 @@
+//! Table 1: communication cost to achieve target accuracy.
+//!
+//! For every (client scale, model) cell the paper reports: rounds to
+//! target, per-round payload per client, total cost, Δcost vs FedAvg, and
+//! speed-up. Rounds come from the measured (scaled) runs; payloads use
+//! the **paper-scale** model byte sizes so the cost ratios are directly
+//! comparable with the paper (see DESIGN.md).
+//!
+//! Defaults use shrunken client populations ({6, 10, 16} standing in for
+//! the paper's {30, 50, 100}); pass `--paper-clients true` for the
+//! original counts (slow on one core).
+
+use kemf_bench::*;
+use kemf_nn::models::Arch;
+
+fn main() {
+    let args = Args::parse();
+    let paper_clients = args.get_str("paper-clients", "false") == "true";
+    let scales: Vec<(usize, f32)> = if paper_clients {
+        vec![(30, 0.4), (50, 0.7), (100, 0.5)]
+    } else {
+        vec![(6, 0.4), (10, 0.7), (16, 0.5)]
+    };
+    let target_frac = args.get("target-frac", 0.85f32);
+
+    let mut table = Table::new(
+        "Table 1 — communication cost to target accuracy",
+        &[
+            "Method", "Model", "TargetAcc", "Clients", "Rounds", "Round/Client", "Total",
+            "dCost", "SpeedUp",
+        ],
+    );
+
+    for &(clients, ratio) in &scales {
+        // Full model set at the smallest scale (as in the paper, which
+        // evaluates VGG-11 only there); larger scales track ResNet-20 to
+        // keep the default harness affordable — pass `--all-models true`
+        // for every cell.
+        let models: Vec<Arch> = if clients == scales[0].0 {
+            vec![Arch::ResNet20, Arch::ResNet32, Arch::Vgg11]
+        } else if args.get_str("all-models", "false") == "true" {
+            vec![Arch::ResNet20, Arch::ResNet32]
+        } else {
+            vec![Arch::ResNet20]
+        };
+        for arch in models {
+            let mut spec = ExperimentSpec::quick(Workload::CifarLike, arch);
+            spec.clients = clients;
+            spec.sample_ratio = ratio;
+            apply_overrides(&mut spec, &args);
+            let sampled = ((clients as f32 * spec.sample_ratio).round() as usize).max(1);
+
+            // Run all algorithms, derive a shared target for the cell
+            // from FedAvg's capability (the paper's targets are
+            // FedAvg-reachable accuracies).
+            let runs: Vec<(AlgoKind, kemf_fl::metrics::History)> =
+                ALL_ALGOS.iter().map(|&k| (k, run_experiment(k, &spec))).collect();
+            let fedavg_best = runs
+                .iter()
+                .find(|(k, _)| *k == AlgoKind::FedAvg)
+                .map(|(_, h)| h.best_accuracy())
+                .unwrap_or(0.0);
+            let target = fedavg_best * target_frac;
+
+            // FedAvg's total cost is the Δ/speed-up reference.
+            let fedavg_total: Option<f64> = runs.iter().find(|(k, _)| *k == AlgoKind::FedAvg).map(
+                |(k, h)| {
+                    h.rounds_to_target(target)
+                        .map(|r| k.cost_model(&spec).total_cost(r, sampled) as f64)
+                        .unwrap_or(f64::NAN)
+                },
+            );
+
+            for (kind, h) in &runs {
+                let cost = kind.cost_model(&spec);
+                let (rounds_str, total, reached) = match h.rounds_to_target(target) {
+                    Some(r) => (r.to_string(), cost.total_cost(r, sampled) as f64, true),
+                    None => (
+                        format!("{}*", spec.rounds),
+                        cost.total_cost(spec.rounds, sampled) as f64,
+                        false,
+                    ),
+                };
+                let (dcost, speedup) = match fedavg_total {
+                    Some(f) if f.is_finite() && reached => {
+                        let d = total - f;
+                        let sign = if d >= 0.0 { "+" } else { "-" };
+                        (format!("{sign}{}", fmt_bytes(d.abs())), fmt_speedup(f / total))
+                    }
+                    _ => ("n/a".into(), "n/a".into()),
+                };
+                table.row(&[
+                    kind.display().into(),
+                    arch.display().into(),
+                    fmt_pct(target),
+                    clients.to_string(),
+                    rounds_str,
+                    fmt_bytes(cost.round_cost_per_client() as f64),
+                    fmt_bytes(total),
+                    dcost,
+                    speedup,
+                ]);
+            }
+        }
+    }
+    println!("(* = target not reached within the round budget; cost shown at budget)");
+    table.emit("table1_comm_cost_target");
+}

@@ -1,0 +1,80 @@
+//! Table 2: communication cost and accuracy at convergence. Each run
+//! trains to its round budget; plateau detection gives the converge
+//! round, and the paper's columns follow: per-client payload, total cost,
+//! speed-up vs FedAvg, converge accuracy, and Δacc vs FedAvg.
+
+use kemf_bench::*;
+use kemf_nn::models::Arch;
+
+fn main() {
+    let args = Args::parse();
+    let paper_clients = args.get_str("paper-clients", "false") == "true";
+    let tol = args.get("plateau-tol", 0.01f32);
+    let window = args.get("window", 3usize);
+    let scales: Vec<(usize, f32)> = if paper_clients {
+        vec![(30, 0.4), (50, 0.7), (100, 0.5)]
+    } else {
+        vec![(6, 0.4), (10, 0.7), (16, 0.5)]
+    };
+
+    let mut table = Table::new(
+        "Table 2 — communication cost to convergence",
+        &[
+            "Method", "Clients", "Model", "Ratio", "ConvergeRounds", "Round/Client", "Total",
+            "Speedup", "ConvergeAcc", "dAcc",
+        ],
+    );
+
+    for &(clients, ratio) in &scales {
+        let models: Vec<Arch> = if clients == scales[0].0 {
+            vec![Arch::ResNet20, Arch::ResNet32, Arch::Vgg11]
+        } else {
+            vec![Arch::ResNet20, Arch::ResNet32]
+        };
+        for arch in models {
+            let mut spec = ExperimentSpec::quick(Workload::CifarLike, arch);
+            spec.clients = clients;
+            spec.sample_ratio = ratio;
+            apply_overrides(&mut spec, &args);
+            let sampled = ((clients as f32 * spec.sample_ratio).round() as usize).max(1);
+
+            let runs: Vec<(AlgoKind, kemf_fl::metrics::History)> =
+                ALL_ALGOS.iter().map(|&k| (k, run_experiment(k, &spec))).collect();
+            let reference: Option<(f64, f32)> =
+                runs.iter().find(|(k, _)| *k == AlgoKind::FedAvg).map(|(k, h)| {
+                    let r = h.converge_round(tol);
+                    (
+                        k.cost_model(&spec).total_cost(r, sampled) as f64,
+                        h.converged_accuracy(window),
+                    )
+                });
+
+            for (kind, h) in &runs {
+                let cost = kind.cost_model(&spec);
+                let rounds = h.converge_round(tol);
+                let total = cost.total_cost(rounds, sampled) as f64;
+                let acc = h.converged_accuracy(window);
+                let (speedup, dacc) = match reference {
+                    Some((ft, fa)) => (
+                        fmt_speedup(ft / total),
+                        format!("{}{}", if acc >= fa { "+" } else { "" }, fmt_pct(acc - fa)),
+                    ),
+                    None => ("n/a".into(), "n/a".into()),
+                };
+                table.row(&[
+                    kind.display().into(),
+                    clients.to_string(),
+                    arch.display().into(),
+                    format!("{ratio}"),
+                    rounds.to_string(),
+                    fmt_bytes(cost.round_cost_per_client() as f64),
+                    fmt_bytes(total),
+                    speedup,
+                    fmt_pct(acc),
+                    dacc,
+                ]);
+            }
+        }
+    }
+    table.emit("table2_comm_cost_converge");
+}

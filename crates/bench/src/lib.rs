@@ -1,0 +1,58 @@
+//! # kemf-bench
+//!
+//! Experiment harnesses reproducing every table and figure of the
+//! FedKEMF paper. Each binary prints the same rows/series the paper
+//! reports and writes CSV into `bench_results/`:
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `fig4_learning_curves` | Fig. 4 — accuracy vs rounds, 5 algorithms × 4 models |
+//! | `fig5_convergence_acc` | Fig. 5 — convergence accuracy bars |
+//! | `fig6_rounds_to_target` | Fig. 6 — rounds to reach target accuracy |
+//! | `table1_comm_cost_target` | Table 1 — communication cost to target accuracy |
+//! | `table2_comm_cost_converge` | Table 2 — cost & accuracy at convergence |
+//! | `table3_multimodel` | Table 3 — multi-model FL average local accuracy |
+//! | `fig7_stability` | Fig. 7 — stability across FL settings |
+//! | `ablation_ensemble` | Ensemble-strategy & fusion ablations |
+//!
+//! All binaries accept `--clients N --rounds R --ratio F --spc S
+//! --alpha A --seed X` overrides; defaults are sized for one CPU core.
+//! Criterion benches (`cargo bench -p kemf-bench`) exercise the kernels,
+//! one local update, one aggregation round, and miniature versions of
+//! each experiment.
+
+pub mod args;
+pub mod report;
+pub mod runner;
+
+pub use args::Args;
+pub use report::{fmt_bytes, fmt_pct, fmt_speedup, Table};
+pub use runner::{
+    full_scale_bytes, run_experiment, AlgoKind, ExperimentSpec, Workload, ALL_ALGOS,
+};
+
+/// Apply the common CLI overrides to an experiment spec.
+pub fn apply_overrides(spec: &mut ExperimentSpec, args: &Args) {
+    spec.clients = args.get("clients", spec.clients);
+    spec.rounds = args.get("rounds", spec.rounds);
+    spec.sample_ratio = args.get("ratio", spec.sample_ratio);
+    spec.samples_per_client = args.get("spc", spec.samples_per_client);
+    spec.alpha = args.get("alpha", spec.alpha);
+    spec.seed = args.get("seed", spec.seed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kemf_nn::models::Arch;
+
+    #[test]
+    fn overrides_apply() {
+        let mut spec = ExperimentSpec::quick(Workload::CifarLike, Arch::ResNet20);
+        let args = Args::from_iter(["--clients", "30", "--alpha", "0.5"].map(String::from));
+        apply_overrides(&mut spec, &args);
+        assert_eq!(spec.clients, 30);
+        assert!((spec.alpha - 0.5).abs() < 1e-9);
+        assert_eq!(spec.rounds, 15, "untouched fields keep defaults");
+    }
+}

@@ -1,0 +1,178 @@
+//! Server-side ensemble distillation (Algorithm 2, Eq. 4): encode the
+//! ensembled client knowledge `Θ` into the global knowledge network θ_g
+//! by minimizing `D_KL(Θ ‖ θ_g)` on unlabeled/public data.
+
+use crate::ensemble::{ensemble_logits, EnsembleStrategy};
+use kemf_nn::loss::{kl_to_target, soften};
+use kemf_nn::model::Model;
+use kemf_nn::optim::{Sgd, SgdConfig};
+use kemf_tensor::rng::seeded_rng;
+use kemf_tensor::Tensor;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// Server distillation hyper-parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DistillConfig {
+    /// Distillation epochs over the public pool.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Optimizer for the global knowledge network.
+    pub sgd: SgdConfig,
+    /// Softening temperature for ensemble targets.
+    pub temperature: f32,
+    /// Ensemble strategy producing the targets.
+    pub strategy: EnsembleStrategy,
+    /// Gradient-norm clip for the student (0 disables).
+    pub clip_norm: f32,
+}
+
+impl Default for DistillConfig {
+    fn default() -> Self {
+        DistillConfig {
+            epochs: 2,
+            batch: 32,
+            sgd: SgdConfig { lr: 0.02, momentum: 0.9, weight_decay: 0.0, nesterov: false },
+            temperature: 2.0,
+            strategy: EnsembleStrategy::MaxLogits,
+            clip_norm: 5.0,
+        }
+    }
+}
+
+/// Distill the ensemble of `teachers` into `student` using the unlabeled
+/// `pool` (`[N, C, H, W]`). Returns the mean KL loss of the final epoch.
+pub fn distill_ensemble(
+    student: &mut Model,
+    teachers: &mut [Model],
+    pool: &Tensor,
+    cfg: &DistillConfig,
+    seed: u64,
+) -> f32 {
+    assert!(!teachers.is_empty(), "distillation needs at least one teacher");
+    let n = pool.dims()[0];
+    assert!(n > 0, "empty distillation pool");
+    // Pre-compute ensemble targets once: teachers are frozen during
+    // server distillation. Teacher logits use batch statistics
+    // (train-mode forward): after a short local update the teachers'
+    // batch-norm running statistics lag their weights badly, and
+    // eval-mode logits can explode into confidently-wrong targets that
+    // poison the distilled student.
+    let member_logits: Vec<Tensor> =
+        teachers.iter_mut().map(|t| t.predict_batch_stats(pool)).collect();
+    let ensembled = ensemble_logits(&member_logits, cfg.strategy);
+    let targets = soften(&ensembled, cfg.temperature);
+
+    let mut opt = Sgd::new(cfg.sgd);
+    let mut rng = seeded_rng(seed);
+    let mut last_epoch_loss = 0.0f32;
+    for _epoch in 0..cfg.epochs {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+        let mut loss_sum = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch) {
+            let images = pool.gather_rows(chunk);
+            let target = targets.gather_rows(chunk);
+            student.zero_grad();
+            let logits = student.forward(&images, true);
+            let (loss, grad) = kl_to_target(&logits, &target, cfg.temperature);
+            let _ = student.backward(&grad);
+            if cfg.clip_norm > 0.0 {
+                let _ = kemf_nn::optim::clip_grad_norm(student.net_mut(), cfg.clip_norm);
+            }
+            opt.step(student.net_mut());
+            loss_sum += loss as f64;
+            batches += 1;
+        }
+        last_epoch_loss = (loss_sum / batches.max(1) as f64) as f32;
+    }
+    last_epoch_loss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kemf_data::synth::{SynthConfig, SynthTask};
+    use kemf_nn::models::{Arch, ModelSpec};
+    use kemf_nn::optim::SgdConfig;
+
+    fn trained_teacher(seed: u64) -> (Model, kemf_data::dataset::Dataset) {
+        let task = SynthTask::new(SynthConfig::mnist_like(2));
+        let data = task.generate(120, seed);
+        let mut m = Model::new(ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, seed));
+        let mut opt = Sgd::new(SgdConfig { lr: 0.08, momentum: 0.9, weight_decay: 0.0, nesterov: false });
+        let mut rng = seeded_rng(seed);
+        for _ in 0..4 {
+            for (x, y) in data.shuffled_batches(16, &mut rng) {
+                let _ = m.train_batch(&x, &y, &mut opt);
+            }
+        }
+        (m, data)
+    }
+
+    #[test]
+    fn distillation_transfers_teacher_knowledge() {
+        let task = SynthTask::new(SynthConfig::mnist_like(2));
+        let (t1, _) = trained_teacher(1);
+        let (t2, _) = trained_teacher(2);
+        let mut teachers = vec![t1, t2];
+        let pool = task.generate_unlabeled(160, 9);
+        let test = task.generate(100, 77);
+        let mut student = Model::new(ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 99));
+        let before = student.evaluate(&test.images, &test.labels, 32);
+        let cfg = DistillConfig { epochs: 4, ..Default::default() };
+        let loss = distill_ensemble(&mut student, &mut teachers, &pool, &cfg, 3);
+        let after = student.evaluate(&test.images, &test.labels, 32);
+        assert!(loss.is_finite());
+        assert!(
+            after > before + 0.1,
+            "distillation should lift the untrained student well above its \
+             initial accuracy: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn distillation_loss_decreases() {
+        let task = SynthTask::new(SynthConfig::mnist_like(2));
+        let (t1, _) = trained_teacher(4);
+        let mut teachers = vec![t1];
+        let pool = task.generate_unlabeled(120, 10);
+        let mut student = Model::new(ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 98));
+        let one = distill_ensemble(
+            &mut student,
+            &mut teachers,
+            &pool,
+            &DistillConfig { epochs: 1, ..Default::default() },
+            5,
+        );
+        let more = distill_ensemble(
+            &mut student,
+            &mut teachers,
+            &pool,
+            &DistillConfig { epochs: 3, ..Default::default() },
+            6,
+        );
+        assert!(more < one, "KL should shrink with more distillation: {one} → {more}");
+    }
+
+    #[test]
+    fn strategies_all_produce_finite_losses() {
+        let task = SynthTask::new(SynthConfig::mnist_like(2));
+        let (t1, _) = trained_teacher(5);
+        let (t2, _) = trained_teacher(6);
+        let pool = task.generate_unlabeled(64, 11);
+        for strategy in [
+            EnsembleStrategy::MaxLogits,
+            EnsembleStrategy::AvgLogits,
+            EnsembleStrategy::MajorityVote,
+        ] {
+            let mut teachers = vec![t1.clone(), t2.clone()];
+            let mut student = Model::new(ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 97));
+            let cfg = DistillConfig { strategy, epochs: 1, ..Default::default() };
+            let loss = distill_ensemble(&mut student, &mut teachers, &pool, &cfg, 7);
+            assert!(loss.is_finite(), "{strategy:?} produced non-finite loss");
+        }
+    }
+}

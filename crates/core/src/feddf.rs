@@ -1,0 +1,145 @@
+//! FedDF (Lin et al. 2020) — *ensemble distillation for robust model
+//! fusion* — the server-side fusion method FedKEMF builds on, included as
+//! an additional baseline. Clients train **full models** locally (plain
+//! SGD, homogeneous architecture); the server initializes a student at
+//! the weighted average of the client models and refines it by distilling
+//! their ensemble on public data. Unlike FedKEMF there is no knowledge
+//! network: the full model crosses the wire every round.
+
+use crate::distill::{distill_ensemble, DistillConfig};
+use kemf_fl::context::FlContext;
+use kemf_fl::engine::{FedAlgorithm, RoundOutcome};
+use kemf_fl::local::LocalCfg;
+use kemf_fl::weight_common::{fan_out_clients, mean_loss, GlobalModel};
+use kemf_nn::model::Model;
+use kemf_nn::models::ModelSpec;
+use kemf_nn::serialize::ModelState;
+use kemf_tensor::rng::child_seed;
+use kemf_tensor::Tensor;
+
+/// The FedDF baseline.
+pub struct FedDf {
+    global: GlobalModel,
+    /// Server-side unlabeled pool.
+    pool: Tensor,
+    /// Server distillation settings.
+    pub distill: DistillConfig,
+}
+
+impl FedDf {
+    /// New FedDF server.
+    pub fn new(spec: ModelSpec, pool: Tensor) -> Self {
+        FedDf { global: GlobalModel::new(spec), pool, distill: DistillConfig::default() }
+    }
+}
+
+impl FedAlgorithm for FedDf {
+    fn name(&self) -> String {
+        "FedDF".into()
+    }
+
+    fn init(&mut self, _ctx: &FlContext) {}
+
+    fn round(&mut self, round: usize, sampled: &[usize], ctx: &FlContext) -> RoundOutcome {
+        let local = LocalCfg {
+            epochs: ctx.cfg.local_epochs,
+            batch: ctx.cfg.batch_size,
+            sgd: ctx.cfg.sgd_at(round),
+        };
+        let results = fan_out_clients(
+            &self.global.state,
+            self.global.spec,
+            round,
+            sampled,
+            ctx,
+            &local,
+            &|_k| None,
+        );
+        // Student initialized at the weighted average (FedDF's recipe for
+        // homogeneous clients), then refined by ensemble distillation.
+        let states: Vec<ModelState> = results.iter().map(|r| r.state.clone()).collect();
+        let coeffs: Vec<f32> = results.iter().map(|r| r.n_samples as f32).collect();
+        let mut student = Model::new(self.global.spec);
+        student.set_state(&ModelState::weighted_average(&states, &coeffs));
+        let mut teachers: Vec<Model> = states
+            .iter()
+            .map(|s| {
+                let mut t = Model::new(self.global.spec);
+                t.set_state(s);
+                t
+            })
+            .collect();
+        let seed = child_seed(ctx.cfg.seed, 0xDF ^ round as u64);
+        let _ = distill_ensemble(&mut student, &mut teachers, &self.pool, &self.distill, seed);
+        self.global.state = student.state();
+        let payload = self.global.payload_bytes() * sampled.len() as u64;
+        RoundOutcome { down_bytes: payload, up_bytes: payload, train_loss: mean_loss(&results) }
+    }
+
+    fn evaluate(&mut self, ctx: &FlContext) -> f32 {
+        self.global.evaluate(ctx)
+    }
+
+    fn global_model(&self) -> Option<(ModelSpec, ModelState)> {
+        Some((self.global.spec, self.global.state.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kemf_data::synth::{SynthConfig, SynthTask};
+    use kemf_fl::config::FlConfig;
+    use kemf_fl::engine::run;
+    use kemf_nn::models::Arch;
+
+    fn world(seed: u64) -> (FlContext, SynthTask) {
+        let task = SynthTask::new(SynthConfig::mnist_like(seed));
+        let train = task.generate(240, 0);
+        let test = task.generate(80, 1);
+        let cfg = FlConfig {
+            n_clients: 4,
+            sample_ratio: 1.0,
+            rounds: 6,
+            local_epochs: 2,
+            batch_size: 16,
+            alpha: 0.5,
+            min_per_client: 10,
+            seed,
+            ..Default::default()
+        };
+        (FlContext::new(cfg, &train, test), task)
+    }
+
+    #[test]
+    fn feddf_learns_above_chance() {
+        let (ctx, task) = world(71);
+        let pool = task.generate_unlabeled(100, 2);
+        let mut algo = FedDf::new(ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 0), pool);
+        let h = run(&mut algo, &ctx);
+        assert!(h.best_accuracy() > 0.3, "got {}", h.best_accuracy());
+    }
+
+    #[test]
+    fn feddf_pays_full_model_bytes() {
+        let (ctx, task) = world(72);
+        let pool = task.generate_unlabeled(60, 2);
+        let spec = ModelSpec::scaled(Arch::ResNet20, 1, 12, 10, 0);
+        let mut algo = FedDf::new(spec, pool);
+        let per_dir = algo.global.payload_bytes();
+        let h = run(&mut algo, &ctx);
+        assert_eq!(h.total_bytes(), 6 * 4 * 2 * per_dir);
+        assert_eq!(per_dir, Model::new(spec).state_bytes() as u64);
+    }
+
+    #[test]
+    fn feddf_is_deterministic() {
+        let run_once = || {
+            let (ctx, task) = world(73);
+            let pool = task.generate_unlabeled(60, 2);
+            let mut algo = FedDf::new(ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 0), pool);
+            run(&mut algo, &ctx).accuracies()
+        };
+        assert_eq!(run_once(), run_once());
+    }
+}

@@ -1,0 +1,267 @@
+//! FedMD (Li & Wang 2019) — *heterogeneous federated learning via model
+//! distillation* — the classic logit-communication baseline from the
+//! paper's related work. Clients never share weights at all; each round:
+//!
+//! 1. the server broadcasts **consensus logits** on a public dataset;
+//! 2. every client *digests* the consensus (distills it into its own,
+//!    arbitrary-architecture model), then *revisits* its private data
+//!    (a few epochs of supervised training);
+//! 3. clients upload their own logits on the public set;
+//! 4. the server averages them into the next consensus.
+//!
+//! The per-round payload is `2 × |public set| × classes × 4` bytes per
+//! client — independent of every model size, like FedKEMF's knowledge
+//! network but with no transferable global *model*: the server owns only
+//! logits, so `global_model()` is `None` and evaluation reports the mean
+//! client-model accuracy.
+
+use kemf_data::dataset::Dataset;
+use kemf_fl::context::FlContext;
+use kemf_fl::engine::{FedAlgorithm, RoundOutcome};
+use kemf_fl::local::{local_train, LocalCfg};
+use kemf_nn::loss::kl_to_target;
+use kemf_nn::model::Model;
+use kemf_nn::models::ModelSpec;
+use kemf_nn::optim::{clip_grad_norm, Sgd};
+use kemf_nn::loss::soften;
+use kemf_tensor::ops::elementwise_mean;
+use kemf_tensor::rng::{child_seed, seeded_rng};
+use kemf_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// FedMD hyper-parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct FedMdConfig {
+    /// Epochs of consensus digestion per round.
+    pub digest_epochs: usize,
+    /// Digestion temperature.
+    pub temperature: f32,
+    /// Digestion learning rate.
+    pub digest_lr: f32,
+}
+
+impl Default for FedMdConfig {
+    fn default() -> Self {
+        FedMdConfig { digest_epochs: 1, temperature: 2.0, digest_lr: 0.02 }
+    }
+}
+
+/// The FedMD baseline (heterogeneous-capable).
+pub struct FedMd {
+    /// Per-client model specs (may differ per client).
+    client_specs: Vec<ModelSpec>,
+    cfg: FedMdConfig,
+    /// Public reference set whose logits are communicated.
+    public: Tensor,
+    /// Current consensus logits `[pool, classes]` (None before round 0).
+    consensus: Option<Tensor>,
+    local_models: Vec<Option<Model>>,
+    classes: usize,
+}
+
+impl FedMd {
+    /// New FedMD population over a public reference set.
+    pub fn new(client_specs: Vec<ModelSpec>, public: Tensor, classes: usize, cfg: FedMdConfig) -> Self {
+        assert!(!client_specs.is_empty(), "need at least one client spec");
+        FedMd { client_specs, cfg, public, consensus: None, local_models: Vec::new(), classes }
+    }
+
+    /// Per-direction payload: the logit matrix on the public set.
+    pub fn payload_bytes(&self) -> u64 {
+        (self.public.dims()[0] * self.classes * 4) as u64
+    }
+
+    /// Mean per-client accuracy of the local models on `tests`.
+    pub fn evaluate_local_models(&mut self, tests: &[Dataset], eval_batch: usize) -> f32 {
+        assert_eq!(tests.len(), self.local_models.len(), "one test set per client");
+        let mut total = 0.0;
+        for (m, t) in self.local_models.iter_mut().zip(tests.iter()) {
+            total += m.as_mut().expect("init ran").evaluate(&t.images, &t.labels, eval_batch);
+        }
+        total / tests.len() as f32
+    }
+}
+
+/// Distill `targets` (softened consensus probabilities) into `model` on
+/// the public images.
+fn digest(
+    model: &mut Model,
+    public: &Tensor,
+    targets: &Tensor,
+    cfg: &FedMdConfig,
+    sgd: kemf_nn::optim::SgdConfig,
+    seed: u64,
+) {
+    let n = public.dims()[0];
+    let mut opt = Sgd::new(kemf_nn::optim::SgdConfig { lr: cfg.digest_lr, ..sgd });
+    let mut rng = seeded_rng(seed);
+    for _ in 0..cfg.digest_epochs {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+        for chunk in order.chunks(32) {
+            let images = public.gather_rows(chunk);
+            let target = targets.gather_rows(chunk);
+            model.zero_grad();
+            let logits = model.forward(&images, true);
+            let (_, grad) = kl_to_target(&logits, &target, cfg.temperature);
+            let _ = model.backward(&grad);
+            let _ = clip_grad_norm(model.net_mut(), 5.0);
+            opt.step(model.net_mut());
+        }
+    }
+}
+
+impl FedAlgorithm for FedMd {
+    fn name(&self) -> String {
+        "FedMD".into()
+    }
+
+    fn init(&mut self, ctx: &FlContext) {
+        assert_eq!(self.client_specs.len(), ctx.cfg.n_clients, "one spec per client");
+        self.local_models = self.client_specs.iter().map(|s| Some(Model::new(*s))).collect();
+    }
+
+    fn round(&mut self, round: usize, sampled: &[usize], ctx: &FlContext) -> RoundOutcome {
+        let local = LocalCfg {
+            epochs: ctx.cfg.local_epochs,
+            batch: ctx.cfg.batch_size,
+            sgd: ctx.cfg.sgd_at(round),
+        };
+        let consensus_targets = self
+            .consensus
+            .as_ref()
+            .map(|c| soften(c, self.cfg.temperature));
+        let mut moved: Vec<(usize, Model)> = sampled
+            .iter()
+            .map(|&k| (k, self.local_models[k].take().expect("model present")))
+            .collect();
+        let cfg = self.cfg;
+        let public = &self.public;
+        let results: Vec<(usize, Model, Tensor, f32)> = moved
+            .par_drain(..)
+            .map(|(k, mut model)| {
+                let seed = child_seed(ctx.cfg.seed, 0x3D ^ ((round as u64) << 16 | k as u64));
+                // Digest the consensus, when one exists.
+                if let Some(targets) = &consensus_targets {
+                    digest(&mut model, public, targets, &cfg, local.sgd, seed);
+                }
+                // Revisit private data.
+                let out = local_train(&mut model, &ctx.client_data[k], &local, seed ^ 7, None);
+                // Publish logits on the public set (batch statistics:
+                // local models take few steps per round, same rationale
+                // as FedKEMF's distillation targets).
+                let logits = model.predict_batch_stats(public);
+                (k, model, logits, out.mean_loss)
+            })
+            .collect();
+        let mut member_logits = Vec::with_capacity(results.len());
+        let mut loss_sum = 0.0;
+        for (k, model, logits, loss) in results {
+            self.local_models[k] = Some(model);
+            member_logits.push(logits);
+            loss_sum += loss;
+        }
+        let refs: Vec<&Tensor> = member_logits.iter().collect();
+        self.consensus = Some(elementwise_mean(&refs));
+        let payload = self.payload_bytes() * sampled.len() as u64;
+        RoundOutcome {
+            down_bytes: payload,
+            up_bytes: payload,
+            train_loss: loss_sum / member_logits.len().max(1) as f32,
+        }
+    }
+
+    /// FedMD has no global model; report the mean client accuracy on the
+    /// shared test set (the metric its paper uses).
+    fn evaluate(&mut self, ctx: &FlContext) -> f32 {
+        let mut total = 0.0;
+        let mut count = 0;
+        for m in self.local_models.iter_mut().flatten() {
+            total += m.evaluate(&ctx.test.images, &ctx.test.labels, ctx.cfg.eval_batch);
+            count += 1;
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::{assign_tiers, heterogeneous_specs, uniform_specs};
+    use kemf_data::synth::{SynthConfig, SynthTask};
+    use kemf_fl::config::FlConfig;
+    use kemf_fl::engine::run;
+    use kemf_nn::models::Arch;
+
+    fn world(seed: u64, n: usize) -> (FlContext, SynthTask) {
+        let task = SynthTask::new(SynthConfig::mnist_like(seed));
+        let train = task.generate(60 * n, 0);
+        let test = task.generate(80, 1);
+        let cfg = FlConfig {
+            n_clients: n,
+            sample_ratio: 1.0,
+            rounds: 6,
+            local_epochs: 2,
+            batch_size: 16,
+            alpha: 0.5,
+            min_per_client: 10,
+            seed,
+            ..Default::default()
+        };
+        (FlContext::new(cfg, &train, test), task)
+    }
+
+    #[test]
+    fn fedmd_learns_above_chance() {
+        let (ctx, task) = world(81, 4);
+        let specs = uniform_specs(Arch::Cnn2, 4, 1, 12, 10, 2);
+        let public = task.generate_unlabeled(100, 3);
+        let mut algo = FedMd::new(specs, public, 10, FedMdConfig::default());
+        let h = run(&mut algo, &ctx);
+        assert!(h.best_accuracy() > 0.3, "got {}", h.best_accuracy());
+    }
+
+    #[test]
+    fn fedmd_supports_heterogeneous_models() {
+        let (ctx, task) = world(82, 6);
+        let tiers = assign_tiers(6, 1);
+        let specs = heterogeneous_specs(&tiers, 1, 12, 10, 2);
+        let public = task.generate_unlabeled(80, 3);
+        let mut algo = FedMd::new(specs, public, 10, FedMdConfig::default());
+        let h = run(&mut algo, &ctx);
+        assert!(h.accuracies().iter().all(|a| a.is_finite()));
+        assert!(h.best_accuracy() > 0.15);
+    }
+
+    #[test]
+    fn payload_is_logits_only() {
+        let (ctx, task) = world(83, 3);
+        let specs = uniform_specs(Arch::ResNet32, 3, 1, 12, 10, 2);
+        let public = task.generate_unlabeled(50, 3);
+        let mut algo = FedMd::new(specs, public, 10, FedMdConfig::default());
+        assert_eq!(algo.payload_bytes(), 50 * 10 * 4);
+        let model_bytes = Model::new(ModelSpec::scaled(Arch::ResNet32, 1, 12, 10, 0)).state_bytes() as u64;
+        assert!(algo.payload_bytes() < model_bytes / 4, "logits ≪ model weights");
+        let h = run(&mut algo, &ctx);
+        assert_eq!(h.total_bytes(), 6 * 3 * 2 * algo.payload_bytes());
+    }
+
+    #[test]
+    fn consensus_builds_after_first_round() {
+        let (ctx, task) = world(84, 3);
+        let specs = uniform_specs(Arch::Cnn2, 3, 1, 12, 10, 2);
+        let public = task.generate_unlabeled(40, 3);
+        let mut algo = FedMd::new(specs, public, 10, FedMdConfig::default());
+        algo.init(&ctx);
+        assert!(algo.consensus.is_none());
+        let _ = algo.round(0, &[0, 1, 2], &ctx);
+        let c = algo.consensus.as_ref().expect("consensus after round 0");
+        assert_eq!(c.dims(), &[40, 10]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Lightweight train-time augmentation for image tensors: random
+//! horizontal flips and zero-padded random crops — the standard CIFAR
+//! recipe, applied on the fly by clients that want it.
+
+use kemf_tensor::rng::seeded_rng;
+use kemf_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Augmentation settings.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct AugmentConfig {
+    /// Probability of a horizontal flip per image.
+    pub flip_prob: f32,
+    /// Zero-padding for random crops (0 disables cropping).
+    pub crop_pad: usize,
+}
+
+impl Default for AugmentConfig {
+    fn default() -> Self {
+        AugmentConfig { flip_prob: 0.5, crop_pad: 2 }
+    }
+}
+
+/// Stateful augmenter (owns its RNG stream).
+pub struct Augmenter {
+    cfg: AugmentConfig,
+    rng: StdRng,
+}
+
+impl Augmenter {
+    /// New augmenter with a seeded stream.
+    pub fn new(cfg: AugmentConfig, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&cfg.flip_prob), "flip probability out of range");
+        Augmenter { cfg, rng: seeded_rng(seed) }
+    }
+
+    /// Augment a `[N, C, H, W]` batch in place.
+    pub fn apply(&mut self, images: &mut Tensor) {
+        let (n, c, h, w) = images.shape().as_nchw();
+        for i in 0..n {
+            if self.cfg.flip_prob > 0.0 && self.rng.gen::<f32>() < self.cfg.flip_prob {
+                flip_horizontal(images, i, c, h, w);
+            }
+            if self.cfg.crop_pad > 0 {
+                let pad = self.cfg.crop_pad as i64;
+                let dy = self.rng.gen_range(-pad..=pad);
+                let dx = self.rng.gen_range(-pad..=pad);
+                shift_zero_pad(images, i, c, h, w, dy, dx);
+            }
+        }
+    }
+}
+
+/// Mirror image `i` left↔right.
+fn flip_horizontal(images: &mut Tensor, i: usize, c: usize, h: usize, w: usize) {
+    let data = images.data_mut();
+    for ch in 0..c {
+        let base = (i * c + ch) * h * w;
+        for y in 0..h {
+            let row = base + y * w;
+            for x in 0..w / 2 {
+                data.swap(row + x, row + w - 1 - x);
+            }
+        }
+    }
+}
+
+/// Translate image `i` by `(dy, dx)`, filling vacated pixels with zero
+/// (the "pad then crop" augmentation, expressed as a shift).
+fn shift_zero_pad(images: &mut Tensor, i: usize, c: usize, h: usize, w: usize, dy: i64, dx: i64) {
+    if dy == 0 && dx == 0 {
+        return;
+    }
+    let data = images.data_mut();
+    for ch in 0..c {
+        let base = (i * c + ch) * h * w;
+        let src: Vec<f32> = data[base..base + h * w].to_vec();
+        for y in 0..h {
+            for x in 0..w {
+                let sy = y as i64 - dy;
+                let sx = x as i64 - dx;
+                data[base + y * w + x] =
+                    if sy >= 0 && sx >= 0 && (sy as usize) < h && (sx as usize) < w {
+                        src[sy as usize * w + sx as usize]
+                    } else {
+                        0.0
+                    };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize, c: usize, h: usize, w: usize) -> Tensor {
+        Tensor::from_vec((0..n * c * h * w).map(|v| v as f32).collect(), &[n, c, h, w])
+    }
+
+    #[test]
+    fn flip_is_involution() {
+        let mut t = ramp(1, 2, 3, 4);
+        let orig = t.clone();
+        flip_horizontal(&mut t, 0, 2, 3, 4);
+        assert_ne!(t.data(), orig.data());
+        flip_horizontal(&mut t, 0, 2, 3, 4);
+        assert_eq!(t.data(), orig.data());
+    }
+
+    #[test]
+    fn shift_moves_pixels_and_zero_fills() {
+        let mut t = ramp(1, 1, 3, 3);
+        shift_zero_pad(&mut t, 0, 1, 3, 3, 1, 0);
+        // Row 0 vacated (zeros); row 1 holds old row 0.
+        assert_eq!(&t.data()[0..3], &[0.0, 0.0, 0.0]);
+        assert_eq!(&t.data()[3..6], &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn augmenter_preserves_shape_and_changes_content() {
+        let mut aug = Augmenter::new(AugmentConfig::default(), 3);
+        let mut t = ramp(8, 3, 8, 8);
+        let orig = t.clone();
+        aug.apply(&mut t);
+        assert_eq!(t.dims(), orig.dims());
+        assert_ne!(t.data(), orig.data(), "augmentation should perturb the batch");
+    }
+
+    #[test]
+    fn disabled_augmentation_can_be_identity() {
+        let mut aug = Augmenter::new(AugmentConfig { flip_prob: 0.0, crop_pad: 0 }, 4);
+        let mut t = ramp(2, 1, 4, 4);
+        let orig = t.clone();
+        aug.apply(&mut t);
+        assert_eq!(t.data(), orig.data());
+    }
+
+    #[test]
+    fn augmentation_is_seed_deterministic() {
+        let run = |seed| {
+            let mut aug = Augmenter::new(AugmentConfig::default(), seed);
+            let mut t = ramp(4, 1, 6, 6);
+            aug.apply(&mut t);
+            t.into_vec()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

@@ -1,0 +1,174 @@
+//! In-memory labeled image datasets and batching.
+
+use kemf_tensor::rng::seeded_rng;
+use kemf_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::rngs::StdRng;
+
+/// A labeled image dataset held as one `[N, C, H, W]` tensor.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Images, `[N, C, H, W]`.
+    pub images: Tensor,
+    /// Integer class labels, length `N`.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl Dataset {
+    /// Build a dataset; validates shapes and label range.
+    pub fn new(images: Tensor, labels: Vec<usize>, classes: usize) -> Self {
+        assert_eq!(images.dims().len(), 4, "images must be [N, C, H, W]");
+        assert_eq!(images.dims()[0], labels.len(), "image/label count mismatch");
+        assert!(labels.iter().all(|&y| y < classes), "label out of range");
+        Dataset { images, labels, classes }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Copy out the samples at `indices` (a client shard, typically).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            images: self.images.gather_rows(indices),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            classes: self.classes,
+        }
+    }
+
+    /// Split into `(first, second)` with `frac` of samples in the first
+    /// part, after a seeded shuffle.
+    pub fn split(&self, frac: f32, seed: u64) -> (Dataset, Dataset) {
+        assert!((0.0..=1.0).contains(&frac), "split fraction out of range");
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(&mut seeded_rng(seed));
+        let cut = ((self.len() as f32) * frac).round() as usize;
+        (self.subset(&idx[..cut]), self.subset(&idx[cut..]))
+    }
+
+    /// Per-class sample counts.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.classes];
+        for &y in &self.labels {
+            h[y] += 1;
+        }
+        h
+    }
+
+    /// Iterate one epoch in shuffled mini-batches. The last batch may be
+    /// smaller; empty datasets yield nothing.
+    pub fn shuffled_batches<'a>(&'a self, batch: usize, rng: &mut StdRng) -> BatchIter<'a> {
+        assert!(batch > 0, "batch size must be positive");
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(rng);
+        BatchIter { ds: self, order, batch, pos: 0 }
+    }
+}
+
+/// Iterator over shuffled mini-batches of a dataset.
+pub struct BatchIter<'a> {
+    ds: &'a Dataset,
+    order: Vec<usize>,
+    batch: usize,
+    pos: usize,
+}
+
+impl Iterator for BatchIter<'_> {
+    type Item = (Tensor, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.order.len() {
+            return None;
+        }
+        let end = (self.pos + self.batch).min(self.order.len());
+        let idx = &self.order[self.pos..end];
+        self.pos = end;
+        let images = self.ds.images.gather_rows(idx);
+        let labels = idx.iter().map(|&i| self.ds.labels[i]).collect();
+        Some((images, labels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let images = Tensor::from_vec((0..n * 4).map(|v| v as f32).collect(), &[n, 1, 2, 2]);
+        let labels = (0..n).map(|i| i % 3).collect();
+        Dataset::new(images, labels, 3)
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let ds = toy(5);
+        let s = ds.subset(&[4, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.labels, vec![1, 0]);
+        assert_eq!(&s.images.data()[..4], &[16.0, 17.0, 18.0, 19.0]);
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let ds = toy(10);
+        let (a, b) = ds.split(0.7, 1);
+        assert_eq!(a.len(), 7);
+        assert_eq!(b.len(), 3);
+        // Together they cover all samples exactly once (check via first
+        // pixel values, which are unique per sample).
+        let mut firsts: Vec<f32> = a
+            .images
+            .data()
+            .chunks(4)
+            .chain(b.images.data().chunks(4))
+            .map(|c| c[0])
+            .collect();
+        firsts.sort_by(f32::total_cmp);
+        let expect: Vec<f32> = (0..10).map(|i| (i * 4) as f32).collect();
+        assert_eq!(firsts, expect);
+    }
+
+    #[test]
+    fn histogram_counts_labels() {
+        let ds = toy(7);
+        assert_eq!(ds.class_histogram(), vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn batches_cover_epoch_without_repeats() {
+        let ds = toy(10);
+        let mut rng = seeded_rng(2);
+        let mut seen = Vec::new();
+        let mut batch_sizes = Vec::new();
+        for (images, labels) in ds.shuffled_batches(4, &mut rng) {
+            assert_eq!(images.dims()[0], labels.len());
+            batch_sizes.push(labels.len());
+            seen.extend(images.data().chunks(4).map(|c| c[0] as usize / 4));
+        }
+        assert_eq!(batch_sizes, vec![4, 4, 2]);
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_dataset_yields_no_batches() {
+        let ds = toy(3).subset(&[]);
+        let mut rng = seeded_rng(3);
+        assert!(ds.shuffled_batches(4, &mut rng).next().is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_out_of_range_labels() {
+        let images = Tensor::zeros(&[1, 1, 2, 2]);
+        Dataset::new(images, vec![5], 3);
+    }
+}

@@ -1,0 +1,210 @@
+//! Dirichlet non-IID partitioning (the benchmark of Li et al. 2021 used by
+//! the paper): each class's samples are split across clients with
+//! proportions drawn from `Dir(α)`. Small α ⇒ extreme label skew.
+//!
+//! Gamma sampling is implemented in-house (Marsaglia–Tsang squeeze method,
+//! with the `α < 1` boost) so the crate stays within the base `rand`
+//! dependency.
+
+use kemf_tensor::rng::{sample_normal, seeded_rng};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One `Gamma(alpha, 1)` sample (Marsaglia & Tsang 2000).
+pub fn sample_gamma(alpha: f64, rng: &mut StdRng) -> f64 {
+    assert!(alpha > 0.0, "gamma shape must be positive");
+    if alpha < 1.0 {
+        // Boost: Gamma(α) = Gamma(α+1) · U^{1/α}.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        return sample_gamma(alpha + 1.0, rng) * u.powf(1.0 / alpha);
+    }
+    let d = alpha - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = sample_normal(rng) as f64;
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// One symmetric `Dirichlet(α)` draw of dimension `k` (normalized gammas).
+pub fn sample_dirichlet(alpha: f64, k: usize, rng: &mut StdRng) -> Vec<f64> {
+    assert!(k > 0, "dimension must be positive");
+    let mut g: Vec<f64> = (0..k).map(|_| sample_gamma(alpha, rng)).collect();
+    let sum: f64 = g.iter().sum();
+    if sum <= 0.0 {
+        // Degenerate draw (possible only through underflow at tiny α):
+        // fall back to a one-hot on a random coordinate, the α→0 limit.
+        let hot = rng.gen_range(0..k);
+        g.iter_mut().enumerate().for_each(|(i, v)| *v = f64::from(i == hot));
+        return g;
+    }
+    g.iter_mut().for_each(|v| *v /= sum);
+    g
+}
+
+/// Partition `labels` across `n_clients` with per-class `Dir(alpha)`
+/// proportions. Redraws (up to a bounded number of attempts) until every
+/// client holds at least `min_per_client` samples, the common benchmark
+/// safeguard. Returns per-client index lists covering every sample once.
+pub fn dirichlet_partition(
+    labels: &[usize],
+    classes: usize,
+    n_clients: usize,
+    alpha: f64,
+    min_per_client: usize,
+    seed: u64,
+) -> Vec<Vec<usize>> {
+    assert!(n_clients > 0, "need at least one client");
+    assert!(alpha > 0.0, "alpha must be positive");
+    assert!(
+        labels.len() >= n_clients * min_per_client,
+        "not enough samples ({}) for {n_clients} clients × {min_per_client} minimum",
+        labels.len()
+    );
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); classes];
+    for (i, &y) in labels.iter().enumerate() {
+        assert!(y < classes, "label {y} out of range");
+        by_class[y].push(i);
+    }
+    let mut rng = seeded_rng(seed);
+    for attempt in 0..100 {
+        let mut shards: Vec<Vec<usize>> = vec![Vec::new(); n_clients];
+        for idxs in by_class.iter().filter(|v| !v.is_empty()) {
+            // Shuffle within the class, then cut by Dirichlet proportions.
+            let mut order = idxs.clone();
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            let p = sample_dirichlet(alpha, n_clients, &mut rng);
+            // Convert proportions to cumulative cut points.
+            let mut start = 0usize;
+            let mut acc = 0.0f64;
+            for (c, &pc) in p.iter().enumerate() {
+                acc += pc;
+                let end = if c + 1 == n_clients {
+                    order.len()
+                } else {
+                    ((order.len() as f64) * acc).round() as usize
+                };
+                let end = end.clamp(start, order.len());
+                shards[c].extend_from_slice(&order[start..end]);
+                start = end;
+            }
+        }
+        if shards.iter().all(|s| s.len() >= min_per_client) {
+            return shards;
+        }
+        let _ = attempt;
+    }
+    panic!(
+        "dirichlet_partition: could not satisfy min {min_per_client} per client \
+         after 100 attempts (alpha={alpha}, clients={n_clients}, n={})",
+        labels.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_moments() {
+        let mut rng = seeded_rng(50);
+        for &alpha in &[0.1f64, 0.5, 1.0, 3.0, 10.0] {
+            let n = 20_000;
+            let samples: Vec<f64> = (0..n).map(|_| sample_gamma(alpha, &mut rng)).collect();
+            let mean = samples.iter().sum::<f64>() / n as f64;
+            let var = samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+            // Gamma(α,1): mean α, variance α.
+            assert!((mean - alpha).abs() < 0.1 * alpha.max(0.5), "alpha {alpha} mean {mean}");
+            assert!((var - alpha).abs() < 0.25 * alpha.max(0.5), "alpha {alpha} var {var}");
+        }
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one_and_nonnegative() {
+        let mut rng = seeded_rng(51);
+        for &alpha in &[0.05f64, 0.1, 1.0, 10.0] {
+            for _ in 0..50 {
+                let p = sample_dirichlet(alpha, 8, &mut rng);
+                assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+                assert!(p.iter().all(|&v| v >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn small_alpha_is_spikier_than_large_alpha() {
+        let mut rng = seeded_rng(52);
+        let max_mean = |alpha: f64, rng: &mut rand::rngs::StdRng| {
+            (0..200)
+                .map(|_| {
+                    sample_dirichlet(alpha, 10, rng).into_iter().fold(0.0f64, f64::max)
+                })
+                .sum::<f64>()
+                / 200.0
+        };
+        let spiky = max_mean(0.1, &mut rng);
+        let flat = max_mean(10.0, &mut rng);
+        assert!(spiky > flat + 0.2, "spiky {spiky} vs flat {flat}");
+    }
+
+    fn labels(n: usize, classes: usize) -> Vec<usize> {
+        (0..n).map(|i| i % classes).collect()
+    }
+
+    #[test]
+    fn partition_conserves_and_covers() {
+        let l = labels(600, 10);
+        let shards = dirichlet_partition(&l, 10, 12, 0.1, 5, 99);
+        assert_eq!(shards.len(), 12);
+        let mut all: Vec<usize> = shards.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..600).collect::<Vec<_>>(), "every sample exactly once");
+        assert!(shards.iter().all(|s| s.len() >= 5));
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        let l = labels(300, 10);
+        let a = dirichlet_partition(&l, 10, 8, 0.1, 3, 7);
+        let b = dirichlet_partition(&l, 10, 8, 0.1, 3, 7);
+        assert_eq!(a, b);
+        let c = dirichlet_partition(&l, 10, 8, 0.1, 3, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn small_alpha_skews_client_label_distributions() {
+        let l = labels(2000, 10);
+        let skewed = dirichlet_partition(&l, 10, 10, 0.05, 5, 1);
+        let uniform = dirichlet_partition(&l, 10, 10, 100.0, 5, 1);
+        // Measure the mean max-class share per client.
+        let max_share = |shards: &Vec<Vec<usize>>| {
+            let mut total = 0.0;
+            for s in shards {
+                let mut h = [0usize; 10];
+                for &i in s {
+                    h[l[i]] += 1;
+                }
+                total += h.iter().copied().max().unwrap() as f64 / s.len() as f64;
+            }
+            total / shards.len() as f64
+        };
+        assert!(max_share(&skewed) > max_share(&uniform) + 0.2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn partition_rejects_impossible_minimum() {
+        let l = labels(10, 2);
+        let _ = dirichlet_partition(&l, 2, 5, 0.1, 10, 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Additional federated partitioners beyond the Dirichlet benchmark:
+//!
+//! * [`shard_partition`] — McMahan et al.'s original pathological split:
+//!   sort by label, cut into shards, deal each client a fixed number of
+//!   shards (classic "2 classes per client" extreme non-IID).
+//! * [`quantity_skew_partition`] — IID label mix but power-law *sizes*
+//!   (some clients hold far more data), the other axis of heterogeneity
+//!   the FedNova comparison exercises.
+
+use kemf_tensor::rng::seeded_rng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Pathological label-sorted shard split (McMahan et al. 2017): samples
+/// are sorted by label, cut into `clients × shards_per_client` shards,
+/// and each client receives `shards_per_client` random shards.
+pub fn shard_partition(
+    labels: &[usize],
+    n_clients: usize,
+    shards_per_client: usize,
+    seed: u64,
+) -> Vec<Vec<usize>> {
+    assert!(n_clients > 0 && shards_per_client > 0, "degenerate partition");
+    let n = labels.len();
+    let total_shards = n_clients * shards_per_client;
+    assert!(n >= total_shards, "need at least one sample per shard ({n} < {total_shards})");
+    // Sort indices by label (stable: ties keep original order).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| labels[i]);
+    // Cut into equal shards (remainder spread over the first shards).
+    let base = n / total_shards;
+    let extra = n % total_shards;
+    let mut shards: Vec<Vec<usize>> = Vec::with_capacity(total_shards);
+    let mut pos = 0;
+    for s in 0..total_shards {
+        let len = base + usize::from(s < extra);
+        shards.push(order[pos..pos + len].to_vec());
+        pos += len;
+    }
+    // Deal shards to clients.
+    let mut shard_ids: Vec<usize> = (0..total_shards).collect();
+    shard_ids.shuffle(&mut seeded_rng(seed));
+    let mut out = vec![Vec::new(); n_clients];
+    for (i, &sid) in shard_ids.iter().enumerate() {
+        out[i % n_clients].extend_from_slice(&shards[sid]);
+    }
+    out
+}
+
+/// Quantity-skewed IID partition: every client sees the global label mix
+/// but sizes follow a power law with exponent `skew` (`0` = equal sizes).
+/// Every client receives at least one sample.
+pub fn quantity_skew_partition(
+    n_samples: usize,
+    n_clients: usize,
+    skew: f64,
+    seed: u64,
+) -> Vec<Vec<usize>> {
+    assert!(n_clients > 0, "need at least one client");
+    assert!(n_samples >= n_clients, "need at least one sample per client");
+    assert!(skew >= 0.0, "skew must be non-negative");
+    let mut rng = seeded_rng(seed);
+    // Power-law weights: w_k = u_k^skew with u uniform; skew 0 → equal.
+    let weights: Vec<f64> = (0..n_clients)
+        .map(|_| rng.gen_range(0.05f64..1.0).powf(skew))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    // Convert to sizes, at least 1 each.
+    let mut sizes: Vec<usize> = weights
+        .iter()
+        .map(|w| ((w / total) * n_samples as f64).floor().max(1.0) as usize)
+        .collect();
+    // Fix rounding drift.
+    let mut assigned: usize = sizes.iter().sum();
+    let mut k = 0;
+    while assigned < n_samples {
+        sizes[k % n_clients] += 1;
+        assigned += 1;
+        k += 1;
+    }
+    while assigned > n_samples {
+        let idx = sizes.iter().position(|&s| s > 1).expect("shrinkable client");
+        sizes[idx] -= 1;
+        assigned -= 1;
+    }
+    // Shuffle sample order (IID mix) and cut.
+    let mut order: Vec<usize> = (0..n_samples).collect();
+    order.shuffle(&mut rng);
+    let mut out = Vec::with_capacity(n_clients);
+    let mut pos = 0;
+    for s in sizes {
+        out.push(order[pos..pos + s].to_vec());
+        pos += s;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::heterogeneity;
+
+    fn labels(n: usize, classes: usize) -> Vec<usize> {
+        (0..n).map(|i| i % classes).collect()
+    }
+
+    #[test]
+    fn shard_partition_covers_everything() {
+        let l = labels(500, 10);
+        let shards = shard_partition(&l, 10, 2, 3);
+        let mut all: Vec<usize> = shards.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn two_shards_means_few_classes_per_client() {
+        let l = labels(1000, 10);
+        let shards = shard_partition(&l, 10, 2, 7);
+        for s in &shards {
+            let classes: std::collections::HashSet<_> = s.iter().map(|&i| l[i]).collect();
+            // Each shard spans ≤2 labels (shard length 50 = half a class),
+            // so two shards give at most 4 distinct classes.
+            assert!(classes.len() <= 4, "client saw {} classes", classes.len());
+        }
+        // And the split is severely non-IID by the TV metric.
+        assert!(heterogeneity(&l, 10, &shards) > 0.5);
+    }
+
+    #[test]
+    fn shard_partition_is_deterministic() {
+        let l = labels(300, 10);
+        assert_eq!(shard_partition(&l, 6, 2, 9), shard_partition(&l, 6, 2, 9));
+        assert_ne!(shard_partition(&l, 6, 2, 9), shard_partition(&l, 6, 2, 10));
+    }
+
+    #[test]
+    fn quantity_skew_conserves_and_covers() {
+        let shards = quantity_skew_partition(400, 8, 2.0, 5);
+        assert_eq!(shards.len(), 8);
+        let mut all: Vec<usize> = shards.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..400).collect::<Vec<_>>());
+        assert!(shards.iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn higher_skew_means_more_imbalance() {
+        let imbalance = |skew: f64| {
+            let shards = quantity_skew_partition(1000, 10, skew, 11);
+            let sizes: Vec<usize> = shards.iter().map(Vec::len).collect();
+            *sizes.iter().max().unwrap() as f64 / *sizes.iter().min().unwrap() as f64
+        };
+        assert!(imbalance(4.0) > imbalance(0.0) + 0.5, "skew should spread sizes");
+        // skew 0 → nearly equal.
+        assert!(imbalance(0.0) < 1.2);
+    }
+
+    #[test]
+    fn quantity_skew_stays_iid_in_labels() {
+        let l = labels(1000, 10);
+        let shards = quantity_skew_partition(1000, 5, 3.0, 13);
+        assert!(heterogeneity(&l, 10, &shards) < 0.15, "labels stay IID under quantity skew");
+    }
+
+    #[test]
+    #[should_panic]
+    fn shard_partition_rejects_too_few_samples() {
+        let l = labels(5, 2);
+        let _ = shard_partition(&l, 10, 2, 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Heterogeneity diagnostics over federated partitions: how non-IID a
+//! Dirichlet split actually is. Used by the Fig. 7 stability sweep and by
+//! tests asserting that α behaves as documented.
+
+/// Per-client label histograms of a partition.
+pub fn client_histograms(
+    labels: &[usize],
+    classes: usize,
+    shards: &[Vec<usize>],
+) -> Vec<Vec<usize>> {
+    shards
+        .iter()
+        .map(|s| {
+            let mut h = vec![0usize; classes];
+            for &i in s {
+                h[labels[i]] += 1;
+            }
+            h
+        })
+        .collect()
+}
+
+/// Mean total-variation distance between each client's label distribution
+/// and the global one, in `[0, 1]`. 0 = perfectly IID; →1 as each client
+/// collapses onto classes absent elsewhere.
+pub fn heterogeneity(labels: &[usize], classes: usize, shards: &[Vec<usize>]) -> f64 {
+    assert!(!shards.is_empty(), "no shards");
+    let mut global = vec![0usize; classes];
+    for &y in labels {
+        global[y] += 1;
+    }
+    let gn = labels.len().max(1) as f64;
+    let gdist: Vec<f64> = global.iter().map(|&c| c as f64 / gn).collect();
+    let hists = client_histograms(labels, classes, shards);
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for h in &hists {
+        let n: usize = h.iter().sum();
+        if n == 0 {
+            continue;
+        }
+        let tv: f64 = h
+            .iter()
+            .zip(gdist.iter())
+            .map(|(&c, &g)| (c as f64 / n as f64 - g).abs())
+            .sum::<f64>()
+            / 2.0;
+        total += tv;
+        counted += 1;
+    }
+    total / counted.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dirichlet::dirichlet_partition;
+
+    #[test]
+    fn iid_partition_has_low_heterogeneity() {
+        let labels: Vec<usize> = (0..1000).map(|i| i % 10).collect();
+        // Contiguous blocks of 100 samples each hold every class exactly
+        // 10 times, i.e. a perfectly IID split.
+        let shards: Vec<Vec<usize>> =
+            (0..10).map(|c| ((c * 100)..((c + 1) * 100)).collect()).collect();
+        assert!(heterogeneity(&labels, 10, &shards) < 0.01);
+    }
+
+    #[test]
+    fn one_class_per_client_has_high_heterogeneity() {
+        let labels: Vec<usize> = (0..1000).map(|i| i / 100).collect();
+        let shards: Vec<Vec<usize>> =
+            (0..10).map(|c| ((c * 100)..((c + 1) * 100)).collect()).collect();
+        assert!(heterogeneity(&labels, 10, &shards) > 0.85);
+    }
+
+    #[test]
+    fn alpha_orders_heterogeneity() {
+        let labels: Vec<usize> = (0..2000).map(|i| i % 10).collect();
+        let h = |alpha: f64| {
+            let shards = dirichlet_partition(&labels, 10, 10, alpha, 5, 3);
+            heterogeneity(&labels, 10, &shards)
+        };
+        let h01 = h(0.1);
+        let h1 = h(1.0);
+        let h100 = h(100.0);
+        assert!(h01 > h1, "α=0.1 ({h01}) should be more skewed than α=1 ({h1})");
+        assert!(h1 > h100, "α=1 ({h1}) should be more skewed than α=100 ({h100})");
+    }
+
+    #[test]
+    fn histograms_sum_to_shard_sizes() {
+        let labels: Vec<usize> = (0..100).map(|i| i % 4).collect();
+        let shards = vec![(0..30).collect::<Vec<_>>(), (30..100).collect()];
+        let hists = client_histograms(&labels, 4, &shards);
+        assert_eq!(hists[0].iter().sum::<usize>(), 30);
+        assert_eq!(hists[1].iter().sum::<usize>(), 70);
+    }
+}

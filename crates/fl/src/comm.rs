@@ -1,0 +1,121 @@
+//! Communication-cost accounting.
+//!
+//! The paper reports `total cost = rounds × round-cost-per-client ×
+//! sampled clients`, where round cost per client covers the downlink
+//! (server → client) plus the uplink (client → server), and algorithms
+//! that ship auxiliary state (FedNova's normalization info, SCAFFOLD's
+//! control variates) pay a 2× multiplier. [`CommTracker`] accumulates the
+//! measured bytes of a live run; [`CostModel`] reproduces the paper's
+//! closed-form arithmetic for the tables.
+
+use serde::{Deserialize, Serialize};
+
+/// Running byte counters of a federated training run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct CommTracker {
+    /// Downlink bytes per round (server → all sampled clients).
+    pub down_per_round: Vec<u64>,
+    /// Uplink bytes per round (all sampled clients → server).
+    pub up_per_round: Vec<u64>,
+}
+
+impl CommTracker {
+    /// Empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one round's traffic.
+    pub fn record(&mut self, down: u64, up: u64) {
+        self.down_per_round.push(down);
+        self.up_per_round.push(up);
+    }
+
+    /// Rounds recorded.
+    pub fn rounds(&self) -> usize {
+        self.down_per_round.len()
+    }
+
+    /// Total bytes in both directions.
+    pub fn total(&self) -> u64 {
+        self.down_per_round.iter().sum::<u64>() + self.up_per_round.iter().sum::<u64>()
+    }
+
+    /// Cumulative bytes after each round.
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.rounds());
+        let mut acc = 0u64;
+        for (d, u) in self.down_per_round.iter().zip(self.up_per_round.iter()) {
+            acc += d + u;
+            out.push(acc);
+        }
+        out
+    }
+}
+
+/// Closed-form communication cost model for a federated algorithm.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Bytes of the payload a client downloads each round.
+    pub down_bytes_per_client: u64,
+    /// Bytes of the payload a client uploads each round.
+    pub up_bytes_per_client: u64,
+    /// Auxiliary-state multiplier (1 for FedAvg/FedProx/FedKEMF, 2 for
+    /// FedNova and SCAFFOLD which ship extra per-round state).
+    pub aux_multiplier: u64,
+}
+
+impl CostModel {
+    /// Symmetric model payload with a multiplier.
+    pub fn symmetric(model_bytes: u64, aux_multiplier: u64) -> Self {
+        CostModel {
+            down_bytes_per_client: model_bytes,
+            up_bytes_per_client: model_bytes,
+            aux_multiplier,
+        }
+    }
+
+    /// Round cost per client (the paper's "Round/Client" column).
+    pub fn round_cost_per_client(&self) -> u64 {
+        (self.down_bytes_per_client + self.up_bytes_per_client) * self.aux_multiplier
+    }
+
+    /// Total cost for `rounds` rounds with `sampled` clients per round.
+    pub fn total_cost(&self, rounds: usize, sampled: usize) -> u64 {
+        self.round_cost_per_client() * rounds as u64 * sampled as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_accumulates() {
+        let mut t = CommTracker::new();
+        t.record(100, 50);
+        t.record(200, 70);
+        assert_eq!(t.rounds(), 2);
+        assert_eq!(t.total(), 420);
+        assert_eq!(t.cumulative(), vec![150, 420]);
+    }
+
+    #[test]
+    fn cost_model_matches_paper_arithmetic() {
+        // ResNet-20 ≈ 0.27 M params ≈ 1.05 MB; up+down ≈ 2.1 MB/round/client.
+        let model_bytes = 272_474u64 * 4;
+        let m = CostModel::symmetric(model_bytes, 1);
+        let per_round_mb = m.round_cost_per_client() as f64 / (1024.0 * 1024.0);
+        assert!((per_round_mb - 2.08).abs() < 0.1, "{per_round_mb}");
+        // FedAvg, 30 clients ratio 0.4 → 12 sampled, 163 rounds ≈ 4 GB.
+        let total_gb = m.total_cost(163, 12) as f64 / (1024.0f64.powi(3));
+        assert!((total_gb - 3.97).abs() < 0.2, "{total_gb}");
+    }
+
+    #[test]
+    fn aux_multiplier_doubles_cost() {
+        let a = CostModel::symmetric(1000, 1);
+        let b = CostModel::symmetric(1000, 2);
+        assert_eq!(b.total_cost(10, 5), 2 * a.total_cost(10, 5));
+    }
+}

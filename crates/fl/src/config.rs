@@ -1,0 +1,133 @@
+//! Federated-learning run configuration.
+
+use kemf_nn::optim::{LrSchedule, SgdConfig};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one federated training run.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct FlConfig {
+    /// Total number of clients `N`.
+    pub n_clients: usize,
+    /// Fraction of clients sampled each round (paper: 0.4–1.0).
+    pub sample_ratio: f32,
+    /// Communication rounds `T`.
+    pub rounds: usize,
+    /// Local epochs `E` per round.
+    pub local_epochs: usize,
+    /// Local mini-batch size.
+    pub batch_size: usize,
+    /// Base local learning rate.
+    pub lr: f32,
+    /// Local SGD momentum.
+    pub momentum: f32,
+    /// Local weight decay.
+    pub weight_decay: f32,
+    /// Learning-rate schedule over rounds.
+    pub lr_schedule: LrSchedule,
+    /// Dirichlet concentration α of the non-IID split.
+    pub alpha: f64,
+    /// Minimum samples per client the partitioner must guarantee.
+    pub min_per_client: usize,
+    /// Evaluation batch size.
+    pub eval_batch: usize,
+    /// Probability that a sampled client drops out of the round before
+    /// reporting (stragglers, crashes, lost connectivity). 0 = reliable
+    /// clients. At least one sampled client always survives.
+    pub dropout_prob: f32,
+    /// Master seed for sampling, partitioning, and initialization.
+    pub seed: u64,
+}
+
+impl Default for FlConfig {
+    fn default() -> Self {
+        FlConfig {
+            n_clients: 10,
+            sample_ratio: 0.4,
+            rounds: 20,
+            local_epochs: 1,
+            batch_size: 32,
+            lr: 0.08,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            lr_schedule: LrSchedule::Constant,
+            alpha: 0.1,
+            min_per_client: 8,
+            eval_batch: 64,
+            dropout_prob: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl FlConfig {
+    /// Number of clients sampled per round (at least one).
+    pub fn sampled_per_round(&self) -> usize {
+        (((self.n_clients as f32) * self.sample_ratio).round() as usize)
+            .clamp(1, self.n_clients)
+    }
+
+    /// SGD config at a given round (learning rate follows the schedule).
+    pub fn sgd_at(&self, round: usize) -> SgdConfig {
+        SgdConfig {
+            lr: self.lr_schedule.lr_at(self.lr, round),
+            momentum: self.momentum,
+            weight_decay: self.weight_decay,
+            nesterov: false,
+        }
+    }
+
+    /// Panic if the configuration is inconsistent.
+    pub fn validate(&self) {
+        assert!(self.n_clients > 0, "need at least one client");
+        assert!(
+            self.sample_ratio > 0.0 && self.sample_ratio <= 1.0,
+            "sample ratio must be in (0, 1]"
+        );
+        assert!(self.rounds > 0, "need at least one round");
+        assert!(self.local_epochs > 0, "need at least one local epoch");
+        assert!(self.batch_size > 0, "batch size must be positive");
+        assert!(self.lr > 0.0, "learning rate must be positive");
+        assert!(self.alpha > 0.0, "alpha must be positive");
+        assert!(
+            (0.0..1.0).contains(&self.dropout_prob),
+            "dropout probability must be in [0, 1)"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampled_per_round_rounds_and_clamps() {
+        let mut cfg = FlConfig { n_clients: 30, sample_ratio: 0.4, ..Default::default() };
+        assert_eq!(cfg.sampled_per_round(), 12);
+        cfg.sample_ratio = 0.01;
+        assert_eq!(cfg.sampled_per_round(), 1);
+        cfg.sample_ratio = 1.0;
+        assert_eq!(cfg.sampled_per_round(), 30);
+    }
+
+    #[test]
+    fn sgd_follows_schedule() {
+        let cfg = FlConfig {
+            lr: 1.0,
+            lr_schedule: LrSchedule::Step { every: 5, gamma: 0.1 },
+            ..Default::default()
+        };
+        assert!((cfg.sgd_at(0).lr - 1.0).abs() < 1e-6);
+        assert!((cfg.sgd_at(5).lr - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn validate_rejects_zero_clients() {
+        FlConfig { n_clients: 0, ..Default::default() }.validate();
+    }
+
+    #[test]
+    fn default_is_valid() {
+        FlConfig::default().validate();
+    }
+}

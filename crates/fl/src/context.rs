@@ -1,0 +1,59 @@
+//! [`FlContext`]: the immutable world a federated run executes in —
+//! client data shards, test set, and configuration.
+
+use crate::config::FlConfig;
+use kemf_data::dataset::Dataset;
+use kemf_data::dirichlet::dirichlet_partition;
+use kemf_data::stats::heterogeneity;
+use kemf_tensor::rng::child_seed;
+
+/// Shared, read-only state of one federated experiment.
+pub struct FlContext {
+    /// Run configuration.
+    pub cfg: FlConfig,
+    /// Pre-materialized per-client training datasets.
+    pub client_data: Vec<Dataset>,
+    /// Global held-out test set.
+    pub test: Dataset,
+    /// Measured heterogeneity of the partition (mean TV distance).
+    pub heterogeneity: f64,
+}
+
+impl FlContext {
+    /// Partition `train` across `cfg.n_clients` clients with the
+    /// configured Dirichlet α and materialize per-client datasets.
+    pub fn new(cfg: FlConfig, train: &Dataset, test: Dataset) -> Self {
+        cfg.validate();
+        let shards = dirichlet_partition(
+            &train.labels,
+            train.classes,
+            cfg.n_clients,
+            cfg.alpha,
+            cfg.min_per_client,
+            child_seed(cfg.seed, 0x5041_5254), // "PART"
+        );
+        let het = heterogeneity(&train.labels, train.classes, &shards);
+        let client_data = shards.iter().map(|s| train.subset(s)).collect();
+        FlContext { cfg, client_data, test, heterogeneity: het }
+    }
+
+    /// Build with an explicit, pre-computed partition (used by multi-model
+    /// experiments that also assign per-client local test sets).
+    pub fn with_shards(cfg: FlConfig, train: &Dataset, shards: &[Vec<usize>], test: Dataset) -> Self {
+        cfg.validate();
+        assert_eq!(shards.len(), cfg.n_clients, "shard count must equal client count");
+        let het = heterogeneity(&train.labels, train.classes, shards);
+        let client_data = shards.iter().map(|s| train.subset(s)).collect();
+        FlContext { cfg, client_data, test, heterogeneity: het }
+    }
+
+    /// Total training samples across clients.
+    pub fn total_train_samples(&self) -> usize {
+        self.client_data.iter().map(Dataset::len).sum()
+    }
+
+    /// Number of classes in the task.
+    pub fn classes(&self) -> usize {
+        self.test.classes
+    }
+}

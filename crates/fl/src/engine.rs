@@ -1,0 +1,208 @@
+//! The federated round loop: client sampling, per-round execution,
+//! evaluation, and history recording — generic over [`FedAlgorithm`].
+
+use crate::comm::CommTracker;
+use crate::context::FlContext;
+use crate::metrics::{History, RoundRecord};
+use kemf_tensor::rng::{child_seed, seeded_rng};
+use rand::seq::SliceRandom;
+use rand::rngs::StdRng;
+
+/// What one communication round reports back to the engine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoundOutcome {
+    /// Bytes the server sent to sampled clients this round.
+    pub down_bytes: u64,
+    /// Bytes sampled clients sent to the server this round.
+    pub up_bytes: u64,
+    /// Mean local training loss across sampled clients.
+    pub train_loss: f32,
+}
+
+/// A federated-learning algorithm the engine can drive.
+pub trait FedAlgorithm: Send {
+    /// Display name used in histories and tables.
+    fn name(&self) -> String;
+
+    /// One-time setup before round 0 (allocate per-client state, ...).
+    fn init(&mut self, ctx: &FlContext);
+
+    /// Execute one communication round over the sampled client indices.
+    fn round(&mut self, round: usize, sampled: &[usize], ctx: &FlContext) -> RoundOutcome;
+
+    /// Evaluate the current global model on the held-out test set.
+    fn evaluate(&mut self, ctx: &FlContext) -> f32;
+
+    /// The current global model, when the algorithm has one it deploys to
+    /// clients: its spec and transmitted state. Used by the multi-model
+    /// harness (Table 3) to measure per-client local accuracy of the
+    /// deployed model. Default: none.
+    fn global_model(&self) -> Option<(kemf_nn::models::ModelSpec, kemf_nn::serialize::ModelState)> {
+        None
+    }
+}
+
+/// Draw the round's client subset: a seeded shuffle of all clients,
+/// truncated to the configured ratio (sorted for determinism of any
+/// order-dependent aggregation).
+pub fn sample_clients(n_clients: usize, count: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut ids: Vec<usize> = (0..n_clients).collect();
+    ids.shuffle(rng);
+    ids.truncate(count.clamp(1, n_clients));
+    ids.sort_unstable();
+    ids
+}
+
+/// Failure injection: drop each sampled client with probability
+/// `dropout_prob`, keeping at least one survivor (a round with zero
+/// reporting clients would stall every aggregation rule).
+pub fn apply_dropout(sampled: &[usize], dropout_prob: f32, rng: &mut StdRng) -> Vec<usize> {
+    if dropout_prob <= 0.0 {
+        return sampled.to_vec();
+    }
+    use rand::Rng;
+    let mut survivors: Vec<usize> =
+        sampled.iter().copied().filter(|_| rng.gen::<f32>() >= dropout_prob).collect();
+    if survivors.is_empty() {
+        let keep = sampled[rng.gen_range(0..sampled.len())];
+        survivors.push(keep);
+    }
+    survivors
+}
+
+/// Run a full federated training session and return its history.
+pub fn run(algo: &mut dyn FedAlgorithm, ctx: &FlContext) -> History {
+    algo.init(ctx);
+    let mut history = History::new(algo.name());
+    let mut comm = CommTracker::new();
+    let mut rng = seeded_rng(child_seed(ctx.cfg.seed, 0x5A4D_504C)); // "SMPL"
+    let mut drop_rng = seeded_rng(child_seed(ctx.cfg.seed, 0xD209));
+    let per_round = ctx.cfg.sampled_per_round();
+    for round in 0..ctx.cfg.rounds {
+        let sampled = sample_clients(ctx.cfg.n_clients, per_round, &mut rng);
+        let sampled = apply_dropout(&sampled, ctx.cfg.dropout_prob, &mut drop_rng);
+        let out = algo.round(round, &sampled, ctx);
+        comm.record(out.down_bytes, out.up_bytes);
+        let acc = algo.evaluate(ctx);
+        history.push(RoundRecord {
+            round,
+            test_acc: acc,
+            train_loss: out.train_loss,
+            cum_bytes: comm.total(),
+        });
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FlConfig;
+    use kemf_data::synth::{SynthConfig, SynthTask};
+
+    struct Dummy {
+        evals: usize,
+        rounds_seen: Vec<Vec<usize>>,
+    }
+
+    impl FedAlgorithm for Dummy {
+        fn name(&self) -> String {
+            "dummy".into()
+        }
+        fn init(&mut self, _ctx: &FlContext) {}
+        fn round(&mut self, _round: usize, sampled: &[usize], _ctx: &FlContext) -> RoundOutcome {
+            self.rounds_seen.push(sampled.to_vec());
+            RoundOutcome { down_bytes: 10, up_bytes: 5, train_loss: 1.0 }
+        }
+        fn evaluate(&mut self, _ctx: &FlContext) -> f32 {
+            self.evals += 1;
+            0.5
+        }
+    }
+
+    fn tiny_ctx() -> FlContext {
+        let task = SynthTask::new(SynthConfig::mnist_like(0));
+        let train = task.generate(120, 0);
+        let test = task.generate(40, 1);
+        let cfg = FlConfig {
+            n_clients: 6,
+            sample_ratio: 0.5,
+            rounds: 4,
+            min_per_client: 2,
+            ..Default::default()
+        };
+        FlContext::new(cfg, &train, test)
+    }
+
+    #[test]
+    fn engine_runs_all_rounds_and_tracks_bytes() {
+        let ctx = tiny_ctx();
+        let mut algo = Dummy { evals: 0, rounds_seen: Vec::new() };
+        let h = run(&mut algo, &ctx);
+        assert_eq!(h.rounds(), 4);
+        assert_eq!(algo.evals, 4);
+        assert_eq!(h.total_bytes(), 4 * 15);
+        // 6 clients × 0.5 = 3 sampled per round, unique and in range.
+        for s in &algo.rounds_seen {
+            assert_eq!(s.len(), 3);
+            assert!(s.windows(2).all(|w| w[0] < w[1]));
+            assert!(s.iter().all(|&k| k < 6));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mut a = seeded_rng(1);
+        let mut b = seeded_rng(1);
+        for _ in 0..5 {
+            assert_eq!(sample_clients(20, 8, &mut a), sample_clients(20, 8, &mut b));
+        }
+    }
+
+    #[test]
+    fn sampling_varies_across_rounds() {
+        let mut rng = seeded_rng(2);
+        let r1 = sample_clients(30, 12, &mut rng);
+        let r2 = sample_clients(30, 12, &mut rng);
+        assert_ne!(r1, r2);
+    }
+
+    #[test]
+    fn dropout_thins_rounds_but_never_empties_them() {
+        let mut rng = seeded_rng(9);
+        let sampled: Vec<usize> = (0..10).collect();
+        let mut total = 0usize;
+        for _ in 0..200 {
+            let s = apply_dropout(&sampled, 0.5, &mut rng);
+            assert!(!s.is_empty());
+            assert!(s.iter().all(|k| sampled.contains(k)));
+            total += s.len();
+        }
+        let mean = total as f64 / 200.0;
+        assert!((mean - 5.0).abs() < 0.5, "mean survivors {mean}");
+        // Zero probability is the identity.
+        assert_eq!(apply_dropout(&sampled, 0.0, &mut rng), sampled);
+    }
+
+    #[test]
+    fn engine_runs_with_heavy_dropout() {
+        let mut ctx = tiny_ctx();
+        ctx.cfg.dropout_prob = 0.8;
+        let mut algo = Dummy { evals: 0, rounds_seen: Vec::new() };
+        let h = run(&mut algo, &ctx);
+        assert_eq!(h.rounds(), 4);
+        for s in &algo.rounds_seen {
+            assert!(!s.is_empty(), "every round keeps at least one client");
+            assert!(s.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn context_exposes_partition_stats() {
+        let ctx = tiny_ctx();
+        assert_eq!(ctx.client_data.len(), 6);
+        assert_eq!(ctx.total_train_samples(), 120);
+        assert!(ctx.heterogeneity > 0.0);
+        assert_eq!(ctx.classes(), 10);
+    }
+}

@@ -1,0 +1,134 @@
+//! FedAvg (McMahan et al. 2017): clients run local SGD from the global
+//! weights; the server replaces the global model with the sample-count-
+//! weighted average of the returned weights.
+
+use crate::context::FlContext;
+use crate::engine::{FedAlgorithm, RoundOutcome};
+use crate::local::LocalCfg;
+use crate::weight_common::{fan_out_clients, mean_loss, GlobalModel};
+use kemf_nn::models::ModelSpec;
+use kemf_nn::serialize::ModelState;
+
+/// The FedAvg baseline.
+pub struct FedAvg {
+    global: GlobalModel,
+}
+
+impl FedAvg {
+    /// New FedAvg server for the given client architecture.
+    pub fn new(spec: ModelSpec) -> Self {
+        FedAvg { global: GlobalModel::new(spec) }
+    }
+
+    /// Current global state (for tests and checkpointing).
+    pub fn global_state(&self) -> &ModelState {
+        &self.global.state
+    }
+}
+
+impl FedAlgorithm for FedAvg {
+    fn name(&self) -> String {
+        "FedAvg".into()
+    }
+
+    fn init(&mut self, _ctx: &FlContext) {}
+
+    fn round(&mut self, round: usize, sampled: &[usize], ctx: &FlContext) -> RoundOutcome {
+        let local = LocalCfg {
+            epochs: ctx.cfg.local_epochs,
+            batch: ctx.cfg.batch_size,
+            sgd: ctx.cfg.sgd_at(round),
+        };
+        let results = fan_out_clients(
+            &self.global.state,
+            self.global.spec,
+            round,
+            sampled,
+            ctx,
+            &local,
+            &|_k| None,
+        );
+        let states: Vec<ModelState> = results.iter().map(|r| r.state.clone()).collect();
+        let coeffs: Vec<f32> = results.iter().map(|r| r.n_samples as f32).collect();
+        self.global.state = ModelState::weighted_average(&states, &coeffs);
+        let payload = self.global.payload_bytes() * sampled.len() as u64;
+        RoundOutcome { down_bytes: payload, up_bytes: payload, train_loss: mean_loss(&results) }
+    }
+
+    fn evaluate(&mut self, ctx: &FlContext) -> f32 {
+        self.global.evaluate(ctx)
+    }
+
+    fn global_model(&self) -> Option<(kemf_nn::models::ModelSpec, kemf_nn::serialize::ModelState)> {
+        Some((self.global.spec, self.global.state.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FlConfig;
+    use crate::engine::run;
+    use kemf_data::synth::{SynthConfig, SynthTask};
+    use kemf_nn::models::Arch;
+
+    fn tiny_ctx(seed: u64) -> FlContext {
+        let task = SynthTask::new(SynthConfig::mnist_like(seed));
+        let train = task.generate(240, 0);
+        let test = task.generate(80, 1);
+        let cfg = FlConfig {
+            n_clients: 4,
+            sample_ratio: 1.0,
+            rounds: 6,
+            local_epochs: 2,
+            batch_size: 16,
+            lr: 0.08,
+            alpha: 1.0,
+            min_per_client: 10,
+            seed,
+            ..Default::default()
+        };
+        FlContext::new(cfg, &train, test)
+    }
+
+    #[test]
+    fn fedavg_learns_above_chance() {
+        let ctx = tiny_ctx(11);
+        let mut algo = FedAvg::new(ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 0));
+        let h = run(&mut algo, &ctx);
+        assert!(
+            h.best_accuracy() > 0.3,
+            "FedAvg should beat 10% chance clearly, got {}",
+            h.best_accuracy()
+        );
+    }
+
+    #[test]
+    fn fedavg_byte_accounting_is_symmetric_and_additive() {
+        let ctx = tiny_ctx(12);
+        let mut algo = FedAvg::new(ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 0));
+        let per_dir = algo.global.payload_bytes();
+        let h = run(&mut algo, &ctx);
+        // 6 rounds × 4 clients × 2 directions.
+        assert_eq!(h.total_bytes(), 6 * 4 * 2 * per_dir);
+    }
+
+    #[test]
+    fn fedavg_is_deterministic() {
+        let run_once = || {
+            let ctx = tiny_ctx(13);
+            let mut algo = FedAvg::new(ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 0));
+            run(&mut algo, &ctx).accuracies()
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn aggregation_moves_global_weights() {
+        let ctx = tiny_ctx(14);
+        let mut algo = FedAvg::new(ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 0));
+        let before = algo.global_state().params.clone();
+        let _ = run(&mut algo, &ctx);
+        assert_ne!(before.values, algo.global_state().params.values);
+    }
+}

@@ -1,0 +1,139 @@
+//! FedNova (Wang et al. 2020): normalized averaging. Clients may take
+//! different numbers of local steps τ_k (their shards differ in size);
+//! naively averaging their weights biases the update toward clients that
+//! stepped more. FedNova aggregates the *per-step normalized* directions:
+//!
+//! `w ← w − τ_eff · Σ_k p_k · d_k`, with `d_k = (w − w_k)/τ_k`,
+//! `p_k = n_k / Σ n`, `τ_eff = Σ_k p_k τ_k`.
+//!
+//! We use the plain step count for τ (the momentum-corrected effective τ
+//! of the paper is a scalar refinement documented in DESIGN.md). FedNova
+//! ships normalization metadata alongside the weights, which the paper
+//! accounts as a 2× per-round payload vs FedAvg.
+
+use crate::context::FlContext;
+use crate::engine::{FedAlgorithm, RoundOutcome};
+use crate::local::LocalCfg;
+use crate::weight_common::{fan_out_clients, mean_loss, GlobalModel};
+use kemf_nn::models::ModelSpec;
+use kemf_nn::serialize::Weights;
+
+/// The FedNova baseline.
+pub struct FedNova {
+    global: GlobalModel,
+}
+
+impl FedNova {
+    /// New FedNova server.
+    pub fn new(spec: ModelSpec) -> Self {
+        FedNova { global: GlobalModel::new(spec) }
+    }
+}
+
+impl FedAlgorithm for FedNova {
+    fn name(&self) -> String {
+        "FedNova".into()
+    }
+
+    fn init(&mut self, _ctx: &FlContext) {}
+
+    fn round(&mut self, round: usize, sampled: &[usize], ctx: &FlContext) -> RoundOutcome {
+        let local = LocalCfg {
+            epochs: ctx.cfg.local_epochs,
+            batch: ctx.cfg.batch_size,
+            sgd: ctx.cfg.sgd_at(round),
+        };
+        let results = fan_out_clients(
+            &self.global.state,
+            self.global.spec,
+            round,
+            sampled,
+            ctx,
+            &local,
+            &|_k| None,
+        );
+        let total_n: f32 = results.iter().map(|r| r.n_samples as f32).sum();
+        // Normalized directions d_k = (w_global − w_k) / τ_k.
+        let mut combined = self.global.state.params.zeros_like();
+        let mut tau_eff = 0.0f32;
+        for r in &results {
+            let tau = r.outcome.steps.max(1) as f32;
+            let p = r.n_samples as f32 / total_n;
+            tau_eff += p * tau;
+            let d = self.global.state.params.delta(&r.state.params);
+            combined.scale_add(1.0, &d, p / tau);
+        }
+        // w ← w − τ_eff · Σ p_k d_k  (note d already points from w to w_k).
+        self.global.state.params.scale_add(1.0, &combined, -tau_eff);
+        // Buffers: weighted average, as for FedAvg.
+        let buffers: Vec<Weights> = results.iter().map(|r| r.state.buffers.clone()).collect();
+        let coeffs: Vec<f32> = results.iter().map(|r| r.n_samples as f32).collect();
+        self.global.state.buffers = Weights::weighted_average(&buffers, &coeffs);
+        // 2× payload: weights plus normalization metadata each way.
+        let payload = 2 * self.global.payload_bytes() * sampled.len() as u64;
+        RoundOutcome { down_bytes: payload, up_bytes: payload, train_loss: mean_loss(&results) }
+    }
+
+    fn evaluate(&mut self, ctx: &FlContext) -> f32 {
+        self.global.evaluate(ctx)
+    }
+
+    fn global_model(&self) -> Option<(kemf_nn::models::ModelSpec, kemf_nn::serialize::ModelState)> {
+        Some((self.global.spec, self.global.state.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FlConfig;
+    use crate::engine::run;
+    use kemf_data::synth::{SynthConfig, SynthTask};
+    use kemf_nn::models::Arch;
+
+    fn ctx(seed: u64) -> FlContext {
+        let task = SynthTask::new(SynthConfig::mnist_like(seed));
+        let train = task.generate(240, 0);
+        let test = task.generate(80, 1);
+        let cfg = FlConfig {
+            n_clients: 4,
+            sample_ratio: 1.0,
+            rounds: 6,
+            local_epochs: 2,
+            batch_size: 16,
+            // Skewed shards → heterogeneous τ_k, FedNova's raison d'être.
+            alpha: 0.3,
+            min_per_client: 10,
+            seed,
+            ..Default::default()
+        };
+        FlContext::new(cfg, &train, test)
+    }
+
+    #[test]
+    fn fednova_learns_above_chance() {
+        let c = ctx(31);
+        let mut algo = FedNova::new(ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 0));
+        let h = run(&mut algo, &c);
+        assert!(h.best_accuracy() > 0.25, "got {}", h.best_accuracy());
+    }
+
+    #[test]
+    fn fednova_pays_double_communication() {
+        let c = ctx(32);
+        let mut nova = FedNova::new(ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 0));
+        let per_dir = nova.global.payload_bytes();
+        let h = run(&mut nova, &c);
+        assert_eq!(h.total_bytes(), 6 * 4 * 2 * 2 * per_dir);
+    }
+
+    #[test]
+    fn normalized_update_moves_global() {
+        let c = ctx(33);
+        let mut algo = FedNova::new(ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 0));
+        let before = algo.global.state.params.clone();
+        let _ = run(&mut algo, &c);
+        let moved = algo.global.state.params.delta(&before).norm();
+        assert!(moved > 1e-3, "global barely moved: {moved}");
+    }
+}

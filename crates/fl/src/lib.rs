@@ -1,0 +1,58 @@
+//! # kemf-fl
+//!
+//! The federated-learning engine of the FedKEMF stack plus the four
+//! baselines the paper compares against:
+//!
+//! * [`engine`] — round loop, client sampling, the [`engine::FedAlgorithm`]
+//!   trait every algorithm (including FedKEMF in `kemf-core`) plugs into;
+//! * [`context`] — immutable experiment state: Dirichlet-partitioned
+//!   client shards and the test set;
+//! * [`local`] — the shared local-SGD loop with gradient hooks (proximal
+//!   terms, control variates);
+//! * [`comm`] / [`metrics`] — communication accounting and the derived
+//!   metrics of the paper's tables and figures;
+//! * [`fedavg`], [`fedprox`], [`fednova`], [`scaffold`] — the baselines.
+//!
+//! ```no_run
+//! use kemf_fl::prelude::*;
+//! use kemf_data::prelude::*;
+//! use kemf_nn::prelude::*;
+//!
+//! let task = SynthTask::new(SynthConfig::mnist_like(0));
+//! let train = task.generate(240, 0);
+//! let test = task.generate(80, 1);
+//! let ctx = FlContext::new(FlConfig { n_clients: 4, min_per_client: 10, ..Default::default() }, &train, test);
+//! let mut algo = FedAvg::new(ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 0));
+//! let history = kemf_fl::engine::run(&mut algo, &ctx);
+//! println!("final accuracy {:.1}%", history.final_accuracy() * 100.0);
+//! ```
+
+pub mod comm;
+pub mod compress;
+pub mod config;
+pub mod context;
+pub mod engine;
+pub mod fedavg;
+pub mod fednova;
+pub mod fedprox;
+pub mod local;
+pub mod metrics;
+pub mod network;
+pub mod scaffold;
+pub mod weight_common;
+
+pub mod prelude {
+    //! Common imports for downstream crates.
+    pub use crate::comm::{CommTracker, CostModel};
+    pub use crate::compress::{dequantize, quantize, QuantizedWeights};
+    pub use crate::config::FlConfig;
+    pub use crate::context::FlContext;
+    pub use crate::engine::{run, FedAlgorithm, RoundOutcome};
+    pub use crate::fedavg::FedAvg;
+    pub use crate::fednova::FedNova;
+    pub use crate::fedprox::FedProx;
+    pub use crate::local::{local_train, LocalCfg};
+    pub use crate::metrics::{fairness_summary, FairnessSummary, History, RoundRecord};
+    pub use crate::network::NetworkModel;
+    pub use crate::scaffold::Scaffold;
+}

@@ -1,0 +1,258 @@
+//! Per-round training history and the derived quantities the paper
+//! reports: rounds-to-target-accuracy (Fig. 6, Table 1), convergence
+//! accuracy (Fig. 5, Table 2), and training stability (Fig. 7).
+
+use serde::{Deserialize, Serialize};
+
+/// Fairness statistics over per-client accuracies (Michieli & Ozay 2021
+/// ask whether all users are treated fairly; the multi-model experiment
+/// reports these alongside the mean).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct FairnessSummary {
+    /// Mean per-client accuracy.
+    pub mean: f32,
+    /// Standard deviation across clients (lower = fairer).
+    pub std: f32,
+    /// Worst-off client.
+    pub min: f32,
+    /// Best-off client.
+    pub max: f32,
+}
+
+/// Summarize per-client accuracies into a fairness triple.
+pub fn fairness_summary(per_client: &[f32]) -> FairnessSummary {
+    assert!(!per_client.is_empty(), "no client accuracies");
+    let n = per_client.len() as f32;
+    let mean = per_client.iter().sum::<f32>() / n;
+    let var = per_client.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / n;
+    FairnessSummary {
+        mean,
+        std: var.sqrt(),
+        min: per_client.iter().copied().fold(f32::INFINITY, f32::min),
+        max: per_client.iter().copied().fold(f32::NEG_INFINITY, f32::max),
+    }
+}
+
+/// One communication round's observables.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Global-model top-1 test accuracy after this round.
+    pub test_acc: f32,
+    /// Mean local training loss across sampled clients.
+    pub train_loss: f32,
+    /// Cumulative communication bytes through this round.
+    pub cum_bytes: u64,
+}
+
+/// Full history of one federated run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct History {
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Per-round records.
+    pub records: Vec<RoundRecord>,
+}
+
+impl History {
+    /// Empty history for an algorithm.
+    pub fn new(algorithm: impl Into<String>) -> Self {
+        History { algorithm: algorithm.into(), records: Vec::new() }
+    }
+
+    /// Append a round.
+    pub fn push(&mut self, rec: RoundRecord) {
+        self.records.push(rec);
+    }
+
+    /// Number of recorded rounds.
+    pub fn rounds(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Accuracy series.
+    pub fn accuracies(&self) -> Vec<f32> {
+        self.records.iter().map(|r| r.test_acc).collect()
+    }
+
+    /// First round (1-based, matching the paper's tables) whose accuracy
+    /// reaches `target`, or `None` if never reached.
+    pub fn rounds_to_target(&self, target: f32) -> Option<usize> {
+        self.records.iter().position(|r| r.test_acc >= target).map(|i| i + 1)
+    }
+
+    /// Cumulative bytes at the round `target` accuracy was reached.
+    pub fn bytes_to_target(&self, target: f32) -> Option<u64> {
+        self.records.iter().find(|r| r.test_acc >= target).map(|r| r.cum_bytes)
+    }
+
+    /// Convergence accuracy: mean test accuracy over the last `window`
+    /// rounds (the paper's "converge acc."). Uses all rounds if fewer.
+    pub fn converged_accuracy(&self, window: usize) -> f32 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let w = window.clamp(1, self.records.len());
+        let tail = &self.records[self.records.len() - w..];
+        tail.iter().map(|r| r.test_acc).sum::<f32>() / w as f32
+    }
+
+    /// Round at which training plateaued: the first round after which the
+    /// best accuracy improves by less than `tol` (the paper's "converge
+    /// rounds"). Returns the last round if no plateau is detected.
+    pub fn converge_round(&self, tol: f32) -> usize {
+        let accs = self.accuracies();
+        if accs.is_empty() {
+            return 0;
+        }
+        let mut best = f32::NEG_INFINITY;
+        let mut best_round = 0;
+        for (i, &a) in accs.iter().enumerate() {
+            if a > best + tol {
+                best = a;
+                best_round = i;
+            }
+        }
+        best_round + 1
+    }
+
+    /// Peak test accuracy.
+    pub fn best_accuracy(&self) -> f32 {
+        self.records.iter().map(|r| r.test_acc).fold(0.0, f32::max)
+    }
+
+    /// Final-round accuracy.
+    pub fn final_accuracy(&self) -> f32 {
+        self.records.last().map_or(0.0, |r| r.test_acc)
+    }
+
+    /// Total communication bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.records.last().map_or(0, |r| r.cum_bytes)
+    }
+
+    /// Stability: standard deviation of the accuracy over the last
+    /// `window` rounds (Fig. 7 reports FedKEMF's low variance).
+    pub fn tail_std(&self, window: usize) -> f32 {
+        if self.records.len() < 2 {
+            return 0.0;
+        }
+        let w = window.clamp(2, self.records.len());
+        let tail: Vec<f32> =
+            self.records[self.records.len() - w..].iter().map(|r| r.test_acc).collect();
+        let mean = tail.iter().sum::<f32>() / tail.len() as f32;
+        (tail.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / tail.len() as f32).sqrt()
+    }
+
+    /// Serialize to pretty JSON (plotting pipelines, checkpointing).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("history serializes")
+    }
+
+    /// Parse a history back from [`History::to_json`] output.
+    pub fn from_json(s: &str) -> Result<History, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// CSV rows (`round,acc,loss,cum_bytes`) for downstream plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("round,test_acc,train_loss,cum_bytes\n");
+        for r in &self.records {
+            out.push_str(&format!(
+                "{},{:.4},{:.4},{}\n",
+                r.round + 1,
+                r.test_acc,
+                r.train_loss,
+                r.cum_bytes
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(accs: &[f32]) -> History {
+        let mut h = History::new("test");
+        for (i, &a) in accs.iter().enumerate() {
+            h.push(RoundRecord {
+                round: i,
+                test_acc: a,
+                train_loss: 1.0 - a,
+                cum_bytes: (i as u64 + 1) * 100,
+            });
+        }
+        h
+    }
+
+    #[test]
+    fn rounds_to_target() {
+        let h = hist(&[0.1, 0.3, 0.5, 0.4, 0.7]);
+        assert_eq!(h.rounds_to_target(0.5), Some(3));
+        assert_eq!(h.rounds_to_target(0.65), Some(5));
+        assert_eq!(h.rounds_to_target(0.9), None);
+        assert_eq!(h.bytes_to_target(0.5), Some(300));
+    }
+
+    #[test]
+    fn converged_accuracy_averages_tail() {
+        let h = hist(&[0.1, 0.2, 0.6, 0.6, 0.6]);
+        assert!((h.converged_accuracy(3) - 0.6).abs() < 1e-6);
+        assert!((h.converged_accuracy(100) - 0.42).abs() < 1e-6);
+    }
+
+    #[test]
+    fn converge_round_detects_plateau() {
+        let h = hist(&[0.1, 0.4, 0.55, 0.56, 0.56, 0.561]);
+        assert_eq!(h.converge_round(0.02), 3);
+        // With a tight tolerance the tiny late gains count.
+        assert_eq!(h.converge_round(0.0005), 6);
+    }
+
+    #[test]
+    fn stability_metric_orders_noisy_vs_smooth() {
+        let smooth = hist(&[0.5, 0.51, 0.52, 0.52, 0.53]);
+        let noisy = hist(&[0.5, 0.2, 0.6, 0.1, 0.55]);
+        assert!(noisy.tail_std(5) > smooth.tail_std(5) * 3.0);
+    }
+
+    #[test]
+    fn empty_history_is_safe() {
+        let h = History::new("x");
+        assert_eq!(h.rounds_to_target(0.1), None);
+        assert_eq!(h.converged_accuracy(5), 0.0);
+        assert_eq!(h.best_accuracy(), 0.0);
+        assert_eq!(h.total_bytes(), 0);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let h = hist(&[0.5]);
+        let csv = h.to_csv();
+        assert!(csv.starts_with("round,test_acc"));
+        assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let h = hist(&[0.1, 0.5, 0.7]);
+        let parsed = History::from_json(&h.to_json()).unwrap();
+        assert_eq!(parsed.algorithm, h.algorithm);
+        assert_eq!(parsed.rounds(), 3);
+        assert_eq!(parsed.accuracies(), h.accuracies());
+    }
+
+    #[test]
+    fn fairness_summary_statistics() {
+        let f = fairness_summary(&[0.5, 0.7, 0.9]);
+        assert!((f.mean - 0.7).abs() < 1e-6);
+        assert!((f.min - 0.5).abs() < 1e-6);
+        assert!((f.max - 0.9).abs() < 1e-6);
+        assert!(f.std > 0.1 && f.std < 0.2);
+        let uniform = fairness_summary(&[0.6; 4]);
+        assert!(uniform.std < 1e-6, "identical clients are perfectly fair");
+    }
+}

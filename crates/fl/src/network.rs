@@ -1,0 +1,130 @@
+//! Simulated network model: turn communication bytes into wall-clock
+//! time so experiments can report *time-to-accuracy*, the quantity edge
+//! deployments actually optimize. The paper argues in bytes; a byte
+//! budget maps to seconds through exactly this kind of link model.
+
+use crate::metrics::History;
+use serde::{Deserialize, Serialize};
+
+/// A symmetric client↔server link.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Sustained throughput in bytes per second.
+    pub bandwidth_bps: f64,
+    /// Per-round fixed latency in seconds (connection setup, signaling).
+    pub latency_s: f64,
+}
+
+impl NetworkModel {
+    /// A 4G-class uplink: ~5 MB/s sustained, 80 ms round latency.
+    pub fn cellular_4g() -> Self {
+        NetworkModel { bandwidth_bps: 5.0 * 1024.0 * 1024.0, latency_s: 0.08 }
+    }
+
+    /// Home broadband: ~25 MB/s, 20 ms.
+    pub fn broadband() -> Self {
+        NetworkModel { bandwidth_bps: 25.0 * 1024.0 * 1024.0, latency_s: 0.02 }
+    }
+
+    /// Constrained IoT uplink: ~128 KB/s, 200 ms.
+    pub fn iot() -> Self {
+        NetworkModel { bandwidth_bps: 128.0 * 1024.0, latency_s: 0.2 }
+    }
+
+    /// Transfer time for one payload (seconds). Clients within a round
+    /// transfer in parallel; the round is gated by the *largest single
+    /// client payload*, so the caller passes per-client bytes.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        assert!(self.bandwidth_bps > 0.0, "bandwidth must be positive");
+        self.latency_s + bytes as f64 / self.bandwidth_bps
+    }
+
+    /// Simulated communication time of a full training history, assuming
+    /// each round's traffic is spread evenly over its sampled clients and
+    /// clients transfer in parallel.
+    pub fn history_comm_time(&self, history: &History, sampled_per_round: usize) -> f64 {
+        assert!(sampled_per_round > 0, "need at least one client per round");
+        let mut total = 0.0;
+        let mut prev = 0u64;
+        for r in &history.records {
+            let round_bytes = r.cum_bytes - prev;
+            prev = r.cum_bytes;
+            let per_client = round_bytes / sampled_per_round as u64;
+            total += self.transfer_time(per_client);
+        }
+        total
+    }
+
+    /// Simulated seconds of communication to reach `target` accuracy, or
+    /// `None` if the run never reaches it.
+    pub fn time_to_accuracy(
+        &self,
+        history: &History,
+        sampled_per_round: usize,
+        target: f32,
+    ) -> Option<f64> {
+        let reach = history.rounds_to_target(target)?;
+        let mut total = 0.0;
+        let mut prev = 0u64;
+        for r in history.records.iter().take(reach) {
+            let round_bytes = r.cum_bytes - prev;
+            prev = r.cum_bytes;
+            total += self.transfer_time(round_bytes / sampled_per_round as u64);
+        }
+        Some(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::RoundRecord;
+
+    fn hist(accs: &[f32], bytes_per_round: u64) -> History {
+        let mut h = History::new("t");
+        for (i, &a) in accs.iter().enumerate() {
+            h.push(RoundRecord {
+                round: i,
+                test_acc: a,
+                train_loss: 0.0,
+                cum_bytes: bytes_per_round * (i as u64 + 1),
+            });
+        }
+        h
+    }
+
+    #[test]
+    fn transfer_time_includes_latency() {
+        let net = NetworkModel { bandwidth_bps: 1000.0, latency_s: 0.5 };
+        assert!((net.transfer_time(2000) - 2.5).abs() < 1e-9);
+        assert!((net.transfer_time(0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comm_time_scales_with_payload() {
+        let net = NetworkModel::broadband();
+        let small = hist(&[0.1, 0.2, 0.3], 1024);
+        let large = hist(&[0.1, 0.2, 0.3], 100 * 1024 * 1024);
+        let ts = net.history_comm_time(&small, 4);
+        let tl = net.history_comm_time(&large, 4);
+        assert!(tl > 10.0 * ts, "{ts} vs {tl}");
+    }
+
+    #[test]
+    fn time_to_accuracy_stops_at_target_round() {
+        let net = NetworkModel { bandwidth_bps: 1.0e6, latency_s: 0.0 };
+        let h = hist(&[0.1, 0.5, 0.9], 1_000_000);
+        let t = net.time_to_accuracy(&h, 1, 0.5).unwrap();
+        assert!((t - 2.0).abs() < 1e-9, "two rounds of 1s each, got {t}");
+        assert!(net.time_to_accuracy(&h, 1, 0.95).is_none());
+    }
+
+    #[test]
+    fn presets_are_ordered_by_speed() {
+        let h = hist(&[0.5], 10 * 1024 * 1024);
+        let t_iot = NetworkModel::iot().history_comm_time(&h, 1);
+        let t_4g = NetworkModel::cellular_4g().history_comm_time(&h, 1);
+        let t_bb = NetworkModel::broadband().history_comm_time(&h, 1);
+        assert!(t_iot > t_4g && t_4g > t_bb);
+    }
+}

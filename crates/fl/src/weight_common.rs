@@ -1,0 +1,93 @@
+//! Shared plumbing for the weight-sharing baselines (FedAvg, FedProx,
+//! FedNova, SCAFFOLD): a global model holder with evaluation, and the
+//! parallel client-update fan-out.
+
+use crate::context::FlContext;
+use crate::local::{local_train, LocalCfg, LocalOutcome};
+use kemf_nn::layer::Layer;
+use kemf_nn::model::Model;
+use kemf_nn::models::ModelSpec;
+use kemf_nn::serialize::ModelState;
+use kemf_tensor::rng::child_seed;
+use rayon::prelude::*;
+
+/// Server-side global model shared by the weight baselines.
+pub struct GlobalModel {
+    /// Architecture every client trains.
+    pub spec: ModelSpec,
+    /// Current global transmitted state.
+    pub state: ModelState,
+    eval_model: Model,
+}
+
+impl GlobalModel {
+    /// Initialize from a spec (the server's round-0 model).
+    pub fn new(spec: ModelSpec) -> Self {
+        let eval_model = Model::new(spec);
+        let state = eval_model.state();
+        GlobalModel { spec, state, eval_model }
+    }
+
+    /// Transmitted payload size per direction, in bytes.
+    pub fn payload_bytes(&self) -> u64 {
+        self.state.bytes() as u64
+    }
+
+    /// Test accuracy of the current global state.
+    pub fn evaluate(&mut self, ctx: &FlContext) -> f32 {
+        self.eval_model.set_state(&self.state);
+        self.eval_model
+            .evaluate(&ctx.test.images, &ctx.test.labels, ctx.cfg.eval_batch)
+    }
+}
+
+/// One client's round result.
+pub struct ClientResult {
+    /// Client index.
+    pub client: usize,
+    /// Post-training transmitted state.
+    pub state: ModelState,
+    /// Local sample count (FedAvg weighting).
+    pub n_samples: usize,
+    /// Steps/loss bookkeeping.
+    pub outcome: LocalOutcome,
+}
+
+/// Run local training on every sampled client in parallel, starting each
+/// from the global state. `hook_for` builds the per-client gradient hook
+/// (None for FedAvg/FedNova).
+pub fn fan_out_clients(
+    global: &ModelState,
+    spec: ModelSpec,
+    round: usize,
+    sampled: &[usize],
+    ctx: &FlContext,
+    local: &LocalCfg,
+    hook_for: &(dyn Fn(usize) -> Option<Box<dyn Fn(&mut dyn Layer) + Send + Sync>> + Sync),
+) -> Vec<ClientResult> {
+    sampled
+        .par_iter()
+        .map(|&k| {
+            let mut model = Model::new(spec);
+            model.set_state(global);
+            let hook = hook_for(k);
+            let seed = child_seed(ctx.cfg.seed, (round as u64) << 20 | k as u64);
+            let outcome = local_train(
+                &mut model,
+                &ctx.client_data[k],
+                local,
+                seed,
+                hook.as_deref().map(|h| h as &dyn Fn(&mut dyn Layer)),
+            );
+            ClientResult { client: k, state: model.state(), n_samples: ctx.client_data[k].len(), outcome }
+        })
+        .collect()
+}
+
+/// Mean local loss across client results.
+pub fn mean_loss(results: &[ClientResult]) -> f32 {
+    if results.is_empty() {
+        return 0.0;
+    }
+    results.iter().map(|r| r.outcome.mean_loss).sum::<f32>() / results.len() as f32
+}

@@ -1,0 +1,133 @@
+//! Activation layers. ReLU is the only nonlinearity the FedKEMF model zoo
+//! needs; it caches a sign mask during training for the backward pass.
+
+use crate::layer::Layer;
+use kemf_tensor::Tensor;
+
+/// Rectified linear unit, `y = max(x, 0)`.
+#[derive(Clone, Default)]
+pub struct ReLU {
+    mask: Option<Vec<bool>>,
+}
+
+impl ReLU {
+    /// New ReLU layer.
+    pub fn new() -> Self {
+        ReLU { mask: None }
+    }
+}
+
+impl Layer for ReLU {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let y = x.map(|v| v.max(0.0));
+        if train {
+            self.mask = Some(x.data().iter().map(|&v| v > 0.0).collect());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.take().expect("ReLU::backward without forward(train)");
+        assert_eq!(mask.len(), grad_out.numel(), "ReLU mask/grad size mismatch");
+        let mut g = grad_out.clone();
+        for (v, &m) in g.data_mut().iter_mut().zip(mask.iter()) {
+            if !m {
+                *v = 0.0;
+            }
+        }
+        g
+    }
+
+    crate::stateless_param_impl!();
+
+    fn name(&self) -> &'static str {
+        "ReLU"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(ReLU { mask: None })
+    }
+}
+
+/// Flatten `[N, ...]` to `[N, features]`; records the input shape so the
+/// backward pass can restore it.
+#[derive(Clone, Default)]
+pub struct Flatten {
+    input_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// New flatten layer.
+    pub fn new() -> Self {
+        Flatten { input_dims: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let dims = x.dims().to_vec();
+        assert!(!dims.is_empty(), "Flatten needs at least one dimension");
+        let batch = dims[0];
+        let feat: usize = dims[1..].iter().product();
+        if train {
+            self.input_dims = Some(dims);
+        }
+        x.clone().reshape(&[batch, feat])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let dims = self.input_dims.take().expect("Flatten::backward without forward(train)");
+        grad_out.clone().reshape(&dims)
+    }
+
+    crate::stateless_param_impl!();
+
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(Flatten { input_dims: None })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::grad_check;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut r = ReLU::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]);
+        assert_eq!(r.forward(&x, false).data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks() {
+        let mut r = ReLU::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.5, 2.0], &[3]);
+        let _ = r.forward(&x, true);
+        let g = r.backward(&Tensor::ones(&[3]));
+        assert_eq!(g.data(), &[0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn relu_gradcheck() {
+        // Keep the perturbation small relative to typical pre-activation
+        // magnitudes so no element crosses the kink during the check.
+        let mut r = ReLU::new();
+        grad_check(&mut r, &[2, 5], 1e-3, 5e-2);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec((0..24).map(|v| v as f32).collect(), &[2, 3, 2, 2]);
+        let y = f.forward(&x, true);
+        assert_eq!(y.dims(), &[2, 12]);
+        let g = f.backward(&y);
+        assert_eq!(g.dims(), &[2, 3, 2, 2]);
+        assert_eq!(g.data(), x.data());
+    }
+}

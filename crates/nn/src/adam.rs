@@ -1,0 +1,163 @@
+//! Adam optimizer (Kingma & Ba 2015), with decoupled weight decay
+//! (AdamW). FedDF-style server distillation conventionally uses Adam; the
+//! ensemble-distillation harness can switch between SGD and Adam.
+
+use crate::layer::Layer;
+use kemf_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Adam hyper-parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct AdamConfig {
+    /// Step size.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical floor inside the square root.
+    pub eps: f32,
+    /// Decoupled (AdamW) weight decay.
+    pub weight_decay: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0 }
+    }
+}
+
+/// Adam/AdamW optimizer state paired with one network.
+pub struct Adam {
+    cfg: AdamConfig,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+    t: u64,
+}
+
+impl Adam {
+    /// New optimizer; moment buffers are allocated on first step.
+    pub fn new(cfg: AdamConfig) -> Self {
+        assert!(cfg.lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&cfg.beta1) && (0.0..1.0).contains(&cfg.beta2), "betas in [0,1)");
+        assert!(cfg.eps > 0.0, "eps must be positive");
+        Adam { cfg, m: Vec::new(), v: Vec::new(), t: 0 }
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// One Adam update over all parameters of `net`.
+    pub fn step(&mut self, net: &mut dyn Layer) {
+        if self.m.is_empty() {
+            net.visit_params(&mut |p| {
+                self.m.push(Tensor::zeros(p.value.dims()));
+                self.v.push(Tensor::zeros(p.value.dims()));
+            });
+        }
+        self.t += 1;
+        let cfg = self.cfg;
+        let bc1 = 1.0 - cfg.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - cfg.beta2.powi(self.t as i32);
+        let (m_bufs, v_bufs) = (&mut self.m, &mut self.v);
+        let mut idx = 0usize;
+        net.visit_params_mut(&mut |p| {
+            let m = &mut m_bufs[idx];
+            let v = &mut v_bufs[idx];
+            assert_eq!(m.dims(), p.value.dims(), "optimizer paired with a different network");
+            let g = p.grad.data();
+            let vals = p.value.data_mut();
+            let (md, vd) = (m.data_mut(), v.data_mut());
+            for i in 0..g.len() {
+                md[i] = cfg.beta1 * md[i] + (1.0 - cfg.beta1) * g[i];
+                vd[i] = cfg.beta2 * vd[i] + (1.0 - cfg.beta2) * g[i] * g[i];
+                let m_hat = md[i] / bc1;
+                let v_hat = vd[i] / bc2;
+                let mut update = m_hat / (v_hat.sqrt() + cfg.eps);
+                if cfg.weight_decay > 0.0 {
+                    update += cfg.weight_decay * vals[i];
+                }
+                vals[i] -= cfg.lr * update;
+            }
+            idx += 1;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::Linear;
+    use crate::loss::cross_entropy;
+    use kemf_tensor::rng::seeded_rng;
+
+    #[test]
+    fn adam_reduces_loss_on_toy_problem() {
+        let mut net = Linear::new(2, 2, 3);
+        let mut opt = Adam::new(AdamConfig { lr: 0.05, ..Default::default() });
+        let mut rng = seeded_rng(30);
+        let x = Tensor::randn(&[16, 2], 1.0, &mut rng);
+        let labels: Vec<usize> = x.data().chunks(2).map(|r| usize::from(r[0] > 0.0)).collect();
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for it in 0..60 {
+            net.zero_grad();
+            let logits = net.forward(&x, true);
+            let (loss, grad) = cross_entropy(&logits, &labels);
+            if it == 0 {
+                first = loss;
+            }
+            last = loss;
+            let _ = net.backward(&grad);
+            opt.step(&mut net);
+        }
+        assert!(last < first * 0.3, "loss {first} → {last}");
+        assert_eq!(opt.steps(), 60);
+    }
+
+    #[test]
+    fn adam_step_size_is_scale_invariant() {
+        // Adam normalizes by the gradient's RMS: scaling all gradients by
+        // a constant should not change the first update direction/size
+        // (up to eps effects).
+        let run = |scale: f32| {
+            let mut net = Linear::new(2, 1, 5);
+            let before = crate::serialize::Weights::from_layer(&net);
+            let mut i = 0;
+            net.visit_params_mut(&mut |p| {
+                if i == 0 {
+                    p.grad.data_mut().copy_from_slice(&[0.3 * scale, -0.7 * scale]);
+                }
+                i += 1;
+            });
+            let mut opt = Adam::new(AdamConfig { lr: 0.1, ..Default::default() });
+            opt.step(&mut net);
+            let after = crate::serialize::Weights::from_layer(&net);
+            after.delta(&before).values
+        };
+        let small = run(1.0);
+        let large = run(100.0);
+        kemf_tensor::assert_close(&small, &large, 1e-3);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let mut net = Linear::new(4, 4, 6);
+        let mut with_decay = Adam::new(AdamConfig { lr: 0.05, weight_decay: 0.5, ..Default::default() });
+        let mut before = 0.0;
+        net.visit_params(&mut |p| before += p.value.sq_norm());
+        net.zero_grad();
+        with_decay.step(&mut net);
+        let mut after = 0.0;
+        net.visit_params(&mut |p| after += p.value.sq_norm());
+        assert!(after < before, "{before} → {after}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_beta() {
+        let _ = Adam::new(AdamConfig { beta1: 1.0, ..Default::default() });
+    }
+}

@@ -1,0 +1,139 @@
+//! Binary checkpointing for [`ModelState`]: a tiny self-describing format
+//! (magic, version, section lengths, little-endian f32 payload) so long
+//! federated runs can persist and resume the global model without a
+//! serialization framework.
+
+use crate::serialize::{ModelState, Weights};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"KEMFCKPT";
+const VERSION: u32 = 1;
+
+fn write_weights(w: &Weights, out: &mut impl Write) -> io::Result<()> {
+    out.write_all(&(w.lens.len() as u64).to_le_bytes())?;
+    for &l in &w.lens {
+        out.write_all(&(l as u64).to_le_bytes())?;
+    }
+    out.write_all(&(w.values.len() as u64).to_le_bytes())?;
+    for &v in &w.values {
+        out.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_u64(inp: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    inp.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_weights(inp: &mut impl Read) -> io::Result<Weights> {
+    let n_lens = read_u64(inp)? as usize;
+    let mut lens = Vec::with_capacity(n_lens);
+    for _ in 0..n_lens {
+        lens.push(read_u64(inp)? as usize);
+    }
+    let n_vals = read_u64(inp)? as usize;
+    let expected: usize = lens.iter().sum();
+    if n_vals != expected {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("checkpoint value count {n_vals} does not match lens sum {expected}"),
+        ));
+    }
+    let mut values = Vec::with_capacity(n_vals);
+    let mut b = [0u8; 4];
+    for _ in 0..n_vals {
+        inp.read_exact(&mut b)?;
+        values.push(f32::from_le_bytes(b));
+    }
+    Ok(Weights { values, lens })
+}
+
+/// Write a model state to `path` (atomic-ish: full rewrite).
+pub fn save_state(state: &ModelState, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    out.write_all(MAGIC)?;
+    out.write_all(&VERSION.to_le_bytes())?;
+    write_weights(&state.params, &mut out)?;
+    write_weights(&state.buffers, &mut out)?;
+    out.flush()
+}
+
+/// Read a model state from `path`; validates magic, version, and
+/// self-consistency of the section lengths.
+pub fn load_state(path: impl AsRef<Path>) -> io::Result<ModelState> {
+    let mut inp = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    inp.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a kemf checkpoint"));
+    }
+    let mut ver = [0u8; 4];
+    inp.read_exact(&mut ver)?;
+    let version = u32::from_le_bytes(ver);
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported checkpoint version {version}"),
+        ));
+    }
+    let params = read_weights(&mut inp)?;
+    let buffers = read_weights(&mut inp)?;
+    Ok(ModelState { params, buffers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+    use crate::models::{Arch, ModelSpec};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("kemf_ckpt_test_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let spec = ModelSpec::scaled(Arch::ResNet20, 3, 16, 10, 7);
+        let m = Model::new(spec);
+        let state = m.state();
+        let path = tmp("roundtrip");
+        save_state(&state, &path).unwrap();
+        let loaded = load_state(&path).unwrap();
+        assert_eq!(loaded, state);
+        let mut m2 = Model::new(ModelSpec { seed: 99, ..spec });
+        m2.set_state(&loaded);
+        assert_eq!(m2.state(), state);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_garbage_file() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"definitely not a checkpoint").unwrap();
+        assert!(load_state(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let spec = ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 1);
+        let state = Model::new(spec).state();
+        let path = tmp("trunc");
+        save_state(&state, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(load_state(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_clean_error() {
+        assert!(load_state("/nonexistent/kemf.ckpt").is_err());
+    }
+}

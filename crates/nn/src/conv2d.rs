@@ -1,0 +1,219 @@
+//! 2-D convolution, lowered to matrix multiplication through `im2col`.
+//!
+//! The filter bank is stored as a `[O, C·KH·KW]` matrix so the forward pass
+//! is one GEMM, the weight gradient a second, and the input gradient a
+//! third followed by a `col2im` scatter.
+
+use crate::layer::Layer;
+use crate::param::Param;
+use kemf_tensor::conv::{col2im, im2col, ConvGeom};
+use kemf_tensor::matmul::{matmul_into, matmul_nt_into, matmul_tn_into};
+use kemf_tensor::rng::seeded_rng;
+use kemf_tensor::Tensor;
+
+/// Convolutional layer (`[N, C, H, W] → [N, O, OH, OW]`).
+pub struct Conv2d {
+    weight: Param, // [O, C*KH*KW]
+    bias: Param,   // [O]
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    /// (im2col matrix, geometry) cached during training forward.
+    cache: Option<(Vec<f32>, ConvGeom)>,
+}
+
+impl Conv2d {
+    /// Kaiming-initialized square convolution.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = seeded_rng(seed);
+        let patch = in_channels * kernel * kernel;
+        Conv2d {
+            weight: Param::new(Tensor::kaiming(&[out_channels, patch], patch, &mut rng)),
+            bias: Param::new(Tensor::zeros(&[out_channels])),
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            pad,
+            cache: None,
+        }
+    }
+
+    /// Layer geometry for a given input.
+    fn geom(&self, x: &Tensor) -> ConvGeom {
+        let (n, c, h, w) = x.shape().as_nchw();
+        assert_eq!(c, self.in_channels, "Conv2d expected {} channels, got {c}", self.in_channels);
+        ConvGeom { n, c, h, w, kh: self.kernel, kw: self.kernel, stride: self.stride, pad: self.pad }
+    }
+
+    /// Reorder a `[N, O, OH, OW]` gradient into `[O, N·OH·OW]` GEMM layout.
+    fn nchw_to_ocols(g: &Tensor, n: usize, o: usize, plane: usize) -> Vec<f32> {
+        let ncols = n * plane;
+        let mut out = vec![0.0f32; o * ncols];
+        let src = g.data();
+        for ni in 0..n {
+            for oi in 0..o {
+                let s = &src[(ni * o + oi) * plane..(ni * o + oi + 1) * plane];
+                let d = &mut out[oi * ncols + ni * plane..oi * ncols + (ni + 1) * plane];
+                d.copy_from_slice(s);
+            }
+        }
+        out
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let geom = self.geom(x);
+        let (oh, ow) = (geom.oh(), geom.ow());
+        let plane = oh * ow;
+        let ncols = geom.cols();
+        let patch = geom.patch_len();
+        let mut cols = vec![0.0f32; patch * ncols];
+        im2col(x.data(), &geom, &mut cols);
+        let mut out_mat = vec![0.0f32; self.out_channels * ncols];
+        matmul_into(self.weight.value.data(), &cols, &mut out_mat, self.out_channels, patch, ncols);
+        // Add bias and reorder [O, N·OH·OW] → [N, O, OH, OW].
+        let mut y = Tensor::zeros(&[geom.n, self.out_channels, oh, ow]);
+        {
+            let d = y.data_mut();
+            let b = self.bias.value.data();
+            for oi in 0..self.out_channels {
+                let bv = b[oi];
+                for ni in 0..geom.n {
+                    let src = &out_mat[oi * ncols + ni * plane..oi * ncols + (ni + 1) * plane];
+                    let dst = &mut d
+                        [(ni * self.out_channels + oi) * plane..(ni * self.out_channels + oi + 1) * plane];
+                    for (dv, &sv) in dst.iter_mut().zip(src.iter()) {
+                        *dv = sv + bv;
+                    }
+                }
+            }
+        }
+        if train {
+            self.cache = Some((cols, geom));
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (cols, geom) = self.cache.take().expect("Conv2d::backward without forward(train)");
+        let (oh, ow) = (geom.oh(), geom.ow());
+        let plane = oh * ow;
+        let ncols = geom.cols();
+        let patch = geom.patch_len();
+        let o = self.out_channels;
+        let g_mat = Self::nchw_to_ocols(grad_out, geom.n, o, plane);
+
+        // dW[o, p] = Σ_col g[o, col] cols[p, col]  →  G · colsᵀ
+        let mut dw = vec![0.0f32; o * patch];
+        matmul_nt_into(&g_mat, &cols, &mut dw, o, ncols, patch);
+        for (acc, &v) in self.weight.grad.data_mut().iter_mut().zip(dw.iter()) {
+            *acc += v;
+        }
+        // db[o] = Σ_col g[o, col]
+        for oi in 0..o {
+            let s: f32 = g_mat[oi * ncols..(oi + 1) * ncols].iter().sum();
+            self.bias.grad.data_mut()[oi] += s;
+        }
+        // dcols[p, col] = Σ_o W[o, p] g[o, col]  →  Wᵀ · G
+        let mut dcols = vec![0.0f32; patch * ncols];
+        matmul_tn_into(self.weight.value.data(), &g_mat, &mut dcols, patch, o, ncols);
+        let mut gx = Tensor::zeros(&[geom.n, geom.c, geom.h, geom.w]);
+        col2im(&dcols, &geom, gx.data_mut());
+        gx
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.weight);
+        f(&self.bias);
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Conv2d {
+    fn clone(&self) -> Self {
+        Conv2d {
+            weight: self.weight.clone(),
+            bias: self.bias.clone(),
+            in_channels: self.in_channels,
+            out_channels: self.out_channels,
+            kernel: self.kernel,
+            stride: self.stride,
+            pad: self.pad,
+            cache: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::grad_check;
+    use kemf_tensor::assert_close;
+    use kemf_tensor::conv::conv2d_reference;
+    use kemf_tensor::rng::seeded_rng;
+
+    #[test]
+    fn forward_matches_reference() {
+        let mut conv = Conv2d::new(3, 4, 3, 1, 1, 42);
+        let mut rng = seeded_rng(13);
+        let x = Tensor::randn(&[2, 3, 6, 6], 1.0, &mut rng);
+        let fast = conv.forward(&x, false);
+        let w4 = conv.weight.value.clone().reshape(&[4, 3, 3, 3]);
+        let slow = conv2d_reference(&x, &w4, Some(conv.bias.value.data()), 1, 1);
+        assert_eq!(fast.dims(), slow.dims());
+        assert_close(fast.data(), slow.data(), 1e-4);
+    }
+
+    #[test]
+    fn strided_forward_matches_reference() {
+        let mut conv = Conv2d::new(2, 3, 3, 2, 1, 7);
+        let mut rng = seeded_rng(14);
+        let x = Tensor::randn(&[1, 2, 8, 8], 1.0, &mut rng);
+        let fast = conv.forward(&x, false);
+        let w4 = conv.weight.value.clone().reshape(&[3, 2, 3, 3]);
+        let slow = conv2d_reference(&x, &w4, Some(conv.bias.value.data()), 2, 1);
+        assert_eq!(fast.dims(), &[1, 3, 4, 4]);
+        assert_close(fast.data(), slow.data(), 1e-4);
+    }
+
+    #[test]
+    fn gradcheck() {
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, 3);
+        grad_check(&mut conv, &[2, 2, 4, 4], 1e-2, 3e-2);
+    }
+
+    #[test]
+    fn gradcheck_strided() {
+        let mut conv = Conv2d::new(1, 2, 3, 2, 1, 4);
+        grad_check(&mut conv, &[1, 1, 5, 5], 1e-2, 3e-2);
+    }
+
+    #[test]
+    fn param_count() {
+        let conv = Conv2d::new(3, 8, 3, 1, 1, 0);
+        assert_eq!(conv.param_count(), 8 * 3 * 9 + 8);
+    }
+}

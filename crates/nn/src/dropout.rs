@@ -1,0 +1,120 @@
+//! Inverted dropout: active only in training mode, identity at inference.
+//! Used by the VGG classifier head and available to custom models.
+
+use crate::layer::Layer;
+use kemf_tensor::rng::seeded_rng;
+use kemf_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Inverted dropout with drop probability `p`.
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// New dropout layer; `p` is the probability of zeroing an activation.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        Dropout { p, rng: seeded_rng(seed), mask: None }
+    }
+
+    /// Drop probability.
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            if train {
+                self.mask = Some(vec![1.0; x.numel()]);
+            }
+            return x.clone();
+        }
+        let scale = 1.0 / (1.0 - self.p);
+        let mask: Vec<f32> = (0..x.numel())
+            .map(|_| if self.rng.gen::<f32>() < self.p { 0.0 } else { scale })
+            .collect();
+        let mut y = x.clone();
+        for (v, &m) in y.data_mut().iter_mut().zip(mask.iter()) {
+            *v *= m;
+        }
+        self.mask = Some(mask);
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.take().expect("Dropout::backward without forward(train)");
+        assert_eq!(mask.len(), grad_out.numel(), "dropout mask/grad size mismatch");
+        let mut g = grad_out.clone();
+        for (v, &m) in g.data_mut().iter_mut().zip(mask.iter()) {
+            *v *= m;
+        }
+        g
+    }
+
+    crate::stateless_param_impl!();
+
+    fn name(&self) -> &'static str {
+        "Dropout"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(Dropout { p: self.p, rng: self.rng.clone(), mask: None })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::ones(&[4, 4]);
+        assert_eq!(d.forward(&x, false).data(), x.data());
+    }
+
+    #[test]
+    fn training_preserves_expectation() {
+        let mut d = Dropout::new(0.3, 2);
+        let x = Tensor::ones(&[100, 100]);
+        let y = d.forward(&x, true);
+        // Inverted dropout: E[y] == x.
+        assert!((y.mean() - 1.0).abs() < 0.02, "mean {}", y.mean());
+        // Survivors carry the 1/(1-p) scale.
+        let survivors = y.data().iter().filter(|&&v| v > 0.0).count() as f32 / y.numel() as f32;
+        assert!((survivors - 0.7).abs() < 0.02, "survival rate {survivors}");
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::ones(&[64]);
+        let y = d.forward(&x, true);
+        let g = d.backward(&Tensor::ones(&[64]));
+        // Gradient flows exactly where activations survived.
+        for (gy, gv) in y.data().iter().zip(g.data().iter()) {
+            assert_eq!(gy > &0.0, gv > &0.0);
+        }
+    }
+
+    #[test]
+    fn p_zero_is_identity_in_training() {
+        let mut d = Dropout::new(0.0, 4);
+        let x = Tensor::ones(&[10]);
+        assert_eq!(d.forward(&x, true).data(), x.data());
+        let g = d.backward(&Tensor::full(&[10], 2.0));
+        assert_eq!(g.data(), &[2.0; 10]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_p_one() {
+        let _ = Dropout::new(1.0, 5);
+    }
+}

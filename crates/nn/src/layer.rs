@@ -1,0 +1,77 @@
+//! The [`Layer`] trait: explicit forward/backward with cached activations.
+//!
+//! There is no tape or autograd graph; each layer caches whatever its
+//! backward pass needs during `forward(.., train=true)` and consumes it in
+//! `backward`. This keeps the substrate small, fully testable with finite
+//! differences, and free of interior mutability.
+//!
+//! Contract:
+//! * `backward` must be called at most once per `forward(train=true)`, with
+//!   the gradient of the scalar loss w.r.t. the layer's output; it returns
+//!   the gradient w.r.t. the input and **accumulates** into parameter
+//!   gradients (so multi-head losses like deep mutual learning just call
+//!   backward once with the combined output gradient).
+//! * `forward(.., train=false)` is a pure inference path (e.g. batch norm
+//!   uses running statistics) and need not cache anything.
+
+use crate::param::Param;
+use kemf_tensor::Tensor;
+
+/// A differentiable network module.
+pub trait Layer: Send {
+    /// Compute the layer output. `train` selects training-mode behaviour
+    /// (caching for backward, batch statistics, ...).
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
+
+    /// Backpropagate: given ∂L/∂output, accumulate parameter gradients and
+    /// return ∂L/∂input.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Visit parameters immutably, in a deterministic order.
+    fn visit_params(&self, f: &mut dyn FnMut(&Param));
+
+    /// Visit parameters mutably, in the same order as [`Layer::visit_params`].
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Visit non-trainable state tensors (batch-norm running statistics)
+    /// that must travel with the weights in federated aggregation but must
+    /// never receive gradient updates. Default: none.
+    fn visit_buffers(&self, _f: &mut dyn FnMut(&Tensor)) {}
+
+    /// Mutable counterpart of [`Layer::visit_buffers`], same order.
+    fn visit_buffers_mut(&mut self, _f: &mut dyn FnMut(&mut Tensor)) {}
+
+    /// Short human-readable layer name for debugging.
+    fn name(&self) -> &'static str;
+
+    /// Clone into a boxed trait object (enables `Clone` for containers).
+    fn clone_box(&self) -> Box<dyn Layer>;
+
+    /// Total scalar parameter count.
+    fn param_count(&self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.numel());
+        n
+    }
+
+    /// Zero all parameter gradients.
+    fn zero_grad(&mut self) {
+        self.visit_params_mut(&mut |p| p.zero_grad());
+    }
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// A layer with no parameters and no state worth naming; helper macro to
+/// cut boilerplate in simple layers.
+#[macro_export]
+macro_rules! stateless_param_impl {
+    () => {
+        fn visit_params(&self, _f: &mut dyn FnMut(&$crate::param::Param)) {}
+        fn visit_params_mut(&mut self, _f: &mut dyn FnMut(&mut $crate::param::Param)) {}
+    };
+}

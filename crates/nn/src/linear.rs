@@ -1,0 +1,149 @@
+//! Fully-connected layer: `y = x · Wᵀ + b`.
+//!
+//! Weights are stored `[out, in]` so the forward pass is a `matmul_nt` and
+//! both gradient products reuse the no-transpose kernels.
+
+use crate::layer::Layer;
+use crate::param::Param;
+use kemf_tensor::ops::sum_rows;
+use kemf_tensor::rng::seeded_rng;
+use kemf_tensor::Tensor;
+
+/// Dense affine layer.
+pub struct Linear {
+    weight: Param, // [out, in]
+    bias: Param,   // [out]
+    in_features: usize,
+    out_features: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Kaiming-initialized dense layer.
+    pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
+        let mut rng = seeded_rng(seed);
+        Linear {
+            weight: Param::new(Tensor::kaiming(&[out_features, in_features], in_features, &mut rng)),
+            bias: Param::new(Tensor::zeros(&[out_features])),
+            in_features,
+            out_features,
+            cached_input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let (batch, feat) = x.shape().as_matrix();
+        assert_eq!(feat, self.in_features, "Linear expected {} features, got {feat}", self.in_features);
+        // y[b, o] = Σ_i x[b, i] W[o, i] + b[o]
+        let x2 = x.clone().reshape(&[batch, feat]);
+        let mut y = x2.matmul_nt(&self.weight.value);
+        let b = self.bias.value.data();
+        for row in y.data_mut().chunks_mut(self.out_features) {
+            for (v, &bv) in row.iter_mut().zip(b.iter()) {
+                *v += bv;
+            }
+        }
+        if train {
+            self.cached_input = Some(x2);
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cached_input.take().expect("Linear::backward without forward(train)");
+        let (batch, _) = x.shape().as_matrix();
+        let g = grad_out.clone().reshape(&[batch, self.out_features]);
+        // dW[o, i] = Σ_b g[b, o] x[b, i]  → gᵀ · x
+        self.weight.grad.axpy(1.0, &g.matmul_tn(&x));
+        // db[o] = Σ_b g[b, o]
+        self.bias.grad.axpy(1.0, &sum_rows(&g));
+        // dx[b, i] = Σ_o g[b, o] W[o, i] → g · W
+        g.matmul(&self.weight.value)
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.weight);
+        f(&self.bias);
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn name(&self) -> &'static str {
+        "Linear"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Linear {
+    fn clone(&self) -> Self {
+        Linear {
+            weight: self.weight.clone(),
+            bias: self.bias.clone(),
+            in_features: self.in_features,
+            out_features: self.out_features,
+            cached_input: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::grad_check;
+
+    #[test]
+    fn forward_matches_manual() {
+        let mut l = Linear::new(2, 2, 0);
+        l.visit_params_mut(&mut |p| p.value.fill(0.0));
+        // W = [[1, 2], [3, 4]], b = [0.5, -0.5]
+        l.weight.value = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        l.bias.value = Tensor::from_vec(vec![0.5, -0.5], &[2]);
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
+        let y = l.forward(&x, false);
+        assert_eq!(y.data(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn param_count() {
+        let l = Linear::new(10, 4, 0);
+        assert_eq!(l.param_count(), 44);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut l = Linear::new(3, 4, 1);
+        grad_check(&mut l, &[2, 3], 1e-2, 2e-2);
+    }
+
+    #[test]
+    fn clone_box_is_independent() {
+        let l = Linear::new(3, 3, 2);
+        let mut c = l.clone_box();
+        c.visit_params_mut(&mut |p| p.value.fill(9.0));
+        let mut orig_first = None;
+        l.visit_params(&mut |p| {
+            if orig_first.is_none() {
+                orig_first = Some(p.value.data()[0]);
+            }
+        });
+        assert_ne!(orig_first.unwrap(), 9.0);
+    }
+}

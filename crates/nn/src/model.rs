@@ -1,0 +1,208 @@
+//! [`Model`]: a network paired with its [`ModelSpec`], plus the training
+//! and evaluation entry points the federated layer drives.
+
+use crate::layer::Layer;
+use crate::loss::{accuracy, cross_entropy};
+use crate::models::ModelSpec;
+use crate::optim::Sgd;
+use crate::sequential::Sequential;
+use crate::serialize::{ModelState, Weights};
+use kemf_tensor::Tensor;
+
+/// A concrete, trainable network instance.
+pub struct Model {
+    net: Sequential,
+    spec: ModelSpec,
+}
+
+impl Clone for Model {
+    fn clone(&self) -> Self {
+        Model { net: self.net.clone(), spec: self.spec }
+    }
+}
+
+impl Model {
+    /// Build a fresh model from a spec.
+    pub fn new(spec: ModelSpec) -> Self {
+        Model { net: spec.build(), spec }
+    }
+
+    /// The spec this model was built from.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// Mutable access to the underlying network.
+    pub fn net_mut(&mut self) -> &mut Sequential {
+        &mut self.net
+    }
+
+    /// Immutable access to the underlying network.
+    pub fn net(&self) -> &Sequential {
+        &self.net
+    }
+
+    /// Trainable scalar count.
+    pub fn param_count(&self) -> usize {
+        self.net.param_count()
+    }
+
+    /// Payload size of this model's weights in bytes (fp32).
+    pub fn bytes(&self) -> usize {
+        self.param_count() * 4
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.net.forward(x, train)
+    }
+
+    /// Backward pass (after a `forward(.., true)`).
+    pub fn backward(&mut self, grad: &Tensor) -> Tensor {
+        self.net.backward(grad)
+    }
+
+    /// Zero parameter gradients.
+    pub fn zero_grad(&mut self) {
+        self.net.zero_grad();
+    }
+
+    /// Snapshot the weights.
+    pub fn weights(&self) -> Weights {
+        Weights::from_layer(&self.net)
+    }
+
+    /// Restore weights from a snapshot.
+    pub fn set_weights(&mut self, w: &Weights) {
+        w.apply_to(&mut self.net);
+    }
+
+    /// Snapshot the full transmitted state (weights + batch-norm running
+    /// statistics) — what federated algorithms put on the wire.
+    pub fn state(&self) -> ModelState {
+        ModelState::from_layer(&self.net)
+    }
+
+    /// Restore a full transmitted state.
+    pub fn set_state(&mut self, s: &ModelState) {
+        s.apply_to(&mut self.net);
+    }
+
+    /// Transmitted size in bytes of the full state.
+    pub fn state_bytes(&self) -> usize {
+        self.state().bytes()
+    }
+
+    /// One supervised SGD step on a batch; returns the batch loss.
+    pub fn train_batch(&mut self, x: &Tensor, labels: &[usize], opt: &mut Sgd) -> f32 {
+        self.zero_grad();
+        let logits = self.forward(x, true);
+        let (loss, grad) = cross_entropy(&logits, labels);
+        let _ = self.backward(&grad);
+        opt.step(&mut self.net);
+        loss
+    }
+
+    /// Inference logits for a batch (eval mode).
+    pub fn predict(&mut self, x: &Tensor) -> Tensor {
+        self.net.forward(x, false)
+    }
+
+    /// Inference logits using **batch statistics** (train-mode forward).
+    /// Needed when a model has taken too few optimizer steps for its
+    /// batch-norm running statistics to be trustworthy — e.g. knowledge
+    /// networks acting as distillation teachers right after a short local
+    /// update. Side effects: updates running statistics and leaves
+    /// backward caches populated (harmless for throwaway teachers).
+    pub fn predict_batch_stats(&mut self, x: &Tensor) -> Tensor {
+        self.net.forward(x, true)
+    }
+
+    /// Top-1 accuracy over a dataset, evaluated in mini-batches to bound
+    /// memory.
+    pub fn evaluate(&mut self, images: &Tensor, labels: &[usize], batch: usize) -> f32 {
+        let n = labels.len();
+        assert_eq!(images.dims()[0], n, "image/label count mismatch");
+        if n == 0 {
+            return 0.0;
+        }
+        let batch = batch.max(1);
+        let mut correct = 0.0f32;
+        let mut start = 0;
+        while start < n {
+            let end = (start + batch).min(n);
+            let xb = images.slice_rows(start, end);
+            let logits = self.predict(&xb);
+            correct += accuracy(&logits, &labels[start..end]) * (end - start) as f32;
+            start = end;
+        }
+        correct / n as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::Arch;
+    use crate::optim::SgdConfig;
+    use kemf_tensor::rng::seeded_rng;
+
+    fn toy_spec() -> ModelSpec {
+        ModelSpec::scaled(Arch::Cnn2, 1, 8, 2, 3)
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let m = Model::new(toy_spec());
+        let mut c = m.clone();
+        let w0 = m.weights();
+        c.set_weights(&w0.zeros_like());
+        assert_eq!(m.weights().values, w0.values);
+    }
+
+    #[test]
+    fn weight_roundtrip_preserves_predictions() {
+        let mut m = Model::new(toy_spec());
+        let mut rng = seeded_rng(40);
+        let x = Tensor::randn(&[4, 1, 8, 8], 1.0, &mut rng);
+        let before = m.predict(&x);
+        let snap = m.weights();
+        let mut m2 = Model::new(ModelSpec { seed: 77, ..toy_spec() });
+        m2.set_weights(&snap);
+        let after = m2.predict(&x);
+        kemf_tensor::assert_close(before.data(), after.data(), 1e-5);
+    }
+
+    #[test]
+    fn training_learns_separable_toy_task() {
+        // Two classes distinguished by overall brightness — a task a tiny
+        // CNN must learn quickly if forward/backward/optimizer cohere.
+        let mut m = Model::new(toy_spec());
+        let mut opt = Sgd::new(SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 0.0, nesterov: false });
+        let mut rng = seeded_rng(41);
+        let n = 32;
+        let mut imgs = Tensor::randn(&[n, 1, 8, 8], 0.3, &mut rng);
+        let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        for (i, &y) in labels.iter().enumerate() {
+            let shift = if y == 0 { -1.0 } else { 1.0 };
+            for v in &mut imgs.data_mut()[i * 64..(i + 1) * 64] {
+                *v += shift;
+            }
+        }
+        for _ in 0..30 {
+            let _ = m.train_batch(&imgs, &labels, &mut opt);
+        }
+        let acc = m.evaluate(&imgs, &labels, 16);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn evaluate_handles_ragged_batches() {
+        let mut m = Model::new(toy_spec());
+        let mut rng = seeded_rng(42);
+        let x = Tensor::randn(&[7, 1, 8, 8], 1.0, &mut rng);
+        let labels = vec![0usize, 1, 0, 1, 0, 1, 0];
+        let acc = m.evaluate(&x, &labels, 3);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+}

@@ -1,0 +1,69 @@
+//! Trainable parameters: a value tensor paired with its gradient
+//! accumulator. Layers expose their parameters through the visitor methods
+//! on [`crate::layer::Layer`], in a deterministic order that the optimizer
+//! and the federated aggregation code both rely on.
+
+use kemf_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A trainable tensor with its gradient.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient of the last backward pass (accumulated until
+    /// [`Param::zero_grad`]).
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wrap an initial value with a zeroed gradient of the same shape.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        Param { value, grad }
+    }
+
+    /// Number of scalar weights.
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+
+    /// Reset the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+
+    /// SGD step: `value -= lr * grad` (plain, no momentum — the optimizer
+    /// in [`crate::optim`] implements the full update rule).
+    pub fn sgd_step(&mut self, lr: f32) {
+        self.value.axpy(-lr, &self.grad);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new(Tensor::ones(&[2, 3]));
+        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.numel(), 6);
+    }
+
+    #[test]
+    fn sgd_step_moves_against_gradient() {
+        let mut p = Param::new(Tensor::ones(&[2]));
+        p.grad = Tensor::from_vec(vec![1.0, -2.0], &[2]);
+        p.sgd_step(0.5);
+        assert_eq!(p.value.data(), &[0.5, 2.0]);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Tensor::ones(&[2]));
+        p.grad = Tensor::ones(&[2]);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+}

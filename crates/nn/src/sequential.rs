@@ -1,0 +1,334 @@
+//! Layer containers: [`Sequential`] chains and the residual
+//! [`BasicBlock`] used by the CIFAR ResNet family.
+
+use crate::activation::ReLU;
+use crate::conv2d::Conv2d;
+use crate::groupnorm::GroupNorm;
+use crate::layer::Layer;
+use crate::norm::BatchNorm2d;
+use crate::param::Param;
+use kemf_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Which normalization the model zoo builds with.
+///
+/// Batch norm matches the paper's architectures; group norm is the
+/// federated-learning-friendly alternative (per-sample statistics, no
+/// running state to go stale or clash across non-IID clients).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NormKind {
+    /// `BatchNorm2d` (paper default).
+    Batch,
+    /// `GroupNorm` with ≤4 channels per group.
+    Group,
+}
+
+impl NormKind {
+    /// Build the norm layer for `channels` feature maps.
+    pub fn build(self, channels: usize) -> Box<dyn Layer> {
+        match self {
+            NormKind::Batch => Box::new(BatchNorm2d::new(channels)),
+            NormKind::Group => Box::new(GroupNorm::with_default_groups(channels)),
+        }
+    }
+}
+
+/// A chain of layers applied in order.
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Empty container.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Append a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Append a boxed layer.
+    pub fn push_boxed(mut self, layer: Box<dyn Layer>) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True when the container holds no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Clone for Sequential {
+    fn clone(&self) -> Self {
+        Sequential { layers: self.layers.clone() }
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut h = x.clone();
+        for l in &mut self.layers {
+            h = l.forward(&h, train);
+        }
+        h
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for l in self.layers.iter_mut().rev() {
+            g = l.backward(&g);
+        }
+        g
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        for l in &self.layers {
+            l.visit_params(f);
+        }
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for l in &mut self.layers {
+            l.visit_params_mut(f);
+        }
+    }
+
+    fn visit_buffers(&self, f: &mut dyn FnMut(&Tensor)) {
+        for l in &self.layers {
+            l.visit_buffers(f);
+        }
+    }
+
+    fn visit_buffers_mut(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        for l in &mut self.layers {
+            l.visit_buffers_mut(f);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Sequential"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Pre-activation-free residual block: `y = ReLU(BN(conv(x)) → BN(conv) + shortcut(x))`,
+/// the classic CIFAR ResNet basic block (He et al. 2016).
+///
+/// When `stride > 1` or channel counts differ, the shortcut is a strided
+/// 1×1 convolution + batch norm; otherwise it is the identity.
+pub struct BasicBlock {
+    conv1: Conv2d,
+    bn1: Box<dyn Layer>,
+    relu1: ReLU,
+    conv2: Conv2d,
+    bn2: Box<dyn Layer>,
+    shortcut: Option<(Conv2d, Box<dyn Layer>)>,
+    relu_out: ReLU,
+}
+
+impl BasicBlock {
+    /// Build a block mapping `in_ch → out_ch` with the given stride on the
+    /// first convolution, normalized with batch norm (paper default).
+    pub fn new(in_ch: usize, out_ch: usize, stride: usize, seed: u64) -> Self {
+        Self::with_norm(in_ch, out_ch, stride, seed, NormKind::Batch)
+    }
+
+    /// Build with an explicit normalization kind.
+    pub fn with_norm(in_ch: usize, out_ch: usize, stride: usize, seed: u64, norm: NormKind) -> Self {
+        let shortcut = if stride != 1 || in_ch != out_ch {
+            Some((
+                Conv2d::new(in_ch, out_ch, 1, stride, 0, seed.wrapping_add(101)),
+                norm.build(out_ch),
+            ))
+        } else {
+            None
+        };
+        BasicBlock {
+            conv1: Conv2d::new(in_ch, out_ch, 3, stride, 1, seed),
+            bn1: norm.build(out_ch),
+            relu1: ReLU::new(),
+            conv2: Conv2d::new(out_ch, out_ch, 3, 1, 1, seed.wrapping_add(1)),
+            bn2: norm.build(out_ch),
+            shortcut,
+            relu_out: ReLU::new(),
+        }
+    }
+}
+
+impl Layer for BasicBlock {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let h = self.conv1.forward(x, train);
+        let h = self.bn1.forward(&h, train);
+        let h = self.relu1.forward(&h, train);
+        let h = self.conv2.forward(&h, train);
+        let h = self.bn2.forward(&h, train);
+        let s = match &mut self.shortcut {
+            Some((conv, bn)) => {
+                let s = conv.forward(x, train);
+                bn.forward(&s, train)
+            }
+            None => x.clone(),
+        };
+        let sum = h.add(&s);
+        self.relu_out.forward(&sum, train)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g_sum = self.relu_out.backward(grad_out);
+        // Residual branch.
+        let g = self.bn2.backward(&g_sum);
+        let g = self.conv2.backward(&g);
+        let g = self.relu1.backward(&g);
+        let g = self.bn1.backward(&g);
+        let g_main = self.conv1.backward(&g);
+        // Shortcut branch.
+        let g_short = match &mut self.shortcut {
+            Some((conv, bn)) => {
+                let g = bn.backward(&g_sum);
+                conv.backward(&g)
+            }
+            None => g_sum,
+        };
+        g_main.add(&g_short)
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        self.conv1.visit_params(f);
+        self.bn1.visit_params(f);
+        self.conv2.visit_params(f);
+        self.bn2.visit_params(f);
+        if let Some((conv, bn)) = &self.shortcut {
+            conv.visit_params(f);
+            bn.visit_params(f);
+        }
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.conv1.visit_params_mut(f);
+        self.bn1.visit_params_mut(f);
+        self.conv2.visit_params_mut(f);
+        self.bn2.visit_params_mut(f);
+        if let Some((conv, bn)) = &mut self.shortcut {
+            conv.visit_params_mut(f);
+            bn.visit_params_mut(f);
+        }
+    }
+
+    fn visit_buffers(&self, f: &mut dyn FnMut(&Tensor)) {
+        self.bn1.visit_buffers(f);
+        self.bn2.visit_buffers(f);
+        if let Some((_, bn)) = &self.shortcut {
+            bn.visit_buffers(f);
+        }
+    }
+
+    fn visit_buffers_mut(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        self.bn1.visit_buffers_mut(f);
+        self.bn2.visit_buffers_mut(f);
+        if let Some((_, bn)) = &mut self.shortcut {
+            bn.visit_buffers_mut(f);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "BasicBlock"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(BasicBlock {
+            conv1: self.conv1.clone(),
+            bn1: self.bn1.clone(),
+            relu1: ReLU::new(),
+            conv2: self.conv2.clone(),
+            bn2: self.bn2.clone(),
+            shortcut: self.shortcut.as_ref().map(|(c, b)| (c.clone(), b.clone())),
+            relu_out: ReLU::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::Linear;
+    use crate::testutil::grad_check;
+
+    #[test]
+    fn sequential_chains_layers() {
+        let mut net = Sequential::new()
+            .push(Linear::new(4, 8, 0))
+            .push(ReLU::new())
+            .push(Linear::new(8, 3, 1));
+        let x = Tensor::ones(&[2, 4]);
+        let y = net.forward(&x, false);
+        assert_eq!(y.dims(), &[2, 3]);
+        assert_eq!(net.len(), 3);
+    }
+
+    #[test]
+    fn sequential_gradcheck() {
+        let mut net = Sequential::new()
+            .push(Linear::new(3, 5, 10))
+            .push(ReLU::new())
+            .push(Linear::new(5, 2, 11));
+        grad_check(&mut net, &[2, 3], 1e-2, 3e-2);
+    }
+
+    #[test]
+    fn basic_block_preserves_shape_with_identity_shortcut() {
+        let mut b = BasicBlock::new(4, 4, 1, 0);
+        let x = Tensor::ones(&[1, 4, 6, 6]);
+        let y = b.forward(&x, false);
+        assert_eq!(y.dims(), &[1, 4, 6, 6]);
+    }
+
+    #[test]
+    fn basic_block_downsamples_with_projection() {
+        let mut b = BasicBlock::new(4, 8, 2, 0);
+        let x = Tensor::ones(&[2, 4, 8, 8]);
+        let y = b.forward(&x, false);
+        assert_eq!(y.dims(), &[2, 8, 4, 4]);
+    }
+
+    #[test]
+    fn basic_block_gradcheck_identity() {
+        // Small FD step: batch-norm centers activations at zero, so a large
+        // perturbation pushes elements across ReLU kinks and corrupts the
+        // finite differences.
+        let mut b = BasicBlock::new(2, 2, 1, 5);
+        grad_check(&mut b, &[2, 2, 4, 4], 1e-3, 5e-2);
+    }
+
+    #[test]
+    fn basic_block_gradcheck_projection() {
+        let mut b = BasicBlock::new(2, 4, 2, 6);
+        grad_check(&mut b, &[2, 2, 4, 4], 1e-3, 5e-2);
+    }
+
+    #[test]
+    fn clone_box_deep_copies() {
+        let b = BasicBlock::new(2, 2, 1, 7);
+        let mut c = b.clone_box();
+        c.visit_params_mut(&mut |p| p.value.fill(0.0));
+        let mut any_nonzero = false;
+        b.visit_params(&mut |p| {
+            if p.value.data().iter().any(|&v| v != 0.0) {
+                any_nonzero = true;
+            }
+        });
+        assert!(any_nonzero, "clone should not alias the original");
+    }
+}

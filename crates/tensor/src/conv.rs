@@ -1,0 +1,282 @@
+//! Convolution lowering: `im2col` / `col2im`.
+//!
+//! A convolution of an `[N, C, H, W]` input with `[O, C, KH, KW]` filters
+//! (stride `s`, zero padding `p`) is computed by unrolling every input
+//! patch into a column of a `[C·KH·KW, N·OH·OW]` matrix and multiplying by
+//! the filter matrix `[O, C·KH·KW]`. The transposed scatter (`col2im`)
+//! implements the gradient with respect to the input.
+//!
+//! The layout keeps each output position's patch contiguous per channel so
+//! the copy loops stay branch-light; padding is handled by clamping the
+//! valid kernel range instead of testing every element.
+
+use crate::tensor::Tensor;
+
+/// Geometry of one convolution, shared by forward and backward passes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConvGeom {
+    pub n: usize,
+    pub c: usize,
+    pub h: usize,
+    pub w: usize,
+    pub kh: usize,
+    pub kw: usize,
+    pub stride: usize,
+    pub pad: usize,
+}
+
+impl ConvGeom {
+    /// Output height.
+    #[inline]
+    pub fn oh(&self) -> usize {
+        (self.h + 2 * self.pad - self.kh) / self.stride + 1
+    }
+
+    /// Output width.
+    #[inline]
+    pub fn ow(&self) -> usize {
+        (self.w + 2 * self.pad - self.kw) / self.stride + 1
+    }
+
+    /// Rows of the unrolled patch matrix (`C·KH·KW`).
+    #[inline]
+    pub fn patch_len(&self) -> usize {
+        self.c * self.kh * self.kw
+    }
+
+    /// Columns of the unrolled patch matrix (`N·OH·OW`).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.n * self.oh() * self.ow()
+    }
+
+    fn check(&self) {
+        assert!(self.stride > 0, "stride must be positive");
+        assert!(
+            self.h + 2 * self.pad >= self.kh && self.w + 2 * self.pad >= self.kw,
+            "kernel {}, {} larger than padded input {}x{}",
+            self.kh,
+            self.kw,
+            self.h + 2 * self.pad,
+            self.w + 2 * self.pad
+        );
+    }
+}
+
+/// Unroll `input` (`[N, C, H, W]` flattened) into `cols`
+/// (`[patch_len, cols]` flattened, column index = `(n, oy, ox)`).
+pub fn im2col(input: &[f32], geom: &ConvGeom, cols: &mut [f32]) {
+    geom.check();
+    let (oh, ow) = (geom.oh(), geom.ow());
+    let ncols = geom.cols();
+    assert_eq!(input.len(), geom.n * geom.c * geom.h * geom.w, "input size mismatch");
+    assert_eq!(cols.len(), geom.patch_len() * ncols, "cols size mismatch");
+    cols.fill(0.0);
+    let (h, w) = (geom.h, geom.w);
+    for n in 0..geom.n {
+        for oy in 0..oh {
+            let iy0 = (oy * geom.stride) as isize - geom.pad as isize;
+            for ox in 0..ow {
+                let ix0 = (ox * geom.stride) as isize - geom.pad as isize;
+                let col = (n * oh + oy) * ow + ox;
+                // Clamp kernel window to the valid input region once.
+                let ky_lo = (-iy0).max(0) as usize;
+                let ky_hi = geom.kh.min((h as isize - iy0).max(0) as usize);
+                let kx_lo = (-ix0).max(0) as usize;
+                let kx_hi = geom.kw.min((w as isize - ix0).max(0) as usize);
+                for c in 0..geom.c {
+                    let in_base = (n * geom.c + c) * h * w;
+                    let row_base = c * geom.kh * geom.kw;
+                    for ky in ky_lo..ky_hi {
+                        let iy = (iy0 + ky as isize) as usize;
+                        let in_row = in_base + iy * w;
+                        let out_row = row_base + ky * geom.kw;
+                        for kx in kx_lo..kx_hi {
+                            let ix = (ix0 + kx as isize) as usize;
+                            cols[(out_row + kx) * ncols + col] = input[in_row + ix];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatter-add `cols` (`[patch_len, cols]`) back into `input_grad`
+/// (`[N, C, H, W]`): the adjoint of [`im2col`].
+pub fn col2im(cols: &[f32], geom: &ConvGeom, input_grad: &mut [f32]) {
+    geom.check();
+    let (oh, ow) = (geom.oh(), geom.ow());
+    let ncols = geom.cols();
+    assert_eq!(input_grad.len(), geom.n * geom.c * geom.h * geom.w, "grad size mismatch");
+    assert_eq!(cols.len(), geom.patch_len() * ncols, "cols size mismatch");
+    input_grad.fill(0.0);
+    let (h, w) = (geom.h, geom.w);
+    for n in 0..geom.n {
+        for oy in 0..oh {
+            let iy0 = (oy * geom.stride) as isize - geom.pad as isize;
+            for ox in 0..ow {
+                let ix0 = (ox * geom.stride) as isize - geom.pad as isize;
+                let col = (n * oh + oy) * ow + ox;
+                let ky_lo = (-iy0).max(0) as usize;
+                let ky_hi = geom.kh.min((h as isize - iy0).max(0) as usize);
+                let kx_lo = (-ix0).max(0) as usize;
+                let kx_hi = geom.kw.min((w as isize - ix0).max(0) as usize);
+                for c in 0..geom.c {
+                    let in_base = (n * geom.c + c) * h * w;
+                    let row_base = c * geom.kh * geom.kw;
+                    for ky in ky_lo..ky_hi {
+                        let iy = (iy0 + ky as isize) as usize;
+                        let in_row = in_base + iy * w;
+                        let out_row = row_base + ky * geom.kw;
+                        for kx in kx_lo..kx_hi {
+                            let ix = (ix0 + kx as isize) as usize;
+                            input_grad[in_row + ix] += cols[(out_row + kx) * ncols + col];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reference direct convolution, used only in tests to validate the
+/// im2col-lowered path end to end.
+pub fn conv2d_reference(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    let (n, c, h, w) = input.shape().as_nchw();
+    let wd = weight.dims();
+    assert_eq!(wd.len(), 4);
+    let (o, wc, kh, kw) = (wd[0], wd[1], wd[2], wd[3]);
+    assert_eq!(c, wc);
+    let geom = ConvGeom { n, c, h, w, kh, kw, stride, pad };
+    let (oh, ow) = (geom.oh(), geom.ow());
+    let mut out = Tensor::zeros(&[n, o, oh, ow]);
+    for ni in 0..n {
+        for oi in 0..o {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias.map_or(0.0, |b| b[oi]);
+                    for ci in 0..c {
+                        for ky in 0..kh {
+                            for kx in 0..kw {
+                                let iy = (oy * stride + ky) as isize - pad as isize;
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
+                                    acc += input.at(&[ni, ci, iy as usize, ix as usize])
+                                        * weight.at(&[oi, ci, ky, kx]);
+                                }
+                            }
+                        }
+                    }
+                    *out.at_mut(&[ni, oi, oy, ox]) = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+    use crate::matmul::matmul_into;
+    use crate::rng::seeded_rng;
+    use rand::Rng;
+
+    fn conv_via_im2col(input: &Tensor, weight: &Tensor, stride: usize, pad: usize) -> Tensor {
+        let (n, c, h, w) = input.shape().as_nchw();
+        let wd = weight.dims();
+        let (o, kh, kw) = (wd[0], wd[2], wd[3]);
+        let geom = ConvGeom { n, c, h, w, kh, kw, stride, pad };
+        let mut cols = vec![0.0; geom.patch_len() * geom.cols()];
+        im2col(input.data(), &geom, &mut cols);
+        let mut out = vec![0.0; o * geom.cols()];
+        matmul_into(weight.data(), &cols, &mut out, o, geom.patch_len(), geom.cols());
+        // out is [O, N*OH*OW]; reorder to [N, O, OH, OW]
+        let (oh, ow) = (geom.oh(), geom.ow());
+        let mut reordered = Tensor::zeros(&[n, o, oh, ow]);
+        let r = reordered.data_mut();
+        for oi in 0..o {
+            for ni in 0..n {
+                for p in 0..oh * ow {
+                    r[((ni * o) + oi) * oh * ow + p] = out[oi * geom.cols() + (ni * oh * ow) + p];
+                }
+            }
+        }
+        reordered
+    }
+
+    #[test]
+    fn geometry() {
+        let g = ConvGeom { n: 2, c: 3, h: 8, w: 8, kh: 3, kw: 3, stride: 1, pad: 1 };
+        assert_eq!((g.oh(), g.ow()), (8, 8));
+        let g2 = ConvGeom { stride: 2, ..g };
+        assert_eq!((g2.oh(), g2.ow()), (4, 4));
+        let g3 = ConvGeom { pad: 0, ..g };
+        assert_eq!((g3.oh(), g3.ow()), (6, 6));
+    }
+
+    #[test]
+    fn im2col_matches_reference_conv() {
+        let mut rng = seeded_rng(11);
+        for &(n, c, h, w, o, k, s, p) in &[
+            (1usize, 1usize, 4usize, 4usize, 1usize, 3usize, 1usize, 1usize),
+            (2, 3, 8, 8, 4, 3, 1, 1),
+            (2, 3, 8, 8, 4, 3, 2, 1),
+            (1, 2, 5, 7, 3, 1, 1, 0),
+            (2, 4, 6, 6, 2, 5, 1, 2),
+        ] {
+            let input = Tensor::from_vec(
+                (0..n * c * h * w).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+                &[n, c, h, w],
+            );
+            let weight = Tensor::from_vec(
+                (0..o * c * k * k).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+                &[o, c, k, k],
+            );
+            let fast = conv_via_im2col(&input, &weight, s, p);
+            let slow = conv2d_reference(&input, &weight, None, s, p);
+            assert_close(fast.data(), slow.data(), 1e-4);
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property of the transpose operator used in backprop.
+        let mut rng = seeded_rng(12);
+        let geom = ConvGeom { n: 2, c: 3, h: 6, w: 5, kh: 3, kw: 3, stride: 2, pad: 1 };
+        let x: Vec<f32> = (0..geom.n * geom.c * geom.h * geom.w)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let ysz = geom.patch_len() * geom.cols();
+        let y: Vec<f32> = (0..ysz).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut cols = vec![0.0; ysz];
+        im2col(&x, &geom, &mut cols);
+        let lhs: f64 = cols.iter().zip(y.iter()).map(|(&a, &b)| (a as f64) * (b as f64)).sum();
+        let mut xg = vec![0.0; x.len()];
+        col2im(&y, &geom, &mut xg);
+        let rhs: f64 = x.iter().zip(xg.iter()).map(|(&a, &b)| (a as f64) * (b as f64)).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "adjoint mismatch: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn padding_produces_zero_border_patches() {
+        let geom = ConvGeom { n: 1, c: 1, h: 2, w: 2, kh: 3, kw: 3, stride: 1, pad: 1 };
+        let input = vec![1.0; 4];
+        let mut cols = vec![0.0; geom.patch_len() * geom.cols()];
+        im2col(&input, &geom, &mut cols);
+        // Top-left output position: kernel's (0,0) tap is in padding → 0.
+        assert_eq!(cols[0], 0.0);
+        // Kernel center tap over (0,0) input is 1.
+        let center_row = 4; // ky=1, kx=1 in a 3x3 kernel
+        assert_eq!(cols[center_row * geom.cols()], 1.0);
+    }
+}

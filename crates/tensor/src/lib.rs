@@ -1,0 +1,55 @@
+//! # kemf-tensor
+//!
+//! Dense `f32` tensor kernels for the FedKEMF stack: the numeric substrate
+//! every higher layer (neural networks, federated algorithms, experiment
+//! harnesses) is built on.
+//!
+//! The design goals, in order:
+//!
+//! 1. **Correctness** — every kernel is unit-tested and the hot ones are
+//!    cross-checked against naive reference implementations and finite
+//!    differences (in `kemf-nn`).
+//! 2. **Predictable performance on CPU** — row-major contiguous storage,
+//!    blocked matrix multiplication parallelized with rayon over row
+//!    chunks, convolution lowered to matmul through `im2col`, and no
+//!    allocation inside inner loops.
+//! 3. **Small, explicit API** — tensors are plain `Vec<f32>` + shape; there
+//!    is no autograd graph here. Backpropagation lives in `kemf-nn` as
+//!    explicit `backward` methods, which keeps the numeric core simple and
+//!    auditable.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use kemf_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+pub mod conv;
+pub mod matmul;
+pub mod ops;
+pub mod rng;
+pub mod shape;
+pub mod tensor;
+
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Absolute tolerance used throughout the test-suites of the workspace when
+/// comparing floating point kernels against references.
+pub const TEST_EPS: f32 = 1e-4;
+
+/// Assert two f32 slices are element-wise close; used by tests across crates.
+pub fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+    assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert!(
+            (x - y).abs() <= tol + tol * x.abs().max(y.abs()),
+            "element {i} differs: {x} vs {y} (tol {tol})"
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! Matrix multiplication kernels.
+//!
+//! Three layouts cover every use in the stack without materializing
+//! transposes:
+//!
+//! * [`matmul_into`]    — `C = A · B`          (forward passes)
+//! * [`matmul_tn_into`] — `C = Aᵀ · B`         (weight gradients)
+//! * [`matmul_nt_into`] — `C = A · Bᵀ`         (input gradients)
+//!
+//! All kernels accumulate in `f32` with a k-blocked inner loop and
+//! parallelize over row chunks with rayon. On a single-core host rayon
+//! degrades gracefully to sequential execution; the chunking also keeps the
+//! working set cache-friendly.
+
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Rows per parallel task. Chosen so a task is a few hundred microseconds
+/// of work for typical sizes in this workspace (dozens–hundreds of columns).
+const ROWS_PER_TASK: usize = 16;
+
+/// `C[m,n] = A[m,k] · B[k,n]`, writing into `c`.
+///
+/// Plain slices so callers can stage buffers; `Tensor` wrappers below.
+pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A size mismatch");
+    assert_eq!(b.len(), k * n, "B size mismatch");
+    assert_eq!(c.len(), m * n, "C size mismatch");
+    c.par_chunks_mut(ROWS_PER_TASK * n)
+        .enumerate()
+        .for_each(|(chunk_idx, c_chunk)| {
+            let row0 = chunk_idx * ROWS_PER_TASK;
+            let rows = c_chunk.len() / n;
+            for r in 0..rows {
+                let a_row = &a[(row0 + r) * k..(row0 + r + 1) * k];
+                let c_row = &mut c_chunk[r * n..(r + 1) * n];
+                c_row.fill(0.0);
+                // Accumulate row · B with the k-loop outermost: each step is
+                // an axpy over a contiguous B row, which auto-vectorizes.
+                for (kk, &av) in a_row.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[kk * n..(kk + 1) * n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+        });
+}
+
+/// `C[m,n] = Aᵀ[m,k] · B[k,n]` where `A` is stored as `[k, m]`.
+pub fn matmul_tn_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), k * m, "A size mismatch");
+    assert_eq!(b.len(), k * n, "B size mismatch");
+    assert_eq!(c.len(), m * n, "C size mismatch");
+    c.par_chunks_mut(ROWS_PER_TASK * n)
+        .enumerate()
+        .for_each(|(chunk_idx, c_chunk)| {
+            let row0 = chunk_idx * ROWS_PER_TASK;
+            let rows = c_chunk.len() / n;
+            for r in 0..rows {
+                let i = row0 + r; // output row == column of A
+                let c_row = &mut c_chunk[r * n..(r + 1) * n];
+                c_row.fill(0.0);
+                for kk in 0..k {
+                    let av = a[kk * m + i];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[kk * n..(kk + 1) * n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+        });
+}
+
+/// `C[m,n] = A[m,k] · Bᵀ[k,n]` where `B` is stored as `[n, k]`.
+pub fn matmul_nt_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A size mismatch");
+    assert_eq!(b.len(), n * k, "B size mismatch");
+    assert_eq!(c.len(), m * n, "C size mismatch");
+    c.par_chunks_mut(ROWS_PER_TASK * n)
+        .enumerate()
+        .for_each(|(chunk_idx, c_chunk)| {
+            let row0 = chunk_idx * ROWS_PER_TASK;
+            let rows = c_chunk.len() / n;
+            for r in 0..rows {
+                let a_row = &a[(row0 + r) * k..(row0 + r + 1) * k];
+                let c_row = &mut c_chunk[r * n..(r + 1) * n];
+                for (j, cv) in c_row.iter_mut().enumerate() {
+                    // Dot of two contiguous rows: vectorizes well.
+                    let b_row = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                        acc += av * bv;
+                    }
+                    *cv = acc;
+                }
+            }
+        });
+}
+
+impl Tensor {
+    /// Matrix product treating `self` as `[m, k]` (leading dims flattened)
+    /// and `rhs` as `[k, n]`.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        let (m, k) = self.shape().as_matrix();
+        let (k2, n) = rhs.shape().as_matrix();
+        assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+        let mut out = Tensor::zeros(&[m, n]);
+        matmul_into(self.data(), rhs.data(), out.data_mut(), m, k, n);
+        out
+    }
+
+    /// `selfᵀ · rhs` with `self: [k, m]`, `rhs: [k, n]` → `[m, n]`.
+    pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
+        let (k, m) = self.shape().as_matrix();
+        let (k2, n) = rhs.shape().as_matrix();
+        assert_eq!(k, k2, "matmul_tn inner dimension mismatch: {k} vs {k2}");
+        let mut out = Tensor::zeros(&[m, n]);
+        matmul_tn_into(self.data(), rhs.data(), out.data_mut(), m, k, n);
+        out
+    }
+
+    /// `self · rhsᵀ` with `self: [m, k]`, `rhs: [n, k]` → `[m, n]`.
+    pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
+        let (m, k) = self.shape().as_matrix();
+        let (n, k2) = rhs.shape().as_matrix();
+        assert_eq!(k, k2, "matmul_nt inner dimension mismatch: {k} vs {k2}");
+        let mut out = Tensor::zeros(&[m, n]);
+        matmul_nt_into(self.data(), rhs.data(), out.data_mut(), m, k, n);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+    use crate::rng::seeded_rng;
+    use rand::Rng;
+
+    fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a[i * k + kk] * b[kk * n + j];
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn identity() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let c = a.matmul(&Tensor::eye(2));
+        assert_eq!(c.data(), a.data());
+    }
+
+    #[test]
+    fn known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn random_sizes_match_naive() {
+        let mut rng = seeded_rng(7);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (17, 33, 9), (40, 8, 40), (5, 64, 1)] {
+            let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut c = vec![0.0; m * n];
+            matmul_into(&a, &b, &mut c, m, k, n);
+            assert_close(&c, &naive(&a, &b, m, k, n), 1e-4);
+        }
+    }
+
+    #[test]
+    fn tn_matches_explicit_transpose() {
+        let mut rng = seeded_rng(8);
+        let (m, k, n) = (6, 11, 4);
+        // A stored [k, m]
+        let a: Vec<f32> = (0..k * m).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut at = vec![0.0; m * k];
+        for i in 0..k {
+            for j in 0..m {
+                at[j * k + i] = a[i * m + j];
+            }
+        }
+        let mut c = vec![0.0; m * n];
+        matmul_tn_into(&a, &b, &mut c, m, k, n);
+        assert_close(&c, &naive(&at, &b, m, k, n), 1e-4);
+    }
+
+    #[test]
+    fn nt_matches_explicit_transpose() {
+        let mut rng = seeded_rng(9);
+        let (m, k, n) = (5, 7, 13);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        // B stored [n, k]
+        let b: Vec<f32> = (0..n * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut bt = vec![0.0; k * n];
+        for i in 0..n {
+            for j in 0..k {
+                bt[j * n + i] = b[i * k + j];
+            }
+        }
+        let mut c = vec![0.0; m * n];
+        matmul_nt_into(&a, &b, &mut c, m, k, n);
+        assert_close(&c, &naive(&a, &bt, m, k, n), 1e-4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inner_dim_mismatch_panics() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,190 @@
+//! Row-wise operations used by losses and classifiers: softmax,
+//! log-softmax, argmax, transpose, and axis reductions.
+//!
+//! "Row-wise" means over the last dimension with all leading dimensions
+//! flattened, which matches the `[batch, classes]` logit layout used
+//! throughout the stack.
+
+use crate::tensor::Tensor;
+
+/// Numerically-stable softmax over the last dimension.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let (rows, cols) = logits.shape().as_matrix();
+    assert!(cols > 0, "softmax over empty rows");
+    let mut out = logits.clone();
+    softmax_inplace_rows(out.data_mut(), rows, cols);
+    out
+}
+
+/// In-place row softmax on a raw buffer.
+pub fn softmax_inplace_rows(data: &mut [f32], rows: usize, cols: usize) {
+    assert_eq!(data.len(), rows * cols);
+    for r in 0..rows {
+        let row = &mut data[r * cols..(r + 1) * cols];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Numerically-stable log-softmax over the last dimension.
+pub fn log_softmax(logits: &Tensor) -> Tensor {
+    let (rows, cols) = logits.shape().as_matrix();
+    assert!(cols > 0, "log_softmax over empty rows");
+    let mut out = logits.clone();
+    let data = out.data_mut();
+    for r in 0..rows {
+        let row = &mut data[r * cols..(r + 1) * cols];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let log_sum = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
+        for v in row.iter_mut() {
+            *v -= log_sum;
+        }
+    }
+    out
+}
+
+/// Index of the maximum element in each row (ties → first).
+pub fn argmax_rows(t: &Tensor) -> Vec<usize> {
+    let (rows, cols) = t.shape().as_matrix();
+    let mut out = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let row = &t.data()[r * cols..(r + 1) * cols];
+        let mut best = 0;
+        let mut best_v = f32::NEG_INFINITY;
+        for (i, &v) in row.iter().enumerate() {
+            if v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        out.push(best);
+    }
+    out
+}
+
+/// Sum over rows → vector of length `cols` (used for bias gradients).
+pub fn sum_rows(t: &Tensor) -> Tensor {
+    let (rows, cols) = t.shape().as_matrix();
+    let mut out = Tensor::zeros(&[cols]);
+    let o = out.data_mut();
+    for r in 0..rows {
+        let row = &t.data()[r * cols..(r + 1) * cols];
+        for (ov, &v) in o.iter_mut().zip(row.iter()) {
+            *ov += v;
+        }
+    }
+    out
+}
+
+/// 2-D transpose (copies).
+pub fn transpose2d(t: &Tensor) -> Tensor {
+    let (rows, cols) = t.shape().as_matrix();
+    let mut out = Tensor::zeros(&[cols, rows]);
+    let src = t.data();
+    let dst = out.data_mut();
+    for r in 0..rows {
+        for c in 0..cols {
+            dst[c * rows + r] = src[r * cols + c];
+        }
+    }
+    out
+}
+
+/// Element-wise maximum of many same-shaped tensors (the paper's
+/// max-logits ensemble primitive, Eq. 5). Panics on an empty slice.
+pub fn elementwise_max(tensors: &[&Tensor]) -> Tensor {
+    assert!(!tensors.is_empty(), "elementwise_max of zero tensors");
+    let mut out = tensors[0].clone();
+    for t in &tensors[1..] {
+        assert_eq!(t.shape(), out.shape(), "elementwise_max shape mismatch");
+        for (o, &v) in out.data_mut().iter_mut().zip(t.data().iter()) {
+            if v > *o {
+                *o = v;
+            }
+        }
+    }
+    out
+}
+
+/// Element-wise mean of many same-shaped tensors (avg-logits ensemble).
+pub fn elementwise_mean(tensors: &[&Tensor]) -> Tensor {
+    assert!(!tensors.is_empty(), "elementwise_mean of zero tensors");
+    let mut out = tensors[0].clone();
+    for t in &tensors[1..] {
+        assert_eq!(t.shape(), out.shape(), "elementwise_mean shape mismatch");
+        out.axpy(1.0, t);
+    }
+    out.scale_inplace(1.0 / tensors.len() as f32);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let s = softmax(&t);
+        for r in 0..2 {
+            let sum: f32 = s.data()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // Monotone in logits.
+        assert!(s.at(&[0, 2]) > s.at(&[0, 1]));
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let t = Tensor::from_vec(vec![1000.0, 1001.0], &[1, 2]);
+        let s = softmax(&t);
+        assert!(!s.has_non_finite());
+        assert!((s.data()[0] + s.data()[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let t = Tensor::from_vec(vec![0.5, -0.2, 1.3, 2.0, 0.0, -3.0], &[2, 3]);
+        let ls = log_softmax(&t);
+        let s = softmax(&t);
+        let expect: Vec<f32> = s.data().iter().map(|&p| p.ln()).collect();
+        assert_close(ls.data(), &expect, 1e-5);
+    }
+
+    #[test]
+    fn argmax_rows_basic() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.0, 5.0, 4.0, 4.5], &[2, 3]);
+        assert_eq!(argmax_rows(&t), vec![1, 0]);
+    }
+
+    #[test]
+    fn sum_rows_basic() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(sum_rows(&t).data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let t = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]);
+        let tt = transpose2d(&transpose2d(&t));
+        assert_eq!(tt.data(), t.data());
+        assert_eq!(transpose2d(&t).at(&[2, 1]), t.at(&[1, 2]));
+    }
+
+    #[test]
+    fn ensembles() {
+        let a = Tensor::from_vec(vec![1.0, 5.0], &[1, 2]);
+        let b = Tensor::from_vec(vec![3.0, 2.0], &[1, 2]);
+        assert_eq!(elementwise_max(&[&a, &b]).data(), &[3.0, 5.0]);
+        assert_eq!(elementwise_mean(&[&a, &b]).data(), &[2.0, 3.5]);
+    }
+}

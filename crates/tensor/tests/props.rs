@@ -1,0 +1,130 @@
+//! Property-based tests of the tensor kernels: algebraic identities the
+//! numeric substrate must satisfy for any input.
+
+use kemf_tensor::conv::{col2im, im2col, ConvGeom};
+use kemf_tensor::matmul::matmul_into;
+use kemf_tensor::ops::{softmax, sum_rows, transpose2d};
+use kemf_tensor::Tensor;
+use proptest::prelude::*;
+
+fn tensor_strategy(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-4.0f32..4.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_identity(v in tensor_strategy(25)) {
+        let a = Tensor::from_vec(v, &[5, 5]);
+        let i = Tensor::eye(5);
+        kemf_tensor::assert_close(a.matmul(&i).data(), a.data(), 1e-5);
+        kemf_tensor::assert_close(i.matmul(&a).data(), a.data(), 1e-5);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in tensor_strategy(12),
+        b in tensor_strategy(20),
+        c in tensor_strategy(20),
+    ) {
+        let a = Tensor::from_vec(a, &[3, 4]);
+        let b = Tensor::from_vec(b, &[4, 5]);
+        let c = Tensor::from_vec(c, &[4, 5]);
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        kemf_tensor::assert_close(lhs.data(), rhs.data(), 1e-3);
+    }
+
+    #[test]
+    fn matmul_scalar_commutes(a in tensor_strategy(12), b in tensor_strategy(8), s in -3.0f32..3.0) {
+        let a = Tensor::from_vec(a, &[3, 4]);
+        let b = Tensor::from_vec(b, &[4, 2]);
+        let lhs = a.scale(s).matmul(&b);
+        let rhs = a.matmul(&b).scale(s);
+        kemf_tensor::assert_close(lhs.data(), rhs.data(), 1e-3);
+    }
+
+    #[test]
+    fn transpose_is_involution(v in tensor_strategy(24)) {
+        let t = Tensor::from_vec(v, &[4, 6]);
+        let tt = transpose2d(&transpose2d(&t));
+        prop_assert_eq!(tt.data(), t.data());
+    }
+
+    #[test]
+    fn tn_variant_equals_pretransposed(a in tensor_strategy(12), b in tensor_strategy(8)) {
+        // (Aᵀ)·B via matmul_tn == transpose(A)·B via plain matmul.
+        let a_km = Tensor::from_vec(a, &[4, 3]); // stored [k=4, m=3]
+        let b_kn = Tensor::from_vec(b, &[4, 2]);
+        let fast = a_km.matmul_tn(&b_kn);
+        let slow = transpose2d(&a_km).matmul(&b_kn);
+        kemf_tensor::assert_close(fast.data(), slow.data(), 1e-4);
+    }
+
+    #[test]
+    fn nt_variant_equals_pretransposed(a in tensor_strategy(12), b in tensor_strategy(8)) {
+        let a_mk = Tensor::from_vec(a, &[3, 4]);
+        let b_nk = Tensor::from_vec(b, &[2, 4]); // stored [n=2, k=4]
+        let fast = a_mk.matmul_nt(&b_nk);
+        let slow = a_mk.matmul(&transpose2d(&b_nk));
+        kemf_tensor::assert_close(fast.data(), slow.data(), 1e-4);
+    }
+
+    #[test]
+    fn softmax_preserves_argmax(v in tensor_strategy(10)) {
+        let t = Tensor::from_vec(v, &[2, 5]);
+        let s = softmax(&t);
+        prop_assert_eq!(
+            kemf_tensor::ops::argmax_rows(&t),
+            kemf_tensor::ops::argmax_rows(&s)
+        );
+    }
+
+    #[test]
+    fn sum_rows_matches_total(v in tensor_strategy(21)) {
+        let t = Tensor::from_vec(v, &[3, 7]);
+        let s = sum_rows(&t);
+        prop_assert!((s.sum() - t.sum()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        x in tensor_strategy(2 * 2 * 6 * 6),
+        stride in 1usize..3,
+        pad in 0usize..2,
+    ) {
+        let geom = ConvGeom { n: 2, c: 2, h: 6, w: 6, kh: 3, kw: 3, stride, pad };
+        let ysz = geom.patch_len() * geom.cols();
+        // Fixed pseudo-random y derived from x to keep the test deterministic.
+        let y: Vec<f32> = (0..ysz).map(|i| ((i * 2654435761) % 1000) as f32 / 500.0 - 1.0).collect();
+        let mut cols = vec![0.0; ysz];
+        im2col(&x, &geom, &mut cols);
+        let lhs: f64 = cols.iter().zip(y.iter()).map(|(&a, &b)| (a as f64) * (b as f64)).sum();
+        let mut xg = vec![0.0; x.len()];
+        col2im(&y, &geom, &mut xg);
+        let rhs: f64 = x.iter().zip(xg.iter()).map(|(&a, &b)| (a as f64) * (b as f64)).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2, "adjoint mismatch: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn axpy_matches_manual(a in tensor_strategy(9), b in tensor_strategy(9), alpha in -2.0f32..2.0) {
+        let mut x = Tensor::from_vec(a.clone(), &[9]);
+        let y = Tensor::from_vec(b.clone(), &[9]);
+        x.axpy(alpha, &y);
+        for i in 0..9 {
+            prop_assert!((x.data()[i] - (a[i] + alpha * b[i])).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gather_rows_then_concat_is_permutation(v in tensor_strategy(12)) {
+        let t = Tensor::from_vec(v, &[4, 3]);
+        let g = t.gather_rows(&[2, 0, 3, 1]);
+        let mut orig: Vec<f32> = t.data().to_vec();
+        let mut gath: Vec<f32> = g.data().to_vec();
+        orig.sort_by(f32::total_cmp);
+        gath.sort_by(f32::total_cmp);
+        prop_assert_eq!(orig, gath);
+    }
+}

@@ -1,0 +1,87 @@
+//! Federated learning with unreliable clients and fairness accounting.
+//!
+//! Real edge fleets drop out of rounds (stragglers, dead batteries, lost
+//! connectivity). This example injects 40% per-round client dropout,
+//! compares FedAvg with FedKEMF under it, and reports per-client fairness
+//! of the final deployed models.
+//!
+//! ```sh
+//! cargo run --release --example unreliable_clients
+//! ```
+
+use fedkemf::core::fedkemf::{FedKemf, FedKemfConfig};
+use fedkemf::fl::engine::FedAlgorithm;
+use fedkemf::fl::metrics::fairness_summary;
+use fedkemf::prelude::*;
+
+fn main() {
+    let task = SynthTask::new(SynthConfig::mnist_like(17));
+    let train = task.generate(400, 0);
+    let test = task.generate(120, 1);
+    let n_clients = 8;
+
+    for dropout in [0.0f32, 0.4] {
+        println!("\n===== per-round client dropout: {:.0}% =====", dropout * 100.0);
+        let cfg = FlConfig {
+            n_clients,
+            sample_ratio: 0.75,
+            rounds: 10,
+            local_epochs: 2,
+            alpha: 0.3,
+            min_per_client: 10,
+            dropout_prob: dropout,
+            seed: 17,
+            ..Default::default()
+        };
+        let ctx = FlContext::new(cfg, &train, test.clone());
+
+        // FedAvg under dropout.
+        let spec = ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 5);
+        let mut fedavg = FedAvg::new(spec);
+        let ha = fedkemf::fl::engine::run(&mut fedavg, &ctx);
+
+        // FedKEMF under dropout.
+        let knowledge = ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 999);
+        let clients = uniform_specs(Arch::Cnn2, n_clients, 1, 12, 10, 5);
+        let pool = task.generate_unlabeled(120, 2);
+        let mut kemf = FedKemf::new(FedKemfConfig::uniform(knowledge, clients, pool));
+        let hk = fedkemf::fl::engine::run(&mut kemf, &ctx);
+
+        println!(
+            "FedAvg : best {:>5.1}%  final {:>5.1}%  tail std {:.3}",
+            ha.best_accuracy() * 100.0,
+            ha.final_accuracy() * 100.0,
+            ha.tail_std(4)
+        );
+        println!(
+            "FedKEMF: best {:>5.1}%  final {:>5.1}%  tail std {:.3}",
+            hk.best_accuracy() * 100.0,
+            hk.final_accuracy() * 100.0,
+            hk.tail_std(4)
+        );
+
+        // Fairness: per-client accuracy of each method's deployed model on
+        // every client's own data distribution (a fresh sample per client).
+        let client_tests: Vec<_> =
+            (0..n_clients).map(|i| task.generate(40, 500 + i as u64)).collect();
+        let (gspec, gstate) = fedavg.global_model().expect("fedavg global");
+        let mut deployed = Model::new(gspec);
+        deployed.set_state(&gstate);
+        let fedavg_accs: Vec<f32> = client_tests
+            .iter()
+            .map(|t| deployed.evaluate(&t.images, &t.labels, 32))
+            .collect();
+        // FedKEMF deploys each client's own local model.
+        let kemf_accs = kemf.evaluate_local_models_per_client(&client_tests, 32);
+        let fa = fairness_summary(&fedavg_accs);
+        let fk = fairness_summary(&kemf_accs);
+        println!(
+            "fairness FedAvg : mean {:.1}% std {:.3} min {:.1}% max {:.1}%",
+            fa.mean * 100.0, fa.std, fa.min * 100.0, fa.max * 100.0
+        );
+        println!(
+            "fairness FedKEMF: mean {:.1}% std {:.3} min {:.1}% max {:.1}%",
+            fk.mean * 100.0, fk.std, fk.min * 100.0, fk.max * 100.0
+        );
+    }
+}

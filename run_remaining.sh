@@ -1,0 +1,9 @@
+#!/bin/bash
+set -u
+cd "$(dirname "$0")"
+for bin in table1_comm_cost_target table2_comm_cost_converge table3_multimodel \
+           fig7_stability ablation_ensemble ablation_knet_size hetero_baselines \
+           fig6_rounds_to_target; do
+  echo "=== $bin ==="
+  cargo run --release -p kemf-bench --bin "$bin" || echo "FAILED: $bin"
+done

@@ -1,0 +1,84 @@
+//! Integration: the resource-aware multi-model path (Table 3). A
+//! heterogeneous ResNet-20/32/44 fleet trains under FedKEMF; local models
+//! keep their architectures, improve on their own data, and the shared
+//! knowledge network fuses the fleet.
+
+use fedkemf::core::fedkemf::{FedKemf, FedKemfConfig};
+use fedkemf::core::resource::ResourceTier;
+use fedkemf::prelude::*;
+
+fn hetero_world(seed: u64) -> (FlContext, SynthTask, Vec<ModelSpec>) {
+    let task = SynthTask::new(SynthConfig::cifar_like(seed));
+    let train = task.generate(360, 0);
+    let test = task.generate(120, 1);
+    let n = 6;
+    let cfg = FlConfig {
+        n_clients: n,
+        sample_ratio: 1.0,
+        rounds: 6,
+        local_epochs: 2,
+        alpha: 0.5,
+        min_per_client: 10,
+        seed,
+        ..Default::default()
+    };
+    let tiers = assign_tiers(n, seed);
+    let specs = heterogeneous_specs(&tiers, 3, 16, 10, seed + 1);
+    (FlContext::new(cfg, &train, test), task, specs)
+}
+
+#[test]
+fn fleet_mixes_three_architectures() {
+    let tiers = assign_tiers(30, 3);
+    let archs: std::collections::HashSet<_> =
+        tiers.iter().map(|t| t.arch()).collect();
+    assert_eq!(archs.len(), 3, "30 clients should cover all three tiers");
+    assert_eq!(ResourceTier::Low.arch(), Arch::ResNet20);
+    assert_eq!(ResourceTier::High.arch(), Arch::ResNet44);
+}
+
+#[test]
+fn multimodel_training_improves_local_models() {
+    let (ctx, task, specs) = hetero_world(5);
+    let n = ctx.cfg.n_clients;
+    let knowledge = ModelSpec::scaled(Arch::ResNet20, 3, 16, 10, 999);
+    let pool = task.generate_unlabeled(120, 2);
+    // Baseline: untrained local models of the same specs.
+    let client_tests: Vec<_> = (0..n).map(|i| task.generate(50, 300 + i as u64)).collect();
+    let untrained_avg: f32 = specs
+        .iter()
+        .zip(client_tests.iter())
+        .map(|(s, t)| Model::new(*s).evaluate(&t.images, &t.labels, 32))
+        .sum::<f32>()
+        / n as f32;
+
+    let mut algo = FedKemf::new(FedKemfConfig::uniform(knowledge, specs.clone(), pool));
+    let h = fedkemf::fl::engine::run(&mut algo, &ctx);
+    assert!(h.accuracies().iter().all(|a| a.is_finite()));
+    let trained_avg = algo.evaluate_local_models(&client_tests, 32);
+    assert!(
+        trained_avg > untrained_avg + 0.08,
+        "federated multi-model training should lift the fleet: {untrained_avg:.3} → {trained_avg:.3}"
+    );
+}
+
+#[test]
+fn knowledge_payload_is_independent_of_local_model_sizes() {
+    let (ctx, task, specs) = hetero_world(9);
+    let knowledge = ModelSpec::scaled(Arch::ResNet20, 3, 16, 10, 999);
+    let pool = task.generate_unlabeled(60, 2);
+    let mut small_zoo = FedKemf::new(FedKemfConfig::uniform(
+        knowledge,
+        uniform_specs(Arch::ResNet20, ctx.cfg.n_clients, 3, 16, 10, 7),
+        pool.clone(),
+    ));
+    let mut big_zoo = FedKemf::new(FedKemfConfig::uniform(knowledge, specs, pool));
+    assert_eq!(
+        small_zoo.payload_bytes(),
+        big_zoo.payload_bytes(),
+        "only the knowledge network crosses the wire"
+    );
+    let h_small = fedkemf::fl::engine::run(&mut small_zoo, &ctx);
+    let h_big = fedkemf::fl::engine::run(&mut big_zoo, &ctx);
+    assert_eq!(h_small.total_bytes(), h_big.total_bytes());
+}
