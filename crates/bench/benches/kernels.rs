@@ -29,6 +29,31 @@ fn bench_matmul(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_matmul_model_shapes(c: &mut Criterion) {
+    // The im2col GEMM shapes (m = out channels, k = in_ch·kh·kw,
+    // n = batch·oh·ow) that dominate training time for the paper's model
+    // zoo at batch 8 on CIFAR-sized inputs, plus a square stress shape.
+    let shapes: &[(&str, usize, usize, usize)] = &[
+        ("square_256", 256, 256, 256),
+        ("resnet20_conv1_3x3", 16, 27, 8192),
+        ("resnet20_stage1_3x3", 16, 144, 8192),
+        ("resnet20_stage2_3x3", 32, 288, 2048),
+        ("resnet20_stage3_3x3", 64, 576, 512),
+        ("vgg11_conv1_3x3", 64, 27, 8192),
+    ];
+    let mut rng = seeded_rng(4);
+    let mut g = c.benchmark_group("matmul_model_shapes");
+    for &(name, m, k, n) in shapes {
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let mut out = vec![0.0f32; m * n];
+        g.bench_function(name, |bch| {
+            bch.iter(|| matmul_into(black_box(a.data()), black_box(b.data()), &mut out, m, k, n))
+        });
+    }
+    g.finish();
+}
+
 fn bench_conv_lowering(c: &mut Criterion) {
     let mut rng = seeded_rng(2);
     let geom = ConvGeom { n: 8, c: 8, h: 16, w: 16, kh: 3, kw: 3, stride: 1, pad: 1 };
@@ -56,6 +81,6 @@ criterion_group! {
         .sample_size(20)
         .measurement_time(std::time::Duration::from_secs(3))
         .warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_matmul, bench_conv_lowering, bench_softmax_and_ensemble
+    targets = bench_matmul, bench_matmul_model_shapes, bench_conv_lowering, bench_softmax_and_ensemble
 }
 criterion_main!(kernels);

@@ -16,7 +16,9 @@ impl Args {
         Self::from_iter(std::env::args().skip(1))
     }
 
-    /// Parse from an explicit iterator (testable).
+    /// Parse from an explicit iterator (testable). Not `FromIterator`:
+    /// this panics on malformed input, which `collect()` must not.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter(iter: impl IntoIterator<Item = String>) -> Args {
         let mut map = HashMap::new();
         let mut it = iter.into_iter().peekable();

@@ -8,7 +8,6 @@
 
 use kemf_bench::*;
 use kemf_core::prelude::*;
-use kemf_fl::prelude::*;
 use kemf_nn::prelude::*;
 use kemf_tensor::rng::child_seed;
 

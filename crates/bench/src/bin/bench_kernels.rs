@@ -1,0 +1,100 @@
+//! Kernel throughput summary: packed cache-blocked GEMM vs the previous
+//! axpy-style kernel, over a square stress shape and the im2col GEMM
+//! shapes of the paper's model zoo (ResNet-20 / VGG-11, batch 8,
+//! CIFAR-sized inputs). Prints a table and writes
+//! `bench_results/BENCH_kernels.json` with before/after GFLOP/s.
+
+use kemf_bench::report::{results_dir, Table};
+use kemf_tensor::matmul::matmul_into;
+use kemf_tensor::rng::seeded_rng;
+use kemf_tensor::Tensor;
+use std::time::Instant;
+
+/// The kernel this PR replaced: per-row axpy accumulation over B rows,
+/// k-loop outermost, with the zero-skip branch. Kept verbatim here as the
+/// "before" side of the comparison.
+fn matmul_before(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        c_row.fill(0.0);
+        for (kk, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// GFLOP/s of `f` on an `m×k×n` product, timed over enough iterations to
+/// fill ~0.3 s (minimum 3).
+fn throughput(mut f: impl FnMut(), m: usize, k: usize, n: usize) -> f64 {
+    let flops = 2.0 * m as f64 * k as f64 * n as f64;
+    f(); // warm-up: page in buffers, fill packing pools
+    let mut iters = 3usize.max((0.05e9 / flops).ceil() as usize);
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        if dt >= 0.3 || iters > 1 << 20 {
+            return flops * iters as f64 / dt / 1e9;
+        }
+        iters *= 4;
+    }
+}
+
+fn main() {
+    // im2col GEMM: m = out channels, k = in_ch·kh·kw, n = batch·oh·ow.
+    let shapes: &[(&str, usize, usize, usize)] = &[
+        ("square_256", 256, 256, 256),
+        ("resnet20_conv1_3x3", 16, 27, 8192),
+        ("resnet20_stage1_3x3", 16, 144, 8192),
+        ("resnet20_stage2_in", 32, 144, 2048),
+        ("resnet20_stage2_3x3", 32, 288, 2048),
+        ("resnet20_stage3_in", 64, 288, 512),
+        ("resnet20_stage3_3x3", 64, 576, 512),
+        ("vgg11_conv1_3x3", 64, 27, 8192),
+    ];
+
+    let mut rng = seeded_rng(0xbe7c);
+    let mut table =
+        Table::new("GEMM throughput (GFLOP/s)", &["shape", "m,k,n", "before", "after", "speedup"]);
+    let mut json_rows = Vec::new();
+    for &(name, m, k, n) in shapes {
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let mut c = vec![0.0f32; m * n];
+        let before = throughput(|| matmul_before(a.data(), b.data(), &mut c, m, k, n), m, k, n);
+        let after = throughput(|| matmul_into(a.data(), b.data(), &mut c, m, k, n), m, k, n);
+        let speedup = after / before;
+        table.row(&[
+            name.into(),
+            format!("{m}x{k}x{n}"),
+            format!("{before:.2}"),
+            format!("{after:.2}"),
+            format!("{speedup:.2}x"),
+        ]);
+        json_rows.push(format!(
+            "    {{\"shape\": \"{name}\", \"m\": {m}, \"k\": {k}, \"n\": {n}, \
+             \"before_gflops\": {before:.3}, \"after_gflops\": {after:.3}, \
+             \"speedup\": {speedup:.3}}}"
+        ));
+    }
+    table.emit("BENCH_kernels");
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"packed GEMM vs axpy kernel\",\n  \"unit\": \"GFLOP/s\",\n  \"shapes\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    let path = results_dir().join("BENCH_kernels.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("[json] {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}

@@ -3,7 +3,7 @@
 //! by minimizing `D_KL(Θ ‖ θ_g)` on unlabeled/public data.
 
 use crate::ensemble::{ensemble_logits, EnsembleStrategy};
-use kemf_nn::loss::{kl_to_target, soften};
+use kemf_nn::loss::{kl_to_target_ws, soften};
 use kemf_nn::model::Model;
 use kemf_nn::optim::{Sgd, SgdConfig};
 use kemf_tensor::rng::seeded_rng;
@@ -77,8 +77,11 @@ pub fn distill_ensemble(
             let target = targets.gather_rows(chunk);
             student.zero_grad();
             let logits = student.forward(&images, true);
-            let (loss, grad) = kl_to_target(&logits, &target, cfg.temperature);
-            let _ = student.backward(&grad);
+            let (loss, grad) = kl_to_target_ws(&logits, &target, cfg.temperature, student.ws_mut());
+            student.recycle(logits);
+            let gx = student.backward(&grad);
+            student.recycle(grad);
+            student.recycle(gx);
             if cfg.clip_norm > 0.0 {
                 let _ = kemf_nn::optim::clip_grad_norm(student.net_mut(), cfg.clip_norm);
             }

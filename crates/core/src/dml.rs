@@ -12,7 +12,7 @@
 //! gradients are the distillation gradients `σ(z) − target`.
 
 use kemf_data::dataset::Dataset;
-use kemf_nn::loss::{cross_entropy, kl_to_target, soften};
+use kemf_nn::loss::{cross_entropy_ws, kl_to_target_ws, soften_ws};
 use kemf_nn::model::Model;
 use kemf_nn::optim::{Sgd, SgdConfig};
 use kemf_tensor::rng::seeded_rng;
@@ -67,25 +67,37 @@ pub fn dml_step(
     opt_local: &mut Sgd,
     opt_knowledge: &mut Sgd,
 ) -> DmlBatchLoss {
-    // Forward both in train mode.
+    // Forward both in train mode. Every temporary below is drawn from
+    // (and returned to) the owning model's workspace, so steady-state DML
+    // steps perform no heap allocation.
     local.zero_grad();
     knowledge.zero_grad();
     let z_local = local.forward(images, true);
     let z_know = knowledge.forward(images, true);
     // Mutual targets are the peer's softened predictions, detached.
-    let t_from_know = soften(&z_know, cfg.temperature);
-    let t_from_local = soften(&z_local, cfg.temperature);
+    let t_from_know = soften_ws(&z_know, cfg.temperature, local.ws_mut());
+    let t_from_local = soften_ws(&z_local, cfg.temperature, knowledge.ws_mut());
     // Local model: CE + KL(knowledge ‖ local).
-    let (ce_l, mut g_local) = cross_entropy(&z_local, labels);
-    let (kl_l, g_kl_l) = kl_to_target(&z_local, &t_from_know, cfg.temperature);
+    let (ce_l, mut g_local) = cross_entropy_ws(&z_local, labels, local.ws_mut());
+    let (kl_l, g_kl_l) = kl_to_target_ws(&z_local, &t_from_know, cfg.temperature, local.ws_mut());
     g_local.axpy(cfg.kl_weight, &g_kl_l);
+    local.recycle(g_kl_l);
+    local.recycle(t_from_know);
     // Knowledge network: CE + KL(local ‖ knowledge).
-    let (ce_k, mut g_know) = cross_entropy(&z_know, labels);
-    let (kl_k, g_kl_k) = kl_to_target(&z_know, &t_from_local, cfg.temperature);
+    let (ce_k, mut g_know) = cross_entropy_ws(&z_know, labels, knowledge.ws_mut());
+    let (kl_k, g_kl_k) = kl_to_target_ws(&z_know, &t_from_local, cfg.temperature, knowledge.ws_mut());
     g_know.axpy(cfg.kl_weight, &g_kl_k);
+    knowledge.recycle(g_kl_k);
+    knowledge.recycle(t_from_local);
+    local.recycle(z_local);
+    knowledge.recycle(z_know);
     // Backward + step, both networks.
-    let _ = local.backward(&g_local);
-    let _ = knowledge.backward(&g_know);
+    let gx_l = local.backward(&g_local);
+    local.recycle(g_local);
+    local.recycle(gx_l);
+    let gx_k = knowledge.backward(&g_know);
+    knowledge.recycle(g_know);
+    knowledge.recycle(gx_k);
     if cfg.clip_norm > 0.0 {
         let _ = kemf_nn::optim::clip_grad_norm(local.net_mut(), cfg.clip_norm);
         let _ = kemf_nn::optim::clip_grad_norm(knowledge.net_mut(), cfg.clip_norm);
@@ -140,6 +152,7 @@ pub fn dml_local_update(
 mod tests {
     use super::*;
     use kemf_data::synth::{SynthConfig, SynthTask};
+    use kemf_nn::loss::{kl_to_target, soften};
     use kemf_nn::models::{Arch, ModelSpec};
 
     fn data() -> Dataset {

@@ -146,9 +146,12 @@ mod tests {
     #[test]
     fn single_member_avg_is_identity_and_max_preserves_ranking() {
         let a = t(vec![1.0, -2.0, 0.5, 3.0], 2, 2);
-        assert_eq!(ensemble_logits(&[a.clone()], EnsembleStrategy::AvgLogits).data(), a.data());
+        assert_eq!(
+            ensemble_logits(std::slice::from_ref(&a), EnsembleStrategy::AvgLogits).data(),
+            a.data()
+        );
         // Max standardizes, which preserves each row's argmax.
-        let e = ensemble_logits(&[a.clone()], EnsembleStrategy::MaxLogits);
+        let e = ensemble_logits(std::slice::from_ref(&a), EnsembleStrategy::MaxLogits);
         assert_eq!(argmax_rows(&e), argmax_rows(&a));
     }
 

@@ -70,8 +70,33 @@ pub fn apply_dropout(sampled: &[usize], dropout_prob: f32, rng: &mut StdRng) -> 
     survivors
 }
 
+/// Install the process-wide compute thread pool exactly once, sized by the
+/// `KEMF_THREADS` environment variable (unset or `0` = one worker per
+/// available core). Every parallel region in the workspace — the packed
+/// GEMM's row blocks, per-client round execution — draws from this single
+/// pool, so oversubscription can't happen no matter how the layers nest.
+/// Safe to call from multiple entry points; only the first call configures.
+pub fn init_thread_pool() -> usize {
+    use std::sync::OnceLock;
+    static WIDTH: OnceLock<usize> = OnceLock::new();
+    *WIDTH.get_or_init(|| {
+        let requested = std::env::var("KEMF_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            });
+        // A failure means a pool already exists (e.g. a test harness built
+        // one); inherit it rather than abort.
+        let _ = rayon::ThreadPoolBuilder::new().num_threads(requested).build_global();
+        rayon::current_num_threads()
+    })
+}
+
 /// Run a full federated training session and return its history.
 pub fn run(algo: &mut dyn FedAlgorithm, ctx: &FlContext) -> History {
+    init_thread_pool();
     algo.init(ctx);
     let mut history = History::new(algo.name());
     let mut comm = CommTracker::new();
@@ -195,6 +220,15 @@ mod tests {
             assert!(!s.is_empty(), "every round keeps at least one client");
             assert!(s.len() <= 3);
         }
+    }
+
+    #[test]
+    fn thread_pool_init_is_idempotent() {
+        let a = init_thread_pool();
+        let b = init_thread_pool();
+        assert_eq!(a, b);
+        assert!(a >= 1);
+        assert_eq!(a, rayon::current_num_threads());
     }
 
     #[test]

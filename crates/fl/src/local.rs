@@ -11,6 +11,10 @@ use kemf_nn::model::Model;
 use kemf_nn::optim::{Sgd, SgdConfig};
 use kemf_tensor::rng::seeded_rng;
 
+/// Per-batch gradient hook: runs after backward and before the optimizer
+/// step (FedProx proximal term, SCAFFOLD control-variate correction).
+pub type GradHook<'a> = &'a dyn Fn(&mut dyn Layer);
+
 /// Per-round local-training parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct LocalCfg {
@@ -39,7 +43,7 @@ pub fn local_train(
     data: &Dataset,
     cfg: &LocalCfg,
     seed: u64,
-    grad_hook: Option<&dyn Fn(&mut dyn Layer)>,
+    grad_hook: Option<GradHook<'_>>,
 ) -> LocalOutcome {
     let mut opt = Sgd::new(cfg.sgd);
     let mut rng = seeded_rng(seed);

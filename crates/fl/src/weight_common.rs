@@ -41,6 +41,10 @@ impl GlobalModel {
     }
 }
 
+/// Owned per-client gradient hook built by `hook_for` in
+/// [`fan_out_clients`] (boxed so it can cross the parallel fan-out).
+pub type BoxedGradHook = Box<dyn Fn(&mut dyn Layer) + Send + Sync>;
+
 /// One client's round result.
 pub struct ClientResult {
     /// Client index.
@@ -63,7 +67,7 @@ pub fn fan_out_clients(
     sampled: &[usize],
     ctx: &FlContext,
     local: &LocalCfg,
-    hook_for: &(dyn Fn(usize) -> Option<Box<dyn Fn(&mut dyn Layer) + Send + Sync>> + Sync),
+    hook_for: &(dyn Fn(usize) -> Option<BoxedGradHook> + Sync),
 ) -> Vec<ClientResult> {
     sampled
         .par_iter()

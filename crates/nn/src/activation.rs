@@ -1,13 +1,17 @@
 //! Activation layers. ReLU is the only nonlinearity the FedKEMF model zoo
-//! needs; it caches a sign mask during training for the backward pass.
+//! needs; it caches a 0/1 mask during training for the backward pass. The
+//! mask and all outputs are pooled through the caller's [`Workspace`] on
+//! the `_ws` path.
 
 use crate::layer::Layer;
+use kemf_tensor::workspace::Workspace;
 use kemf_tensor::Tensor;
 
 /// Rectified linear unit, `y = max(x, 0)`.
 #[derive(Clone, Default)]
 pub struct ReLU {
-    mask: Option<Vec<bool>>,
+    /// 1.0 where the input was positive, 0.0 elsewhere (pooled storage).
+    mask: Option<Vec<f32>>,
 }
 
 impl ReLU {
@@ -19,22 +23,36 @@ impl ReLU {
 
 impl Layer for ReLU {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        let y = x.map(|v| v.max(0.0));
+        self.forward_ws(x, train, &mut Workspace::new())
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.backward_ws(grad_out, &mut Workspace::new())
+    }
+
+    fn forward_ws(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        let mut y = ws.take_tensor(x.dims());
+        for (yv, &xv) in y.data_mut().iter_mut().zip(x.data().iter()) {
+            *yv = xv.max(0.0);
+        }
         if train {
-            self.mask = Some(x.data().iter().map(|&v| v > 0.0).collect());
+            let mut mask = ws.take(x.numel());
+            for (mv, &xv) in mask.iter_mut().zip(x.data().iter()) {
+                *mv = if xv > 0.0 { 1.0 } else { 0.0 };
+            }
+            self.mask = Some(mask);
         }
         y
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let mask = self.mask.take().expect("ReLU::backward without forward(train)");
         assert_eq!(mask.len(), grad_out.numel(), "ReLU mask/grad size mismatch");
-        let mut g = grad_out.clone();
-        for (v, &m) in g.data_mut().iter_mut().zip(mask.iter()) {
-            if !m {
-                *v = 0.0;
-            }
+        let mut g = ws.take_tensor(grad_out.dims());
+        for ((gv, &go), &m) in g.data_mut().iter_mut().zip(grad_out.data().iter()).zip(mask.iter()) {
+            *gv = go * m;
         }
+        ws.recycle(mask);
         g
     }
 
@@ -65,19 +83,34 @@ impl Flatten {
 
 impl Layer for Flatten {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        let dims = x.dims().to_vec();
+        self.forward_ws(x, train, &mut Workspace::new())
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.backward_ws(grad_out, &mut Workspace::new())
+    }
+
+    fn forward_ws(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        let dims = x.dims();
         assert!(!dims.is_empty(), "Flatten needs at least one dimension");
         let batch = dims[0];
         let feat: usize = dims[1..].iter().product();
         if train {
-            self.input_dims = Some(dims);
+            let mut cached = ws.take_usize(dims.len());
+            cached.copy_from_slice(dims);
+            self.input_dims = Some(cached);
         }
-        x.clone().reshape(&[batch, feat])
+        let mut y = ws.take_tensor(&[batch, feat]);
+        y.data_mut().copy_from_slice(x.data());
+        y
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let dims = self.input_dims.take().expect("Flatten::backward without forward(train)");
-        grad_out.clone().reshape(&dims)
+        let mut g = ws.take_tensor(&dims);
+        g.data_mut().copy_from_slice(grad_out.data());
+        ws.recycle_usize(dims);
+        g
     }
 
     crate::stateless_param_impl!();
@@ -118,6 +151,21 @@ mod tests {
         // magnitudes so no element crosses the kink during the check.
         let mut r = ReLU::new();
         grad_check(&mut r, &[2, 5], 1e-3, 5e-2);
+    }
+
+    #[test]
+    fn relu_workspace_path_is_pooled() {
+        let mut r = ReLU::new();
+        let mut ws = Workspace::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.5, 2.0, -0.2], &[4]);
+        for _ in 0..3 {
+            let y = r.forward_ws(&x, true, &mut ws);
+            let g = r.backward_ws(&y, &mut ws);
+            ws.recycle_tensor(y);
+            ws.recycle_tensor(g);
+        }
+        // Warm-up: y, mask, g.
+        assert_eq!(ws.fresh_allocations(), 3);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::conv2d::Conv2d;
 use crate::sequential::{NormKind, Sequential};
 
 /// Append `Conv → Norm → ReLU` to a sequential network.
+#[allow(clippy::too_many_arguments)]
 pub fn conv_norm_relu(
     net: Sequential,
     in_ch: usize,

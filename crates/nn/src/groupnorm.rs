@@ -26,7 +26,7 @@ impl GroupNorm {
     /// New GroupNorm over `channels` maps in `groups` groups; `channels`
     /// must divide evenly.
     pub fn new(groups: usize, channels: usize) -> Self {
-        assert!(groups > 0 && channels % groups == 0, "channels {channels} not divisible by groups {groups}");
+        assert!(groups > 0 && channels.is_multiple_of(groups), "channels {channels} not divisible by groups {groups}");
         GroupNorm {
             gamma: Param::new(Tensor::ones(&[channels])),
             beta: Param::new(Tensor::zeros(&[channels])),
@@ -40,7 +40,7 @@ impl GroupNorm {
     /// Convenience: ≤4 channels per group (2 groups minimum when possible).
     pub fn with_default_groups(channels: usize) -> Self {
         let mut groups = (channels / 4).max(1);
-        while channels % groups != 0 {
+        while !channels.is_multiple_of(groups) {
             groups -= 1;
         }
         GroupNorm::new(groups, channels)
@@ -73,10 +73,14 @@ impl Layer for GroupNorm {
                     let ch = g * cpg + ch_in_g;
                     let (gm, bt) = (gamma[ch], beta[ch]);
                     let off = (ni * c + ch) * h * w;
-                    for i in off..off + h * w {
-                        let xh = (src[i] - mean) * inv_std;
-                        x_hat.data_mut()[i] = xh;
-                        y.data_mut()[i] = gm * xh + bt;
+                    for ((&sv, xv), yv) in src[off..off + h * w]
+                        .iter()
+                        .zip(x_hat.data_mut()[off..off + h * w].iter_mut())
+                        .zip(y.data_mut()[off..off + h * w].iter_mut())
+                    {
+                        let xh = (sv - mean) * inv_std;
+                        *xv = xh;
+                        *yv = gm * xh + bt;
                     }
                 }
             }

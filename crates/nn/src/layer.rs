@@ -15,6 +15,7 @@
 //!   uses running statistics) and need not cache anything.
 
 use crate::param::Param;
+use kemf_tensor::workspace::Workspace;
 use kemf_tensor::Tensor;
 
 /// A differentiable network module.
@@ -26,6 +27,23 @@ pub trait Layer: Send {
     /// Backpropagate: given ∂L/∂output, accumulate parameter gradients and
     /// return ∂L/∂input.
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Workspace-aware forward: scratch buffers and the returned tensor's
+    /// storage come from `ws`, so a steady-state training step allocates
+    /// nothing. The caller owns the result and should hand it back via
+    /// `ws.recycle_tensor` once consumed. Layers that have no scratch
+    /// needs fall back to the plain [`Layer::forward`].
+    fn forward_ws(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        let _ = ws;
+        self.forward(x, train)
+    }
+
+    /// Workspace-aware counterpart of [`Layer::backward`]; same pooling
+    /// contract as [`Layer::forward_ws`].
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        let _ = ws;
+        self.backward(grad_out)
+    }
 
     /// Visit parameters immutably, in a deterministic order.
     fn visit_params(&self, f: &mut dyn FnMut(&Param));

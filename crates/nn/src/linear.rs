@@ -1,12 +1,17 @@
 //! Fully-connected layer: `y = x · Wᵀ + b`.
 //!
-//! Weights are stored `[out, in]` so the forward pass is a `matmul_nt` and
-//! both gradient products reuse the no-transpose kernels.
+//! Weights are stored `[out, in]`; the forward product runs on the packed
+//! GEMM with the transpose expressed as an accessor closure and the bias
+//! add fused into the epilogue (`BiasCol`). The weight gradient
+//! accumulates directly into `weight.grad`, and all temporaries (the
+//! cached input copy, the returned tensors) live in the caller's
+//! [`Workspace`], so a steady-state step allocates nothing.
 
 use crate::layer::Layer;
 use crate::param::Param;
-use kemf_tensor::ops::sum_rows;
+use kemf_tensor::gemm::{gemm, Accumulate, BiasCol, Store};
 use kemf_tensor::rng::seeded_rng;
+use kemf_tensor::workspace::Workspace;
 use kemf_tensor::Tensor;
 
 /// Dense affine layer.
@@ -44,33 +49,73 @@ impl Linear {
 
 impl Layer for Linear {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.forward_ws(x, train, &mut Workspace::new())
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.backward_ws(grad_out, &mut Workspace::new())
+    }
+
+    fn forward_ws(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
         let (batch, feat) = x.shape().as_matrix();
         assert_eq!(feat, self.in_features, "Linear expected {} features, got {feat}", self.in_features);
-        // y[b, o] = Σ_i x[b, i] W[o, i] + b[o]
-        let x2 = x.clone().reshape(&[batch, feat]);
-        let mut y = x2.matmul_nt(&self.weight.value);
-        let b = self.bias.value.data();
-        for row in y.data_mut().chunks_mut(self.out_features) {
-            for (v, &bv) in row.iter_mut().zip(b.iter()) {
-                *v += bv;
-            }
-        }
+        let xd = x.data();
+        // y[b, o] = Σ_i x[b, i] W[o, i] + b[o]; the Wᵀ read is an accessor,
+        // the bias add is the epilogue.
+        let mut y = ws.take_tensor(&[batch, self.out_features]);
+        gemm(
+            batch,
+            feat,
+            self.out_features,
+            |bi, i| xd[bi * feat + i],
+            |i, o| self.weight.value.data()[o * feat + i],
+            &mut BiasCol { c: y.data_mut(), ldc: self.out_features, bias: self.bias.value.data() },
+        );
         if train {
-            self.cached_input = Some(x2);
+            let mut cached = ws.take_tensor(&[batch, feat]);
+            cached.data_mut().copy_from_slice(xd);
+            self.cached_input = Some(cached);
         }
         y
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let x = self.cached_input.take().expect("Linear::backward without forward(train)");
-        let (batch, _) = x.shape().as_matrix();
-        let g = grad_out.clone().reshape(&[batch, self.out_features]);
-        // dW[o, i] = Σ_b g[b, o] x[b, i]  → gᵀ · x
-        self.weight.grad.axpy(1.0, &g.matmul_tn(&x));
-        // db[o] = Σ_b g[b, o]
-        self.bias.grad.axpy(1.0, &sum_rows(&g));
-        // dx[b, i] = Σ_o g[b, o] W[o, i] → g · W
-        g.matmul(&self.weight.value)
+        let (batch, feat) = x.shape().as_matrix();
+        let out = self.out_features;
+        let g = grad_out.data();
+        assert_eq!(g.len(), batch * out, "Linear grad_out size mismatch");
+        // dW[o, i] += Σ_b g[b, o] x[b, i] — straight into the parameter
+        // gradient, no staging matrix.
+        gemm(
+            out,
+            batch,
+            feat,
+            |o, bi| g[bi * out + o],
+            |bi, i| x.data()[bi * feat + i],
+            &mut Accumulate { c: self.weight.grad.data_mut(), ldc: feat },
+        );
+        // db[o] += Σ_b g[b, o]
+        {
+            let db = self.bias.grad.data_mut();
+            for row in g.chunks_exact(out) {
+                for (dbo, &gv) in db.iter_mut().zip(row.iter()) {
+                    *dbo += gv;
+                }
+            }
+        }
+        // dx[b, i] = Σ_o g[b, o] W[o, i]
+        let mut dx = ws.take_tensor(&[batch, feat]);
+        gemm(
+            batch,
+            out,
+            feat,
+            |bi, o| g[bi * out + o],
+            |o, i| self.weight.value.data()[o * feat + i],
+            &mut Store { c: dx.data_mut(), ldc: feat },
+        );
+        ws.recycle_tensor(x);
+        dx
     }
 
     fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
@@ -131,6 +176,30 @@ mod tests {
     fn gradients_match_finite_differences() {
         let mut l = Linear::new(3, 4, 1);
         grad_check(&mut l, &[2, 3], 1e-2, 2e-2);
+    }
+
+    #[test]
+    fn workspace_path_matches_plain_path() {
+        use kemf_tensor::rng::seeded_rng;
+        let mut a = Linear::new(6, 4, 9);
+        let mut b = a.clone();
+        let mut ws = Workspace::new();
+        let mut rng = seeded_rng(10);
+        let x = Tensor::randn(&[3, 6], 1.0, &mut rng);
+        let g = Tensor::randn(&[3, 4], 1.0, &mut rng);
+        let ya = a.forward(&x, true);
+        let yb = b.forward_ws(&x, true, &mut ws);
+        kemf_tensor::assert_close(ya.data(), yb.data(), 1e-5);
+        let gxa = a.backward(&g);
+        let gxb = b.backward_ws(&g, &mut ws);
+        kemf_tensor::assert_close(gxa.data(), gxb.data(), 1e-5);
+        let mut grads_a = Vec::new();
+        a.visit_params(&mut |p| grads_a.push(p.grad.clone()));
+        let mut grads_b = Vec::new();
+        b.visit_params(&mut |p| grads_b.push(p.grad.clone()));
+        for (ga, gb) in grads_a.iter().zip(grads_b.iter()) {
+            kemf_tensor::assert_close(ga.data(), gb.data(), 1e-5);
+        }
     }
 
     #[test]

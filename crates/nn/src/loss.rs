@@ -9,7 +9,8 @@
 //! All losses are means over the batch; gradients are w.r.t. the raw
 //! logits so callers feed them straight into `Layer::backward`.
 
-use kemf_tensor::ops::{argmax_rows, softmax};
+use kemf_tensor::ops::{argmax_rows, softmax_inplace_rows};
+use kemf_tensor::workspace::Workspace;
 use kemf_tensor::Tensor;
 
 /// Softmax cross-entropy against integer labels.
@@ -17,10 +18,19 @@ use kemf_tensor::Tensor;
 /// Returns `(mean loss, ∂L/∂logits)` with the classic `softmax − onehot`
 /// gradient (divided by batch size).
 pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    cross_entropy_ws(logits, labels, &mut Workspace::new())
+}
+
+/// [`cross_entropy`] with the gradient tensor drawn from `ws` — the
+/// training hot path's variant (caller recycles the gradient after
+/// backward).
+pub fn cross_entropy_ws(logits: &Tensor, labels: &[usize], ws: &mut Workspace) -> (f32, Tensor) {
     let (n, c) = logits.shape().as_matrix();
     assert_eq!(n, labels.len(), "batch/label count mismatch");
     assert!(n > 0, "empty batch");
-    let mut grad = softmax(logits);
+    let mut grad = ws.take_tensor(logits.dims());
+    grad.data_mut().copy_from_slice(logits.data());
+    softmax_inplace_rows(grad.data_mut(), n, c);
     let mut loss = 0.0f64;
     {
         let g = grad.data_mut();
@@ -32,13 +42,25 @@ pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
         }
     }
     grad.scale_inplace(1.0 / n as f32);
-    ((loss / n as f64) as f32, grad.reshape(logits.dims()))
+    ((loss / n as f64) as f32, grad)
 }
 
 /// Temperature-softened probability targets from teacher logits.
 pub fn soften(logits: &Tensor, temperature: f32) -> Tensor {
+    soften_ws(logits, temperature, &mut Workspace::new())
+}
+
+/// [`soften`] with the target tensor drawn from `ws`.
+pub fn soften_ws(logits: &Tensor, temperature: f32, ws: &mut Workspace) -> Tensor {
     assert!(temperature > 0.0, "temperature must be positive");
-    softmax(&logits.scale(1.0 / temperature))
+    let (n, c) = logits.shape().as_matrix();
+    let mut out = ws.take_tensor(logits.dims());
+    let inv_t = 1.0 / temperature;
+    for (ov, &lv) in out.data_mut().iter_mut().zip(logits.data().iter()) {
+        *ov = lv * inv_t;
+    }
+    softmax_inplace_rows(out.data_mut(), n, c);
+    out
 }
 
 /// `τ² · D_KL(target ‖ softmax(logits / τ))`, mean over the batch.
@@ -49,25 +71,38 @@ pub fn soften(logits: &Tensor, temperature: f32) -> Tensor {
 /// distillation gradient (the τ² loss scale keeps gradient magnitudes
 /// comparable across temperatures).
 pub fn kl_to_target(logits: &Tensor, target: &Tensor, temperature: f32) -> (f32, Tensor) {
+    kl_to_target_ws(logits, target, temperature, &mut Workspace::new())
+}
+
+/// [`kl_to_target`] with the gradient tensor drawn from `ws`.
+pub fn kl_to_target_ws(
+    logits: &Tensor,
+    target: &Tensor,
+    temperature: f32,
+    ws: &mut Workspace,
+) -> (f32, Tensor) {
     assert!(temperature > 0.0, "temperature must be positive");
     let (n, c) = logits.shape().as_matrix();
     let (tn, tc) = target.shape().as_matrix();
     assert_eq!((n, c), (tn, tc), "logits/target shape mismatch");
     assert!(n > 0, "empty batch");
-    let p = softmax(&logits.scale(1.0 / temperature));
+    // grad starts as p = softmax(logits/τ), in place.
+    let mut grad = soften_ws(logits, temperature, ws);
     let t2 = temperature * temperature;
     let mut loss = 0.0f64;
-    for i in 0..n * c {
-        let t = target.data()[i];
+    for (&t, &pi) in target.data().iter().zip(grad.data().iter()) {
         if t > 0.0 {
-            let pi = p.data()[i].max(1e-12);
+            let pi = pi.max(1e-12);
             loss += (t as f64) * ((t as f64).max(1e-12).ln() - (pi as f64).ln());
         }
     }
     loss *= t2 as f64 / n as f64;
-    let mut grad = p.sub(target);
-    grad.scale_inplace(temperature / n as f32);
-    (loss as f32, grad.reshape(logits.dims()))
+    // grad = (p − target) · τ / N
+    let scale = temperature / n as f32;
+    for (gv, &tv) in grad.data_mut().iter_mut().zip(target.data().iter()) {
+        *gv = (*gv - tv) * scale;
+    }
+    (loss as f32, grad)
 }
 
 /// Top-1 accuracy of logits against labels, in `[0, 1]`.

@@ -2,29 +2,46 @@
 //! and evaluation entry points the federated layer drives.
 
 use crate::layer::Layer;
-use crate::loss::{accuracy, cross_entropy};
+use crate::loss::{accuracy, cross_entropy_ws};
 use crate::models::ModelSpec;
 use crate::optim::Sgd;
 use crate::sequential::Sequential;
 use crate::serialize::{ModelState, Weights};
+use kemf_tensor::workspace::Workspace;
 use kemf_tensor::Tensor;
 
-/// A concrete, trainable network instance.
+/// A concrete, trainable network instance. Owns a [`Workspace`] that all
+/// its forward/backward passes draw scratch buffers from, so repeated
+/// training steps on stable shapes allocate nothing after the first.
 pub struct Model {
     net: Sequential,
     spec: ModelSpec,
+    ws: Workspace,
 }
 
 impl Clone for Model {
     fn clone(&self) -> Self {
-        Model { net: self.net.clone(), spec: self.spec }
+        // The workspace is per-instance scratch, never cloned state.
+        Model { net: self.net.clone(), spec: self.spec, ws: Workspace::new() }
     }
 }
 
 impl Model {
     /// Build a fresh model from a spec.
     pub fn new(spec: ModelSpec) -> Self {
-        Model { net: spec.build(), spec }
+        Model { net: spec.build(), spec, ws: Workspace::new() }
+    }
+
+    /// The model's scratch-buffer pool (for callers that want to recycle
+    /// tensors produced by [`Model::forward`]/[`Model::backward`], or to
+    /// inspect pool statistics in tests).
+    pub fn ws_mut(&mut self) -> &mut Workspace {
+        &mut self.ws
+    }
+
+    /// Hand a tensor produced by this model back to its pool.
+    pub fn recycle(&mut self, t: Tensor) {
+        self.ws.recycle_tensor(t);
     }
 
     /// The spec this model was built from.
@@ -52,14 +69,14 @@ impl Model {
         self.param_count() * 4
     }
 
-    /// Forward pass.
+    /// Forward pass (scratch and output storage from the model's pool).
     pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        self.net.forward(x, train)
+        self.net.forward_ws(x, train, &mut self.ws)
     }
 
     /// Backward pass (after a `forward(.., true)`).
     pub fn backward(&mut self, grad: &Tensor) -> Tensor {
-        self.net.backward(grad)
+        self.net.backward_ws(grad, &mut self.ws)
     }
 
     /// Zero parameter gradients.
@@ -93,19 +110,24 @@ impl Model {
         self.state().bytes()
     }
 
-    /// One supervised SGD step on a batch; returns the batch loss.
+    /// One supervised SGD step on a batch; returns the batch loss. Every
+    /// temporary (logits, loss gradient, input gradient) returns to the
+    /// model's pool, so a steady-state step performs no heap allocation.
     pub fn train_batch(&mut self, x: &Tensor, labels: &[usize], opt: &mut Sgd) -> f32 {
         self.zero_grad();
-        let logits = self.forward(x, true);
-        let (loss, grad) = cross_entropy(&logits, labels);
-        let _ = self.backward(&grad);
+        let logits = self.net.forward_ws(x, true, &mut self.ws);
+        let (loss, grad) = cross_entropy_ws(&logits, labels, &mut self.ws);
+        self.ws.recycle_tensor(logits);
+        let gx = self.net.backward_ws(&grad, &mut self.ws);
+        self.ws.recycle_tensor(grad);
+        self.ws.recycle_tensor(gx);
         opt.step(&mut self.net);
         loss
     }
 
     /// Inference logits for a batch (eval mode).
     pub fn predict(&mut self, x: &Tensor) -> Tensor {
-        self.net.forward(x, false)
+        self.net.forward_ws(x, false, &mut self.ws)
     }
 
     /// Inference logits using **batch statistics** (train-mode forward).
@@ -115,7 +137,7 @@ impl Model {
     /// update. Side effects: updates running statistics and leaves
     /// backward caches populated (harmless for throwaway teachers).
     pub fn predict_batch_stats(&mut self, x: &Tensor) -> Tensor {
-        self.net.forward(x, true)
+        self.net.forward_ws(x, true, &mut self.ws)
     }
 
     /// Top-1 accuracy over a dataset, evaluated in mini-batches to bound
@@ -134,6 +156,7 @@ impl Model {
             let xb = images.slice_rows(start, end);
             let logits = self.predict(&xb);
             correct += accuracy(&logits, &labels[start..end]) * (end - start) as f32;
+            self.ws.recycle_tensor(logits);
             start = end;
         }
         correct / n as f32

@@ -83,10 +83,14 @@ impl Layer for BatchNorm2d {
                 let (g, b) = (gamma[ch], beta[ch]);
                 for ni in 0..n {
                     let base = (ni * c + ch) * plane;
-                    for i in base..base + plane {
-                        let xh = (src[i] - mean) * inv_std;
-                        x_hat.data_mut()[i] = xh;
-                        y.data_mut()[i] = g * xh + b;
+                    for ((&sv, xv), yv) in src[base..base + plane]
+                        .iter()
+                        .zip(x_hat.data_mut()[base..base + plane].iter_mut())
+                        .zip(y.data_mut()[base..base + plane].iter_mut())
+                    {
+                        let xh = (sv - mean) * inv_std;
+                        *xv = xh;
+                        *yv = g * xh + b;
                     }
                 }
             }
@@ -98,8 +102,10 @@ impl Layer for BatchNorm2d {
                 let (g, b) = (gamma[ch], beta[ch]);
                 for ni in 0..n {
                     let base = (ni * c + ch) * plane;
-                    for i in base..base + plane {
-                        y.data_mut()[i] = g * (src[i] - mean) * inv_std + b;
+                    for (&sv, yv) in
+                        src[base..base + plane].iter().zip(y.data_mut()[base..base + plane].iter_mut())
+                    {
+                        *yv = g * (sv - mean) * inv_std + b;
                     }
                 }
             }
@@ -116,7 +122,7 @@ impl Layer for BatchNorm2d {
         let mut gx = Tensor::zeros(&dims);
         let go = grad_out.data();
         let xh = x_hat.data();
-        for ch in 0..c {
+        for (ch, &inv_std) in inv_stds.iter().enumerate() {
             // Channel-wise sums needed by the batch-norm gradient.
             let mut sum_g = 0.0f64;
             let mut sum_gxh = 0.0f64;
@@ -130,7 +136,6 @@ impl Layer for BatchNorm2d {
             self.gamma.grad.data_mut()[ch] += sum_gxh as f32;
             self.beta.grad.data_mut()[ch] += sum_g as f32;
             let gamma = self.gamma.value.data()[ch];
-            let inv_std = inv_stds[ch];
             let mean_g = sum_g as f32 / count;
             let mean_gxh = sum_gxh as f32 / count;
             let scale = gamma * inv_std;

@@ -66,27 +66,37 @@ impl Sgd {
         }
         let velocity = &mut self.velocity;
         let mut idx = 0usize;
+        // Fully in-place update (no per-step gradient staging buffers):
+        // with g' = grad + wd·value and v ← μ·v + g', the weight update is
+        // value ← value − lr·(g' + μ·v) (Nesterov) or value ← value − lr·v.
         net.visit_params_mut(&mut |p| {
-            let mut grad = p.grad.clone();
-            if cfg.weight_decay > 0.0 {
-                grad.axpy(cfg.weight_decay, &p.value);
-            }
             if cfg.momentum > 0.0 {
                 let v = &mut velocity[idx];
                 assert_eq!(
                     v.dims(),
-                    grad.dims(),
+                    p.grad.dims(),
                     "optimizer paired with a different network (param {idx})"
                 );
                 v.scale_inplace(cfg.momentum);
-                v.axpy(1.0, &grad);
-                if cfg.nesterov {
-                    grad.axpy(cfg.momentum, v);
-                } else {
-                    grad = v.clone();
+                v.axpy(1.0, &p.grad);
+                if cfg.weight_decay > 0.0 {
+                    v.axpy(cfg.weight_decay, &p.value);
                 }
+                if cfg.nesterov {
+                    if cfg.weight_decay > 0.0 {
+                        p.value.scale_inplace(1.0 - cfg.lr * cfg.weight_decay);
+                    }
+                    p.value.axpy(-cfg.lr, &p.grad);
+                    p.value.axpy(-cfg.lr * cfg.momentum, v);
+                } else {
+                    p.value.axpy(-cfg.lr, v);
+                }
+            } else {
+                if cfg.weight_decay > 0.0 {
+                    p.value.scale_inplace(1.0 - cfg.lr * cfg.weight_decay);
+                }
+                p.value.axpy(-cfg.lr, &p.grad);
             }
-            p.value.axpy(-cfg.lr, &grad);
             idx += 1;
         });
     }

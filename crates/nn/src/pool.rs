@@ -1,6 +1,7 @@
 //! Pooling layers: 2×2 max pooling (stride 2) and global average pooling.
 
 use crate::layer::Layer;
+use kemf_tensor::workspace::Workspace;
 use kemf_tensor::Tensor;
 
 /// 2×2 max pooling with stride 2. Odd trailing rows/columns are dropped
@@ -20,11 +21,19 @@ impl MaxPool2 {
 
 impl Layer for MaxPool2 {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.forward_ws(x, train, &mut Workspace::new())
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.backward_ws(grad_out, &mut Workspace::new())
+    }
+
+    fn forward_ws(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
         let (n, c, h, w) = x.shape().as_nchw();
         let (oh, ow) = (h / 2, w / 2);
         assert!(oh > 0 && ow > 0, "MaxPool2 input {h}x{w} too small");
-        let mut out = Tensor::zeros(&[n, c, oh, ow]);
-        let mut arg = vec![0usize; n * c * oh * ow];
+        let mut out = ws.take_tensor(&[n, c, oh, ow]);
+        let mut arg = ws.take_usize(n * c * oh * ow);
         let src = x.data();
         let dst = out.data_mut();
         for nc in 0..n * c {
@@ -46,18 +55,24 @@ impl Layer for MaxPool2 {
             }
         }
         if train {
-            self.cache = Some((arg, x.dims().to_vec()));
+            let mut dims = ws.take_usize(4);
+            dims.copy_from_slice(x.dims());
+            self.cache = Some((arg, dims));
+        } else {
+            ws.recycle_usize(arg);
         }
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let (arg, dims) = self.cache.take().expect("MaxPool2::backward without forward(train)");
-        let mut gx = Tensor::zeros(&dims);
+        let mut gx = ws.take_tensor(&dims);
         let g = gx.data_mut();
         for (&idx, &go) in arg.iter().zip(grad_out.data().iter()) {
             g[idx] += go;
         }
+        ws.recycle_usize(arg);
+        ws.recycle_usize(dims);
         gx
     }
 
@@ -87,9 +102,17 @@ impl GlobalAvgPool {
 
 impl Layer for GlobalAvgPool {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.forward_ws(x, train, &mut Workspace::new())
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.backward_ws(grad_out, &mut Workspace::new())
+    }
+
+    fn forward_ws(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
         let (n, c, h, w) = x.shape().as_nchw();
         let area = (h * w) as f32;
-        let mut out = Tensor::zeros(&[n, c]);
+        let mut out = ws.take_tensor(&[n, c]);
         let src = x.data();
         let dst = out.data_mut();
         for nc in 0..n * c {
@@ -97,16 +120,18 @@ impl Layer for GlobalAvgPool {
             dst[nc] = s / area;
         }
         if train {
-            self.input_dims = Some(x.dims().to_vec());
+            let mut dims = ws.take_usize(4);
+            dims.copy_from_slice(x.dims());
+            self.input_dims = Some(dims);
         }
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let dims = self.input_dims.take().expect("GlobalAvgPool::backward without forward(train)");
         let (h, w) = (dims[2], dims[3]);
         let inv_area = 1.0 / (h * w) as f32;
-        let mut gx = Tensor::zeros(&dims);
+        let mut gx = ws.take_tensor(&dims);
         let g = gx.data_mut();
         for (nc, &go) in grad_out.data().iter().enumerate() {
             let v = go * inv_area;
@@ -114,6 +139,7 @@ impl Layer for GlobalAvgPool {
                 *e = v;
             }
         }
+        ws.recycle_usize(dims);
         gx
     }
 

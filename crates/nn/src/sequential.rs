@@ -7,6 +7,7 @@ use crate::groupnorm::GroupNorm;
 use crate::layer::Layer;
 use crate::norm::BatchNorm2d;
 use crate::param::Param;
+use kemf_tensor::workspace::Workspace;
 use kemf_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -87,6 +88,36 @@ impl Layer for Sequential {
         let mut g = grad_out.clone();
         for l in self.layers.iter_mut().rev() {
             g = l.backward(&g);
+        }
+        g
+    }
+
+    fn forward_ws(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        // Each intermediate returns to the pool the moment the next layer
+        // has consumed it (layers copy whatever they cache for backward).
+        let mut iter = self.layers.iter_mut();
+        let mut h = match iter.next() {
+            Some(l) => l.forward_ws(x, train, ws),
+            None => return x.clone(),
+        };
+        for l in iter {
+            let next = l.forward_ws(&h, train, ws);
+            ws.recycle_tensor(h);
+            h = next;
+        }
+        h
+    }
+
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        let mut iter = self.layers.iter_mut().rev();
+        let mut g = match iter.next() {
+            Some(l) => l.backward_ws(grad_out, ws),
+            None => return grad_out.clone(),
+        };
+        for l in iter {
+            let next = l.backward_ws(&g, ws);
+            ws.recycle_tensor(g);
+            g = next;
         }
         g
     }
@@ -205,6 +236,58 @@ impl Layer for BasicBlock {
         g_main.add(&g_short)
     }
 
+    fn forward_ws(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        let h = self.conv1.forward_ws(x, train, ws);
+        let h2 = self.bn1.forward_ws(&h, train, ws);
+        ws.recycle_tensor(h);
+        let h3 = self.relu1.forward_ws(&h2, train, ws);
+        ws.recycle_tensor(h2);
+        let h4 = self.conv2.forward_ws(&h3, train, ws);
+        ws.recycle_tensor(h3);
+        let mut sum = self.bn2.forward_ws(&h4, train, ws);
+        ws.recycle_tensor(h4);
+        match &mut self.shortcut {
+            Some((conv, bn)) => {
+                let s = conv.forward_ws(x, train, ws);
+                let s2 = bn.forward_ws(&s, train, ws);
+                ws.recycle_tensor(s);
+                sum.axpy(1.0, &s2);
+                ws.recycle_tensor(s2);
+            }
+            None => sum.axpy(1.0, x),
+        }
+        let y = self.relu_out.forward_ws(&sum, train, ws);
+        ws.recycle_tensor(sum);
+        y
+    }
+
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        let g_sum = self.relu_out.backward_ws(grad_out, ws);
+        // Residual branch.
+        let g = self.bn2.backward_ws(&g_sum, ws);
+        let g2 = self.conv2.backward_ws(&g, ws);
+        ws.recycle_tensor(g);
+        let g3 = self.relu1.backward_ws(&g2, ws);
+        ws.recycle_tensor(g2);
+        let g4 = self.bn1.backward_ws(&g3, ws);
+        ws.recycle_tensor(g3);
+        let mut g_main = self.conv1.backward_ws(&g4, ws);
+        ws.recycle_tensor(g4);
+        // Shortcut branch.
+        match &mut self.shortcut {
+            Some((conv, bn)) => {
+                let gb = bn.backward_ws(&g_sum, ws);
+                let gs = conv.backward_ws(&gb, ws);
+                ws.recycle_tensor(gb);
+                g_main.axpy(1.0, &gs);
+                ws.recycle_tensor(gs);
+            }
+            None => g_main.axpy(1.0, &g_sum),
+        }
+        ws.recycle_tensor(g_sum);
+        g_main
+    }
+
     fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
         self.conv1.visit_params(f);
         self.bn1.visit_params(f);
@@ -307,9 +390,11 @@ mod tests {
     fn basic_block_gradcheck_identity() {
         // Small FD step: batch-norm centers activations at zero, so a large
         // perturbation pushes elements across ReLU kinks and corrupts the
-        // finite differences.
+        // finite differences. At 1e-3 the check fails spuriously (FD −1.21
+        // vs a correct analytic −1.69 on param 0); an FD step sweep shows
+        // the finite differences converge to the analytic value by 3e-4.
         let mut b = BasicBlock::new(2, 2, 1, 5);
-        grad_check(&mut b, &[2, 2, 4, 4], 1e-3, 5e-2);
+        grad_check(&mut b, &[2, 2, 4, 4], 3e-4, 5e-2);
     }
 
     #[test]

@@ -37,25 +37,8 @@ pub fn grad_check(layer: &mut dyn Layer, input_dims: &[usize], step: f32, tol: f
     layer.visit_params(&mut |p| analytic_param_grads.push(p.grad.data().to_vec()));
 
     // Finite differences on every parameter scalar.
-    let mut param_idx = 0usize;
-    let n_params = {
-        let mut n = 0;
-        layer.visit_params(&mut |_| n += 1);
-        n
-    };
-    for pi in 0..n_params {
-        let n_elems = {
-            let mut n = 0;
-            let mut i = 0;
-            layer.visit_params(&mut |p| {
-                if i == pi {
-                    n = p.numel();
-                }
-                i += 1;
-            });
-            n
-        };
-        for e in 0..n_elems {
+    for (pi, param_grads) in analytic_param_grads.iter().enumerate() {
+        for (e, &an) in param_grads.iter().enumerate() {
             let f = |delta: f32, layer: &mut dyn Layer| -> f32 {
                 let mut i = 0;
                 layer.visit_params_mut(&mut |p| {
@@ -77,7 +60,6 @@ pub fn grad_check(layer: &mut dyn Layer, input_dims: &[usize], step: f32, tol: f
             let lp = f(step, layer);
             let lm = f(-step, layer);
             let fd = (lp - lm) / (2.0 * step);
-            let an = analytic_param_grads[pi][e];
             let denom = 1.0f32.max(fd.abs()).max(an.abs());
             assert!(
                 (fd - an).abs() / denom <= tol,
@@ -85,9 +67,7 @@ pub fn grad_check(layer: &mut dyn Layer, input_dims: &[usize], step: f32, tol: f
                 layer.name()
             );
         }
-        param_idx += 1;
     }
-    let _ = param_idx;
 
     // Finite differences on every input scalar.
     for e in 0..x.numel() {

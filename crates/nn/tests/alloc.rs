@@ -1,0 +1,120 @@
+//! Steady-state allocation audit for the training hot path.
+//!
+//! A counting global allocator proves the workspace plumbing end to end:
+//! after one warm-up step populates every pool (im2col buffers, layer
+//! outputs, loss gradients, optimizer velocity), a second full training
+//! step — forward, loss, backward, SGD — performs **zero** heap
+//! allocations.
+//!
+//! This file holds exactly one test: the counter is process-global, and a
+//! concurrent test in the same binary would pollute it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Count heap allocations performed by `f`.
+fn count_allocs(f: impl FnOnce()) -> usize {
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    f();
+    COUNTING.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn second_training_step_allocates_nothing() {
+    use kemf_nn::activation::{Flatten, ReLU};
+    use kemf_nn::conv2d::Conv2d;
+    use kemf_nn::layer::Layer;
+    use kemf_nn::linear::Linear;
+    use kemf_nn::loss::cross_entropy_ws;
+    use kemf_nn::optim::{Sgd, SgdConfig};
+    use kemf_nn::pool::MaxPool2;
+    use kemf_nn::sequential::Sequential;
+    use kemf_tensor::rng::seeded_rng;
+    use kemf_tensor::workspace::Workspace;
+    use kemf_tensor::Tensor;
+
+    // Conv → ReLU → MaxPool → Conv → ReLU → Flatten → Linear: every layer
+    // class on the DML hot path (norm layers keep per-batch statistics and
+    // are audited by their own pool tests).
+    let mut net = Sequential::new()
+        .push(Conv2d::new(1, 8, 3, 1, 1, 1))
+        .push(ReLU::new())
+        .push(MaxPool2::new())
+        .push(Conv2d::new(8, 8, 3, 1, 1, 2))
+        .push(ReLU::new())
+        .push(Flatten::new())
+        .push(Linear::new(8 * 4 * 4, 10, 3));
+    let mut opt = Sgd::new(SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 5e-4, nesterov: false });
+    let mut ws = Workspace::new();
+    let mut rng = seeded_rng(7);
+    let x = Tensor::randn(&[4, 1, 8, 8], 1.0, &mut rng);
+    let labels = [0usize, 3, 1, 7];
+
+    let step = |net: &mut Sequential, ws: &mut Workspace, opt: &mut Sgd| {
+        net.zero_grad();
+        let logits = net.forward_ws(&x, true, ws);
+        let (loss, grad) = cross_entropy_ws(&logits, &labels, ws);
+        ws.recycle_tensor(logits);
+        let gx = net.backward_ws(&grad, ws);
+        ws.recycle_tensor(grad);
+        ws.recycle_tensor(gx);
+        opt.step(net);
+        loss
+    };
+
+    // Warm-up: populates the workspace pools and the optimizer velocity.
+    let warm_loss = step(&mut net, &mut ws, &mut opt);
+    assert!(warm_loss.is_finite());
+
+    // Steady state: the identical step must never touch the allocator.
+    let allocs = count_allocs(|| {
+        let loss = step(&mut net, &mut ws, &mut opt);
+        assert!(loss.is_finite());
+    });
+    assert_eq!(allocs, 0, "steady-state training step allocated {allocs} times");
+
+    // And it stays at zero across further steps.
+    let allocs = count_allocs(|| {
+        for _ in 0..3 {
+            let _ = step(&mut net, &mut ws, &mut opt);
+        }
+    });
+    assert_eq!(allocs, 0, "later steps allocated {allocs} times");
+}

@@ -95,8 +95,8 @@ proptest! {
         let mut opt = Sgd::new(SgdConfig { lr, momentum: 0.0, weight_decay: 0.0, nesterov: false });
         opt.step(&mut l);
         let after = Weights::from_layer(&l);
-        for i in 0..12 {
-            prop_assert!((after.values[i] - (before.values[i] - lr * g[i])).abs() < 1e-5);
+        for (i, &gi) in g.iter().enumerate().take(12) {
+            prop_assert!((after.values[i] - (before.values[i] - lr * gi)).abs() < 1e-5);
         }
         // Bias untouched (zero grad).
         for i in 12..16 {

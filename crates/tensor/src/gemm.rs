@@ -1,0 +1,520 @@
+//! Packed, cache-blocked GEMM with fused epilogues.
+//!
+//! The training loop of every model in this workspace reduces to a handful
+//! of matrix products (forward activations, weight gradients, input
+//! gradients, im2col-lowered convolutions). This module implements them
+//! with one engine:
+//!
+//! * **Panel packing** — operand tiles are copied into contiguous,
+//!   register-block-ordered panels once per macro-tile, so the inner loop
+//!   reads both operands sequentially regardless of the logical layout
+//!   (plain, transposed, or strided NCHW gradients). Packing is driven by
+//!   element-accessor closures, which is what lets the convolution
+//!   backward pass consume `[N, O, OH, OW]` gradients directly — the
+//!   former `nchw_to_ocols` full-copy reorder is gone.
+//! * **Register micro-tiling** — an [`MR`]×[`NR`] (8×8) f32 accumulator
+//!   block lives in registers across the whole k loop; with
+//!   `-C target-cpu=native` (see `.cargo/config.toml`) the compiler turns
+//!   each k step into broadcast + FMA over the packed panels.
+//! * **Cache macro-blocking** — B is packed once per [`NC`]-wide column
+//!   block, A once per [`MC`]-row block, sized so the panels live in L1/L2
+//!   while streaming.
+//! * **Fused epilogues** — the micro-tile result is handed to a
+//!   [`TileWriter`], so bias-add, bias+ReLU, gradient accumulation (`+=`)
+//!   and the `[O, N·OH·OW] → [N, O, OH, OW]` convolution-output scatter
+//!   happen on register-resident values instead of extra passes (and
+//!   extra buffers) over memory.
+//!
+//! Unlike the axpy kernels this replaces, there is **no zero-skip**: an
+//! input of `0.0` must still propagate `NaN`/`Inf` partners per IEEE-754
+//! (`0 × ∞ = NaN`), which the old `if av == 0.0 { continue }` silently
+//! violated.
+//!
+//! Packing buffers come from a thread-local [`Workspace`], so steady-state
+//! calls allocate nothing.
+
+use crate::workspace::Workspace;
+use std::cell::RefCell;
+
+/// Micro-tile rows (register block height).
+pub const MR: usize = 8;
+/// Micro-tile columns (register block width).
+pub const NR: usize = 8;
+/// Macro-tile rows: how many rows of A are packed at once.
+pub const MC: usize = 64;
+/// Macro-tile columns: how many columns of B are packed at once.
+pub const NC: usize = 256;
+
+/// Below this many multiply-adds the packed path's setup costs more than
+/// it saves; a plain unpacked loop runs instead.
+const SMALL_FLOPS: usize = 16 * 1024;
+
+thread_local! {
+    /// Per-thread pack-buffer pool. Thread-local (rather than per-call
+    /// allocation) so concurrent client tasks never contend and repeated
+    /// calls reuse warm buffers.
+    static PACK_POOL: RefCell<Workspace> = RefCell::new(Workspace::new());
+}
+
+/// Destination of a computed micro-tile: receives each C element exactly
+/// once per GEMM call. Implementations fuse what would otherwise be a
+/// separate pass over the output.
+pub trait TileWriter {
+    /// Consume the value of `C[i, j]`.
+    fn write(&mut self, i: usize, j: usize, v: f32);
+}
+
+/// `C[i, j] = v` into a row-major `[m, n]` matrix.
+pub struct Store<'a> {
+    /// Output storage.
+    pub c: &'a mut [f32],
+    /// Leading dimension (row stride) of `c`.
+    pub ldc: usize,
+}
+
+impl TileWriter for Store<'_> {
+    #[inline(always)]
+    fn write(&mut self, i: usize, j: usize, v: f32) {
+        self.c[i * self.ldc + j] = v;
+    }
+}
+
+/// `C[i, j] += v` — gradient accumulation without a temporary.
+pub struct Accumulate<'a> {
+    /// Output storage.
+    pub c: &'a mut [f32],
+    /// Leading dimension (row stride) of `c`.
+    pub ldc: usize,
+}
+
+impl TileWriter for Accumulate<'_> {
+    #[inline(always)]
+    fn write(&mut self, i: usize, j: usize, v: f32) {
+        self.c[i * self.ldc + j] += v;
+    }
+}
+
+/// `C[i, j] = v + bias[j]` — Linear-layer forward (rows = batch).
+pub struct BiasCol<'a> {
+    /// Output storage.
+    pub c: &'a mut [f32],
+    /// Leading dimension of `c`.
+    pub ldc: usize,
+    /// Per-column bias (`len == n`).
+    pub bias: &'a [f32],
+}
+
+impl TileWriter for BiasCol<'_> {
+    #[inline(always)]
+    fn write(&mut self, i: usize, j: usize, v: f32) {
+        self.c[i * self.ldc + j] = v + self.bias[j];
+    }
+}
+
+/// `C[i, j] = max(0, v + bias[j])` — fused Linear + ReLU.
+pub struct BiasColRelu<'a> {
+    /// Output storage.
+    pub c: &'a mut [f32],
+    /// Leading dimension of `c`.
+    pub ldc: usize,
+    /// Per-column bias (`len == n`).
+    pub bias: &'a [f32],
+}
+
+impl TileWriter for BiasColRelu<'_> {
+    #[inline(always)]
+    fn write(&mut self, i: usize, j: usize, v: f32) {
+        self.c[i * self.ldc + j] = (v + self.bias[j]).max(0.0);
+    }
+}
+
+/// Convolution-forward epilogue: the GEMM result is logically
+/// `[O, N·OH·OW]` (row `i` = output channel, column `j = ni·plane + p`),
+/// scattered straight into an `[N, O, OH, OW]` tensor with the channel
+/// bias added. Replaces the seed's separate bias+reorder pass and its
+/// `out_mat` temporary.
+pub struct NchwScatterBias<'a> {
+    /// `[N, O, OH, OW]` output storage.
+    pub out: &'a mut [f32],
+    /// Output channels `O`.
+    pub o: usize,
+    /// `OH·OW`.
+    pub plane: usize,
+    /// Per-channel bias (`len == o`).
+    pub bias: &'a [f32],
+}
+
+impl TileWriter for NchwScatterBias<'_> {
+    #[inline(always)]
+    fn write(&mut self, i: usize, j: usize, v: f32) {
+        let ni = j / self.plane;
+        let p = j - ni * self.plane;
+        self.out[(ni * self.o + i) * self.plane + p] = v + self.bias[i];
+    }
+}
+
+/// General matrix multiply with packed operands and a fused epilogue:
+/// `epilogue(i, j, Σ_kk a(i, kk) · b(kk, j))` for all `(i, j)` in
+/// `[0, m) × [0, n)`.
+///
+/// The accessors index the *logical* `[m, k]` and `[k, n]` operands;
+/// layout (transposition, strides, NCHW views) lives entirely in the
+/// closures and is paid once during packing, not in the O(m·n·k) loop.
+pub fn gemm<A, B, W>(m: usize, k: usize, n: usize, a: A, b: B, writer: &mut W)
+where
+    A: Fn(usize, usize) -> f32,
+    B: Fn(usize, usize) -> f32,
+    W: TileWriter,
+{
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        for i in 0..m {
+            for j in 0..n {
+                writer.write(i, j, 0.0);
+            }
+        }
+        return;
+    }
+    if m * n * k <= SMALL_FLOPS {
+        gemm_small(m, k, n, &a, &b, writer);
+        return;
+    }
+
+    PACK_POOL.with(|pool| {
+        let mut ws = pool.borrow_mut();
+        // Panel buffers, padded to full micro-tiles so the kernel never
+        // branches on edges; the padding lanes multiply against zeros.
+        let mut a_pack = ws.take(MC * k);
+        let mut b_pack = ws.take(k * NC);
+        drop(ws);
+
+        let mut j0 = 0;
+        while j0 < n {
+            let nc = NC.min(n - j0);
+            let nc_panels = nc.div_ceil(NR);
+            pack_b(&b, k, j0, nc, &mut b_pack);
+
+            let mut i0 = 0;
+            while i0 < m {
+                let mc = MC.min(m - i0);
+                let mc_panels = mc.div_ceil(MR);
+                pack_a(&a, k, i0, mc, &mut a_pack);
+
+                for jp in 0..nc_panels {
+                    let b_panel = &b_pack[jp * k * NR..(jp + 1) * k * NR];
+                    let jbase = j0 + jp * NR;
+                    let nr = NR.min(n - jbase);
+                    for ip in 0..mc_panels {
+                        let a_panel = &a_pack[ip * k * MR..(ip + 1) * k * MR];
+                        let ibase = i0 + ip * MR;
+                        let mr = MR.min(m - ibase);
+                        let acc = microkernel(k, a_panel, b_panel);
+                        for (di, row) in acc.iter().enumerate().take(mr) {
+                            for (dj, &v) in row.iter().enumerate().take(nr) {
+                                writer.write(ibase + di, jbase + dj, v);
+                            }
+                        }
+                    }
+                }
+                i0 += mc;
+            }
+            j0 += nc;
+        }
+
+        let mut ws = pool.borrow_mut();
+        ws.recycle(a_pack);
+        ws.recycle(b_pack);
+    });
+}
+
+/// Fused multiply-add that compiles to a hardware FMA when the target has
+/// one. Without the gate, `mul_add` on non-FMA targets becomes a libm
+/// call — orders of magnitude slower than mul+add.
+#[inline(always)]
+fn fma(a: f32, b: f32, c: f32) -> f32 {
+    #[cfg(target_feature = "fma")]
+    {
+        a.mul_add(b, c)
+    }
+    #[cfg(not(target_feature = "fma"))]
+    {
+        a * b + c
+    }
+}
+
+/// The register kernel: an MR×NR block of C accumulated over the full k
+/// extent of two packed panels. `a_panel[kk·MR + i]` holds A(i, kk),
+/// `b_panel[kk·NR + j]` holds B(kk, j); both reads are sequential. The
+/// accumulator array stays in vector registers (8 lanes × 8 rows on
+/// AVX2), each k step being one broadcast and one FMA per row.
+#[inline(always)]
+fn microkernel(k: usize, a_panel: &[f32], b_panel: &[f32]) -> [[f32; NR]; MR] {
+    let mut acc = [[0.0f32; NR]; MR];
+    for kk in 0..k {
+        let a = &a_panel[kk * MR..kk * MR + MR];
+        let b = &b_panel[kk * NR..kk * NR + NR];
+        for i in 0..MR {
+            let ai = a[i];
+            for j in 0..NR {
+                acc[i][j] = fma(ai, b[j], acc[i][j]);
+            }
+        }
+    }
+    acc
+}
+
+/// Pack `mc` rows of A starting at `i0` into MR-row panels:
+/// `a_pack[panel][kk][i]`. Rows beyond `m` pad with zeros.
+fn pack_a<A: Fn(usize, usize) -> f32>(a: &A, k: usize, i0: usize, mc: usize, a_pack: &mut [f32]) {
+    for ip in 0..mc.div_ceil(MR) {
+        let panel = &mut a_pack[ip * k * MR..(ip + 1) * k * MR];
+        let rows = MR.min(mc - ip * MR);
+        for kk in 0..k {
+            let slot = &mut panel[kk * MR..kk * MR + MR];
+            for (di, s) in slot.iter_mut().enumerate() {
+                *s = if di < rows { a(i0 + ip * MR + di, kk) } else { 0.0 };
+            }
+        }
+    }
+}
+
+/// Pack `nc` columns of B starting at `j0` into NR-column panels:
+/// `b_pack[panel][kk][j]`. Columns beyond `n` pad with zeros.
+fn pack_b<B: Fn(usize, usize) -> f32>(b: &B, k: usize, j0: usize, nc: usize, b_pack: &mut [f32]) {
+    for jp in 0..nc.div_ceil(NR) {
+        let panel = &mut b_pack[jp * k * NR..(jp + 1) * k * NR];
+        let cols = NR.min(nc - jp * NR);
+        for kk in 0..k {
+            let slot = &mut panel[kk * NR..kk * NR + NR];
+            for (dj, s) in slot.iter_mut().enumerate() {
+                *s = if dj < cols { b(kk, j0 + jp * NR + dj) } else { 0.0 };
+            }
+        }
+    }
+}
+
+/// Unpacked fallback for matrices too small to amortize panel packing.
+/// Same contract, same no-zero-skip semantics.
+fn gemm_small<A, B, W>(m: usize, k: usize, n: usize, a: &A, b: &B, writer: &mut W)
+where
+    A: Fn(usize, usize) -> f32,
+    B: Fn(usize, usize) -> f32,
+    W: TileWriter,
+{
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc = fma(a(i, kk), b(kk, j), acc);
+            }
+            writer.write(i, j, acc);
+        }
+    }
+}
+
+/// Reference implementation used by tests: straightforward triple loop,
+/// no packing, no zero-skip.
+pub fn gemm_naive<A, B>(m: usize, k: usize, n: usize, a: A, b: B) -> Vec<f32>
+where
+    A: Fn(usize, usize) -> f32,
+    B: Fn(usize, usize) -> f32,
+{
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a(i, kk) * b(kk, j);
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+    use crate::rng::seeded_rng;
+    use rand::Rng;
+
+    fn random(len: usize, seed: u64) -> Vec<f32> {
+        let mut rng = seeded_rng(seed);
+        (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    #[test]
+    fn packed_matches_naive_across_blocking_edges() {
+        // Shapes straddling every blocking boundary: below MR/NR, exact
+        // multiples, one past a macro tile.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (7, 3, 5),
+            (8, 8, 8),
+            (9, 16, 9),
+            (MR - 1, 40, NR + 1),
+            (MC, 32, NC),
+            (MC + 1, 17, NC + 1),
+            (129, 33, 65),
+        ] {
+            let a = random(m * k, 1000 + m as u64);
+            let b = random(k * n, 2000 + n as u64);
+            let mut c = vec![0.0f32; m * n];
+            gemm(m, k, n, |i, kk| a[i * k + kk], |kk, j| b[kk * n + j], &mut Store {
+                c: &mut c,
+                ldc: n,
+            });
+            let want = gemm_naive(m, k, n, |i, kk| a[i * k + kk], |kk, j| b[kk * n + j]);
+            assert_close(&c, &want, 1e-4);
+        }
+    }
+
+    #[test]
+    fn large_shape_forces_packed_path() {
+        let (m, k, n) = (70, 90, 300); // > SMALL_FLOPS, spans MC/NC edges
+        let a = random(m * k, 3);
+        let b = random(k * n, 4);
+        let mut c = vec![0.0f32; m * n];
+        gemm(m, k, n, |i, kk| a[i * k + kk], |kk, j| b[kk * n + j], &mut Store {
+            c: &mut c,
+            ldc: n,
+        });
+        let want = gemm_naive(m, k, n, |i, kk| a[i * k + kk], |kk, j| b[kk * n + j]);
+        assert_close(&c, &want, 1e-4);
+    }
+
+    #[test]
+    fn accumulate_adds_to_existing() {
+        let (m, k, n) = (5, 4, 6);
+        let a = random(m * k, 5);
+        let b = random(k * n, 6);
+        let mut c = vec![1.0f32; m * n];
+        gemm(m, k, n, |i, kk| a[i * k + kk], |kk, j| b[kk * n + j], &mut Accumulate {
+            c: &mut c,
+            ldc: n,
+        });
+        let want: Vec<f32> = gemm_naive(m, k, n, |i, kk| a[i * k + kk], |kk, j| b[kk * n + j])
+            .iter()
+            .map(|v| v + 1.0)
+            .collect();
+        assert_close(&c, &want, 1e-4);
+    }
+
+    #[test]
+    fn bias_col_and_relu_epilogues() {
+        let (m, k, n) = (4, 3, 5);
+        let a = random(m * k, 7);
+        let b = random(k * n, 8);
+        let bias = random(n, 9);
+        let plain = gemm_naive(m, k, n, |i, kk| a[i * k + kk], |kk, j| b[kk * n + j]);
+
+        let mut c = vec![0.0f32; m * n];
+        gemm(m, k, n, |i, kk| a[i * k + kk], |kk, j| b[kk * n + j], &mut BiasCol {
+            c: &mut c,
+            ldc: n,
+            bias: &bias,
+        });
+        for i in 0..m {
+            for j in 0..n {
+                assert!((c[i * n + j] - (plain[i * n + j] + bias[j])).abs() < 1e-5);
+            }
+        }
+
+        let mut r = vec![0.0f32; m * n];
+        gemm(m, k, n, |i, kk| a[i * k + kk], |kk, j| b[kk * n + j], &mut BiasColRelu {
+            c: &mut r,
+            ldc: n,
+            bias: &bias,
+        });
+        for (rv, cv) in r.iter().zip(c.iter()) {
+            assert_eq!(*rv, cv.max(0.0));
+        }
+    }
+
+    #[test]
+    fn nchw_scatter_matches_manual_reorder() {
+        // C logical [o=3, n·plane=2·4]; scatter into [n=2, o=3, plane=4].
+        let (o, batch, plane) = (3, 2, 4);
+        let (m, k, n) = (o, 5, batch * plane);
+        let a = random(m * k, 10);
+        let b = random(k * n, 11);
+        let bias = random(o, 12);
+        let mut out = vec![0.0f32; batch * o * plane];
+        gemm(m, k, n, |i, kk| a[i * k + kk], |kk, j| b[kk * n + j], &mut NchwScatterBias {
+            out: &mut out,
+            o,
+            plane,
+            bias: &bias,
+        });
+        let cmat = gemm_naive(m, k, n, |i, kk| a[i * k + kk], |kk, j| b[kk * n + j]);
+        for ni in 0..batch {
+            for oi in 0..o {
+                for p in 0..plane {
+                    let want = cmat[oi * n + ni * plane + p] + bias[oi];
+                    let got = out[(ni * o + oi) * plane + p];
+                    assert!((got - want).abs() < 1e-5, "({ni},{oi},{p}): {got} vs {want}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_accessors_work() {
+        // A stored [k, m] (TN), B stored [n, k] (NT) — both through
+        // accessors, one packed engine.
+        let (m, k, n) = (6, 7, 5);
+        let a_t = random(k * m, 13); // [k, m]
+        let b_t = random(n * k, 14); // [n, k]
+        let mut c = vec![0.0f32; m * n];
+        gemm(m, k, n, |i, kk| a_t[kk * m + i], |kk, j| b_t[j * k + kk], &mut Store {
+            c: &mut c,
+            ldc: n,
+        });
+        let want = gemm_naive(m, k, n, |i, kk| a_t[kk * m + i], |kk, j| b_t[j * k + kk]);
+        assert_close(&c, &want, 1e-4);
+    }
+
+    #[test]
+    fn zero_operands_propagate_non_finite() {
+        // 0 · ∞ = NaN must reach the output — the seed kernels' zero-skip
+        // dropped it.
+        let (m, k, n) = (2, 3, 2);
+        let a = vec![0.0f32; m * k];
+        let mut b = vec![1.0f32; k * n];
+        b[0] = f32::INFINITY;
+        b[3] = f32::NAN; // kk=1, j=1
+        let mut c = vec![0.0f32; m * n];
+        gemm(m, k, n, |i, kk| a[i * k + kk], |kk, j| b[kk * n + j], &mut Store {
+            c: &mut c,
+            ldc: n,
+        });
+        assert!(c[0].is_nan(), "0·∞ should be NaN, got {}", c[0]);
+        assert!(c[1].is_nan(), "0·NaN should be NaN, got {}", c[1]);
+    }
+
+    #[test]
+    fn steady_state_reuses_pack_buffers() {
+        let (m, k, n) = (64, 64, 64); // big enough for the packed path
+        let a = random(m * k, 15);
+        let b = random(k * n, 16);
+        let mut c = vec![0.0f32; m * n];
+        for _ in 0..3 {
+            gemm(m, k, n, |i, kk| a[i * k + kk], |kk, j| b[kk * n + j], &mut Store {
+                c: &mut c,
+                ldc: n,
+            });
+        }
+        let misses = PACK_POOL.with(|p| p.borrow().fresh_allocations());
+        assert!(misses <= 2, "pack buffers must be recycled, saw {misses} fresh allocations");
+    }
+
+    #[test]
+    fn k_zero_writes_zeros() {
+        let mut c = vec![7.0f32; 4];
+        gemm(2, 0, 2, |_, _| 1.0, |_, _| 1.0, &mut Store { c: &mut c, ldc: 2 });
+        assert_eq!(c, vec![0.0; 4]);
+    }
+}

@@ -9,10 +9,11 @@
 //! 1. **Correctness** — every kernel is unit-tested and the hot ones are
 //!    cross-checked against naive reference implementations and finite
 //!    differences (in `kemf-nn`).
-//! 2. **Predictable performance on CPU** — row-major contiguous storage,
-//!    blocked matrix multiplication parallelized with rayon over row
-//!    chunks, convolution lowered to matmul through `im2col`, and no
-//!    allocation inside inner loops.
+//! 2. **Predictable performance on CPU** — row-major contiguous storage, a
+//!    packed cache-blocked GEMM ([`gemm`]) with an 8×8 FMA microkernel and
+//!    fused epilogues, convolution lowered to matmul through `im2col`, and
+//!    a [`workspace::Workspace`] scratch arena so steady-state training
+//!    steps perform no heap allocation.
 //! 3. **Small, explicit API** — tensors are plain `Vec<f32>` + shape; there
 //!    is no autograd graph here. Backpropagation lives in `kemf-nn` as
 //!    explicit `backward` methods, which keeps the numeric core simple and
@@ -30,11 +31,13 @@
 //! ```
 
 pub mod conv;
+pub mod gemm;
 pub mod matmul;
 pub mod ops;
 pub mod rng;
 pub mod shape;
 pub mod tensor;
+pub mod workspace;
 
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -7,17 +7,37 @@
 //! * [`matmul_tn_into`] — `C = Aᵀ · B`         (weight gradients)
 //! * [`matmul_nt_into`] — `C = A · Bᵀ`         (input gradients)
 //!
-//! All kernels accumulate in `f32` with a k-blocked inner loop and
-//! parallelize over row chunks with rayon. On a single-core host rayon
-//! degrades gracefully to sequential execution; the chunking also keeps the
-//! working set cache-friendly.
+//! All three are thin layout adapters over the packed, cache-blocked
+//! engine in [`crate::gemm`]: the stored layout is expressed as an
+//! element-accessor closure, packing normalizes it into register-ordered
+//! panels, and one 8×8 FMA microkernel serves every variant. Large
+//! top-level products additionally split their row macro-tiles across
+//! rayon; inside an already-parallel region (federated client tasks) or
+//! below a size threshold they stay sequential, so client-level
+//! parallelism is never oversubscribed by kernel-level parallelism.
+//!
+//! There is deliberately no zero-skip fast path: `0 × ∞` and `0 × NaN`
+//! must produce `NaN` in the output, matching IEEE-754 and the naive
+//! reference (see `zero_times_nonfinite_propagates`).
 
+use crate::gemm::{gemm, Store, MC};
 use crate::tensor::Tensor;
 use rayon::prelude::*;
 
-/// Rows per parallel task. Chosen so a task is a few hundred microseconds
-/// of work for typical sizes in this workspace (dozens–hundreds of columns).
-const ROWS_PER_TASK: usize = 16;
+/// Minimum multiply-add count before row blocks are fanned out across
+/// rayon; below this the spawn overhead outweighs the work.
+const PAR_FLOPS: usize = 1 << 20;
+
+/// True when splitting this product across the global pool is worthwhile
+/// and safe: big enough, more than one macro-row-block to hand out, and
+/// not already running inside a rayon worker (nested parallelism would
+/// oversubscribe the pool that federated client tasks already fill).
+fn split_rows(m: usize, k: usize, n: usize) -> bool {
+    m > MC
+        && m * k * n >= PAR_FLOPS
+        && rayon::current_num_threads() > 1
+        && rayon::current_thread_index().is_none()
+}
 
 /// `C[m,n] = A[m,k] · B[k,n]`, writing into `c`.
 ///
@@ -26,28 +46,25 @@ pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
     assert_eq!(a.len(), m * k, "A size mismatch");
     assert_eq!(b.len(), k * n, "B size mismatch");
     assert_eq!(c.len(), m * n, "C size mismatch");
-    c.par_chunks_mut(ROWS_PER_TASK * n)
-        .enumerate()
-        .for_each(|(chunk_idx, c_chunk)| {
-            let row0 = chunk_idx * ROWS_PER_TASK;
-            let rows = c_chunk.len() / n;
-            for r in 0..rows {
-                let a_row = &a[(row0 + r) * k..(row0 + r + 1) * k];
-                let c_row = &mut c_chunk[r * n..(r + 1) * n];
-                c_row.fill(0.0);
-                // Accumulate row · B with the k-loop outermost: each step is
-                // an axpy over a contiguous B row, which auto-vectorizes.
-                for (kk, &av) in a_row.iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let b_row = &b[kk * n..(kk + 1) * n];
-                    for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
-                        *cv += av * bv;
-                    }
-                }
-            }
+    if split_rows(m, k, n) {
+        // Each task owns MC rows of C and packs its own operand panels
+        // (thread-local buffers); re-packing B per row block costs ~1/MC
+        // of the kernel work.
+        c.par_chunks_mut(MC * n).enumerate().for_each(|(ci, chunk)| {
+            let row0 = ci * MC;
+            let rows = chunk.len() / n;
+            gemm(
+                rows,
+                k,
+                n,
+                |i, kk| a[(row0 + i) * k + kk],
+                |kk, j| b[kk * n + j],
+                &mut Store { c: chunk, ldc: n },
+            );
         });
+    } else {
+        gemm(m, k, n, |i, kk| a[i * k + kk], |kk, j| b[kk * n + j], &mut Store { c, ldc: n });
+    }
 }
 
 /// `C[m,n] = Aᵀ[m,k] · B[k,n]` where `A` is stored as `[k, m]`.
@@ -55,27 +72,22 @@ pub fn matmul_tn_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n
     assert_eq!(a.len(), k * m, "A size mismatch");
     assert_eq!(b.len(), k * n, "B size mismatch");
     assert_eq!(c.len(), m * n, "C size mismatch");
-    c.par_chunks_mut(ROWS_PER_TASK * n)
-        .enumerate()
-        .for_each(|(chunk_idx, c_chunk)| {
-            let row0 = chunk_idx * ROWS_PER_TASK;
-            let rows = c_chunk.len() / n;
-            for r in 0..rows {
-                let i = row0 + r; // output row == column of A
-                let c_row = &mut c_chunk[r * n..(r + 1) * n];
-                c_row.fill(0.0);
-                for kk in 0..k {
-                    let av = a[kk * m + i];
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let b_row = &b[kk * n..(kk + 1) * n];
-                    for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
-                        *cv += av * bv;
-                    }
-                }
-            }
+    if split_rows(m, k, n) {
+        c.par_chunks_mut(MC * n).enumerate().for_each(|(ci, chunk)| {
+            let row0 = ci * MC;
+            let rows = chunk.len() / n;
+            gemm(
+                rows,
+                k,
+                n,
+                |i, kk| a[kk * m + (row0 + i)],
+                |kk, j| b[kk * n + j],
+                &mut Store { c: chunk, ldc: n },
+            );
         });
+    } else {
+        gemm(m, k, n, |i, kk| a[kk * m + i], |kk, j| b[kk * n + j], &mut Store { c, ldc: n });
+    }
 }
 
 /// `C[m,n] = A[m,k] · Bᵀ[k,n]` where `B` is stored as `[n, k]`.
@@ -83,25 +95,22 @@ pub fn matmul_nt_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n
     assert_eq!(a.len(), m * k, "A size mismatch");
     assert_eq!(b.len(), n * k, "B size mismatch");
     assert_eq!(c.len(), m * n, "C size mismatch");
-    c.par_chunks_mut(ROWS_PER_TASK * n)
-        .enumerate()
-        .for_each(|(chunk_idx, c_chunk)| {
-            let row0 = chunk_idx * ROWS_PER_TASK;
-            let rows = c_chunk.len() / n;
-            for r in 0..rows {
-                let a_row = &a[(row0 + r) * k..(row0 + r + 1) * k];
-                let c_row = &mut c_chunk[r * n..(r + 1) * n];
-                for (j, cv) in c_row.iter_mut().enumerate() {
-                    // Dot of two contiguous rows: vectorizes well.
-                    let b_row = &b[j * k..(j + 1) * k];
-                    let mut acc = 0.0f32;
-                    for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
-                        acc += av * bv;
-                    }
-                    *cv = acc;
-                }
-            }
+    if split_rows(m, k, n) {
+        c.par_chunks_mut(MC * n).enumerate().for_each(|(ci, chunk)| {
+            let row0 = ci * MC;
+            let rows = chunk.len() / n;
+            gemm(
+                rows,
+                k,
+                n,
+                |i, kk| a[(row0 + i) * k + kk],
+                |kk, j| b[j * k + kk],
+                &mut Store { c: chunk, ldc: n },
+            );
         });
+    } else {
+        gemm(m, k, n, |i, kk| a[i * k + kk], |kk, j| b[j * k + kk], &mut Store { c, ldc: n });
+    }
 }
 
 impl Tensor {
@@ -177,7 +186,17 @@ mod tests {
     #[test]
     fn random_sizes_match_naive() {
         let mut rng = seeded_rng(7);
-        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (17, 33, 9), (40, 8, 40), (5, 64, 1)] {
+        // Includes shapes above the packed-path and parallel-split
+        // thresholds, not just tiny ones.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 2),
+            (17, 33, 9),
+            (40, 8, 40),
+            (5, 64, 1),
+            (65, 33, 70),
+            (130, 70, 129),
+        ] {
             let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
             let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
             let mut c = vec![0.0; m * n];
@@ -189,37 +208,69 @@ mod tests {
     #[test]
     fn tn_matches_explicit_transpose() {
         let mut rng = seeded_rng(8);
-        let (m, k, n) = (6, 11, 4);
-        // A stored [k, m]
-        let a: Vec<f32> = (0..k * m).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let mut at = vec![0.0; m * k];
-        for i in 0..k {
-            for j in 0..m {
-                at[j * k + i] = a[i * m + j];
+        for &(m, k, n) in &[(6, 11, 4), (129, 40, 67)] {
+            // A stored [k, m]
+            let a: Vec<f32> = (0..k * m).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut at = vec![0.0; m * k];
+            for i in 0..k {
+                for j in 0..m {
+                    at[j * k + i] = a[i * m + j];
+                }
             }
+            let mut c = vec![0.0; m * n];
+            matmul_tn_into(&a, &b, &mut c, m, k, n);
+            assert_close(&c, &naive(&at, &b, m, k, n), 1e-4);
         }
-        let mut c = vec![0.0; m * n];
-        matmul_tn_into(&a, &b, &mut c, m, k, n);
-        assert_close(&c, &naive(&at, &b, m, k, n), 1e-4);
     }
 
     #[test]
     fn nt_matches_explicit_transpose() {
         let mut rng = seeded_rng(9);
-        let (m, k, n) = (5, 7, 13);
-        let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        // B stored [n, k]
-        let b: Vec<f32> = (0..n * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let mut bt = vec![0.0; k * n];
-        for i in 0..n {
-            for j in 0..k {
-                bt[j * n + i] = b[i * k + j];
+        for &(m, k, n) in &[(5, 7, 13), (70, 50, 131)] {
+            let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            // B stored [n, k]
+            let b: Vec<f32> = (0..n * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut bt = vec![0.0; k * n];
+            for i in 0..n {
+                for j in 0..k {
+                    bt[j * n + i] = b[i * k + j];
+                }
             }
+            let mut c = vec![0.0; m * n];
+            matmul_nt_into(&a, &b, &mut c, m, k, n);
+            assert_close(&c, &naive(&a, &bt, m, k, n), 1e-4);
         }
-        let mut c = vec![0.0; m * n];
-        matmul_nt_into(&a, &b, &mut c, m, k, n);
-        assert_close(&c, &naive(&a, &bt, m, k, n), 1e-4);
+    }
+
+    #[test]
+    fn zero_times_nonfinite_propagates() {
+        // Regression: the former kernels skipped `a == 0.0` terms, so a
+        // zero row silently masked Inf/NaN in the other operand. IEEE-754
+        // (and the naive reference) say 0·∞ = NaN.
+        let m = 2;
+        let k = 3;
+        let n = 2;
+        let a_zero = vec![0.0f32; m * k];
+        let mut b_bad = vec![1.0f32; k * n];
+        b_bad[0] = f32::INFINITY;
+        b_bad[1] = f32::NAN;
+
+        let mut c = vec![0.0f32; m * n];
+        matmul_into(&a_zero, &b_bad, &mut c, m, k, n);
+        assert!(c[0].is_nan() && c[1].is_nan(), "matmul_into dropped 0·∞: {c:?}");
+
+        // TN: A stored [k, m], all zeros.
+        let mut c = vec![0.0f32; m * n];
+        matmul_tn_into(&a_zero, &b_bad, &mut c, m, k, n);
+        assert!(c[0].is_nan() && c[1].is_nan(), "matmul_tn_into dropped 0·∞: {c:?}");
+
+        // NT: B stored [n, k] with a non-finite entry against zero A.
+        let mut b_nk = vec![1.0f32; n * k];
+        b_nk[0] = f32::NEG_INFINITY;
+        let mut c = vec![0.0f32; m * n];
+        matmul_nt_into(&a_zero, &b_nk, &mut c, m, k, n);
+        assert!(c[0].is_nan(), "matmul_nt_into dropped 0·∞: {c:?}");
     }
 
     #[test]

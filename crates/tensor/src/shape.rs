@@ -21,6 +21,18 @@ impl Shape {
         Shape { dims: dims.to_vec() }
     }
 
+    /// Build a shape taking ownership of an existing dimension buffer —
+    /// the allocation-free counterpart of [`Shape::new`] used by the
+    /// workspace hot path.
+    pub fn from_vec(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+
+    /// Consume into the dimension buffer (for recycling into a pool).
+    pub fn into_vec(self) -> Vec<usize> {
+        self.dims
+    }
+
     /// Number of dimensions.
     #[inline]
     pub fn ndim(&self) -> usize {

@@ -92,6 +92,23 @@ impl Tensor {
         self.data
     }
 
+    /// Build from pre-owned storage and shape without copying either —
+    /// the allocation-free constructor used by the workspace hot path.
+    pub fn from_parts(data: Vec<f32>, shape: Shape) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "data length {} does not match shape {shape:?}",
+            data.len()
+        );
+        Tensor { data, shape }
+    }
+
+    /// Consume into storage and shape (both recyclable into a pool).
+    pub fn into_parts(self) -> (Vec<f32>, Shape) {
+        (self.data, self.shape)
+    }
+
     /// Element accessor by multi-dimensional index.
     #[inline]
     pub fn at(&self, index: &[usize]) -> f32 {

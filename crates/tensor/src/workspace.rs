@@ -1,0 +1,254 @@
+//! Reusable scratch buffers for the training hot path.
+//!
+//! Every training step of a convolutional model needs the same set of
+//! temporaries — im2col patch matrices, GEMM outputs, activation and
+//! gradient tensors. Allocating them per step puts the allocator on the
+//! hot path and fragments the heap; a [`Workspace`] instead pools the
+//! buffers so a steady-state step performs **zero** heap allocations: the
+//! first step warms the pool, later steps recycle.
+//!
+//! Usage pattern:
+//!
+//! ```
+//! use kemf_tensor::workspace::Workspace;
+//!
+//! let mut ws = Workspace::new();
+//! let buf = ws.take(1024);          // zeroed, len == 1024
+//! // ... use buf, e.g. wrap it in a Tensor ...
+//! ws.recycle(buf);                  // return for reuse
+//! assert_eq!(ws.fresh_allocations(), 1);
+//! let again = ws.take(1024);        // pool hit: no allocation
+//! assert_eq!(ws.fresh_allocations(), 1);
+//! # drop(again);
+//! ```
+//!
+//! Buffers hand ownership back and forth (`take` → `Vec`, `recycle` ←
+//! `Vec`), so a pooled buffer can become a [`crate::Tensor`] via
+//! `Tensor::from_vec` without copying and return to the pool through
+//! `Tensor::into_vec`. The pool is best-fit on capacity: recurring shapes
+//! (the steady state of training) always hit exactly.
+
+/// Size-keyed pool of scratch buffers. Not thread-safe by design — each
+/// worker (client task, model) owns its own workspace.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    f32_pool: Vec<Vec<f32>>,
+    usize_pool: Vec<Vec<usize>>,
+    fresh_f32: usize,
+    fresh_usize: usize,
+}
+
+/// Pools are bounded so a one-off huge temporary (e.g. an eval-time batch)
+/// cannot pin memory forever: buffers above this many elements are dropped
+/// on recycle once the pool holds [`MAX_POOLED_BUFFERS`] entries.
+const MAX_POOLED_BUFFERS: usize = 64;
+
+impl Workspace {
+    /// Empty workspace. Pool vectors get a small fixed capacity up front
+    /// so steady-state `recycle` never grows them.
+    pub fn new() -> Self {
+        Workspace {
+            f32_pool: Vec::with_capacity(MAX_POOLED_BUFFERS),
+            usize_pool: Vec::with_capacity(MAX_POOLED_BUFFERS),
+            fresh_f32: 0,
+            fresh_usize: 0,
+        }
+    }
+
+    /// A zeroed `f32` buffer of exactly `len` elements, reusing pooled
+    /// storage when a buffer of sufficient capacity exists (best fit).
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        match best_fit(&self.f32_pool, len) {
+            Some(idx) => {
+                let mut buf = self.f32_pool.swap_remove(idx);
+                buf.clear();
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => {
+                self.fresh_f32 += 1;
+                vec![0.0; len]
+            }
+        }
+    }
+
+    /// Return a buffer to the pool for later reuse.
+    pub fn recycle(&mut self, buf: Vec<f32>) {
+        if buf.capacity() > 0 && self.f32_pool.len() < MAX_POOLED_BUFFERS {
+            self.f32_pool.push(buf);
+        }
+    }
+
+    /// A zeroed `usize` buffer (argmax indices of pooling layers).
+    pub fn take_usize(&mut self, len: usize) -> Vec<usize> {
+        match best_fit(&self.usize_pool, len) {
+            Some(idx) => {
+                let mut buf = self.usize_pool.swap_remove(idx);
+                buf.clear();
+                buf.resize(len, 0);
+                buf
+            }
+            None => {
+                self.fresh_usize += 1;
+                vec![0; len]
+            }
+        }
+    }
+
+    /// Return an index buffer to the pool.
+    pub fn recycle_usize(&mut self, buf: Vec<usize>) {
+        if buf.capacity() > 0 && self.usize_pool.len() < MAX_POOLED_BUFFERS {
+            self.usize_pool.push(buf);
+        }
+    }
+
+    /// A zeroed pooled [`crate::Tensor`] of the given shape. Both the data
+    /// buffer and the dimension vector come from the pools, so a
+    /// steady-state `take_tensor`/[`Workspace::recycle_tensor`] cycle
+    /// performs no heap allocation at all.
+    pub fn take_tensor(&mut self, dims: &[usize]) -> crate::Tensor {
+        let numel: usize = dims.iter().product();
+        let data = self.take(numel);
+        let mut d = self.take_usize(dims.len());
+        d.copy_from_slice(dims);
+        crate::Tensor::from_parts(data, crate::Shape::from_vec(d))
+    }
+
+    /// Return a tensor's storage (data + dims) to the pools.
+    pub fn recycle_tensor(&mut self, t: crate::Tensor) {
+        let (data, shape) = t.into_parts();
+        self.recycle(data);
+        self.recycle_usize(shape.into_vec());
+    }
+
+    /// Number of `f32` buffers created fresh (pool misses) since
+    /// construction. A steady-state training step should not move this.
+    pub fn fresh_allocations(&self) -> usize {
+        self.fresh_f32
+    }
+
+    /// Pool-miss count for index buffers.
+    pub fn fresh_usize_allocations(&self) -> usize {
+        self.fresh_usize
+    }
+
+    /// Buffers currently parked in the pool.
+    pub fn pooled(&self) -> usize {
+        self.f32_pool.len() + self.usize_pool.len()
+    }
+
+    /// Drop all pooled storage (e.g. after an eval pass with odd shapes).
+    pub fn clear(&mut self) {
+        self.f32_pool.clear();
+        self.usize_pool.clear();
+    }
+}
+
+/// Index of the pooled buffer with the smallest capacity ≥ `len`.
+fn best_fit<T>(pool: &[Vec<T>], len: usize) -> Option<usize> {
+    let mut best: Option<(usize, usize)> = None;
+    for (i, buf) in pool.iter().enumerate() {
+        let cap = buf.capacity();
+        if cap >= len && best.is_none_or(|(_, c)| cap < c) {
+            best = Some((i, cap));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_zeroes_and_sizes() {
+        let mut ws = Workspace::new();
+        let mut buf = ws.take(8);
+        assert_eq!(buf.len(), 8);
+        assert!(buf.iter().all(|&v| v == 0.0));
+        buf.fill(3.0);
+        ws.recycle(buf);
+        let again = ws.take(8);
+        assert!(again.iter().all(|&v| v == 0.0), "recycled buffer must be re-zeroed");
+    }
+
+    #[test]
+    fn steady_state_does_not_allocate() {
+        let mut ws = Workspace::new();
+        for _ in 0..10 {
+            let a = ws.take(100);
+            let b = ws.take(50);
+            ws.recycle(a);
+            ws.recycle(b);
+        }
+        assert_eq!(ws.fresh_allocations(), 2, "only the warm-up step may allocate");
+    }
+
+    #[test]
+    fn best_fit_prefers_tightest_buffer() {
+        let mut ws = Workspace::new();
+        ws.recycle(Vec::with_capacity(1000));
+        ws.recycle(Vec::with_capacity(64));
+        let buf = ws.take(60);
+        assert!(buf.capacity() < 1000, "should reuse the 64-capacity buffer");
+        assert_eq!(ws.fresh_allocations(), 0);
+    }
+
+    #[test]
+    fn mismatched_sizes_fall_back_to_fresh() {
+        let mut ws = Workspace::new();
+        let a = ws.take(10);
+        ws.recycle(a);
+        let b = ws.take(10_000); // pool buffer too small
+        assert_eq!(ws.fresh_allocations(), 2);
+        assert_eq!(b.len(), 10_000);
+    }
+
+    #[test]
+    fn usize_pool_independent() {
+        let mut ws = Workspace::new();
+        let idx = ws.take_usize(16);
+        ws.recycle_usize(idx);
+        let again = ws.take_usize(16);
+        assert_eq!(again.len(), 16);
+        assert_eq!(ws.fresh_usize_allocations(), 1);
+        assert_eq!(ws.fresh_allocations(), 0);
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let mut ws = Workspace::new();
+        for _ in 0..(MAX_POOLED_BUFFERS + 10) {
+            ws.recycle(vec![0.0; 4]);
+        }
+        assert!(ws.pooled() <= MAX_POOLED_BUFFERS);
+    }
+
+    #[test]
+    fn take_tensor_is_allocation_free_at_steady_state() {
+        let mut ws = Workspace::new();
+        for step in 0..5 {
+            let t = ws.take_tensor(&[2, 3, 4, 4]);
+            assert_eq!(t.dims(), &[2, 3, 4, 4]);
+            assert!(t.data().iter().all(|&v| v == 0.0));
+            ws.recycle_tensor(t);
+            if step == 0 {
+                assert_eq!((ws.fresh_allocations(), ws.fresh_usize_allocations()), (1, 1));
+            }
+        }
+        assert_eq!(ws.fresh_allocations(), 1, "data buffer must be reused");
+        assert_eq!(ws.fresh_usize_allocations(), 1, "dims buffer must be reused");
+    }
+
+    #[test]
+    fn tensor_round_trip_reuses_storage() {
+        let mut ws = Workspace::new();
+        let buf = ws.take(12);
+        let ptr = buf.as_ptr();
+        let t = crate::Tensor::from_vec(buf, &[3, 4]);
+        ws.recycle(t.into_vec());
+        let again = ws.take(12);
+        assert_eq!(again.as_ptr(), ptr, "buffer should round-trip through Tensor unchanged");
+        assert_eq!(ws.fresh_allocations(), 1);
+    }
+}

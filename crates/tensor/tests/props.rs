@@ -2,10 +2,13 @@
 //! numeric substrate must satisfy for any input.
 
 use kemf_tensor::conv::{col2im, im2col, ConvGeom};
-use kemf_tensor::matmul::matmul_into;
+use kemf_tensor::gemm::gemm_naive;
+use kemf_tensor::matmul::{matmul_into, matmul_nt_into, matmul_tn_into};
 use kemf_tensor::ops::{softmax, sum_rows, transpose2d};
+use kemf_tensor::rng::seeded_rng;
 use kemf_tensor::Tensor;
 use proptest::prelude::*;
+use rand::Rng;
 
 fn tensor_strategy(n: usize) -> impl Strategy<Value = Vec<f32>> {
     prop::collection::vec(-4.0f32..4.0, n)
@@ -115,6 +118,51 @@ proptest! {
         for i in 0..9 {
             prop_assert!((x.data()[i] - (a[i] + alpha * b[i])).abs() < 1e-4);
         }
+    }
+
+    #[test]
+    fn packed_gemm_matches_naive_all_layouts(
+        mi in 0usize..5,
+        ki in 0usize..5,
+        ni in 0usize..5,
+        seed in 0u64..(1 << 32),
+    ) {
+        // Dimensions straddle every blocking boundary of the packed
+        // engine: microtile edges (1, 7), interior (17), exactly one
+        // macro-row-block (64), and past the parallel-split threshold
+        // guard (129 > MC).
+        const DIMS: [usize; 5] = [1, 7, 17, 64, 129];
+        let (m, k, n) = (DIMS[mi], DIMS[ki], DIMS[ni]);
+        let mut rng = seeded_rng(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+
+        let expect = gemm_naive(m, k, n, |i, kk| a[i * k + kk], |kk, j| b[kk * n + j]);
+        let mut c = vec![0.0; m * n];
+        matmul_into(&a, &b, &mut c, m, k, n);
+        kemf_tensor::assert_close(&c, &expect, 1e-4);
+
+        // Same product expressed through the TN layout (A stored [k, m])…
+        let mut a_km = vec![0.0; k * m];
+        for i in 0..m {
+            for kk in 0..k {
+                a_km[kk * m + i] = a[i * k + kk];
+            }
+        }
+        let mut c_tn = vec![0.0; m * n];
+        matmul_tn_into(&a_km, &b, &mut c_tn, m, k, n);
+        kemf_tensor::assert_close(&c_tn, &expect, 1e-4);
+
+        // …and the NT layout (B stored [n, k]).
+        let mut b_nk = vec![0.0; n * k];
+        for kk in 0..k {
+            for j in 0..n {
+                b_nk[j * k + kk] = b[kk * n + j];
+            }
+        }
+        let mut c_nt = vec![0.0; m * n];
+        matmul_nt_into(&a, &b_nk, &mut c_nt, m, k, n);
+        kemf_tensor::assert_close(&c_nt, &expect, 1e-4);
     }
 
     #[test]

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Local CI gate: exactly what a reviewer runs before merging.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings

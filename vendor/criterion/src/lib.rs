@@ -1,0 +1,210 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Real wall-clock measurement behind criterion's harness surface:
+//! `Criterion` configuration, `benchmark_group`/`bench_function`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Per benchmark it calibrates a batch size,
+//! collects `sample_size` timed batches for roughly `measurement_time`,
+//! and prints min/mean/max ns per iteration. No statistics engine, HTML
+//! reports, or saved baselines — comparisons are done by the caller (see
+//! `kemf-bench`'s kernel summary binary).
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark harness configuration.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total time budget for the timed batches.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time spent running the routine before measurement starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_bench(self, None, id, f);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+}
+
+/// A named group; benchmark ids are printed as `group/id`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let group = self.name.clone();
+        run_bench(self.criterion, Some(&group), id, f);
+        self
+    }
+
+    /// End the group (printing already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` times the routine.
+pub struct Bencher {
+    iters_per_batch: u64,
+    samples: usize,
+    warm_up: Duration,
+    /// Nanoseconds per iteration for each timed batch.
+    batch_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure a routine. Criterion's contract: call the routine many
+    /// times, timing batches, with `black_box` protection left to the
+    /// caller's argument wrapping.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: run untimed until the warm-up budget is spent, while
+        // estimating a batch size that makes one batch ≥ ~1 ms.
+        let warm_start = Instant::now();
+        let mut per_iter_est = Duration::ZERO;
+        let mut warm_iters: u32 = 0;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            let t = Instant::now();
+            black_box(f());
+            per_iter_est = t.elapsed();
+            warm_iters += 1;
+            if warm_iters > 10_000 {
+                break;
+            }
+        }
+        let per_iter_ns = per_iter_est.as_nanos().max(1) as u64;
+        self.iters_per_batch = (1_000_000 / per_iter_ns).clamp(1, 1_000_000);
+
+        self.batch_ns.clear();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..self.iters_per_batch {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            self.batch_ns
+                .push(elapsed.as_nanos() as f64 / self.iters_per_batch as f64);
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(c: &Criterion, group: Option<&str>, id: &str, mut f: F) {
+    let mut b = Bencher {
+        iters_per_batch: 1,
+        samples: c.sample_size,
+        warm_up: c.warm_up_time,
+        batch_ns: Vec::new(),
+    };
+    f(&mut b);
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if b.batch_ns.is_empty() {
+        println!("{label:<40} (no measurement: Bencher::iter never called)");
+        return;
+    }
+    let min = b.batch_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = b.batch_ns.iter().cloned().fold(0.0f64, f64::max);
+    let mean = b.batch_ns.iter().sum::<f64>() / b.batch_ns.len() as f64;
+    println!(
+        "{label:<40} time: [{:>12.1} ns {:>12.1} ns {:>12.1} ns]  ({} samples x {} iters)",
+        min, mean, max, b.batch_ns.len(), b.iters_per_batch
+    );
+}
+
+/// Define a benchmark group function (both criterion forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the benchmark `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn bench_function_times_a_routine() {
+        let mut c = quick();
+        c.bench_function("sum_1k", |b| {
+            b.iter(|| (0..1000u64).map(black_box).sum::<u64>())
+        });
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("g");
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

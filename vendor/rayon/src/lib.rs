@@ -1,0 +1,227 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build container has no network access, so the workspace vendors the
+//! parallel-iterator API subset it uses. Every `par_*` adapter returns the
+//! corresponding **sequential** std iterator: rayon's contract is that
+//! parallel iteration degrades gracefully to sequential execution, and this
+//! host exposes a single core anyway (`nproc` = 1), so the sequential
+//! schedule is also the optimal one. The thread-pool configuration types
+//! are accepted and recorded so callers (e.g. `kemf-fl::engine`) can wire
+//! `KEMF_THREADS` once and pick up real parallelism if the real crate is
+//! ever swapped back in.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static CONFIGURED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads the "pool" runs: the configured count, or 1.
+pub fn current_num_threads() -> usize {
+    CONFIGURED_THREADS.load(Ordering::Relaxed).max(1)
+}
+
+/// Index of the current worker thread inside a pool, `None` outside one.
+/// The sequential stand-in never runs inside a pool.
+pub fn current_thread_index() -> Option<usize> {
+    None
+}
+
+/// Error building a global pool (never produced by the stand-in).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Global thread-pool configuration (accepted, recorded, not spawned).
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request `n` worker threads (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Install as the global pool. Idempotent here; records the requested
+    /// width so [`current_num_threads`] reflects the configuration.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        CONFIGURED_THREADS.store(self.num_threads.max(1), Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// The `rayon::prelude` replacement: sequential `par_*` adapters.
+pub mod prelude {
+    pub use super::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelDrainRange, ParallelSlice, ParallelSliceMut,
+    };
+
+    /// Marker re-export so `use rayon::prelude::*` keeps compiling if code
+    /// names the trait object.
+    pub use super::ThreadPoolBuilder;
+}
+
+/// `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T> {
+    /// Sequential stand-in for rayon's parallel mutable chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+/// `par_chunks` on shared slices.
+pub trait ParallelSlice<T> {
+    /// Sequential stand-in for rayon's parallel chunks.
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// `par_iter` by reference.
+pub trait IntoParallelRefIterator<'data> {
+    /// Item type.
+    type Item: 'data;
+    /// Iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Sequential stand-in for rayon's `par_iter`.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = std::slice::Iter<'data, T>;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = std::slice::Iter<'data, T>;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+/// `par_iter_mut` by reference.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// Item type.
+    type Item: 'data;
+    /// Iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Sequential stand-in for rayon's `par_iter_mut`.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = &'data mut T;
+    type Iter = std::slice::IterMut<'data, T>;
+
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.iter_mut()
+    }
+}
+
+impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Item = &'data mut T;
+    type Iter = std::slice::IterMut<'data, T>;
+
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.iter_mut()
+    }
+}
+
+/// `into_par_iter` by value.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item;
+    /// Iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Sequential stand-in for rayon's `into_par_iter`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = std::ops::Range<usize>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self
+    }
+}
+
+/// `par_drain` on vectors.
+pub trait ParallelDrainRange<T> {
+    /// Sequential stand-in for rayon's `par_drain`.
+    fn par_drain(&mut self, range: std::ops::RangeFull) -> std::vec::Drain<'_, T>;
+}
+
+impl<T> ParallelDrainRange<T> for Vec<T> {
+    fn par_drain(&mut self, _range: std::ops::RangeFull) -> std::vec::Drain<'_, T> {
+        self.drain(..)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn adapters_behave_like_std() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+
+        let mut buf = [0i32; 6];
+        buf.par_chunks_mut(2).enumerate().for_each(|(i, c)| c.fill(i as i32));
+        assert_eq!(buf, [0, 0, 1, 1, 2, 2]);
+
+        let mut src = vec![10, 20];
+        let drained: Vec<i32> = src.par_drain(..).collect();
+        assert_eq!(drained, vec![10, 20]);
+        assert!(src.is_empty());
+    }
+
+    #[test]
+    fn pool_builder_records_width() {
+        super::ThreadPoolBuilder::new().num_threads(3).build_global().unwrap();
+        assert_eq!(super::current_num_threads(), 3);
+        assert_eq!(super::current_thread_index(), None);
+    }
+}

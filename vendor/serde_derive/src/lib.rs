@@ -1,0 +1,295 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits impls of the vendored `serde::Serialize` / `serde::Deserialize`
+//! value-model traits. Written against the bare `proc_macro` API (the
+//! container has no `syn`/`quote`), so it hand-parses the item token
+//! stream and emits code as strings. Supported shapes are exactly what
+//! this workspace derives on: named-field structs and enums whose
+//! variants are unit or struct-like. Tuple structs, tuple variants,
+//! generics, and `#[serde(...)]` attributes are rejected loudly rather
+//! than mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the item being derived on.
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        /// `(variant, None)` = unit variant, `(variant, Some(fields))` =
+        /// struct variant.
+        variants: Vec<(String, Option<Vec<String>>)>,
+    },
+}
+
+/// Skip attributes (`#[...]`, including doc comments) starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...) starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Field names of a `{ name: Type, ... }` body. Types are skipped with
+/// angle-bracket depth tracking so `Map<K, V>`-style commas don't split
+/// a field early.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde derive: expected field name, found `{other}`"),
+            None => break,
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => panic!("serde derive: expected `:` after field `{name}` (tuple structs unsupported)"),
+        }
+        fields.push(name);
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Parse the derive input into an [`Item`].
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde derive: generics are not supported on `{name}`")
+        }
+        other => panic!(
+            "serde derive: expected `{{ ... }}` body for `{name}` \
+             (tuple structs unsupported), found {other:?}"
+        ),
+    };
+
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => {
+            let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+            let mut variants = Vec::new();
+            let mut i = 0;
+            while i < tokens.len() {
+                i = skip_attrs(&tokens, i);
+                let vname = match tokens.get(i) {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    Some(other) => panic!("serde derive: expected variant name, found `{other}`"),
+                    None => break,
+                };
+                i += 1;
+                match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        variants.push((vname, Some(parse_named_fields(g))));
+                        i += 1;
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        panic!("serde derive: tuple variant `{name}::{vname}` unsupported")
+                    }
+                    _ => variants.push((vname, None)),
+                }
+                if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+                    if p.as_char() == ',' {
+                        i += 1;
+                    }
+                }
+            }
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// `("a".to_string(), ::serde::Serialize::to_value(EXPR))` entries joined.
+fn map_entries(fields: &[String], expr: impl Fn(&str) -> String) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(\"{f}\".to_string(), ::serde::Serialize::to_value({})),",
+                expr(f)
+            )
+        })
+        .collect()
+}
+
+/// `field: ::serde::Deserialize::from_value(::serde::get_field(MAP, "field")?)?,` joined.
+fn field_builders(fields: &[String], map_var: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(::serde::get_field({map_var}, \"{f}\")?)?,"
+            )
+        })
+        .collect()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let entries = map_entries(&fields, |f| format!("&self.{f}"));
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(vname, fields)| match fields {
+                    None => format!(
+                        "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),"
+                    ),
+                    Some(fields) => {
+                        let pat = fields.join(", ");
+                        let entries = map_entries(fields, |f| f.to_string());
+                        format!(
+                            "{name}::{vname} {{ {pat} }} => ::serde::Value::Map(vec![\
+                                 (\"{vname}\".to_string(), ::serde::Value::Map(vec![{entries}]))\
+                             ]),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("serde derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let builders = field_builders(&fields, "fields");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         let fields = v.as_map().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected map for {name}\"))?;\n\
+                         let _ = &fields;\n\
+                         Ok({name} {{ {builders} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, f)| f.is_none())
+                .map(|(vname, _)| format!("\"{vname}\" => Ok({name}::{vname}),"))
+                .collect();
+            let struct_arms: String = variants
+                .iter()
+                .filter_map(|(vname, f)| f.as_ref().map(|fields| (vname, fields)))
+                .map(|(vname, fields)| {
+                    let builders = field_builders(fields, "fields");
+                    format!(
+                        "\"{vname}\" => {{\n\
+                             let fields = inner.as_map().ok_or_else(|| \
+                                 ::serde::DeError::custom(\"expected map for {name}::{vname}\"))?;\n\
+                             let _ = &fields;\n\
+                             Ok({name}::{vname} {{ {builders} }})\n\
+                         }},"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => Err(::serde::DeError::custom(&format!(\
+                                     \"unknown unit variant `{{other}}` for {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, inner) = &entries[0];\n\
+                                 let _ = &inner;\n\
+                                 match tag.as_str() {{\n\
+                                     {struct_arms}\n\
+                                     other => Err(::serde::DeError::custom(&format!(\
+                                         \"unknown variant `{{other}}` for {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => Err(::serde::DeError::custom(\"expected variant tag for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("serde derive: generated Deserialize impl parses")
+}
