@@ -17,7 +17,6 @@ fn main() {
     apply_overrides(&mut spec, &args);
     let (ch, hw) = spec.workload.shape();
     let (ctx, task) = spec.build_ctx();
-    let sampled = ctx.cfg.sampled_per_round();
     let net = NetworkModel::cellular_4g();
 
     let knowledge =
@@ -53,7 +52,7 @@ fn main() {
             fmt_pct(h.best_accuracy()),
             fmt_pct(h.converged_accuracy(3)),
             fmt_bytes(h.total_bytes() as f64),
-            format!("{:.1}s", net.history_comm_time(&h, sampled)),
+            format!("{:.1}s", net.history_comm_time(&h)),
         ]);
     }
     table.emit("hetero_baselines");

@@ -120,6 +120,7 @@ impl ExperimentSpec {
             min_per_client: (self.samples_per_client / 5).max(4),
             eval_batch: 64,
             dropout_prob: 0.0,
+            faults: FaultConfig::default(),
             seed: self.seed,
         };
         (FlContext::new(cfg, &train, test), task)

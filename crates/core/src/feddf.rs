@@ -9,6 +9,7 @@
 use crate::distill::{distill_ensemble, DistillConfig};
 use kemf_fl::context::FlContext;
 use kemf_fl::engine::{FedAlgorithm, RoundOutcome};
+use kemf_fl::lifecycle::WirePayload;
 use kemf_fl::local::LocalCfg;
 use kemf_fl::weight_common::{fan_out_clients, mean_loss, GlobalModel};
 use kemf_nn::model::Model;
@@ -39,6 +40,10 @@ impl FedAlgorithm for FedDf {
     }
 
     fn init(&mut self, _ctx: &FlContext) {}
+
+    fn payload_per_client(&self) -> WirePayload {
+        WirePayload::symmetric(self.global.payload_bytes())
+    }
 
     fn round(&mut self, round: usize, sampled: &[usize], ctx: &FlContext) -> RoundOutcome {
         let local = LocalCfg {
@@ -72,8 +77,7 @@ impl FedAlgorithm for FedDf {
         let seed = child_seed(ctx.cfg.seed, 0xDF ^ round as u64);
         let _ = distill_ensemble(&mut student, &mut teachers, &self.pool, &self.distill, seed);
         self.global.state = student.state();
-        let payload = self.global.payload_bytes() * sampled.len() as u64;
-        RoundOutcome { down_bytes: payload, up_bytes: payload, train_loss: mean_loss(&results) }
+        RoundOutcome { train_loss: mean_loss(&results) }
     }
 
     fn evaluate(&mut self, ctx: &FlContext) -> f32 {

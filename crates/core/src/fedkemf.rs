@@ -15,6 +15,7 @@ use crate::dml::{dml_local_update, DmlConfig};
 use crate::fusion::{weight_average_fusion, FusionMode};
 use kemf_fl::context::FlContext;
 use kemf_fl::engine::{FedAlgorithm, RoundOutcome};
+use kemf_fl::lifecycle::WirePayload;
 use kemf_fl::local::{local_train, LocalCfg};
 use kemf_data::dataset::Dataset;
 use kemf_nn::model::Model;
@@ -159,6 +160,11 @@ impl FedAlgorithm for FedKemf {
             .collect();
     }
 
+    fn payload_per_client(&self) -> WirePayload {
+        // Only the tiny knowledge network crosses the wire, each way.
+        WirePayload::symmetric(self.payload_bytes())
+    }
+
     fn round(&mut self, round: usize, sampled: &[usize], ctx: &FlContext) -> RoundOutcome {
         let ramp = if self.cfg.kl_warmup_rounds == 0 {
             1.0
@@ -241,8 +247,7 @@ impl FedAlgorithm for FedKemf {
                 self.global_knowledge = weight_average_fusion(&states, &sample_counts);
             }
         }
-        let payload = self.payload_bytes() * sampled.len() as u64;
-        RoundOutcome { down_bytes: payload, up_bytes: payload, train_loss }
+        RoundOutcome { train_loss }
     }
 
     fn evaluate(&mut self, ctx: &FlContext) -> f32 {

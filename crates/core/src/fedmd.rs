@@ -18,6 +18,7 @@
 use kemf_data::dataset::Dataset;
 use kemf_fl::context::FlContext;
 use kemf_fl::engine::{FedAlgorithm, RoundOutcome};
+use kemf_fl::lifecycle::WirePayload;
 use kemf_fl::local::{local_train, LocalCfg};
 use kemf_nn::loss::kl_to_target;
 use kemf_nn::model::Model;
@@ -123,6 +124,11 @@ impl FedAlgorithm for FedMd {
         self.local_models = self.client_specs.iter().map(|s| Some(Model::new(*s))).collect();
     }
 
+    fn payload_per_client(&self) -> WirePayload {
+        // The logit matrix on the public set, each way.
+        WirePayload::symmetric(self.payload_bytes())
+    }
+
     fn round(&mut self, round: usize, sampled: &[usize], ctx: &FlContext) -> RoundOutcome {
         let local = LocalCfg {
             epochs: ctx.cfg.local_epochs,
@@ -165,12 +171,7 @@ impl FedAlgorithm for FedMd {
         }
         let refs: Vec<&Tensor> = member_logits.iter().collect();
         self.consensus = Some(elementwise_mean(&refs));
-        let payload = self.payload_bytes() * sampled.len() as u64;
-        RoundOutcome {
-            down_bytes: payload,
-            up_bytes: payload,
-            train_loss: loss_sum / member_logits.len().max(1) as f32,
-        }
+        RoundOutcome { train_loss: loss_sum / member_logits.len().max(1) as f32 }
     }
 
     /// FedMD has no global model; report the mean client accuracy on the

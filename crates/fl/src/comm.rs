@@ -8,15 +8,17 @@
 //! measured bytes of a live run; [`CostModel`] reproduces the paper's
 //! closed-form arithmetic for the tables.
 
+use crate::lifecycle::RoundComm;
 use serde::{Deserialize, Serialize};
 
-/// Running byte counters of a federated training run.
+/// Running per-phase byte counters of a federated training run. Each
+/// round records the honest lifecycle split: downlink over the full
+/// broadcast set, uplink over accepted reports, and wasted uplink from
+/// failed upload attempts.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct CommTracker {
-    /// Downlink bytes per round (server → all sampled clients).
-    pub down_per_round: Vec<u64>,
-    /// Uplink bytes per round (all sampled clients → server).
-    pub up_per_round: Vec<u64>,
+    /// Per-round lifecycle byte accounting.
+    pub per_round: Vec<RoundComm>,
 }
 
 impl CommTracker {
@@ -25,28 +27,49 @@ impl CommTracker {
         Self::default()
     }
 
-    /// Record one round's traffic.
+    /// Record one round's traffic when only direction totals are known
+    /// (no lifecycle detail — client counts are left zero).
     pub fn record(&mut self, down: u64, up: u64) {
-        self.down_per_round.push(down);
-        self.up_per_round.push(up);
+        self.record_round(RoundComm { down_bytes: down, up_bytes: up, ..Default::default() });
+    }
+
+    /// Record one round's full lifecycle accounting.
+    pub fn record_round(&mut self, comm: RoundComm) {
+        self.per_round.push(comm);
     }
 
     /// Rounds recorded.
     pub fn rounds(&self) -> usize {
-        self.down_per_round.len()
+        self.per_round.len()
     }
 
-    /// Total bytes in both directions.
+    /// Total downlink bytes (server → broadcast sets).
+    pub fn down_total(&self) -> u64 {
+        self.per_round.iter().map(|r| r.down_bytes).sum()
+    }
+
+    /// Total accepted uplink bytes (completed uploads only).
+    pub fn up_total(&self) -> u64 {
+        self.per_round.iter().map(|r| r.up_bytes).sum()
+    }
+
+    /// Total wasted uplink bytes (failed upload attempts).
+    pub fn wasted_total(&self) -> u64 {
+        self.per_round.iter().map(|r| r.wasted_up_bytes).sum()
+    }
+
+    /// Total bytes that crossed the network in either direction,
+    /// including wasted upload attempts — the honest traffic bill.
     pub fn total(&self) -> u64 {
-        self.down_per_round.iter().sum::<u64>() + self.up_per_round.iter().sum::<u64>()
+        self.down_total() + self.up_total() + self.wasted_total()
     }
 
     /// Cumulative bytes after each round.
     pub fn cumulative(&self) -> Vec<u64> {
         let mut out = Vec::with_capacity(self.rounds());
         let mut acc = 0u64;
-        for (d, u) in self.down_per_round.iter().zip(self.up_per_round.iter()) {
-            acc += d + u;
+        for r in &self.per_round {
+            acc += r.down_bytes + r.up_bytes + r.wasted_up_bytes;
             out.push(acc);
         }
         out
@@ -98,6 +121,23 @@ mod tests {
         assert_eq!(t.rounds(), 2);
         assert_eq!(t.total(), 420);
         assert_eq!(t.cumulative(), vec![150, 420]);
+        assert_eq!(t.down_total(), 300);
+        assert_eq!(t.up_total(), 120);
+    }
+
+    #[test]
+    fn tracker_counts_wasted_uplink() {
+        let mut t = CommTracker::new();
+        t.record_round(RoundComm {
+            down_bytes: 100,
+            up_bytes: 60,
+            wasted_up_bytes: 20,
+            down_clients: 5,
+            up_clients: 3,
+        });
+        assert_eq!(t.total(), 180, "wasted attempts are real traffic");
+        assert_eq!(t.wasted_total(), 20);
+        assert_eq!(t.cumulative(), vec![180]);
     }
 
     #[test]

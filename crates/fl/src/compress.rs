@@ -3,6 +3,11 @@
 //! quantization, which the paper cites among communication-efficiency
 //! work). Orthogonal to FedKEMF's knowledge-network idea — the harness
 //! can stack the two and measure combined savings.
+//!
+//! A [`QuantizedWeights`] is wire data: it may arrive truncated or
+//! corrupted from an unreliable client, so decoding validates the
+//! structure and returns a [`CompressError`] instead of indexing out of
+//! bounds.
 
 use kemf_nn::serialize::Weights;
 use serde::{Deserialize, Serialize};
@@ -23,13 +28,63 @@ pub struct QuantizedWeights {
     pub lens: Vec<usize>,
 }
 
+/// Why a quantized payload could not be encoded or decoded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompressError {
+    /// Chunk length of zero — no block structure to decode.
+    ZeroChunk,
+    /// The number of per-chunk headers does not match the code count.
+    ChunkMismatch {
+        /// Chunks implied by `codes.len()` and `chunk`.
+        expected: usize,
+        /// `scales.len()` actually present.
+        scales: usize,
+        /// `offsets.len()` actually present.
+        offsets: usize,
+    },
+    /// `lens` does not partition the decoded values.
+    LenMismatch {
+        /// Sum of the declared per-parameter lengths.
+        lens_total: usize,
+        /// Number of codes actually present.
+        codes: usize,
+    },
+    /// A scale or offset is NaN/infinite, or input weights were.
+    NonFinite,
+}
+
+impl std::fmt::Display for CompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompressError::ZeroChunk => write!(f, "chunk length must be positive"),
+            CompressError::ChunkMismatch { expected, scales, offsets } => write!(
+                f,
+                "expected {expected} chunk headers, got {scales} scales / {offsets} offsets"
+            ),
+            CompressError::LenMismatch { lens_total, codes } => {
+                write!(f, "lens sum to {lens_total} but payload has {codes} codes")
+            }
+            CompressError::NonFinite => write!(f, "non-finite value in payload"),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
 /// Quantization chunk size: per-chunk ranges adapt to local weight
 /// magnitudes (layers differ by orders of magnitude).
 pub const DEFAULT_CHUNK: usize = 256;
 
-/// Quantize a snapshot to int8 with per-chunk affine ranges.
-pub fn quantize(w: &Weights, chunk: usize) -> QuantizedWeights {
-    assert!(chunk > 0, "chunk must be positive");
+/// Quantize a snapshot to int8 with per-chunk affine ranges. Rejects a
+/// zero chunk length and non-finite weights (a NaN would poison the
+/// chunk's range and decode as garbage on every peer).
+pub fn quantize(w: &Weights, chunk: usize) -> Result<QuantizedWeights, CompressError> {
+    if chunk == 0 {
+        return Err(CompressError::ZeroChunk);
+    }
+    if w.values.iter().any(|v| !v.is_finite()) {
+        return Err(CompressError::NonFinite);
+    }
     let mut codes = Vec::with_capacity(w.values.len());
     let mut scales = Vec::new();
     let mut offsets = Vec::new();
@@ -45,11 +100,14 @@ pub fn quantize(w: &Weights, chunk: usize) -> QuantizedWeights {
             codes.push(code as i8);
         }
     }
-    QuantizedWeights { codes, scales, offsets, chunk, lens: w.lens.clone() }
+    Ok(QuantizedWeights { codes, scales, offsets, chunk, lens: w.lens.clone() })
 }
 
-/// Reconstruct an approximate snapshot.
-pub fn dequantize(q: &QuantizedWeights) -> Weights {
+/// Reconstruct an approximate snapshot. Validates the payload first —
+/// a truncated or corrupted [`QuantizedWeights`] returns an error
+/// instead of panicking out of bounds in the server loop.
+pub fn dequantize(q: &QuantizedWeights) -> Result<Weights, CompressError> {
+    q.validate()?;
     let mut values = Vec::with_capacity(q.codes.len());
     for (bi, block) in q.codes.chunks(q.chunk).enumerate() {
         let scale = q.scales[bi];
@@ -58,10 +116,35 @@ pub fn dequantize(q: &QuantizedWeights) -> Weights {
             values.push(lo + ((c as i32 + 128) as f32) * scale);
         }
     }
-    Weights { values, lens: q.lens.clone() }
+    Ok(Weights { values, lens: q.lens.clone() })
 }
 
 impl QuantizedWeights {
+    /// Check structural integrity: chunk length positive, exactly one
+    /// `(scale, offset)` header per chunk of codes, finite headers, and
+    /// `lens` partitioning the codes.
+    pub fn validate(&self) -> Result<(), CompressError> {
+        if self.chunk == 0 {
+            return Err(CompressError::ZeroChunk);
+        }
+        let expected = self.codes.len().div_ceil(self.chunk);
+        if self.scales.len() != expected || self.offsets.len() != expected {
+            return Err(CompressError::ChunkMismatch {
+                expected,
+                scales: self.scales.len(),
+                offsets: self.offsets.len(),
+            });
+        }
+        if self.scales.iter().chain(self.offsets.iter()).any(|v| !v.is_finite()) {
+            return Err(CompressError::NonFinite);
+        }
+        let lens_total: usize = self.lens.iter().sum();
+        if lens_total != self.codes.len() {
+            return Err(CompressError::LenMismatch { lens_total, codes: self.codes.len() });
+        }
+        Ok(())
+    }
+
     /// Wire size in bytes: one byte per scalar plus the per-chunk header.
     pub fn bytes(&self) -> usize {
         self.codes.len() + 8 * self.scales.len()
@@ -97,8 +180,8 @@ mod tests {
     #[test]
     fn roundtrip_error_bounded_by_half_step() {
         let w = snapshot();
-        let q = quantize(&w, DEFAULT_CHUNK);
-        let restored = dequantize(&q);
+        let q = quantize(&w, DEFAULT_CHUNK).unwrap();
+        let restored = dequantize(&q).unwrap();
         assert_eq!(restored.values.len(), w.values.len());
         assert_eq!(restored.lens, w.lens);
         let max_scale = q.scales.iter().copied().fold(0.0f32, f32::max);
@@ -109,7 +192,7 @@ mod tests {
     #[test]
     fn achieves_near_4x_compression() {
         let w = snapshot();
-        let q = quantize(&w, DEFAULT_CHUNK);
+        let q = quantize(&w, DEFAULT_CHUNK).unwrap();
         assert!(q.ratio() > 3.5, "ratio {}", q.ratio());
         assert!(q.bytes() < w.bytes() / 3);
     }
@@ -121,8 +204,8 @@ mod tests {
         let mut rng = kemf_tensor::rng::seeded_rng(5);
         let x = kemf_tensor::Tensor::randn(&[8, 1, 12, 12], 1.0, &mut rng);
         let before = m.predict(&x);
-        let q = quantize(&m.weights(), DEFAULT_CHUNK);
-        m.set_weights(&dequantize(&q));
+        let q = quantize(&m.weights(), DEFAULT_CHUNK).unwrap();
+        m.set_weights(&dequantize(&q).unwrap());
         let after = m.predict(&x);
         // Top-1 decisions should rarely flip on an untrained net's margins;
         // logits must stay numerically close.
@@ -138,16 +221,55 @@ mod tests {
     #[test]
     fn constant_block_quantizes_exactly() {
         let w = Weights { values: vec![0.25; 100], lens: vec![100] };
-        let restored = dequantize(&quantize(&w, 32));
+        let restored = dequantize(&quantize(&w, 32).unwrap()).unwrap();
         kemf_tensor::assert_close(&restored.values, &w.values, 1e-6);
     }
 
     #[test]
     fn ragged_tail_chunk_handled() {
         let w = Weights { values: (0..77).map(|i| i as f32 / 10.0).collect(), lens: vec![77] };
-        let q = quantize(&w, 32);
+        let q = quantize(&w, 32).unwrap();
         assert_eq!(q.scales.len(), 3);
-        let restored = dequantize(&q);
+        let restored = dequantize(&q).unwrap();
         assert!(max_abs_error(&w, &restored) < 0.05);
+    }
+
+    #[test]
+    fn quantize_rejects_bad_input() {
+        let w = Weights { values: vec![1.0, f32::NAN], lens: vec![2] };
+        assert_eq!(quantize(&w, 32).unwrap_err(), CompressError::NonFinite);
+        let w = Weights { values: vec![1.0, f32::INFINITY], lens: vec![2] };
+        assert_eq!(quantize(&w, 32).unwrap_err(), CompressError::NonFinite);
+        let ok = Weights { values: vec![1.0, 2.0], lens: vec![2] };
+        assert_eq!(quantize(&ok, 0).unwrap_err(), CompressError::ZeroChunk);
+    }
+
+    #[test]
+    fn dequantize_rejects_corrupt_payloads() {
+        let w = Weights { values: (0..64).map(|i| i as f32).collect(), lens: vec![64] };
+        let good = quantize(&w, 16).unwrap();
+
+        // Truncated header vector: used to index out of bounds.
+        let mut q = good.clone();
+        q.scales.pop();
+        assert!(matches!(dequantize(&q), Err(CompressError::ChunkMismatch { .. })));
+
+        // Zero chunk: used to panic inside `chunks(0)`.
+        let mut q = good.clone();
+        q.chunk = 0;
+        assert_eq!(dequantize(&q).unwrap_err(), CompressError::ZeroChunk);
+
+        // Lens that no longer partition the payload.
+        let mut q = good.clone();
+        q.lens = vec![63];
+        assert!(matches!(dequantize(&q), Err(CompressError::LenMismatch { .. })));
+
+        // A NaN header smuggled past quantization.
+        let mut q = good.clone();
+        q.offsets[0] = f32::NAN;
+        assert_eq!(dequantize(&q).unwrap_err(), CompressError::NonFinite);
+
+        // The untouched payload still decodes.
+        assert!(dequantize(&good).is_ok());
     }
 }

@@ -1,5 +1,6 @@
 //! Federated-learning run configuration.
 
+use crate::lifecycle::FaultConfig;
 use kemf_nn::optim::{LrSchedule, SgdConfig};
 use serde::{Deserialize, Serialize};
 
@@ -30,10 +31,14 @@ pub struct FlConfig {
     pub min_per_client: usize,
     /// Evaluation batch size.
     pub eval_batch: usize,
-    /// Probability that a sampled client drops out of the round before
-    /// reporting (stragglers, crashes, lost connectivity). 0 = reliable
-    /// clients. At least one sampled client always survives.
+    /// Legacy single-knob failure injection: probability that a sampled
+    /// client crashes after downloading the global state but before
+    /// reporting. Folded into [`FaultConfig::drop_after_download`] by
+    /// [`FlConfig::fault_plan`]; prefer setting `faults` directly.
     pub dropout_prob: f32,
+    /// Lifecycle fault model (per-phase drops, stragglers, upload
+    /// retries, quorum). Defaults to a fully reliable fleet.
+    pub faults: FaultConfig,
     /// Master seed for sampling, partitioning, and initialization.
     pub seed: u64,
 }
@@ -54,6 +59,7 @@ impl Default for FlConfig {
             min_per_client: 8,
             eval_batch: 64,
             dropout_prob: 0.0,
+            faults: FaultConfig::default(),
             seed: 0,
         }
     }
@@ -76,6 +82,19 @@ impl FlConfig {
         }
     }
 
+    /// The effective lifecycle fault model: `faults`, with the legacy
+    /// `dropout_prob` knob folded into the after-download crash
+    /// probability (independent events, so probabilities combine as
+    /// `1 − (1−a)(1−b)`).
+    pub fn fault_plan(&self) -> FaultConfig {
+        let mut faults = self.faults;
+        if self.dropout_prob > 0.0 {
+            faults.drop_after_download =
+                1.0 - (1.0 - faults.drop_after_download) * (1.0 - self.dropout_prob);
+        }
+        faults
+    }
+
     /// Panic if the configuration is inconsistent.
     pub fn validate(&self) {
         assert!(self.n_clients > 0, "need at least one client");
@@ -91,6 +110,13 @@ impl FlConfig {
         assert!(
             (0.0..1.0).contains(&self.dropout_prob),
             "dropout probability must be in [0, 1)"
+        );
+        self.faults.validate();
+        assert!(
+            self.faults.min_quorum <= self.sampled_per_round(),
+            "min_quorum {} can never be met with {} sampled clients per round",
+            self.faults.min_quorum,
+            self.sampled_per_round()
         );
     }
 }
@@ -129,5 +155,31 @@ mod tests {
     #[test]
     fn default_is_valid() {
         FlConfig::default().validate();
+    }
+
+    #[test]
+    fn legacy_dropout_folds_into_fault_plan() {
+        let cfg = FlConfig { dropout_prob: 0.5, ..Default::default() };
+        assert!((cfg.fault_plan().drop_after_download - 0.5).abs() < 1e-6);
+        // Combined with an explicit after-download probability the two
+        // crash sources compose as independent events.
+        let cfg = FlConfig {
+            dropout_prob: 0.5,
+            faults: FaultConfig { drop_after_download: 0.5, ..Default::default() },
+            ..Default::default()
+        };
+        assert!((cfg.fault_plan().drop_after_download - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn validate_rejects_unreachable_quorum() {
+        FlConfig {
+            n_clients: 10,
+            sample_ratio: 0.4,
+            faults: FaultConfig { min_quorum: 5, ..Default::default() },
+            ..Default::default()
+        }
+        .validate();
     }
 }

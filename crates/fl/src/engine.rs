@@ -1,21 +1,22 @@
-//! The federated round loop: client sampling, per-round execution,
-//! evaluation, and history recording — generic over [`FedAlgorithm`].
+//! The federated round loop: client sampling, fault-aware per-round
+//! lifecycle execution, evaluation, and history recording — generic over
+//! [`FedAlgorithm`].
 
 use crate::comm::CommTracker;
 use crate::context::FlContext;
+use crate::lifecycle::{plan_round, FaultConfig, RoundPlan, WirePayload};
 use crate::metrics::{History, RoundRecord};
 use kemf_tensor::rng::{child_seed, seeded_rng};
 use rand::seq::SliceRandom;
 use rand::rngs::StdRng;
 
-/// What one communication round reports back to the engine.
+/// What one communication round reports back to the engine. Byte
+/// accounting no longer lives here: the engine derives it from the
+/// round's lifecycle plan and [`FedAlgorithm::payload_per_client`], so
+/// algorithms cannot under-count clients that failed mid-round.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RoundOutcome {
-    /// Bytes the server sent to sampled clients this round.
-    pub down_bytes: u64,
-    /// Bytes sampled clients sent to the server this round.
-    pub up_bytes: u64,
-    /// Mean local training loss across sampled clients.
+    /// Mean local training loss across reporting clients.
     pub train_loss: f32,
 }
 
@@ -27,7 +28,13 @@ pub trait FedAlgorithm: Send {
     /// One-time setup before round 0 (allocate per-client state, ...).
     fn init(&mut self, ctx: &FlContext);
 
-    /// Execute one communication round over the sampled client indices.
+    /// Bytes a single client transfers this round, per direction. The
+    /// engine multiplies downlink by the broadcast set and uplink by the
+    /// completed-upload set, so per-phase failures are charged honestly.
+    fn payload_per_client(&self) -> WirePayload;
+
+    /// Execute one communication round over the client indices whose
+    /// full lifecycle (download → train → upload) succeeded.
     fn round(&mut self, round: usize, sampled: &[usize], ctx: &FlContext) -> RoundOutcome;
 
     /// Evaluate the current global model on the held-out test set.
@@ -53,9 +60,10 @@ pub fn sample_clients(n_clients: usize, count: usize, rng: &mut StdRng) -> Vec<u
     ids
 }
 
-/// Failure injection: drop each sampled client with probability
-/// `dropout_prob`, keeping at least one survivor (a round with zero
-/// reporting clients would stall every aggregation rule).
+/// Legacy single-knob failure injection: drop each sampled client with
+/// probability `dropout_prob`, keeping at least one survivor. Superseded
+/// by the lifecycle executor ([`FaultConfig`] models *where* in the round
+/// a client fails); kept for callers that only need a thinned set.
 pub fn apply_dropout(sampled: &[usize], dropout_prob: f32, rng: &mut StdRng) -> Vec<usize> {
     if dropout_prob <= 0.0 {
         return sampled.to_vec();
@@ -94,29 +102,70 @@ pub fn init_thread_pool() -> usize {
     })
 }
 
-/// Run a full federated training session and return its history.
+/// Run a full federated training session and return its history. Fault
+/// injection comes from the context's config ([`crate::config::FlConfig::fault_plan`]).
 pub fn run(algo: &mut dyn FedAlgorithm, ctx: &FlContext) -> History {
+    let faults = ctx.cfg.fault_plan();
+    run_with_faults(algo, ctx, &faults)
+}
+
+/// Run a session under an explicit fault model.
+pub fn run_with_faults(
+    algo: &mut dyn FedAlgorithm,
+    ctx: &FlContext,
+    faults: &FaultConfig,
+) -> History {
+    run_traced(algo, ctx, faults).0
+}
+
+/// Run a session and also return each round's lifecycle plan, for
+/// wall-clock simulation ([`crate::network::NetworkModel::lifecycle_round_time`])
+/// and fault post-mortems.
+pub fn run_traced(
+    algo: &mut dyn FedAlgorithm,
+    ctx: &FlContext,
+    faults: &FaultConfig,
+) -> (History, Vec<RoundPlan>) {
     init_thread_pool();
+    faults.validate();
     algo.init(ctx);
     let mut history = History::new(algo.name());
     let mut comm = CommTracker::new();
+    let mut plans = Vec::with_capacity(ctx.cfg.rounds);
     let mut rng = seeded_rng(child_seed(ctx.cfg.seed, 0x5A4D_504C)); // "SMPL"
-    let mut drop_rng = seeded_rng(child_seed(ctx.cfg.seed, 0xD209));
+    let mut fault_rng = seeded_rng(child_seed(ctx.cfg.seed, 0xD209));
     let per_round = ctx.cfg.sampled_per_round();
     for round in 0..ctx.cfg.rounds {
         let sampled = sample_clients(ctx.cfg.n_clients, per_round, &mut rng);
-        let sampled = apply_dropout(&sampled, ctx.cfg.dropout_prob, &mut drop_rng);
-        let out = algo.round(round, &sampled, ctx);
-        comm.record(out.down_bytes, out.up_bytes);
+        let plan = plan_round(&sampled, faults, &mut fault_rng);
+        let round_comm = plan.comm(algo.payload_per_client());
+        let reporters = plan.reporters();
+        let quorum_met = plan.quorum_met();
+        // Quorum failure: the broadcast (and any stray uploads) already
+        // cost bytes, but the server discards the round — the algorithm
+        // never runs and the previous global state carries over.
+        let train_loss = if quorum_met {
+            algo.round(round, &reporters, ctx).train_loss
+        } else {
+            0.0
+        };
+        comm.record_round(round_comm);
         let acc = algo.evaluate(ctx);
         history.push(RoundRecord {
             round,
             test_acc: acc,
-            train_loss: out.train_loss,
+            train_loss,
             cum_bytes: comm.total(),
+            down_bytes: round_comm.down_bytes,
+            up_bytes: round_comm.up_bytes,
+            wasted_up_bytes: round_comm.wasted_up_bytes,
+            down_clients: round_comm.down_clients,
+            up_clients: round_comm.up_clients,
+            quorum_met,
         });
+        plans.push(plan);
     }
-    history
+    (history, plans)
 }
 
 #[cfg(test)]
@@ -135,9 +184,12 @@ mod tests {
             "dummy".into()
         }
         fn init(&mut self, _ctx: &FlContext) {}
+        fn payload_per_client(&self) -> WirePayload {
+            WirePayload { down_bytes: 10, up_bytes: 5 }
+        }
         fn round(&mut self, _round: usize, sampled: &[usize], _ctx: &FlContext) -> RoundOutcome {
             self.rounds_seen.push(sampled.to_vec());
-            RoundOutcome { down_bytes: 10, up_bytes: 5, train_loss: 1.0 }
+            RoundOutcome { train_loss: 1.0 }
         }
         fn evaluate(&mut self, _ctx: &FlContext) -> f32 {
             self.evals += 1;
@@ -166,12 +218,21 @@ mod tests {
         let h = run(&mut algo, &ctx);
         assert_eq!(h.rounds(), 4);
         assert_eq!(algo.evals, 4);
-        assert_eq!(h.total_bytes(), 4 * 15);
+        // 3 clients per round, each charged 10 down + 5 up.
+        assert_eq!(h.total_bytes(), 4 * 3 * 15);
         // 6 clients × 0.5 = 3 sampled per round, unique and in range.
         for s in &algo.rounds_seen {
             assert_eq!(s.len(), 3);
             assert!(s.windows(2).all(|w| w[0] < w[1]));
             assert!(s.iter().all(|&k| k < 6));
+        }
+        // Per-round records carry the per-phase split.
+        for r in &h.records {
+            assert_eq!(r.down_bytes, 30);
+            assert_eq!(r.up_bytes, 15);
+            assert_eq!(r.wasted_up_bytes, 0);
+            assert_eq!((r.down_clients, r.up_clients), (3, 3));
+            assert!(r.quorum_met);
         }
     }
 
@@ -210,16 +271,93 @@ mod tests {
     }
 
     #[test]
+    fn dropout_charges_full_broadcast_but_thinned_uplink() {
+        let mut ctx = tiny_ctx();
+        ctx.cfg.dropout_prob = 0.5;
+        let mut algo = Dummy { evals: 0, rounds_seen: Vec::new() };
+        let h = run(&mut algo, &ctx);
+        assert_eq!(h.rounds(), 4);
+        let mut dropped_any = false;
+        for (r, s) in h.records.iter().zip(&algo.rounds_seen) {
+            // The crash happens after download: downlink covers the full
+            // broadcast set regardless of who survives.
+            assert_eq!(r.down_clients, 3);
+            assert_eq!(r.down_bytes, 3 * 10);
+            // Uplink covers exactly the survivors the algorithm saw.
+            assert_eq!(r.up_clients, s.len());
+            assert_eq!(r.up_bytes, s.len() as u64 * 5);
+            dropped_any |= s.len() < 3;
+        }
+        assert!(dropped_any, "seeded 50% dropout should thin at least one round");
+    }
+
+    #[test]
     fn engine_runs_with_heavy_dropout() {
         let mut ctx = tiny_ctx();
         ctx.cfg.dropout_prob = 0.8;
         let mut algo = Dummy { evals: 0, rounds_seen: Vec::new() };
         let h = run(&mut algo, &ctx);
         assert_eq!(h.rounds(), 4);
+        // Rounds where everyone crashed abort on quorum and never reach
+        // the algorithm; the rest see only survivors.
+        let aborted = h.records.iter().filter(|r| !r.quorum_met).count();
+        assert_eq!(algo.rounds_seen.len() + aborted, 4);
         for s in &algo.rounds_seen {
-            assert!(!s.is_empty(), "every round keeps at least one client");
+            assert!(!s.is_empty());
             assert!(s.len() <= 3);
         }
+    }
+
+    #[test]
+    fn quorum_failure_skips_algorithm_but_charges_broadcast() {
+        let ctx = tiny_ctx();
+        let faults = FaultConfig {
+            drop_after_download: 0.95,
+            min_quorum: 3,
+            ..Default::default()
+        };
+        let mut algo = Dummy { evals: 0, rounds_seen: Vec::new() };
+        let h = run_with_faults(&mut algo, &ctx, &faults);
+        assert_eq!(h.rounds(), 4);
+        assert_eq!(algo.evals, 4, "evaluation still happens every round");
+        let aborted: Vec<_> = h.records.iter().filter(|r| !r.quorum_met).collect();
+        assert!(!aborted.is_empty(), "95% dropout cannot sustain a 3-client quorum");
+        for r in &aborted {
+            assert_eq!(r.down_bytes, 30, "broadcast bytes charged even when aborted");
+            assert!(r.up_clients < 3);
+            assert_eq!(r.train_loss, 0.0);
+        }
+        assert_eq!(
+            algo.rounds_seen.len(),
+            h.records.iter().filter(|r| r.quorum_met).count()
+        );
+    }
+
+    #[test]
+    fn traced_run_exposes_lifecycle_plans() {
+        let ctx = tiny_ctx();
+        let faults = FaultConfig { drop_after_download: 0.4, ..Default::default() };
+        let mut algo = Dummy { evals: 0, rounds_seen: Vec::new() };
+        let (h, plans) = run_traced(&mut algo, &ctx, &faults);
+        assert_eq!(plans.len(), 4);
+        for (r, plan) in h.records.iter().zip(&plans) {
+            assert_eq!(r.down_clients, plan.broadcast_count());
+            assert_eq!(r.up_clients, plan.reporters().len());
+        }
+    }
+
+    #[test]
+    fn faultless_run_is_identical_to_legacy_engine() {
+        // The no-fault path must not consume fault randomness or alter
+        // sampling: run() with default faults and run_with_faults(reliable)
+        // agree exactly, including per-round byte records.
+        let ctx = tiny_ctx();
+        let mut a = Dummy { evals: 0, rounds_seen: Vec::new() };
+        let ha = run(&mut a, &ctx);
+        let mut b = Dummy { evals: 0, rounds_seen: Vec::new() };
+        let hb = run_with_faults(&mut b, &ctx, &FaultConfig::reliable());
+        assert_eq!(a.rounds_seen, b.rounds_seen);
+        assert_eq!(ha.to_json(), hb.to_json());
     }
 
     #[test]

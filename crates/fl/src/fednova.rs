@@ -13,6 +13,7 @@
 
 use crate::context::FlContext;
 use crate::engine::{FedAlgorithm, RoundOutcome};
+use crate::lifecycle::WirePayload;
 use crate::local::LocalCfg;
 use crate::weight_common::{fan_out_clients, mean_loss, GlobalModel};
 use kemf_nn::models::ModelSpec;
@@ -36,6 +37,11 @@ impl FedAlgorithm for FedNova {
     }
 
     fn init(&mut self, _ctx: &FlContext) {}
+
+    fn payload_per_client(&self) -> WirePayload {
+        // 2× payload: weights plus normalization metadata each way.
+        WirePayload::symmetric(2 * self.global.payload_bytes())
+    }
 
     fn round(&mut self, round: usize, sampled: &[usize], ctx: &FlContext) -> RoundOutcome {
         let local = LocalCfg {
@@ -69,9 +75,7 @@ impl FedAlgorithm for FedNova {
         let buffers: Vec<Weights> = results.iter().map(|r| r.state.buffers.clone()).collect();
         let coeffs: Vec<f32> = results.iter().map(|r| r.n_samples as f32).collect();
         self.global.state.buffers = Weights::weighted_average(&buffers, &coeffs);
-        // 2× payload: weights plus normalization metadata each way.
-        let payload = 2 * self.global.payload_bytes() * sampled.len() as u64;
-        RoundOutcome { down_bytes: payload, up_bytes: payload, train_loss: mean_loss(&results) }
+        RoundOutcome { train_loss: mean_loss(&results) }
     }
 
     fn evaluate(&mut self, ctx: &FlContext) -> f32 {

@@ -4,6 +4,7 @@
 
 use crate::context::FlContext;
 use crate::engine::{FedAlgorithm, RoundOutcome};
+use crate::lifecycle::WirePayload;
 use crate::local::{add_prox_to_grads, LocalCfg};
 use crate::weight_common::{fan_out_clients, mean_loss, GlobalModel};
 use kemf_nn::layer::Layer;
@@ -33,6 +34,10 @@ impl FedAlgorithm for FedProx {
 
     fn init(&mut self, _ctx: &FlContext) {}
 
+    fn payload_per_client(&self) -> WirePayload {
+        WirePayload::symmetric(self.global.payload_bytes())
+    }
+
     fn round(&mut self, round: usize, sampled: &[usize], ctx: &FlContext) -> RoundOutcome {
         let local = LocalCfg {
             epochs: ctx.cfg.local_epochs,
@@ -59,8 +64,7 @@ impl FedAlgorithm for FedProx {
         let states: Vec<ModelState> = results.iter().map(|r| r.state.clone()).collect();
         let coeffs: Vec<f32> = results.iter().map(|r| r.n_samples as f32).collect();
         self.global.state = ModelState::weighted_average(&states, &coeffs);
-        let payload = self.global.payload_bytes() * sampled.len() as u64;
-        RoundOutcome { down_bytes: payload, up_bytes: payload, train_loss: mean_loss(&results) }
+        RoundOutcome { train_loss: mean_loss(&results) }
     }
 
     fn evaluate(&mut self, ctx: &FlContext) -> f32 {

@@ -9,6 +9,8 @@
 //!   client shards and the test set;
 //! * [`local`] — the shared local-SGD loop with gradient hooks (proximal
 //!   terms, control variates);
+//! * [`lifecycle`] — the fault-aware round execution model: per-client
+//!   download → train → upload outcomes, fault injection, and quorum;
 //! * [`comm`] / [`metrics`] — communication accounting and the derived
 //!   metrics of the paper's tables and figures;
 //! * [`fedavg`], [`fedprox`], [`fednova`], [`scaffold`] — the baselines.
@@ -35,6 +37,7 @@ pub mod engine;
 pub mod fedavg;
 pub mod fednova;
 pub mod fedprox;
+pub mod lifecycle;
 pub mod local;
 pub mod metrics;
 pub mod network;
@@ -44,10 +47,13 @@ pub mod weight_common;
 pub mod prelude {
     //! Common imports for downstream crates.
     pub use crate::comm::{CommTracker, CostModel};
-    pub use crate::compress::{dequantize, quantize, QuantizedWeights};
+    pub use crate::compress::{dequantize, quantize, CompressError, QuantizedWeights};
     pub use crate::config::FlConfig;
     pub use crate::context::FlContext;
-    pub use crate::engine::{run, FedAlgorithm, RoundOutcome};
+    pub use crate::engine::{run, run_traced, run_with_faults, FedAlgorithm, RoundOutcome};
+    pub use crate::lifecycle::{
+        ClientOutcome, ClientRound, FaultConfig, RoundComm, RoundPlan, WirePayload,
+    };
     pub use crate::fedavg::FedAvg;
     pub use crate::fednova::FedNova;
     pub use crate::fedprox::FedProx;

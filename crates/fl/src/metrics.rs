@@ -33,17 +33,50 @@ pub fn fairness_summary(per_client: &[f32]) -> FairnessSummary {
     }
 }
 
-/// One communication round's observables.
+/// One communication round's observables, including the per-phase
+/// communication split the fault-aware executor records: downlink over
+/// the full broadcast set, uplink over accepted reports, and wasted
+/// uplink from failed upload attempts.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct RoundRecord {
     /// Round index (0-based).
     pub round: usize,
     /// Global-model top-1 test accuracy after this round.
     pub test_acc: f32,
-    /// Mean local training loss across sampled clients.
+    /// Mean local training loss across reporting clients.
     pub train_loss: f32,
     /// Cumulative communication bytes through this round.
     pub cum_bytes: u64,
+    /// Downlink bytes this round (payload × broadcast set).
+    pub down_bytes: u64,
+    /// Accepted uplink bytes this round (payload × completed uploads).
+    pub up_bytes: u64,
+    /// Uplink bytes of failed upload attempts this round.
+    pub wasted_up_bytes: u64,
+    /// Clients that received the broadcast.
+    pub down_clients: usize,
+    /// Clients whose upload the server accepted.
+    pub up_clients: usize,
+    /// False when the round aborted below the reporting quorum (the
+    /// global state rolled forward unchanged).
+    pub quorum_met: bool,
+}
+
+impl Default for RoundRecord {
+    fn default() -> Self {
+        RoundRecord {
+            round: 0,
+            test_acc: 0.0,
+            train_loss: 0.0,
+            cum_bytes: 0,
+            down_bytes: 0,
+            up_bytes: 0,
+            wasted_up_bytes: 0,
+            down_clients: 0,
+            up_clients: 0,
+            quorum_met: true,
+        }
+    }
 }
 
 /// Full history of one federated run.
@@ -155,15 +188,20 @@ impl History {
         serde_json::from_str(s)
     }
 
-    /// CSV rows (`round,acc,loss,cum_bytes`) for downstream plotting.
+    /// CSV rows (`round,acc,loss,down,up,wasted,cum_bytes`) for
+    /// downstream plotting.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("round,test_acc,train_loss,cum_bytes\n");
+        let mut out =
+            String::from("round,test_acc,train_loss,down_bytes,up_bytes,wasted_up_bytes,cum_bytes\n");
         for r in &self.records {
             out.push_str(&format!(
-                "{},{:.4},{:.4},{}\n",
+                "{},{:.4},{:.4},{},{},{},{}\n",
                 r.round + 1,
                 r.test_acc,
                 r.train_loss,
+                r.down_bytes,
+                r.up_bytes,
+                r.wasted_up_bytes,
                 r.cum_bytes
             ));
         }
@@ -183,6 +221,11 @@ mod tests {
                 test_acc: a,
                 train_loss: 1.0 - a,
                 cum_bytes: (i as u64 + 1) * 100,
+                down_bytes: 60,
+                up_bytes: 40,
+                down_clients: 2,
+                up_clients: 2,
+                ..Default::default()
             });
         }
         h

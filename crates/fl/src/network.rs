@@ -2,8 +2,15 @@
 //! time so experiments can report *time-to-accuracy*, the quantity edge
 //! deployments actually optimize. The paper argues in bytes; a byte
 //! budget maps to seconds through exactly this kind of link model.
+//!
+//! Time is computed from each round's recorded lifecycle: the download
+//! phase (broadcast, clients in parallel) completes before local
+//! training, and the upload phase follows it, so a round's communication
+//! time is the *sum* of the two phase times — each gated by a single
+//! per-client payload since clients within a phase transfer in parallel.
 
-use crate::metrics::History;
+use crate::lifecycle::{ClientOutcome, RoundPlan, WirePayload};
+use crate::metrics::{History, RoundRecord};
 use serde::{Deserialize, Serialize};
 
 /// A symmetric client↔server link.
@@ -31,53 +38,94 @@ impl NetworkModel {
         NetworkModel { bandwidth_bps: 128.0 * 1024.0, latency_s: 0.2 }
     }
 
-    /// Transfer time for one payload (seconds). Clients within a round
-    /// transfer in parallel; the round is gated by the *largest single
+    /// Transfer time for one payload (seconds). Clients within a phase
+    /// transfer in parallel; the phase is gated by the *largest single
     /// client payload*, so the caller passes per-client bytes.
     pub fn transfer_time(&self, bytes: u64) -> f64 {
-        assert!(self.bandwidth_bps > 0.0, "bandwidth must be positive");
-        self.latency_s + bytes as f64 / self.bandwidth_bps
+        self.transfer_time_f(bytes as f64)
     }
 
-    /// Simulated communication time of a full training history, assuming
-    /// each round's traffic is spread evenly over its sampled clients and
-    /// clients transfer in parallel.
-    pub fn history_comm_time(&self, history: &History, sampled_per_round: usize) -> f64 {
-        assert!(sampled_per_round > 0, "need at least one client per round");
-        let mut total = 0.0;
-        let mut prev = 0u64;
-        for r in &history.records {
-            let round_bytes = r.cum_bytes - prev;
-            prev = r.cum_bytes;
-            let per_client = round_bytes / sampled_per_round as u64;
-            total += self.transfer_time(per_client);
+    /// [`NetworkModel::transfer_time`] over fractional bytes — per-client
+    /// shares of a round total must not be truncated to whole bytes
+    /// (integer division silently dropped up to `clients − 1` bytes per
+    /// round and underestimated slow links).
+    pub fn transfer_time_f(&self, bytes: f64) -> f64 {
+        assert!(self.bandwidth_bps > 0.0, "bandwidth must be positive");
+        assert!(bytes >= 0.0, "bytes must be non-negative");
+        self.latency_s + bytes / self.bandwidth_bps
+    }
+
+    /// Communication time of one recorded round: the download phase over
+    /// the broadcast set, then the upload phase over the clients that
+    /// actually reported — divided by each phase's *actual* participant
+    /// count, not the configured sample size (under faults the two
+    /// differ, and dividing by the configured count underestimated the
+    /// per-client share). A phase with no participants costs nothing.
+    pub fn round_comm_time(&self, rec: &RoundRecord) -> f64 {
+        let mut t = 0.0;
+        if rec.down_clients > 0 {
+            t += self.transfer_time_f(rec.down_bytes as f64 / rec.down_clients as f64);
         }
-        total
+        if rec.up_clients > 0 {
+            // Wasted retry attempts rode the same uplink phase.
+            let up = (rec.up_bytes + rec.wasted_up_bytes) as f64 / rec.up_clients as f64;
+            t += self.transfer_time_f(up);
+        }
+        t
+    }
+
+    /// Simulated communication time of a full training history, from the
+    /// per-round lifecycle records.
+    pub fn history_comm_time(&self, history: &History) -> f64 {
+        history.records.iter().map(|r| self.round_comm_time(r)).sum()
     }
 
     /// Simulated seconds of communication to reach `target` accuracy, or
     /// `None` if the run never reaches it.
-    pub fn time_to_accuracy(
-        &self,
-        history: &History,
-        sampled_per_round: usize,
-        target: f32,
-    ) -> Option<f64> {
+    pub fn time_to_accuracy(&self, history: &History, target: f32) -> Option<f64> {
         let reach = history.rounds_to_target(target)?;
-        let mut total = 0.0;
-        let mut prev = 0u64;
-        for r in history.records.iter().take(reach) {
-            let round_bytes = r.cum_bytes - prev;
-            prev = r.cum_bytes;
-            total += self.transfer_time(round_bytes / sampled_per_round as u64);
+        Some(history.records.iter().take(reach).map(|r| self.round_comm_time(r)).sum())
+    }
+
+    /// Wall-clock of one round under its drawn lifecycle: every client
+    /// runs download → (injected straggler delay) → upload attempts
+    /// sequentially, clients run in parallel, and the server waits for
+    /// the slowest client it still cares about. A straggler cut at the
+    /// deadline holds the round open for exactly the deadline, no longer
+    /// — the deadline is what bounds a round against unbounded
+    /// stragglers. Training compute is not modeled (the engine measures
+    /// real compute; this prices the network).
+    pub fn lifecycle_round_time(
+        &self,
+        plan: &RoundPlan,
+        payload: WirePayload,
+        deadline_s: Option<f64>,
+    ) -> f64 {
+        let t_down = self.transfer_time(payload.down_bytes);
+        let t_up = self.transfer_time(payload.up_bytes);
+        let mut round = 0.0f64;
+        for c in &plan.clients {
+            let finish = match c.outcome {
+                ClientOutcome::DroppedBeforeDownload => 0.0,
+                ClientOutcome::DroppedAfterDownload => t_down,
+                ClientOutcome::StragglerTimedOut { .. } => {
+                    deadline_s.expect("timed-out straggler requires a deadline")
+                }
+                ClientOutcome::UploadFailed { attempts } => t_down + attempts as f64 * t_up,
+                ClientOutcome::Completed { attempts, delay_s } => {
+                    t_down + delay_s + attempts as f64 * t_up
+                }
+            };
+            round = round.max(finish);
         }
-        Some(total)
+        round
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lifecycle::{ClientRound, FaultConfig};
     use crate::metrics::RoundRecord;
 
     fn hist(accs: &[f32], bytes_per_round: u64) -> History {
@@ -88,6 +136,11 @@ mod tests {
                 test_acc: a,
                 train_loss: 0.0,
                 cum_bytes: bytes_per_round * (i as u64 + 1),
+                down_bytes: bytes_per_round / 2,
+                up_bytes: bytes_per_round / 2,
+                down_clients: 4,
+                up_clients: 4,
+                ..Default::default()
             });
         }
         h
@@ -101,30 +154,119 @@ mod tests {
     }
 
     #[test]
+    fn fractional_shares_are_not_truncated() {
+        // 7 bytes over 4 clients on a 1 B/s link: integer division would
+        // bill 1 s per direction; the true per-client share is 1.75 s.
+        let net = NetworkModel { bandwidth_bps: 1.0, latency_s: 0.0 };
+        let rec = RoundRecord {
+            down_bytes: 7,
+            up_bytes: 0,
+            down_clients: 4,
+            ..Default::default()
+        };
+        assert!((net.round_comm_time(&rec) - 1.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn divisor_is_actual_survivors_not_configured_sample() {
+        // Same round bytes; under dropout only 2 of 4 clients uploaded,
+        // so each survivor's uplink share doubles.
+        let net = NetworkModel { bandwidth_bps: 100.0, latency_s: 0.0 };
+        let full = RoundRecord {
+            up_bytes: 400,
+            up_clients: 4,
+            ..Default::default()
+        };
+        let thinned = RoundRecord {
+            up_bytes: 400,
+            up_clients: 2,
+            ..Default::default()
+        };
+        assert!((net.round_comm_time(&full) - 1.0).abs() < 1e-9);
+        assert!((net.round_comm_time(&thinned) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phases_are_sequential() {
+        let net = NetworkModel { bandwidth_bps: 10.0, latency_s: 1.0 };
+        let rec = RoundRecord {
+            down_bytes: 100,
+            up_bytes: 50,
+            down_clients: 1,
+            up_clients: 1,
+            ..Default::default()
+        };
+        // Download 1 + 10 s, then upload 1 + 5 s.
+        assert!((net.round_comm_time(&rec) - 17.0).abs() < 1e-9);
+        // An aborted broadcast-only round costs only the download phase.
+        let aborted = RoundRecord { down_bytes: 100, down_clients: 1, ..Default::default() };
+        assert!((net.round_comm_time(&aborted) - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn comm_time_scales_with_payload() {
         let net = NetworkModel::broadband();
         let small = hist(&[0.1, 0.2, 0.3], 1024);
         let large = hist(&[0.1, 0.2, 0.3], 100 * 1024 * 1024);
-        let ts = net.history_comm_time(&small, 4);
-        let tl = net.history_comm_time(&large, 4);
+        let ts = net.history_comm_time(&small);
+        let tl = net.history_comm_time(&large);
         assert!(tl > 10.0 * ts, "{ts} vs {tl}");
     }
 
     #[test]
     fn time_to_accuracy_stops_at_target_round() {
         let net = NetworkModel { bandwidth_bps: 1.0e6, latency_s: 0.0 };
-        let h = hist(&[0.1, 0.5, 0.9], 1_000_000);
-        let t = net.time_to_accuracy(&h, 1, 0.5).unwrap();
+        let mut h = History::new("t");
+        for (i, &a) in [0.1f32, 0.5, 0.9].iter().enumerate() {
+            h.push(RoundRecord {
+                round: i,
+                test_acc: a,
+                down_bytes: 500_000,
+                up_bytes: 500_000,
+                down_clients: 1,
+                up_clients: 1,
+                ..Default::default()
+            });
+        }
+        let t = net.time_to_accuracy(&h, 0.5).unwrap();
         assert!((t - 2.0).abs() < 1e-9, "two rounds of 1s each, got {t}");
-        assert!(net.time_to_accuracy(&h, 1, 0.95).is_none());
+        assert!(net.time_to_accuracy(&h, 0.95).is_none());
     }
 
     #[test]
     fn presets_are_ordered_by_speed() {
         let h = hist(&[0.5], 10 * 1024 * 1024);
-        let t_iot = NetworkModel::iot().history_comm_time(&h, 1);
-        let t_4g = NetworkModel::cellular_4g().history_comm_time(&h, 1);
-        let t_bb = NetworkModel::broadband().history_comm_time(&h, 1);
+        let t_iot = NetworkModel::iot().history_comm_time(&h);
+        let t_4g = NetworkModel::cellular_4g().history_comm_time(&h);
+        let t_bb = NetworkModel::broadband().history_comm_time(&h);
         assert!(t_iot > t_4g && t_4g > t_bb);
+    }
+
+    #[test]
+    fn lifecycle_round_time_gates_on_slowest_and_deadline() {
+        let net = NetworkModel { bandwidth_bps: 100.0, latency_s: 0.0 };
+        let payload = WirePayload::symmetric(100); // 1 s each way
+        let plan = RoundPlan {
+            clients: vec![
+                ClientRound { client: 0, outcome: ClientOutcome::Completed { attempts: 1, delay_s: 0.0 } },
+                ClientRound { client: 1, outcome: ClientOutcome::DroppedBeforeDownload },
+                ClientRound { client: 2, outcome: ClientOutcome::Completed { attempts: 2, delay_s: 4.0 } },
+            ],
+            min_quorum: 1,
+        };
+        // Client 2: 1 s down + 4 s delay + 2 × 1 s upload attempts = 7 s.
+        let t = net.lifecycle_round_time(&plan, payload, None);
+        assert!((t - 7.0).abs() < 1e-9, "got {t}");
+        // A cut straggler holds the round open exactly to the deadline.
+        let cut = RoundPlan {
+            clients: vec![
+                ClientRound { client: 0, outcome: ClientOutcome::Completed { attempts: 1, delay_s: 0.0 } },
+                ClientRound { client: 1, outcome: ClientOutcome::StragglerTimedOut { delay_s: 99.0 } },
+            ],
+            min_quorum: 1,
+        };
+        let t = net.lifecycle_round_time(&cut, payload, Some(10.0));
+        assert!((t - 10.0).abs() < 1e-9, "deadline bounds the round, got {t}");
+        let _ = FaultConfig::default(); // keep the import honest
     }
 }

@@ -14,6 +14,7 @@
 
 use crate::context::FlContext;
 use crate::engine::{FedAlgorithm, RoundOutcome};
+use crate::lifecycle::WirePayload;
 use crate::local::{add_flat_to_grads, LocalCfg};
 use crate::weight_common::{fan_out_clients, mean_loss, GlobalModel};
 use kemf_nn::layer::Layer;
@@ -47,6 +48,11 @@ impl FedAlgorithm for Scaffold {
     fn init(&mut self, ctx: &FlContext) {
         let dim = self.global.state.params.numel();
         self.c_clients = vec![vec![0.0; dim]; ctx.cfg.n_clients];
+    }
+
+    fn payload_per_client(&self) -> WirePayload {
+        // Weights + control variate both ways → ≈2× payload.
+        WirePayload::symmetric(self.global.payload_bytes() + (self.c.len() * 4) as u64)
     }
 
     fn round(&mut self, round: usize, sampled: &[usize], ctx: &FlContext) -> RoundOutcome {
@@ -117,11 +123,7 @@ impl FedAlgorithm for Scaffold {
         let states: Vec<ModelState> = results.iter().map(|r| r.state.clone()).collect();
         let coeffs = vec![1.0f32; states.len()];
         self.global.state = ModelState::weighted_average(&states, &coeffs);
-        // Weights + control variate both ways → 2× payload.
-        let control_bytes = (self.c.len() * 4) as u64;
-        let per_client = self.global.payload_bytes() + control_bytes;
-        let payload = per_client * sampled.len() as u64;
-        RoundOutcome { down_bytes: payload, up_bytes: payload, train_loss: mean_loss(&results) }
+        RoundOutcome { train_loss: mean_loss(&results) }
     }
 
     fn evaluate(&mut self, ctx: &FlContext) -> f32 {

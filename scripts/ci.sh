@@ -6,3 +6,7 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
+
+# Smoke-run the fault-injection example: exercises the client lifecycle
+# (drops, stragglers, upload retries, quorum aborts) end to end.
+cargo run --release --example unreliable_clients

@@ -56,8 +56,8 @@ fn quantized_global_model_keeps_most_accuracy() {
     full.set_state(&state);
     let acc_full = full.evaluate(&ctx.test.images, &ctx.test.labels, 32);
 
-    let q = quantize(&state.params, DEFAULT_CHUNK);
-    let restored = dequantize(&q);
+    let q = quantize(&state.params, DEFAULT_CHUNK).expect("trained weights quantize");
+    let restored = dequantize(&q).expect("fresh payload decodes");
     assert!(max_abs_error(&state.params, &restored) < 0.05);
     let mut compact = Model::new(spec);
     compact.set_state(&state);
@@ -99,8 +99,8 @@ fn network_model_orders_algorithms_by_payload() {
     let hk = fedkemf::fl::engine::run(&mut kemf, &ctx);
 
     for net in [NetworkModel::iot(), NetworkModel::cellular_4g(), NetworkModel::broadband()] {
-        let ta = net.history_comm_time(&ha, 4);
-        let tk = net.history_comm_time(&hk, 4);
+        let ta = net.history_comm_time(&ha);
+        let tk = net.history_comm_time(&hk);
         assert!(tk < ta, "FedKEMF should be faster on the wire: {tk} vs {ta}");
     }
 }

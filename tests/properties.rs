@@ -3,6 +3,7 @@
 
 use fedkemf::core::ensemble::{ensemble_logits, standardize_rows, EnsembleStrategy};
 use fedkemf::data::dirichlet::{dirichlet_partition, sample_dirichlet};
+use fedkemf::fl::compress::{dequantize, quantize, QuantizedWeights};
 use fedkemf::nn::loss::{cross_entropy, kl_to_target, soften};
 use fedkemf::nn::serialize::Weights;
 use fedkemf::prelude::*;
@@ -141,6 +142,50 @@ proptest! {
         let sharp = soften(&t, 1.0);
         let soft = soften(&t, tau);
         prop_assert!(soft.max() <= sharp.max() + 1e-5);
+    }
+
+    #[test]
+    fn dequantize_never_panics_on_arbitrary_payloads(
+        codes in prop::collection::vec(-128i32..128, 160),
+        n_codes in 0usize..160,
+        headers in prop::collection::vec(-2.0f32..2.0, 16),
+        n_scales in 0usize..16,
+        n_offsets in 0usize..16,
+        chunk in 0usize..48,
+        lens in prop::collection::vec(0usize..200, 4),
+        n_lens in 0usize..4,
+    ) {
+        // A `QuantizedWeights` assembled from arbitrary (possibly
+        // mutually inconsistent) pieces — the shape a corrupted or
+        // malicious upload would take. Decoding must classify it, never
+        // index out of bounds: a returned error is fine, a panic is not.
+        let q = QuantizedWeights {
+            codes: codes[..n_codes].iter().map(|&c| c as i8).collect(),
+            scales: headers[..n_scales].to_vec(),
+            offsets: headers[..n_offsets.min(headers.len())].to_vec(),
+            chunk,
+            lens: lens[..n_lens].to_vec(),
+        };
+        if let Ok(w) = dequantize(&q) {
+            // Anything that decodes must be self-consistent.
+            prop_assert_eq!(w.values.len(), q.codes.len());
+            prop_assert_eq!(w.lens.iter().sum::<usize>(), w.values.len());
+            prop_assert!(w.values.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn quantize_roundtrip_always_decodes_for_finite_weights(
+        values in prop::collection::vec(-50.0f32..50.0, 120),
+        n in 1usize..120,
+        chunk in 1usize..64,
+    ) {
+        let w = Weights { values: values[..n].to_vec(), lens: vec![n] };
+        let q = quantize(&w, chunk).expect("finite weights quantize");
+        prop_assert!(q.validate().is_ok());
+        let r = dequantize(&q).expect("own output decodes");
+        prop_assert_eq!(r.values.len(), n);
+        prop_assert_eq!(&r.lens, &w.lens);
     }
 }
 
