@@ -5,6 +5,10 @@
 //!
 //! Prints one accuracy series per (model, algorithm) pair and writes
 //! `bench_results/fig4_<model>.csv` with algorithms as columns.
+//!
+//! `--trace <dir>` additionally records every run through a trace sink
+//! and writes one round-lifecycle JSONL per (model, algorithm) pair to
+//! `<dir>/fig4_<model>_<algo>.jsonl` (see EXPERIMENTS.md, Observability).
 
 use kemf_bench::*;
 use kemf_nn::models::Arch;
@@ -18,6 +22,10 @@ fn main() {
         (Workload::CifarLike, Arch::ResNet32, "resnet32_cifar"),
     ];
     let only = args.get_str("model", "all");
+    let trace_dir = args.has("trace").then(|| args.get_str("trace", "bench_results"));
+    if let Some(dir) = &trace_dir {
+        std::fs::create_dir_all(dir).expect("trace dir");
+    }
     for (workload, arch, slug) in configs {
         if only != "all" && only != slug {
             continue;
@@ -35,7 +43,16 @@ fn main() {
         );
         let mut series: Vec<(String, Vec<f32>)> = Vec::new();
         for kind in ALL_ALGOS {
-            let h = run_experiment(kind, &spec);
+            let h = if let Some(dir) = &trace_dir {
+                let h = run_experiment_recorded(kind, &spec);
+                let trace = h.trace.as_ref().expect("recorded run attaches a trace");
+                let path = format!("{dir}/fig4_{slug}_{}.jsonl", kind.display().to_lowercase());
+                std::fs::write(&path, trace.to_jsonl()).expect("trace written");
+                println!("{:>9}: {} spans -> {path}", kind.display(), trace.spans.len());
+                h
+            } else {
+                run_experiment(kind, &spec)
+            };
             println!(
                 "{:>9}: {}",
                 kind.display(),

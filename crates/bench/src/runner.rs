@@ -253,6 +253,18 @@ pub fn run_experiment(kind: AlgoKind, spec: &ExperimentSpec) -> History {
     kemf_fl::engine::run(algo.as_mut(), &ctx)
 }
 
+/// Like [`run_experiment`], but record the run through a
+/// [`kemf_fl::trace::TraceSink`]: the returned history carries the full
+/// round-lifecycle trace ([`History::trace`]). Tracing draws no
+/// randomness, so the per-round records match [`run_experiment`] bit for
+/// bit at the same spec.
+pub fn run_experiment_recorded(kind: AlgoKind, spec: &ExperimentSpec) -> History {
+    let (ctx, task) = spec.build_ctx();
+    let mut algo = kind.build(spec, &ctx, &task);
+    let faults = ctx.cfg.fault_plan();
+    kemf_fl::engine::run_recorded(algo.as_mut(), &ctx, &faults).0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,6 +297,19 @@ mod tests {
         // per-round ratio is the headline ~19× (paper: 42 MB vs 2.1 MB).
         let ratio = fedavg.round_cost_per_client() as f64 / kemf.round_cost_per_client() as f64;
         assert!(ratio > 8.0, "VGG/knowledge-net payload ratio {ratio}");
+    }
+
+    #[test]
+    fn recorded_experiment_matches_untraced_records() {
+        let mut spec = ExperimentSpec::quick(Workload::MnistLike, Arch::Cnn2);
+        spec.rounds = 2;
+        spec.clients = 4;
+        spec.samples_per_client = 30;
+        let plain = run_experiment(AlgoKind::FedAvg, &spec);
+        let mut traced = run_experiment_recorded(AlgoKind::FedAvg, &spec);
+        let trace = traced.trace.take().expect("trace attached");
+        assert_eq!(trace.rounds(), 2);
+        assert_eq!(plain.to_json(), traced.to_json(), "tracing perturbed the records");
     }
 
     #[test]

@@ -41,15 +41,26 @@ impl Default for DistillConfig {
     }
 }
 
+/// Outcome of one server-side ensemble distillation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DistillOutcome {
+    /// Student SGD steps taken (one per batch).
+    pub steps: usize,
+    /// Batches consumed across all epochs; equals `steps`.
+    pub batches: usize,
+    /// Mean KL loss of the final epoch.
+    pub last_epoch_loss: f32,
+}
+
 /// Distill the ensemble of `teachers` into `student` using the unlabeled
-/// `pool` (`[N, C, H, W]`). Returns the mean KL loss of the final epoch.
+/// `pool` (`[N, C, H, W]`).
 pub fn distill_ensemble(
     student: &mut Model,
     teachers: &mut [Model],
     pool: &Tensor,
     cfg: &DistillConfig,
     seed: u64,
-) -> f32 {
+) -> DistillOutcome {
     assert!(!teachers.is_empty(), "distillation needs at least one teacher");
     let n = pool.dims()[0];
     assert!(n > 0, "empty distillation pool");
@@ -66,7 +77,7 @@ pub fn distill_ensemble(
 
     let mut opt = Sgd::new(cfg.sgd);
     let mut rng = seeded_rng(seed);
-    let mut last_epoch_loss = 0.0f32;
+    let mut out = DistillOutcome::default();
     for _epoch in 0..cfg.epochs {
         let mut order: Vec<usize> = (0..n).collect();
         order.shuffle(&mut rng);
@@ -89,9 +100,11 @@ pub fn distill_ensemble(
             loss_sum += loss as f64;
             batches += 1;
         }
-        last_epoch_loss = (loss_sum / batches.max(1) as f64) as f32;
+        out.steps += batches;
+        out.batches += batches;
+        out.last_epoch_loss = (loss_sum / batches.max(1) as f64) as f32;
     }
-    last_epoch_loss
+    out
 }
 
 #[cfg(test)]
@@ -126,9 +139,12 @@ mod tests {
         let mut student = Model::new(ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 99));
         let before = student.evaluate(&test.images, &test.labels, 32);
         let cfg = DistillConfig { epochs: 4, ..Default::default() };
-        let loss = distill_ensemble(&mut student, &mut teachers, &pool, &cfg, 3);
+        let out = distill_ensemble(&mut student, &mut teachers, &pool, &cfg, 3);
         let after = student.evaluate(&test.images, &test.labels, 32);
-        assert!(loss.is_finite());
+        assert!(out.last_epoch_loss.is_finite());
+        // 160-sample pool / 32 batch × 4 epochs.
+        assert_eq!(out.steps, 20);
+        assert_eq!(out.batches, out.steps);
         assert!(
             after > before + 0.1,
             "distillation should lift the untrained student well above its \
@@ -149,14 +165,16 @@ mod tests {
             &pool,
             &DistillConfig { epochs: 1, ..Default::default() },
             5,
-        );
+        )
+        .last_epoch_loss;
         let more = distill_ensemble(
             &mut student,
             &mut teachers,
             &pool,
             &DistillConfig { epochs: 3, ..Default::default() },
             6,
-        );
+        )
+        .last_epoch_loss;
         assert!(more < one, "KL should shrink with more distillation: {one} → {more}");
     }
 
@@ -174,8 +192,8 @@ mod tests {
             let mut teachers = vec![t1.clone(), t2.clone()];
             let mut student = Model::new(ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 97));
             let cfg = DistillConfig { strategy, epochs: 1, ..Default::default() };
-            let loss = distill_ensemble(&mut student, &mut teachers, &pool, &cfg, 7);
-            assert!(loss.is_finite(), "{strategy:?} produced non-finite loss");
+            let out = distill_ensemble(&mut student, &mut teachers, &pool, &cfg, 7);
+            assert!(out.last_epoch_loss.is_finite(), "{strategy:?} produced non-finite loss");
         }
     }
 }

@@ -110,8 +110,11 @@ pub fn dml_step(
 /// Outcome of a full client-side DML update (Algorithm 1).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct DmlOutcome {
-    /// SGD steps taken.
+    /// SGD steps taken (one synchronized step updates both networks).
     pub steps: usize,
+    /// Batches consumed; equals `steps` — DML takes exactly one
+    /// synchronized step per batch.
+    pub batches: usize,
     /// Mean total loss of the local model.
     pub mean_local_loss: f32,
     /// Mean total loss of the knowledge network.
@@ -139,6 +142,7 @@ pub fn dml_local_update(
             local_sum += (l.ce_local + cfg.kl_weight * l.kl_local) as f64;
             know_sum += (l.ce_knowledge + cfg.kl_weight * l.kl_knowledge) as f64;
             out.steps += 1;
+            out.batches += 1;
         }
     }
     if out.steps > 0 {
@@ -177,6 +181,7 @@ mod tests {
         assert!(later.mean_local_loss < first.mean_local_loss);
         assert!(later.mean_knowledge_loss < first.mean_knowledge_loss);
         assert_eq!(first.steps, 10, "80 samples / 16 batch × 2 epochs");
+        assert_eq!(first.batches, first.steps, "one synchronized step per batch");
     }
 
     #[test]

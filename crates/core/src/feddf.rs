@@ -11,6 +11,7 @@ use kemf_fl::context::FlContext;
 use kemf_fl::engine::{FedAlgorithm, RoundOutcome};
 use kemf_fl::lifecycle::WirePayload;
 use kemf_fl::local::LocalCfg;
+use kemf_fl::trace::{Phase, RoundScope};
 use kemf_fl::weight_common::{fan_out_clients, mean_loss, GlobalModel};
 use kemf_nn::model::Model;
 use kemf_nn::models::ModelSpec;
@@ -45,38 +46,55 @@ impl FedAlgorithm for FedDf {
         WirePayload::symmetric(self.global.payload_bytes())
     }
 
-    fn round(&mut self, round: usize, sampled: &[usize], ctx: &FlContext) -> RoundOutcome {
+    fn round(
+        &mut self,
+        round: usize,
+        sampled: &[usize],
+        ctx: &FlContext,
+        scope: &mut RoundScope<'_>,
+    ) -> RoundOutcome {
         let local = LocalCfg {
             epochs: ctx.cfg.local_epochs,
             batch: ctx.cfg.batch_size,
             sgd: ctx.cfg.sgd_at(round),
         };
-        let results = fan_out_clients(
-            &self.global.state,
-            self.global.spec,
-            round,
-            sampled,
-            ctx,
-            &local,
-            &|_k| None,
-        );
+        let results = scope.phase(Phase::LocalUpdate, |c| {
+            let results = fan_out_clients(
+                &self.global.state,
+                self.global.spec,
+                round,
+                sampled,
+                ctx,
+                &local,
+                &|_k| None,
+            );
+            c.clients = results.len();
+            c.steps = results.iter().map(|r| r.outcome.steps as u64).sum();
+            c.batches = c.steps;
+            results
+        });
         // Student initialized at the weighted average (FedDF's recipe for
         // homogeneous clients), then refined by ensemble distillation.
-        let states: Vec<ModelState> = results.iter().map(|r| r.state.clone()).collect();
-        let coeffs: Vec<f32> = results.iter().map(|r| r.n_samples as f32).collect();
-        let mut student = Model::new(self.global.spec);
-        student.set_state(&ModelState::weighted_average(&states, &coeffs));
-        let mut teachers: Vec<Model> = states
-            .iter()
-            .map(|s| {
-                let mut t = Model::new(self.global.spec);
-                t.set_state(s);
-                t
-            })
-            .collect();
-        let seed = child_seed(ctx.cfg.seed, 0xDF ^ round as u64);
-        let _ = distill_ensemble(&mut student, &mut teachers, &self.pool, &self.distill, seed);
-        self.global.state = student.state();
+        scope.phase(Phase::Fusion, |c| {
+            c.clients = results.len();
+            let states: Vec<ModelState> = results.iter().map(|r| r.state.clone()).collect();
+            let coeffs: Vec<f32> = results.iter().map(|r| r.n_samples as f32).collect();
+            let mut student = Model::new(self.global.spec);
+            student.set_state(&ModelState::weighted_average(&states, &coeffs));
+            let mut teachers: Vec<Model> = states
+                .iter()
+                .map(|s| {
+                    let mut t = Model::new(self.global.spec);
+                    t.set_state(s);
+                    t
+                })
+                .collect();
+            let seed = child_seed(ctx.cfg.seed, 0xDF ^ round as u64);
+            let out = distill_ensemble(&mut student, &mut teachers, &self.pool, &self.distill, seed);
+            c.steps = out.steps as u64;
+            c.batches = out.batches as u64;
+            self.global.state = student.state();
+        });
         RoundOutcome { train_loss: mean_loss(&results) }
     }
 

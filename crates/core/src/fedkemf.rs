@@ -17,6 +17,7 @@ use kemf_fl::context::FlContext;
 use kemf_fl::engine::{FedAlgorithm, RoundOutcome};
 use kemf_fl::lifecycle::WirePayload;
 use kemf_fl::local::{local_train, LocalCfg};
+use kemf_fl::trace::{Phase, RoundScope};
 use kemf_data::dataset::Dataset;
 use kemf_nn::model::Model;
 use kemf_nn::models::ModelSpec;
@@ -165,7 +166,13 @@ impl FedAlgorithm for FedKemf {
         WirePayload::symmetric(self.payload_bytes())
     }
 
-    fn round(&mut self, round: usize, sampled: &[usize], ctx: &FlContext) -> RoundOutcome {
+    fn round(
+        &mut self,
+        round: usize,
+        sampled: &[usize],
+        ctx: &FlContext,
+        scope: &mut RoundScope<'_>,
+    ) -> RoundOutcome {
         let ramp = if self.cfg.kl_warmup_rounds == 0 {
             1.0
         } else {
@@ -188,31 +195,43 @@ impl FedAlgorithm for FedKemf {
         let global = &self.global_knowledge;
         let knowledge_spec = self.cfg.knowledge_spec;
         let mutual = self.cfg.mutual;
-        let results: Vec<(usize, Model, Model, f32)> = moved
-            .par_drain(..)
-            .map(|(k, mut local)| {
-                let mut knowledge = Model::new(knowledge_spec);
-                knowledge.set_state(global);
-                let seed = child_seed(ctx.cfg.seed, 0xD31 ^ ((round as u64) << 20 | k as u64));
-                let loss = if mutual {
-                    let out =
-                        dml_local_update(&mut local, &mut knowledge, &ctx.client_data[k], &dml_cfg, seed);
-                    out.mean_knowledge_loss
-                } else {
-                    // Ablation: decoupled training (no knowledge extraction).
-                    let plain = LocalCfg { epochs: dml_cfg.epochs, batch: dml_cfg.batch, sgd: dml_cfg.sgd };
-                    let _ = local_train(&mut local, &ctx.client_data[k], &plain, seed, None);
-                    let out = local_train(&mut knowledge, &ctx.client_data[k], &plain, seed ^ 1, None);
-                    out.mean_loss
-                };
-                (k, local, knowledge, loss)
-            })
-            .collect();
+        let results: Vec<(usize, Model, Model, f32, usize)> = scope.phase(Phase::LocalUpdate, |c| {
+            let results: Vec<(usize, Model, Model, f32, usize)> = moved
+                .par_drain(..)
+                .map(|(k, mut local)| {
+                    let mut knowledge = Model::new(knowledge_spec);
+                    knowledge.set_state(global);
+                    let seed = child_seed(ctx.cfg.seed, 0xD31 ^ ((round as u64) << 20 | k as u64));
+                    let (loss, steps) = if mutual {
+                        let out = dml_local_update(
+                            &mut local,
+                            &mut knowledge,
+                            &ctx.client_data[k],
+                            &dml_cfg,
+                            seed,
+                        );
+                        (out.mean_knowledge_loss, out.steps)
+                    } else {
+                        // Ablation: decoupled training (no knowledge extraction).
+                        let plain =
+                            LocalCfg { epochs: dml_cfg.epochs, batch: dml_cfg.batch, sgd: dml_cfg.sgd };
+                        let a = local_train(&mut local, &ctx.client_data[k], &plain, seed, None);
+                        let out = local_train(&mut knowledge, &ctx.client_data[k], &plain, seed ^ 1, None);
+                        (out.mean_loss, a.steps + out.steps)
+                    };
+                    (k, local, knowledge, loss, steps)
+                })
+                .collect();
+            c.clients = results.len();
+            c.steps = results.iter().map(|r| r.4 as u64).sum();
+            c.batches = c.steps;
+            results
+        });
         // Restore local models; collect uploaded knowledge networks.
         let mut teachers: Vec<Model> = Vec::with_capacity(results.len());
         let mut sample_counts: Vec<usize> = Vec::with_capacity(results.len());
         let mut loss_sum = 0.0f32;
-        for (k, local, knowledge, loss) in results {
+        for (k, local, knowledge, loss, _steps) in results {
             self.local_models[k] = Some(local);
             sample_counts.push(ctx.client_data[k].len());
             teachers.push(knowledge);
@@ -221,32 +240,37 @@ impl FedAlgorithm for FedKemf {
         let train_loss = loss_sum / teachers.len().max(1) as f32;
 
         // Server fusion.
-        match self.cfg.fusion {
-            FusionMode::EnsembleDistill => {
-                // FedDF-style warm start (Lin et al. 2020, the fusion the
-                // paper builds on): since every knowledge network shares
-                // one architecture, initialize the student at their
-                // sample-weighted average, then refine it by distilling
-                // the ensemble. Distillation alone transfers too little
-                // per round to accumulate progress across rounds.
-                let mut student = Model::new(self.cfg.knowledge_spec);
-                let states: Vec<ModelState> = teachers.iter().map(Model::state).collect();
-                student.set_state(&weight_average_fusion(&states, &sample_counts));
-                let seed = child_seed(ctx.cfg.seed, 0xD157 ^ round as u64);
-                let _ = distill_ensemble(
-                    &mut student,
-                    &mut teachers,
-                    &self.cfg.public_pool,
-                    &self.cfg.distill,
-                    seed,
-                );
-                self.global_knowledge = student.state();
+        scope.phase(Phase::Fusion, |c| {
+            c.clients = teachers.len();
+            match self.cfg.fusion {
+                FusionMode::EnsembleDistill => {
+                    // FedDF-style warm start (Lin et al. 2020, the fusion the
+                    // paper builds on): since every knowledge network shares
+                    // one architecture, initialize the student at their
+                    // sample-weighted average, then refine it by distilling
+                    // the ensemble. Distillation alone transfers too little
+                    // per round to accumulate progress across rounds.
+                    let mut student = Model::new(self.cfg.knowledge_spec);
+                    let states: Vec<ModelState> = teachers.iter().map(Model::state).collect();
+                    student.set_state(&weight_average_fusion(&states, &sample_counts));
+                    let seed = child_seed(ctx.cfg.seed, 0xD157 ^ round as u64);
+                    let out = distill_ensemble(
+                        &mut student,
+                        &mut teachers,
+                        &self.cfg.public_pool,
+                        &self.cfg.distill,
+                        seed,
+                    );
+                    c.steps = out.steps as u64;
+                    c.batches = out.batches as u64;
+                    self.global_knowledge = student.state();
+                }
+                FusionMode::WeightAverage => {
+                    let states: Vec<ModelState> = teachers.iter().map(Model::state).collect();
+                    self.global_knowledge = weight_average_fusion(&states, &sample_counts);
+                }
             }
-            FusionMode::WeightAverage => {
-                let states: Vec<ModelState> = teachers.iter().map(Model::state).collect();
-                self.global_knowledge = weight_average_fusion(&states, &sample_counts);
-            }
-        }
+        });
         RoundOutcome { train_loss }
     }
 

@@ -20,6 +20,7 @@ use kemf_fl::context::FlContext;
 use kemf_fl::engine::{FedAlgorithm, RoundOutcome};
 use kemf_fl::lifecycle::WirePayload;
 use kemf_fl::local::{local_train, LocalCfg};
+use kemf_fl::trace::{Phase, RoundScope};
 use kemf_nn::loss::kl_to_target;
 use kemf_nn::model::Model;
 use kemf_nn::models::ModelSpec;
@@ -86,7 +87,7 @@ impl FedMd {
 }
 
 /// Distill `targets` (softened consensus probabilities) into `model` on
-/// the public images.
+/// the public images. Returns the number of digestion steps taken.
 fn digest(
     model: &mut Model,
     public: &Tensor,
@@ -94,10 +95,11 @@ fn digest(
     cfg: &FedMdConfig,
     sgd: kemf_nn::optim::SgdConfig,
     seed: u64,
-) {
+) -> usize {
     let n = public.dims()[0];
     let mut opt = Sgd::new(kemf_nn::optim::SgdConfig { lr: cfg.digest_lr, ..sgd });
     let mut rng = seeded_rng(seed);
+    let mut steps = 0;
     for _ in 0..cfg.digest_epochs {
         let mut order: Vec<usize> = (0..n).collect();
         order.shuffle(&mut rng);
@@ -110,8 +112,10 @@ fn digest(
             let _ = model.backward(&grad);
             let _ = clip_grad_norm(model.net_mut(), 5.0);
             opt.step(model.net_mut());
+            steps += 1;
         }
     }
+    steps
 }
 
 impl FedAlgorithm for FedMd {
@@ -129,7 +133,13 @@ impl FedAlgorithm for FedMd {
         WirePayload::symmetric(self.payload_bytes())
     }
 
-    fn round(&mut self, round: usize, sampled: &[usize], ctx: &FlContext) -> RoundOutcome {
+    fn round(
+        &mut self,
+        round: usize,
+        sampled: &[usize],
+        ctx: &FlContext,
+        scope: &mut RoundScope<'_>,
+    ) -> RoundOutcome {
         let local = LocalCfg {
             epochs: ctx.cfg.local_epochs,
             batch: ctx.cfg.batch_size,
@@ -145,32 +155,43 @@ impl FedAlgorithm for FedMd {
             .collect();
         let cfg = self.cfg;
         let public = &self.public;
-        let results: Vec<(usize, Model, Tensor, f32)> = moved
-            .par_drain(..)
-            .map(|(k, mut model)| {
-                let seed = child_seed(ctx.cfg.seed, 0x3D ^ ((round as u64) << 16 | k as u64));
-                // Digest the consensus, when one exists.
-                if let Some(targets) = &consensus_targets {
-                    digest(&mut model, public, targets, &cfg, local.sgd, seed);
-                }
-                // Revisit private data.
-                let out = local_train(&mut model, &ctx.client_data[k], &local, seed ^ 7, None);
-                // Publish logits on the public set (batch statistics:
-                // local models take few steps per round, same rationale
-                // as FedKEMF's distillation targets).
-                let logits = model.predict_batch_stats(public);
-                (k, model, logits, out.mean_loss)
-            })
-            .collect();
+        let results: Vec<(usize, Model, Tensor, f32, usize)> = scope.phase(Phase::LocalUpdate, |c| {
+            let results: Vec<(usize, Model, Tensor, f32, usize)> = moved
+                .par_drain(..)
+                .map(|(k, mut model)| {
+                    let seed = child_seed(ctx.cfg.seed, 0x3D ^ ((round as u64) << 16 | k as u64));
+                    // Digest the consensus, when one exists.
+                    let digest_steps = if let Some(targets) = &consensus_targets {
+                        digest(&mut model, public, targets, &cfg, local.sgd, seed)
+                    } else {
+                        0
+                    };
+                    // Revisit private data.
+                    let out = local_train(&mut model, &ctx.client_data[k], &local, seed ^ 7, None);
+                    // Publish logits on the public set (batch statistics:
+                    // local models take few steps per round, same rationale
+                    // as FedKEMF's distillation targets).
+                    let logits = model.predict_batch_stats(public);
+                    (k, model, logits, out.mean_loss, digest_steps + out.steps)
+                })
+                .collect();
+            c.clients = results.len();
+            c.steps = results.iter().map(|r| r.4 as u64).sum();
+            c.batches = c.steps;
+            results
+        });
         let mut member_logits = Vec::with_capacity(results.len());
         let mut loss_sum = 0.0;
-        for (k, model, logits, loss) in results {
+        for (k, model, logits, loss, _steps) in results {
             self.local_models[k] = Some(model);
             member_logits.push(logits);
             loss_sum += loss;
         }
-        let refs: Vec<&Tensor> = member_logits.iter().collect();
-        self.consensus = Some(elementwise_mean(&refs));
+        scope.phase(Phase::Fusion, |c| {
+            c.clients = member_logits.len();
+            let refs: Vec<&Tensor> = member_logits.iter().collect();
+            self.consensus = Some(elementwise_mean(&refs));
+        });
         RoundOutcome { train_loss: loss_sum / member_logits.len().max(1) as f32 }
     }
 
@@ -261,7 +282,9 @@ mod tests {
         let mut algo = FedMd::new(specs, public, 10, FedMdConfig::default());
         algo.init(&ctx);
         assert!(algo.consensus.is_none());
-        let _ = algo.round(0, &[0, 1, 2], &ctx);
+        let mut sink = kemf_fl::trace::NoopSink;
+        let mut scope = RoundScope::new(&mut sink, 0);
+        let _ = algo.round(0, &[0, 1, 2], &ctx, &mut scope);
         let c = algo.consensus.as_ref().expect("consensus after round 0");
         assert_eq!(c.dims(), &[40, 10]);
     }

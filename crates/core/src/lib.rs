@@ -46,8 +46,8 @@ pub mod resource;
 
 pub mod prelude {
     //! Common imports for downstream crates.
-    pub use crate::distill::{distill_ensemble, DistillConfig};
-    pub use crate::dml::{dml_local_update, DmlConfig};
+    pub use crate::distill::{distill_ensemble, DistillConfig, DistillOutcome};
+    pub use crate::dml::{dml_local_update, DmlConfig, DmlOutcome};
     pub use crate::ensemble::{ensemble_forward, ensemble_logits, EnsembleStrategy};
     pub use crate::feddf::FedDf;
     pub use crate::fedkemf::{FedKemf, FedKemfConfig};

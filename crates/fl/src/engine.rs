@@ -6,9 +6,11 @@ use crate::comm::CommTracker;
 use crate::context::FlContext;
 use crate::lifecycle::{plan_round, FaultConfig, RoundPlan, WirePayload};
 use crate::metrics::{History, RoundRecord};
+use crate::trace::{Counters, EventSink, NoopSink, Phase, RoundScope, TraceSink};
 use kemf_tensor::rng::{child_seed, seeded_rng};
 use rand::seq::SliceRandom;
 use rand::rngs::StdRng;
+use std::time::Instant;
 
 /// What one communication round reports back to the engine. Byte
 /// accounting no longer lives here: the engine derives it from the
@@ -34,8 +36,18 @@ pub trait FedAlgorithm: Send {
     fn payload_per_client(&self) -> WirePayload;
 
     /// Execute one communication round over the client indices whose
-    /// full lifecycle (download → train → upload) succeeded.
-    fn round(&mut self, round: usize, sampled: &[usize], ctx: &FlContext) -> RoundOutcome;
+    /// full lifecycle (download → train → upload) succeeded. `scope` is
+    /// the round's observability handle: implementations wrap their
+    /// client fan-out in [`Phase::LocalUpdate`] and their server-side
+    /// aggregation/distillation in [`Phase::Fusion`] via
+    /// [`RoundScope::phase`] (a no-op branch when tracing is off).
+    fn round(
+        &mut self,
+        round: usize,
+        sampled: &[usize],
+        ctx: &FlContext,
+        scope: &mut RoundScope<'_>,
+    ) -> RoundOutcome;
 
     /// Evaluate the current global model on the held-out test set.
     fn evaluate(&mut self, ctx: &FlContext) -> f32;
@@ -51,8 +63,13 @@ pub trait FedAlgorithm: Send {
 
 /// Draw the round's client subset: a seeded shuffle of all clients,
 /// truncated to the configured ratio (sorted for determinism of any
-/// order-dependent aggregation).
+/// order-dependent aggregation). An empty population yields an empty
+/// sample — `clamp(1, 0)` used to panic here; configs reject
+/// `n_clients == 0` up front in [`crate::config::FlConfig::validate`].
 pub fn sample_clients(n_clients: usize, count: usize, rng: &mut StdRng) -> Vec<usize> {
+    if n_clients == 0 {
+        return Vec::new();
+    }
     let mut ids: Vec<usize> = (0..n_clients).collect();
     ids.shuffle(rng);
     ids.truncate(count.clamp(1, n_clients));
@@ -126,7 +143,36 @@ pub fn run_traced(
     ctx: &FlContext,
     faults: &FaultConfig,
 ) -> (History, Vec<RoundPlan>) {
+    run_with_sink(algo, ctx, faults, &mut NoopSink)
+}
+
+/// Run a session with a [`TraceSink`] recording every round-lifecycle
+/// span; the resulting trace is attached to the history
+/// ([`History::trace`]). Tracing reads clocks and counters but draws no
+/// randomness, so the per-round records are bit-identical to an
+/// untraced run at the same seed.
+pub fn run_recorded(
+    algo: &mut dyn FedAlgorithm,
+    ctx: &FlContext,
+    faults: &FaultConfig,
+) -> (History, Vec<RoundPlan>) {
+    let mut sink = TraceSink::new();
+    let (mut history, plans) = run_with_sink(algo, ctx, faults, &mut sink);
+    history.trace = Some(sink.into_trace());
+    (history, plans)
+}
+
+/// The round loop, generic over the observability sink. With a disabled
+/// sink ([`NoopSink`]) every tracing site reduces to one branch and the
+/// behavior is exactly the pre-observability engine.
+pub fn run_with_sink(
+    algo: &mut dyn FedAlgorithm,
+    ctx: &FlContext,
+    faults: &FaultConfig,
+    sink: &mut dyn EventSink,
+) -> (History, Vec<RoundPlan>) {
     init_thread_pool();
+    ctx.cfg.validate();
     faults.validate();
     algo.init(ctx);
     let mut history = History::new(algo.name());
@@ -136,21 +182,39 @@ pub fn run_traced(
     let mut fault_rng = seeded_rng(child_seed(ctx.cfg.seed, 0xD209));
     let per_round = ctx.cfg.sampled_per_round();
     for round in 0..ctx.cfg.rounds {
-        let sampled = sample_clients(ctx.cfg.n_clients, per_round, &mut rng);
-        let plan = plan_round(&sampled, faults, &mut fault_rng);
-        let round_comm = plan.comm(algo.payload_per_client());
+        let mut scope = RoundScope::new(&mut *sink, round);
+        let round_t0 = scope.enabled().then(Instant::now);
+        let (sampled, plan) = scope.phase(Phase::Sample, |c| {
+            let sampled = sample_clients(ctx.cfg.n_clients, per_round, &mut rng);
+            let plan = plan_round(&sampled, faults, &mut fault_rng);
+            c.clients = sampled.len();
+            (sampled, plan)
+        });
+        let round_comm = scope.phase(Phase::Broadcast, |c| {
+            let round_comm = plan.comm(algo.payload_per_client());
+            c.clients = round_comm.down_clients;
+            c.down_bytes = round_comm.down_bytes;
+            round_comm
+        });
         let reporters = plan.reporters();
         let quorum_met = plan.quorum_met();
         // Quorum failure: the broadcast (and any stray uploads) already
         // cost bytes, but the server discards the round — the algorithm
-        // never runs and the previous global state carries over.
+        // never runs and the previous global state carries over. No
+        // clients report, so there is no training loss to record: NaN,
+        // not 0.0 (which every loss series would read as *perfect*).
         let train_loss = if quorum_met {
-            algo.round(round, &reporters, ctx).train_loss
+            algo.round(round, &reporters, ctx, &mut scope).train_loss
         } else {
-            0.0
+            f32::NAN
         };
+        scope.phase(Phase::Upload, |c| {
+            c.clients = round_comm.up_clients;
+            c.up_bytes = round_comm.up_bytes;
+            c.wasted_up_bytes = round_comm.wasted_up_bytes;
+        });
         comm.record_round(round_comm);
-        let acc = algo.evaluate(ctx);
+        let acc = scope.phase(Phase::Eval, |_c| algo.evaluate(ctx));
         history.push(RoundRecord {
             round,
             test_acc: acc,
@@ -163,6 +227,20 @@ pub fn run_traced(
             up_clients: round_comm.up_clients,
             quorum_met,
         });
+        if let Some(t0) = round_t0 {
+            scope.record_raw(
+                Phase::Round,
+                t0.elapsed().as_secs_f64(),
+                Counters {
+                    clients: sampled.len(),
+                    down_bytes: round_comm.down_bytes,
+                    up_bytes: round_comm.up_bytes,
+                    wasted_up_bytes: round_comm.wasted_up_bytes,
+                    quorum_met,
+                    ..Default::default()
+                },
+            );
+        }
         plans.push(plan);
     }
     (history, plans)
@@ -187,7 +265,13 @@ mod tests {
         fn payload_per_client(&self) -> WirePayload {
             WirePayload { down_bytes: 10, up_bytes: 5 }
         }
-        fn round(&mut self, _round: usize, sampled: &[usize], _ctx: &FlContext) -> RoundOutcome {
+        fn round(
+            &mut self,
+            _round: usize,
+            sampled: &[usize],
+            _ctx: &FlContext,
+            _scope: &mut RoundScope<'_>,
+        ) -> RoundOutcome {
             self.rounds_seen.push(sampled.to_vec());
             RoundOutcome { train_loss: 1.0 }
         }
@@ -243,6 +327,16 @@ mod tests {
         for _ in 0..5 {
             assert_eq!(sample_clients(20, 8, &mut a), sample_clients(20, 8, &mut b));
         }
+    }
+
+    #[test]
+    fn sampling_empty_population_yields_empty_round() {
+        // Regression: `count.clamp(1, 0)` panicked (min > max). The
+        // config layer rejects n_clients == 0, but the sampler itself
+        // must stay total.
+        let mut rng = seeded_rng(5);
+        assert!(sample_clients(0, 3, &mut rng).is_empty());
+        assert!(sample_clients(0, 0, &mut rng).is_empty());
     }
 
     #[test]
@@ -325,7 +419,10 @@ mod tests {
         for r in &aborted {
             assert_eq!(r.down_bytes, 30, "broadcast bytes charged even when aborted");
             assert!(r.up_clients < 3);
-            assert_eq!(r.train_loss, 0.0);
+            assert!(
+                r.train_loss.is_nan(),
+                "no client reported, so there is no loss — NaN, never a perfect-looking 0.0"
+            );
         }
         assert_eq!(
             algo.rounds_seen.len(),

@@ -6,6 +6,7 @@ use crate::context::FlContext;
 use crate::engine::{FedAlgorithm, RoundOutcome};
 use crate::lifecycle::WirePayload;
 use crate::local::LocalCfg;
+use crate::trace::{Phase, RoundScope};
 use crate::weight_common::{fan_out_clients, mean_loss, GlobalModel};
 use kemf_nn::models::ModelSpec;
 use kemf_nn::serialize::ModelState;
@@ -38,24 +39,39 @@ impl FedAlgorithm for FedAvg {
         WirePayload::symmetric(self.global.payload_bytes())
     }
 
-    fn round(&mut self, round: usize, sampled: &[usize], ctx: &FlContext) -> RoundOutcome {
+    fn round(
+        &mut self,
+        round: usize,
+        sampled: &[usize],
+        ctx: &FlContext,
+        scope: &mut RoundScope<'_>,
+    ) -> RoundOutcome {
         let local = LocalCfg {
             epochs: ctx.cfg.local_epochs,
             batch: ctx.cfg.batch_size,
             sgd: ctx.cfg.sgd_at(round),
         };
-        let results = fan_out_clients(
-            &self.global.state,
-            self.global.spec,
-            round,
-            sampled,
-            ctx,
-            &local,
-            &|_k| None,
-        );
-        let states: Vec<ModelState> = results.iter().map(|r| r.state.clone()).collect();
-        let coeffs: Vec<f32> = results.iter().map(|r| r.n_samples as f32).collect();
-        self.global.state = ModelState::weighted_average(&states, &coeffs);
+        let results = scope.phase(Phase::LocalUpdate, |c| {
+            let results = fan_out_clients(
+                &self.global.state,
+                self.global.spec,
+                round,
+                sampled,
+                ctx,
+                &local,
+                &|_k| None,
+            );
+            c.clients = results.len();
+            c.steps = results.iter().map(|r| r.outcome.steps as u64).sum();
+            c.batches = c.steps;
+            results
+        });
+        scope.phase(Phase::Fusion, |c| {
+            c.clients = results.len();
+            let states: Vec<ModelState> = results.iter().map(|r| r.state.clone()).collect();
+            let coeffs: Vec<f32> = results.iter().map(|r| r.n_samples as f32).collect();
+            self.global.state = ModelState::weighted_average(&states, &coeffs);
+        });
         RoundOutcome { train_loss: mean_loss(&results) }
     }
 

@@ -15,6 +15,7 @@ use crate::context::FlContext;
 use crate::engine::{FedAlgorithm, RoundOutcome};
 use crate::lifecycle::WirePayload;
 use crate::local::LocalCfg;
+use crate::trace::{Phase, RoundScope};
 use crate::weight_common::{fan_out_clients, mean_loss, GlobalModel};
 use kemf_nn::models::ModelSpec;
 use kemf_nn::serialize::Weights;
@@ -43,38 +44,53 @@ impl FedAlgorithm for FedNova {
         WirePayload::symmetric(2 * self.global.payload_bytes())
     }
 
-    fn round(&mut self, round: usize, sampled: &[usize], ctx: &FlContext) -> RoundOutcome {
+    fn round(
+        &mut self,
+        round: usize,
+        sampled: &[usize],
+        ctx: &FlContext,
+        scope: &mut RoundScope<'_>,
+    ) -> RoundOutcome {
         let local = LocalCfg {
             epochs: ctx.cfg.local_epochs,
             batch: ctx.cfg.batch_size,
             sgd: ctx.cfg.sgd_at(round),
         };
-        let results = fan_out_clients(
-            &self.global.state,
-            self.global.spec,
-            round,
-            sampled,
-            ctx,
-            &local,
-            &|_k| None,
-        );
-        let total_n: f32 = results.iter().map(|r| r.n_samples as f32).sum();
-        // Normalized directions d_k = (w_global − w_k) / τ_k.
-        let mut combined = self.global.state.params.zeros_like();
-        let mut tau_eff = 0.0f32;
-        for r in &results {
-            let tau = r.outcome.steps.max(1) as f32;
-            let p = r.n_samples as f32 / total_n;
-            tau_eff += p * tau;
-            let d = self.global.state.params.delta(&r.state.params);
-            combined.scale_add(1.0, &d, p / tau);
-        }
-        // w ← w − τ_eff · Σ p_k d_k  (note d already points from w to w_k).
-        self.global.state.params.scale_add(1.0, &combined, -tau_eff);
-        // Buffers: weighted average, as for FedAvg.
-        let buffers: Vec<Weights> = results.iter().map(|r| r.state.buffers.clone()).collect();
-        let coeffs: Vec<f32> = results.iter().map(|r| r.n_samples as f32).collect();
-        self.global.state.buffers = Weights::weighted_average(&buffers, &coeffs);
+        let results = scope.phase(Phase::LocalUpdate, |c| {
+            let results = fan_out_clients(
+                &self.global.state,
+                self.global.spec,
+                round,
+                sampled,
+                ctx,
+                &local,
+                &|_k| None,
+            );
+            c.clients = results.len();
+            c.steps = results.iter().map(|r| r.outcome.steps as u64).sum();
+            c.batches = c.steps;
+            results
+        });
+        scope.phase(Phase::Fusion, |c| {
+            c.clients = results.len();
+            let total_n: f32 = results.iter().map(|r| r.n_samples as f32).sum();
+            // Normalized directions d_k = (w_global − w_k) / τ_k.
+            let mut combined = self.global.state.params.zeros_like();
+            let mut tau_eff = 0.0f32;
+            for r in &results {
+                let tau = r.outcome.steps.max(1) as f32;
+                let p = r.n_samples as f32 / total_n;
+                tau_eff += p * tau;
+                let d = self.global.state.params.delta(&r.state.params);
+                combined.scale_add(1.0, &d, p / tau);
+            }
+            // w ← w − τ_eff · Σ p_k d_k  (note d already points from w to w_k).
+            self.global.state.params.scale_add(1.0, &combined, -tau_eff);
+            // Buffers: weighted average, as for FedAvg.
+            let buffers: Vec<Weights> = results.iter().map(|r| r.state.buffers.clone()).collect();
+            let coeffs: Vec<f32> = results.iter().map(|r| r.n_samples as f32).collect();
+            self.global.state.buffers = Weights::weighted_average(&buffers, &coeffs);
+        });
         RoundOutcome { train_loss: mean_loss(&results) }
     }
 

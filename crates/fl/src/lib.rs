@@ -13,6 +13,8 @@
 //!   download → train → upload outcomes, fault injection, and quorum;
 //! * [`comm`] / [`metrics`] — communication accounting and the derived
 //!   metrics of the paper's tables and figures;
+//! * [`trace`] — structured round-lifecycle observability: phase-timed
+//!   spans with step/batch/FLOP/byte counters behind an [`trace::EventSink`];
 //! * [`fedavg`], [`fedprox`], [`fednova`], [`scaffold`] — the baselines.
 //!
 //! ```no_run
@@ -42,6 +44,7 @@ pub mod local;
 pub mod metrics;
 pub mod network;
 pub mod scaffold;
+pub mod trace;
 pub mod weight_common;
 
 pub mod prelude {
@@ -50,7 +53,9 @@ pub mod prelude {
     pub use crate::compress::{dequantize, quantize, CompressError, QuantizedWeights};
     pub use crate::config::FlConfig;
     pub use crate::context::FlContext;
-    pub use crate::engine::{run, run_traced, run_with_faults, FedAlgorithm, RoundOutcome};
+    pub use crate::engine::{
+        run, run_recorded, run_traced, run_with_faults, run_with_sink, FedAlgorithm, RoundOutcome,
+    };
     pub use crate::lifecycle::{
         ClientOutcome, ClientRound, FaultConfig, RoundComm, RoundPlan, WirePayload,
     };
@@ -61,4 +66,7 @@ pub mod prelude {
     pub use crate::metrics::{fairness_summary, FairnessSummary, History, RoundRecord};
     pub use crate::network::NetworkModel;
     pub use crate::scaffold::Scaffold;
+    pub use crate::trace::{
+        Counters, EventSink, NoopSink, Phase, PhaseSummary, RoundScope, RunTrace, Span, TraceSink,
+    };
 }

@@ -2,7 +2,8 @@
 //! reports: rounds-to-target-accuracy (Fig. 6, Table 1), convergence
 //! accuracy (Fig. 5, Table 2), and training stability (Fig. 7).
 
-use serde::{Deserialize, Serialize};
+use crate::trace::RunTrace;
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Fairness statistics over per-client accuracies (Michieli & Ozay 2021
 /// ask whether all users are treated fairly; the multi-model experiment
@@ -43,7 +44,11 @@ pub struct RoundRecord {
     pub round: usize,
     /// Global-model top-1 test accuracy after this round.
     pub test_acc: f32,
-    /// Mean local training loss across reporting clients.
+    /// Mean local training loss across reporting clients. NaN when the
+    /// round aborted below quorum (nobody reported, so there is no
+    /// loss). JSON has no NaN: it serializes as `null` and parses back
+    /// to NaN, instead of — as the pre-fix engine did — masquerading as
+    /// a perfect `0.0`.
     pub train_loss: f32,
     /// Cumulative communication bytes through this round.
     pub cum_bytes: u64,
@@ -80,18 +85,54 @@ impl Default for RoundRecord {
 }
 
 /// Full history of one federated run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct History {
     /// Algorithm label.
     pub algorithm: String,
     /// Per-round records.
     pub records: Vec<RoundRecord>,
+    /// Round-lifecycle trace, when the run was recorded through a
+    /// [`crate::trace::TraceSink`] (e.g. [`crate::engine::run_recorded`]).
+    /// Absent — and absent from the JSON — for untraced runs, so
+    /// observability never perturbs existing serialized histories.
+    pub trace: Option<RunTrace>,
+}
+
+// Hand-written (rather than derived) so an absent trace is *omitted*
+// from the JSON instead of rendered as `"trace": null`: untraced
+// histories stay bit-identical to the pre-observability format.
+impl Serialize for History {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![
+            ("algorithm".to_string(), self.algorithm.to_value()),
+            ("records".to_string(), self.records.to_value()),
+        ];
+        if let Some(trace) = &self.trace {
+            entries.push(("trace".to_string(), trace.to_value()));
+        }
+        Value::Map(entries)
+    }
+}
+
+impl Deserialize for History {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v.as_map().ok_or_else(|| DeError::custom("expected map for History"))?;
+        Ok(History {
+            algorithm: String::from_value(serde::get_field(m, "algorithm")?)?,
+            records: Vec::from_value(serde::get_field(m, "records")?)?,
+            trace: m
+                .iter()
+                .find(|(k, _)| k == "trace")
+                .map(|(_, t)| RunTrace::from_value(t))
+                .transpose()?,
+        })
+    }
 }
 
 impl History {
     /// Empty history for an algorithm.
     pub fn new(algorithm: impl Into<String>) -> Self {
-        History { algorithm: algorithm.into(), records: Vec::new() }
+        History { algorithm: algorithm.into(), records: Vec::new(), trace: None }
     }
 
     /// Append a round.
@@ -188,21 +229,29 @@ impl History {
         serde_json::from_str(s)
     }
 
-    /// CSV rows (`round,acc,loss,down,up,wasted,cum_bytes`) for
-    /// downstream plotting.
+    /// CSV rows for downstream plotting. Carries the full lifecycle
+    /// story of fault-aware runs: per-phase client counts and the
+    /// quorum outcome ride along with the byte split (they used to be
+    /// silently dropped). A quorum-aborted round's missing loss renders
+    /// as `NaN`, which every plotting stack treats as a gap — never as
+    /// a perfect zero.
     pub fn to_csv(&self) -> String {
-        let mut out =
-            String::from("round,test_acc,train_loss,down_bytes,up_bytes,wasted_up_bytes,cum_bytes\n");
+        let mut out = String::from(
+            "round,test_acc,train_loss,down_bytes,up_bytes,wasted_up_bytes,cum_bytes,down_clients,up_clients,quorum_met\n",
+        );
         for r in &self.records {
             out.push_str(&format!(
-                "{},{:.4},{:.4},{},{},{},{}\n",
+                "{},{:.4},{:.4},{},{},{},{},{},{},{}\n",
                 r.round + 1,
                 r.test_acc,
                 r.train_loss,
                 r.down_bytes,
                 r.up_bytes,
                 r.wasted_up_bytes,
-                r.cum_bytes
+                r.cum_bytes,
+                r.down_clients,
+                r.up_clients,
+                r.quorum_met
             ));
         }
         out
@@ -275,8 +324,38 @@ mod tests {
     fn csv_has_header_and_rows() {
         let h = hist(&[0.5]);
         let csv = h.to_csv();
-        assert!(csv.starts_with("round,test_acc"));
+        assert_eq!(
+            csv.lines().next().unwrap(),
+            "round,test_acc,train_loss,down_bytes,up_bytes,wasted_up_bytes,cum_bytes,\
+             down_clients,up_clients,quorum_met"
+        );
         assert_eq!(csv.lines().count(), 2);
+        assert!(
+            csv.lines().nth(1).unwrap().ends_with(",2,2,true"),
+            "lifecycle columns present: {csv}"
+        );
+    }
+
+    #[test]
+    fn quorum_aborted_loss_renders_honestly() {
+        let mut h = History::new("x");
+        h.push(RoundRecord {
+            round: 0,
+            test_acc: 0.4,
+            train_loss: f32::NAN,
+            quorum_met: false,
+            ..Default::default()
+        });
+        // CSV: NaN, which plotting stacks read as a gap, not a 0.0.
+        let row = h.to_csv().lines().nth(1).unwrap().to_string();
+        assert!(row.contains(",NaN,"), "{row}");
+        assert!(row.ends_with(",false"), "{row}");
+        // JSON: null, and it round-trips back to NaN.
+        let json = h.to_json();
+        assert!(json.contains("\"train_loss\": null"), "{json}");
+        let parsed = History::from_json(&json).unwrap();
+        assert!(parsed.records[0].train_loss.is_nan());
+        assert!(!parsed.records[0].quorum_met);
     }
 
     #[test]

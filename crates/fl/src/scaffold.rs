@@ -16,6 +16,7 @@ use crate::context::FlContext;
 use crate::engine::{FedAlgorithm, RoundOutcome};
 use crate::lifecycle::WirePayload;
 use crate::local::{add_flat_to_grads, LocalCfg};
+use crate::trace::{Phase, RoundScope};
 use crate::weight_common::{fan_out_clients, mean_loss, GlobalModel};
 use kemf_nn::layer::Layer;
 use kemf_nn::models::ModelSpec;
@@ -55,7 +56,13 @@ impl FedAlgorithm for Scaffold {
         WirePayload::symmetric(self.global.payload_bytes() + (self.c.len() * 4) as u64)
     }
 
-    fn round(&mut self, round: usize, sampled: &[usize], ctx: &FlContext) -> RoundOutcome {
+    fn round(
+        &mut self,
+        round: usize,
+        sampled: &[usize],
+        ctx: &FlContext,
+        scope: &mut RoundScope<'_>,
+    ) -> RoundOutcome {
         // SCAFFOLD's control-variate refresh divides by K·η assuming plain
         // local SGD; momentum would inflate the effective step by
         // 1/(1−ρ) and blow the variates up, so it is disabled locally
@@ -85,44 +92,53 @@ impl FedAlgorithm for Scaffold {
             .collect();
         let index_of = |k: usize| sampled.iter().position(|&s| s == k).unwrap();
         let corrections_ref = &corrections;
-        let results = fan_out_clients(
-            &self.global.state,
-            self.global.spec,
-            round,
-            sampled,
-            ctx,
-            &local,
-            &move |k| {
-                let corr = Arc::clone(&corrections_ref[index_of(k)]);
-                Some(Box::new(move |net: &mut dyn Layer| {
-                    add_flat_to_grads(net, &corr, 1.0);
-                }) as Box<dyn Fn(&mut dyn Layer) + Send + Sync>)
-            },
-        );
-        // Control-variate refresh (option II) and aggregation.
-        let mut delta_c_mean = vec![0.0f32; self.c.len()];
-        for r in &results {
-            let k = r.client;
-            let steps = r.outcome.steps.max(1) as f32;
-            let inv = 1.0 / (steps * eta);
-            let g = &self.global.state.params.values;
-            let w = &r.state.params.values;
-            let ck = &mut self.c_clients[k];
-            for i in 0..ck.len() {
-                let ck_new = ck[i] - self.c[i] + (g[i] - w[i]) * inv;
-                delta_c_mean[i] += (ck_new - ck[i]) / results.len() as f32;
-                ck[i] = ck_new;
+        let results = scope.phase(Phase::LocalUpdate, |ctr| {
+            let results = fan_out_clients(
+                &self.global.state,
+                self.global.spec,
+                round,
+                sampled,
+                ctx,
+                &local,
+                &move |k| {
+                    let corr = Arc::clone(&corrections_ref[index_of(k)]);
+                    Some(Box::new(move |net: &mut dyn Layer| {
+                        add_flat_to_grads(net, &corr, 1.0);
+                    }) as Box<dyn Fn(&mut dyn Layer) + Send + Sync>)
+                },
+            );
+            ctr.clients = results.len();
+            ctr.steps = results.iter().map(|r| r.outcome.steps as u64).sum();
+            ctr.batches = ctr.steps;
+            results
+        });
+        scope.phase(Phase::Fusion, |ctr| {
+            ctr.clients = results.len();
+            // Control-variate refresh (option II) and aggregation.
+            let mut delta_c_mean = vec![0.0f32; self.c.len()];
+            for r in &results {
+                let k = r.client;
+                let steps = r.outcome.steps.max(1) as f32;
+                let inv = 1.0 / (steps * eta);
+                let g = &self.global.state.params.values;
+                let w = &r.state.params.values;
+                let ck = &mut self.c_clients[k];
+                for i in 0..ck.len() {
+                    let ck_new = ck[i] - self.c[i] + (g[i] - w[i]) * inv;
+                    delta_c_mean[i] += (ck_new - ck[i]) / results.len() as f32;
+                    ck[i] = ck_new;
+                }
             }
-        }
-        let frac = results.len() as f32 / ctx.cfg.n_clients as f32;
-        for (c, &d) in self.c.iter_mut().zip(delta_c_mean.iter()) {
-            *c += frac * d;
-        }
-        // Uniform mean of client states (SCAFFOLD aggregates with global
-        // learning rate 1).
-        let states: Vec<ModelState> = results.iter().map(|r| r.state.clone()).collect();
-        let coeffs = vec![1.0f32; states.len()];
-        self.global.state = ModelState::weighted_average(&states, &coeffs);
+            let frac = results.len() as f32 / ctx.cfg.n_clients as f32;
+            for (c, &d) in self.c.iter_mut().zip(delta_c_mean.iter()) {
+                *c += frac * d;
+            }
+            // Uniform mean of client states (SCAFFOLD aggregates with global
+            // learning rate 1).
+            let states: Vec<ModelState> = results.iter().map(|r| r.state.clone()).collect();
+            let coeffs = vec![1.0f32; states.len()];
+            self.global.state = ModelState::weighted_average(&states, &coeffs);
+        });
         RoundOutcome { train_loss: mean_loss(&results) }
     }
 

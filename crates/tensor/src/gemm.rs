@@ -169,6 +169,7 @@ where
     if m == 0 || n == 0 {
         return;
     }
+    crate::flops::add(2 * m as u64 * n as u64 * k as u64);
     if k == 0 {
         for i in 0..m {
             for j in 0..n {

@@ -31,6 +31,7 @@
 //! ```
 
 pub mod conv;
+pub mod flops;
 pub mod gemm;
 pub mod matmul;
 pub mod ops;

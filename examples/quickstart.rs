@@ -4,6 +4,11 @@
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Set `KEMF_TRACE=/path/to/trace.jsonl` to record the run through a
+//! [`TraceSink`]: the example writes one JSON object per round-lifecycle
+//! span to that path and prints the per-phase summary table (see the
+//! Observability section of EXPERIMENTS.md).
 
 use fedkemf::prelude::*;
 use fedkemf::core::fedkemf::{FedKemf, FedKemfConfig};
@@ -44,8 +49,16 @@ fn main() {
         algo.payload_bytes()
     );
 
-    // 4. Train and report.
-    let history = fedkemf::fl::engine::run(&mut algo, &ctx);
+    // 4. Train and report. With KEMF_TRACE set, record every
+    //    round-lifecycle span; tracing draws no randomness, so the
+    //    history is bit-identical either way.
+    let trace_path = std::env::var("KEMF_TRACE").ok();
+    let history = if trace_path.is_some() {
+        let faults = ctx.cfg.fault_plan();
+        fedkemf::fl::engine::run_recorded(&mut algo, &ctx, &faults).0
+    } else {
+        fedkemf::fl::engine::run(&mut algo, &ctx)
+    };
     for r in &history.records {
         println!(
             "round {:>2}: test accuracy {:>5.1}%  (train loss {:.3}, {:.1} MB total)",
@@ -61,4 +74,24 @@ fn main() {
         history.converged_accuracy(3) * 100.0,
         history.total_bytes() as f64 / (1024.0 * 1024.0)
     );
+
+    // 5. Export the trace, when one was recorded.
+    if let Some(path) = trace_path {
+        let trace = history.trace.as_ref().expect("recorded run attaches a trace");
+        std::fs::write(&path, trace.to_jsonl()).expect("trace written");
+        // Sanity: the export round-trips and every round is complete.
+        let parsed = RunTrace::from_jsonl(&std::fs::read_to_string(&path).unwrap())
+            .expect("trace parses back");
+        assert_eq!(&parsed, trace);
+        for round in 0..parsed.rounds() {
+            for phase in Phase::ALL {
+                assert!(
+                    parsed.round_spans(round).iter().any(|s| s.phase == phase),
+                    "round {round} missing {} span",
+                    phase.name()
+                );
+            }
+        }
+        println!("\n{} spans -> {path}\n\n{}", parsed.spans.len(), parsed.summary_table());
+    }
 }

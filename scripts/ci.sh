@@ -10,3 +10,16 @@ cargo clippy --workspace -- -D warnings
 # Smoke-run the fault-injection example: exercises the client lifecycle
 # (drops, stragglers, upload retries, quorum aborts) end to end.
 cargo run --release --example unreliable_clients
+
+# Trace smoke: a recorded run must export round-lifecycle JSONL with one
+# span per phase. The example itself asserts the export round-trips and
+# every round is complete; here we check the artifact landed.
+trace_file=target/trace_smoke.jsonl
+rm -f "$trace_file"
+KEMF_TRACE="$trace_file" cargo run --release --example quickstart
+test -s "$trace_file" || { echo "trace smoke: $trace_file empty or missing"; exit 1; }
+for phase in sample broadcast local_update fusion upload eval round; do
+    grep -q "\"phase\":\"$phase\"" "$trace_file" \
+        || { echo "trace smoke: missing $phase spans"; exit 1; }
+done
+echo "trace smoke: $(wc -l < "$trace_file") spans in $trace_file"

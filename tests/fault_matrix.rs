@@ -22,7 +22,13 @@ impl FedAlgorithm for Probe {
     fn payload_per_client(&self) -> WirePayload {
         WirePayload { down_bytes: 1000, up_bytes: 100 }
     }
-    fn round(&mut self, _round: usize, _sampled: &[usize], _ctx: &FlContext) -> RoundOutcome {
+    fn round(
+        &mut self,
+        _round: usize,
+        _sampled: &[usize],
+        _ctx: &FlContext,
+        _scope: &mut RoundScope<'_>,
+    ) -> RoundOutcome {
         RoundOutcome { train_loss: 1.0 }
     }
     fn evaluate(&mut self, _ctx: &FlContext) -> f32 {
@@ -109,6 +115,8 @@ fn every_fault_mode_finishes_with_lifecycle_consistent_bytes() {
             assert_eq!(r.up_bytes, plan.reporters().len() as u64 * payload.up_bytes);
             assert!(r.up_clients <= r.down_clients, "{name}: uploads ⊆ downloads");
             assert_eq!(r.quorum_met, plan.quorum_met(), "{name}");
+            // Aborted rounds report NaN loss, never a fake value.
+            assert_eq!(!r.quorum_met, r.train_loss.is_nan(), "{name}: NaN loss iff aborted");
         }
         // Cumulative bytes are the running total of all three buckets.
         let mut acc = 0u64;
@@ -270,6 +278,33 @@ fn reliable_fleet_matches_faultless_engine_exactly() {
     let mut b = FedAvg::new(spec);
     let hb = fedkemf::fl::engine::run_with_faults(&mut b, &mk(), &FaultConfig::reliable());
     assert_eq!(ha.to_json(), hb.to_json());
+}
+
+/// A round aborted on quorum failure must record `NaN` train loss — the
+/// engine used to write a fake `0.0`, indistinguishable from a perfect
+/// fit in every CSV/JSON export.
+#[test]
+fn quorum_aborted_rounds_record_nan_loss() {
+    let ctx = probe_ctx(97);
+    let faults =
+        FaultConfig { drop_before_download: 0.95, min_quorum: 6, ..Default::default() };
+    let h = fedkemf::fl::engine::run_with_faults(&mut Probe, &ctx, &faults);
+    assert!(
+        h.records.iter().any(|r| !r.quorum_met),
+        "storm should abort at least one round"
+    );
+    for r in &h.records {
+        if r.quorum_met {
+            assert!(r.train_loss.is_finite(), "round {}: live round keeps its loss", r.round);
+        } else {
+            assert!(
+                r.train_loss.is_nan(),
+                "round {}: aborted round must report NaN, got {}",
+                r.round,
+                r.train_loss
+            );
+        }
+    }
 }
 
 /// The simulated round wall-clock honors the lifecycle: a cut straggler
