@@ -49,7 +49,9 @@ fn bench_table3(c: &mut Criterion) {
             let knowledge = ModelSpec::scaled(Arch::ResNet20, 3, 16, 10, 1000);
             let pool = task.generate_unlabeled(48, 5);
             let mut algo = FedKemf::new(FedKemfConfig::uniform(knowledge, specs, pool));
-            kemf_fl::engine::run(&mut algo, &ctx)
+            kemf_fl::engine::Engine::run(&mut algo, &ctx, kemf_fl::engine::RunOptions::new())
+                    .expect("run failed")
+                    .history
         })
     });
 }
@@ -83,7 +85,9 @@ fn bench_ablation(c: &mut Criterion) {
                 let mut cfg = FedKemfConfig::uniform(knowledge, clients, pool);
                 cfg.distill.strategy = strategy;
                 let mut algo = FedKemf::new(cfg);
-                kemf_fl::engine::run(&mut algo, &ctx)
+                kemf_fl::engine::Engine::run(&mut algo, &ctx, kemf_fl::engine::RunOptions::new())
+                    .expect("run failed")
+                    .history
             })
         });
     }

@@ -43,7 +43,9 @@ fn main() {
     let mut run_variant = |label: &str, mutate: Box<dyn FnOnce(&mut FedKemfConfig)>| {
         let (ctx, task) = spec.build_ctx();
         let mut algo = build(&spec, &ctx, &task, mutate);
-        let h = kemf_fl::engine::run(&mut algo, &ctx);
+        let h = kemf_fl::engine::Engine::run(&mut algo, &ctx, kemf_fl::engine::RunOptions::new())
+            .expect("run failed")
+            .history;
         table.row(&[
             label.into(),
             fmt_pct(h.converged_accuracy(window)),

@@ -36,7 +36,9 @@ fn main() {
         let mut algo = FedKemf::new(FedKemfConfig::uniform(knowledge, clients, pool));
         let payload = algo.payload_bytes();
         let params = Model::new(knowledge).param_count();
-        let h = kemf_fl::engine::run(&mut algo, &ctx);
+        let h = kemf_fl::engine::Engine::run(&mut algo, &ctx, kemf_fl::engine::RunOptions::new())
+            .expect("run failed")
+            .history;
         runs.push((w, params, payload, h));
     }
     let best_overall = runs.iter().map(|(_, _, _, h)| h.best_accuracy()).fold(0.0f32, f32::max);

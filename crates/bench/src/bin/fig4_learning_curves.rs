@@ -9,6 +9,12 @@
 //! `--trace <dir>` additionally records every run through a trace sink
 //! and writes one round-lifecycle JSONL per (model, algorithm) pair to
 //! `<dir>/fig4_<model>_<algo>.jsonl` (see EXPERIMENTS.md, Observability).
+//!
+//! `--checkpoint-dir <dir>` makes each run resumable: checkpoints land in
+//! `<dir>/<algo>/` every `--checkpoint-every <k>` rounds (default 5), and
+//! `--resume 1` continues from the newest checkpoint when one exists —
+//! the finished series is bit-identical to an uninterrupted run (see
+//! EXPERIMENTS.md, Resumable runs). Incompatible with `--trace`.
 
 use kemf_bench::*;
 use kemf_nn::models::Arch;
@@ -26,6 +32,13 @@ fn main() {
     if let Some(dir) = &trace_dir {
         std::fs::create_dir_all(dir).expect("trace dir");
     }
+    let ckpt_dir = args.has("checkpoint-dir").then(|| args.get_str("checkpoint-dir", ""));
+    let ckpt_every = args.get::<usize>("checkpoint-every", 5);
+    let resume = args.get::<usize>("resume", 0) != 0;
+    assert!(
+        trace_dir.is_none() || ckpt_dir.is_none(),
+        "--trace and --checkpoint-dir are mutually exclusive"
+    );
     for (workload, arch, slug) in configs {
         if only != "all" && only != slug {
             continue;
@@ -50,6 +63,11 @@ fn main() {
                 std::fs::write(&path, trace.to_jsonl()).expect("trace written");
                 println!("{:>9}: {} spans -> {path}", kind.display(), trace.spans.len());
                 h
+            } else if let Some(dir) = &ckpt_dir {
+                // One checkpoint directory per (model, algorithm) pair so
+                // concurrent configurations never share a lineage.
+                let dir = std::path::Path::new(dir).join(slug);
+                run_experiment_resumable(kind, &spec, &dir, ckpt_every, resume)
             } else {
                 run_experiment(kind, &spec)
             };

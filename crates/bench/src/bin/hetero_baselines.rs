@@ -46,7 +46,9 @@ fn main() {
     );
     for algo in algos.iter_mut() {
         let name = algo.name();
-        let h = kemf_fl::engine::run(algo.as_mut(), &ctx);
+        let h = kemf_fl::engine::Engine::run(algo.as_mut(), &ctx, kemf_fl::engine::RunOptions::new())
+            .expect("run failed")
+            .history;
         table.row(&[
             name,
             fmt_pct(h.best_accuracy()),

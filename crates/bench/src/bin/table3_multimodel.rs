@@ -70,7 +70,9 @@ fn main() {
     ];
     for (name, mut algo) in baselines {
         let ctx = FlContext::with_shards(cfg, &full, &train_shards, global_test.clone());
-        let _ = kemf_fl::engine::run(algo.as_mut(), &ctx);
+        let _ = kemf_fl::engine::Engine::run(algo.as_mut(), &ctx, kemf_fl::engine::RunOptions::new())
+            .expect("run failed")
+            .history;
         let (mspec, state) = algo.global_model().expect("baseline has a global model");
         let mut deployed = Model::new(mspec);
         deployed.set_state(&state);
@@ -102,7 +104,9 @@ fn main() {
     let pool = task.generate_unlabeled(spec.pool_samples(), 2);
     let mut kemf = FedKemf::new(FedKemfConfig::uniform(knowledge, client_specs, pool));
     let ctx = FlContext::with_shards(cfg, &full, &train_shards, global_test);
-    let _ = kemf_fl::engine::run(&mut kemf, &ctx);
+    let _ = kemf_fl::engine::Engine::run(&mut kemf, &ctx, kemf_fl::engine::RunOptions::new())
+            .expect("run failed")
+            .history;
     let avg = kemf.evaluate_local_models(&client_tests, 64);
     table.row(&[
         "FedKEMF".into(),

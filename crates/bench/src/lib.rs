@@ -28,8 +28,8 @@ pub mod runner;
 pub use args::Args;
 pub use report::{fmt_bytes, fmt_pct, fmt_speedup, Table};
 pub use runner::{
-    full_scale_bytes, run_experiment, run_experiment_recorded, AlgoKind, ExperimentSpec,
-    Workload, ALL_ALGOS,
+    full_scale_bytes, run_experiment, run_experiment_recorded, run_experiment_resumable,
+    AlgoKind, ExperimentSpec, Workload, ALL_ALGOS,
 };
 
 /// Apply the common CLI overrides to an experiment spec.

@@ -250,7 +250,9 @@ mod parking_lot_free {
 pub fn run_experiment(kind: AlgoKind, spec: &ExperimentSpec) -> History {
     let (ctx, task) = spec.build_ctx();
     let mut algo = kind.build(spec, &ctx, &task);
-    kemf_fl::engine::run(algo.as_mut(), &ctx)
+    Engine::run(algo.as_mut(), &ctx, RunOptions::new())
+        .expect("experiment run failed")
+        .history
 }
 
 /// Like [`run_experiment`], but record the run through a
@@ -262,7 +264,38 @@ pub fn run_experiment_recorded(kind: AlgoKind, spec: &ExperimentSpec) -> History
     let (ctx, task) = spec.build_ctx();
     let mut algo = kind.build(spec, &ctx, &task);
     let faults = ctx.cfg.fault_plan();
-    kemf_fl::engine::run_recorded(algo.as_mut(), &ctx, &faults).0
+    Engine::run(
+        algo.as_mut(),
+        &ctx,
+        RunOptions::new().faults(faults).record_trace(),
+    )
+    .expect("experiment run failed")
+    .history
+}
+
+/// Like [`run_experiment`], but resumable: checkpoint into
+/// `<checkpoint_dir>/<algorithm>/` every `every` rounds and, when
+/// `resume` is set, continue from the newest checkpoint there (a fresh
+/// run when the directory is still empty). A resumed experiment's
+/// history is bit-identical to an uninterrupted one.
+pub fn run_experiment_resumable(
+    kind: AlgoKind,
+    spec: &ExperimentSpec,
+    checkpoint_dir: &std::path::Path,
+    every: usize,
+    resume: bool,
+) -> History {
+    let (ctx, task) = spec.build_ctx();
+    let mut algo = kind.build(spec, &ctx, &task);
+    // Per-algorithm subdirectory so one sweep can share a checkpoint root.
+    let dir = checkpoint_dir.join(algo.name());
+    let mut opts = RunOptions::new().checkpoint(CheckpointPolicy::new(&dir, every.max(1)));
+    if resume && matches!(kemf_fl::checkpoint::latest_checkpoint(&dir), Ok(Some(_))) {
+        opts = opts.resume_from(&dir);
+    }
+    Engine::run(algo.as_mut(), &ctx, opts)
+        .expect("experiment run failed")
+        .history
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@ use kemf_fl::context::FlContext;
 use kemf_fl::engine::{FedAlgorithm, RoundOutcome};
 use kemf_fl::lifecycle::WirePayload;
 use kemf_fl::local::LocalCfg;
+use kemf_fl::state::{check_model_layout, AlgorithmState, RestoreError};
 use kemf_fl::trace::{Phase, RoundScope};
 use kemf_fl::weight_common::{fan_out_clients, mean_loss, GlobalModel};
 use kemf_nn::model::Model;
@@ -39,8 +40,6 @@ impl FedAlgorithm for FedDf {
     fn name(&self) -> String {
         "FedDF".into()
     }
-
-    fn init(&mut self, _ctx: &FlContext) {}
 
     fn payload_per_client(&self) -> WirePayload {
         WirePayload::symmetric(self.global.payload_bytes())
@@ -102,6 +101,18 @@ impl FedAlgorithm for FedDf {
         self.global.evaluate(ctx)
     }
 
+    fn state(&self) -> AlgorithmState {
+        AlgorithmState::new(self.name(), 1).with_model("global", self.global.state.clone())
+    }
+
+    fn restore(&mut self, state: &AlgorithmState) -> Result<(), RestoreError> {
+        state.expect_header(&self.name(), 1)?;
+        let incoming = state.model("global")?;
+        check_model_layout("global", incoming, &self.global.state)?;
+        self.global.state = incoming.clone();
+        Ok(())
+    }
+
     fn global_model(&self) -> Option<(ModelSpec, ModelState)> {
         Some((self.global.spec, self.global.state.clone()))
     }
@@ -112,8 +123,13 @@ mod tests {
     use super::*;
     use kemf_data::synth::{SynthConfig, SynthTask};
     use kemf_fl::config::FlConfig;
-    use kemf_fl::engine::run;
+    use kemf_fl::engine::{Engine, RunOptions};
+    use kemf_fl::metrics::History;
     use kemf_nn::models::Arch;
+
+    fn run(algo: &mut dyn FedAlgorithm, ctx: &FlContext) -> History {
+        Engine::run(algo, ctx, RunOptions::new()).unwrap().history
+    }
 
     fn world(seed: u64) -> (FlContext, SynthTask) {
         let task = SynthTask::new(SynthConfig::mnist_like(seed));

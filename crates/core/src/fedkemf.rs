@@ -13,10 +13,12 @@
 use crate::distill::{distill_ensemble, DistillConfig};
 use crate::dml::{dml_local_update, DmlConfig};
 use crate::fusion::{weight_average_fusion, FusionMode};
+use kemf_fl::config::ConfigError;
 use kemf_fl::context::FlContext;
 use kemf_fl::engine::{FedAlgorithm, RoundOutcome};
 use kemf_fl::lifecycle::WirePayload;
 use kemf_fl::local::{local_train, LocalCfg};
+use kemf_fl::state::{check_model_layout, AlgorithmState, RestoreError};
 use kemf_fl::trace::{Phase, RoundScope};
 use kemf_data::dataset::Dataset;
 use kemf_nn::model::Model;
@@ -147,18 +149,24 @@ impl FedAlgorithm for FedKemf {
         }
     }
 
-    fn init(&mut self, ctx: &FlContext) {
-        assert_eq!(
-            self.cfg.client_specs.len(),
-            ctx.cfg.n_clients,
-            "need one client spec per client"
-        );
+    fn init(&mut self, ctx: &FlContext) -> Result<(), ConfigError> {
+        if self.cfg.client_specs.len() != ctx.cfg.n_clients {
+            return Err(ConfigError::AlgorithmSetup {
+                algorithm: self.name(),
+                reason: format!(
+                    "need one client spec per client: {} specs for {} clients",
+                    self.cfg.client_specs.len(),
+                    ctx.cfg.n_clients
+                ),
+            });
+        }
         self.local_models = self
             .cfg
             .client_specs
             .iter()
             .map(|spec| Some(Model::new(*spec)))
             .collect();
+        Ok(())
     }
 
     fn payload_per_client(&self) -> WirePayload {
@@ -280,6 +288,38 @@ impl FedAlgorithm for FedKemf {
             .evaluate(&ctx.test.images, &ctx.test.labels, ctx.cfg.eval_batch)
     }
 
+    fn state(&self) -> AlgorithmState {
+        // The local models never leave their devices in the protocol, but
+        // a checkpoint is the device: dropping them would silently reset
+        // every client's deployed model on resume.
+        let mut s = AlgorithmState::new(self.name(), 1)
+            .with_model("knowledge", self.global_knowledge.clone());
+        for (k, m) in self.local_models.iter().enumerate() {
+            let m = m.as_ref().expect("local models are only taken within round()");
+            s.push_model(format!("local.{k}"), m.state());
+        }
+        s
+    }
+
+    fn restore(&mut self, state: &AlgorithmState) -> Result<(), RestoreError> {
+        state.expect_header(&self.name(), 1)?;
+        let knowledge = state.model("knowledge")?;
+        check_model_layout("knowledge", knowledge, &self.global_knowledge)?;
+        // Pre-check every local model before mutating anything, so a
+        // failed restore leaves the instance untouched.
+        for (k, m) in self.local_models.iter().enumerate() {
+            let name = format!("local.{k}");
+            let live = m.as_ref().expect("local models are only taken within round()");
+            check_model_layout(&name, state.model(&name)?, &live.state())?;
+        }
+        self.global_knowledge = knowledge.clone();
+        for (k, m) in self.local_models.iter_mut().enumerate() {
+            let name = format!("local.{k}");
+            m.as_mut().unwrap().set_state(state.model(&name)?);
+        }
+        Ok(())
+    }
+
     fn global_model(&self) -> Option<(ModelSpec, ModelState)> {
         Some((self.cfg.knowledge_spec, self.global_knowledge.clone()))
     }
@@ -291,8 +331,13 @@ mod tests {
     use crate::resource::{assign_tiers, heterogeneous_specs, uniform_specs};
     use kemf_data::synth::{SynthConfig, SynthTask};
     use kemf_fl::config::FlConfig;
-    use kemf_fl::engine::run;
+    use kemf_fl::engine::{Engine, RunOptions};
+    use kemf_fl::metrics::History;
     use kemf_nn::models::Arch;
+
+    fn run(algo: &mut dyn FedAlgorithm, ctx: &FlContext) -> History {
+        Engine::run(algo, ctx, RunOptions::new()).unwrap().history
+    }
 
     fn mk(seed: u64, n_clients: usize) -> (FlContext, SynthTask) {
         let task = SynthTask::new(SynthConfig::mnist_like(seed));

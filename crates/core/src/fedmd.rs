@@ -16,10 +16,12 @@
 //! client-model accuracy.
 
 use kemf_data::dataset::Dataset;
+use kemf_fl::config::ConfigError;
 use kemf_fl::context::FlContext;
 use kemf_fl::engine::{FedAlgorithm, RoundOutcome};
 use kemf_fl::lifecycle::WirePayload;
 use kemf_fl::local::{local_train, LocalCfg};
+use kemf_fl::state::{check_model_layout, check_tensor_dims, AlgorithmState, RestoreError};
 use kemf_fl::trace::{Phase, RoundScope};
 use kemf_nn::loss::kl_to_target;
 use kemf_nn::model::Model;
@@ -123,9 +125,19 @@ impl FedAlgorithm for FedMd {
         "FedMD".into()
     }
 
-    fn init(&mut self, ctx: &FlContext) {
-        assert_eq!(self.client_specs.len(), ctx.cfg.n_clients, "one spec per client");
+    fn init(&mut self, ctx: &FlContext) -> Result<(), ConfigError> {
+        if self.client_specs.len() != ctx.cfg.n_clients {
+            return Err(ConfigError::AlgorithmSetup {
+                algorithm: self.name(),
+                reason: format!(
+                    "need one client spec per client: {} specs for {} clients",
+                    self.client_specs.len(),
+                    ctx.cfg.n_clients
+                ),
+            });
+        }
         self.local_models = self.client_specs.iter().map(|s| Some(Model::new(*s))).collect();
+        Ok(())
     }
 
     fn payload_per_client(&self) -> WirePayload {
@@ -210,6 +222,43 @@ impl FedAlgorithm for FedMd {
             total / count as f32
         }
     }
+
+    fn state(&self) -> AlgorithmState {
+        let mut s = AlgorithmState::new(self.name(), 1);
+        for (k, m) in self.local_models.iter().enumerate() {
+            let m = m.as_ref().expect("local models are only taken within round()");
+            s.push_model(format!("local.{k}"), m.state());
+        }
+        // Presence of the entry encodes the Option: no consensus exists
+        // before the first completed round.
+        if let Some(c) = &self.consensus {
+            s.push_tensor("consensus", c.dims().to_vec(), c.data().to_vec());
+        }
+        s
+    }
+
+    fn restore(&mut self, state: &AlgorithmState) -> Result<(), RestoreError> {
+        state.expect_header(&self.name(), 1)?;
+        for (k, m) in self.local_models.iter().enumerate() {
+            let name = format!("local.{k}");
+            let live = m.as_ref().expect("local models are only taken within round()");
+            check_model_layout(&name, state.model(&name)?, &live.state())?;
+        }
+        let consensus = match state.opt_tensor("consensus") {
+            Some(blob) => {
+                let dims = [self.public.dims()[0], self.classes];
+                check_tensor_dims("consensus", blob, &dims)?;
+                Some(Tensor::from_vec(blob.values.clone(), &dims))
+            }
+            None => None,
+        };
+        for (k, m) in self.local_models.iter_mut().enumerate() {
+            let name = format!("local.{k}");
+            m.as_mut().unwrap().set_state(state.model(&name)?);
+        }
+        self.consensus = consensus;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -218,8 +267,13 @@ mod tests {
     use crate::resource::{assign_tiers, heterogeneous_specs, uniform_specs};
     use kemf_data::synth::{SynthConfig, SynthTask};
     use kemf_fl::config::FlConfig;
-    use kemf_fl::engine::run;
+    use kemf_fl::engine::{Engine, RunOptions};
+    use kemf_fl::metrics::History;
     use kemf_nn::models::Arch;
+
+    fn run(algo: &mut dyn FedAlgorithm, ctx: &FlContext) -> History {
+        Engine::run(algo, ctx, RunOptions::new()).unwrap().history
+    }
 
     fn world(seed: u64, n: usize) -> (FlContext, SynthTask) {
         let task = SynthTask::new(SynthConfig::mnist_like(seed));
@@ -280,7 +334,7 @@ mod tests {
         let specs = uniform_specs(Arch::Cnn2, 3, 1, 12, 10, 2);
         let public = task.generate_unlabeled(40, 3);
         let mut algo = FedMd::new(specs, public, 10, FedMdConfig::default());
-        algo.init(&ctx);
+        algo.init(&ctx).unwrap();
         assert!(algo.consensus.is_none());
         let mut sink = kemf_fl::trace::NoopSink;
         let mut scope = RoundScope::new(&mut sink, 0);

@@ -1,0 +1,489 @@
+//! Crash-consistent run checkpoints: everything the engine needs to
+//! continue a federated run from round *k* such that the finished
+//! [`History`] is **bit-identical** to an uninterrupted run.
+//!
+//! A [`RunCheckpoint`] rides inside a kemf-nn v2 bundle
+//! ([`kemf_nn::checkpoint::CheckpointBundle`]): the algorithm's
+//! [`AlgorithmState`] maps onto the bundle's model/array/scalar
+//! sections, and the engine's own metadata — config fingerprint, next
+//! round index, RNG verification probes, and the history so far — is
+//! binary-encoded into the bundle's opaque `meta` section (binary, not
+//! JSON, so every `f32` bit pattern survives and the resumed history
+//! re-serializes byte-for-byte).
+//!
+//! **Resume semantics.** The engine does not serialize raw RNG
+//! internals (the vendored `StdRng` keeps its state private, matching
+//! the real `rand` API). Instead it *replays* the sampler and fault
+//! streams — re-drawing every completed round's client sample and
+//! lifecycle plan, which also reconstructs the plans for the final
+//! report — and then compares one probe draw per stream against the
+//! values stored at save time. Any divergence (code drift, a foreign
+//! checkpoint) refuses to resume rather than silently forking the run.
+//!
+//! **Fingerprint.** [`run_fingerprint`] hashes the run config (minus
+//! `rounds`), the effective fault model, the algorithm name, and the
+//! engine seed. `rounds` is deliberately excluded: the training horizon
+//! is not part of a run's identity, so a checkpointed 5-round run may
+//! be resumed with `rounds = 10` to extend it — the basis of both the
+//! kill-and-resume tests and the CI smoke. Everything else mismatching
+//! refuses resume with [`ResumeError::FingerprintMismatch`].
+
+use crate::config::FlConfig;
+use crate::lifecycle::FaultConfig;
+use crate::metrics::RoundRecord;
+use crate::state::{AlgorithmState, TensorBlob};
+use kemf_nn::checkpoint::{load_bundle, save_bundle, CheckpointBundle};
+use std::io::{self, Read};
+use std::path::{Path, PathBuf};
+
+/// Format version of the engine metadata inside the bundle's `meta`
+/// section.
+pub const RUN_CHECKPOINT_VERSION: u32 = 1;
+
+/// File-name prefix/suffix of round checkpoints inside a checkpoint
+/// directory: `round_00004.ckpt` holds the state *after* 4 completed
+/// rounds (next round index 4).
+const FILE_PREFIX: &str = "round_";
+const FILE_SUFFIX: &str = ".ckpt";
+
+/// A resumable snapshot of one run after `next_round` completed rounds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunCheckpoint {
+    /// [`run_fingerprint`] of the run that wrote this checkpoint.
+    pub fingerprint: u64,
+    /// Index of the first round still to execute.
+    pub next_round: usize,
+    /// Algorithm display name (engine-level duplicate of the state's
+    /// header, so mismatches are reported before restore runs).
+    pub algorithm: String,
+    /// One probe draw of the sampler RNG at save time (the stream is
+    /// replayed on resume and must land here).
+    pub sampler_check: u64,
+    /// One probe draw of the fault RNG at save time.
+    pub fault_check: u64,
+    /// History records of the completed rounds, bit-exact.
+    pub records: Vec<RoundRecord>,
+    /// The algorithm's full state after round `next_round - 1`.
+    pub state: AlgorithmState,
+}
+
+/// When and where the engine writes checkpoints.
+#[derive(Clone, Debug)]
+pub struct CheckpointPolicy {
+    /// Directory the `round_*.ckpt` files land in (created on demand).
+    pub dir: PathBuf,
+    /// Checkpoint after every `every` completed rounds (and always after
+    /// the final round). Clamped to at least 1.
+    pub every: usize,
+    /// Keep at most this many checkpoint files, pruning the oldest;
+    /// `0` keeps them all.
+    pub keep: usize,
+}
+
+impl CheckpointPolicy {
+    /// Checkpoint into `dir` every `every` rounds, keeping the last two
+    /// files (one good checkpoint always survives a crash mid-write of
+    /// the next).
+    pub fn new(dir: impl Into<PathBuf>, every: usize) -> Self {
+        CheckpointPolicy { dir: dir.into(), every: every.max(1), keep: 2 }
+    }
+
+    /// Keep at most `keep` checkpoint files (builder style; 0 = all).
+    pub fn keep(mut self, keep: usize) -> Self {
+        self.keep = keep;
+        self
+    }
+}
+
+/// 64-bit FNV-1a over the run's identity: config JSON with `rounds`
+/// zeroed (the horizon may change between checkpoint and resume), the
+/// effective fault model, the algorithm name, and the engine seed.
+pub fn run_fingerprint(cfg: &FlConfig, faults: &FaultConfig, algorithm: &str, seed: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    let cfg_id = FlConfig { rounds: 0, ..*cfg };
+    eat(serde_json::to_string(&cfg_id).expect("config serializes").as_bytes());
+    eat(serde_json::to_string(faults).expect("faults serialize").as_bytes());
+    eat(algorithm.as_bytes());
+    eat(&seed.to_le_bytes());
+    h
+}
+
+// ---- meta encoding -----------------------------------------------------
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn get_u64(inp: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    inp.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn get_u32(inp: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    inp.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn get_f32(inp: &mut impl Read) -> io::Result<f32> {
+    let mut b = [0u8; 4];
+    inp.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+fn get_str(inp: &mut impl Read) -> io::Result<String> {
+    let n = get_u64(inp)? as usize;
+    if n > (1 << 20) {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible string length"));
+    }
+    let mut buf = vec![0u8; n];
+    inp.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 string"))
+}
+
+fn encode_meta(ckpt: &RunCheckpoint) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&RUN_CHECKPOINT_VERSION.to_le_bytes());
+    put_u64(&mut out, ckpt.fingerprint);
+    put_u64(&mut out, ckpt.next_round as u64);
+    put_str(&mut out, &ckpt.algorithm);
+    put_u64(&mut out, ckpt.sampler_check);
+    put_u64(&mut out, ckpt.fault_check);
+    put_str(&mut out, &ckpt.state.algorithm);
+    out.extend_from_slice(&ckpt.state.version.to_le_bytes());
+    put_u64(&mut out, ckpt.records.len() as u64);
+    for r in &ckpt.records {
+        put_u64(&mut out, r.round as u64);
+        out.extend_from_slice(&r.test_acc.to_le_bytes());
+        out.extend_from_slice(&r.train_loss.to_le_bytes());
+        put_u64(&mut out, r.cum_bytes);
+        put_u64(&mut out, r.down_bytes);
+        put_u64(&mut out, r.up_bytes);
+        put_u64(&mut out, r.wasted_up_bytes);
+        put_u64(&mut out, r.down_clients as u64);
+        put_u64(&mut out, r.up_clients as u64);
+        out.push(r.quorum_met as u8);
+    }
+    out
+}
+
+struct DecodedMeta {
+    fingerprint: u64,
+    next_round: usize,
+    algorithm: String,
+    sampler_check: u64,
+    fault_check: u64,
+    state_algorithm: String,
+    state_version: u32,
+    records: Vec<RoundRecord>,
+}
+
+fn decode_meta(meta: &[u8]) -> io::Result<DecodedMeta> {
+    let mut inp = meta;
+    let version = get_u32(&mut inp)?;
+    if version != RUN_CHECKPOINT_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "run-checkpoint version mismatch: expected {RUN_CHECKPOINT_VERSION}, found {version}"
+            ),
+        ));
+    }
+    let fingerprint = get_u64(&mut inp)?;
+    let next_round = get_u64(&mut inp)? as usize;
+    let algorithm = get_str(&mut inp)?;
+    let sampler_check = get_u64(&mut inp)?;
+    let fault_check = get_u64(&mut inp)?;
+    let state_algorithm = get_str(&mut inp)?;
+    let state_version = get_u32(&mut inp)?;
+    let n_records = get_u64(&mut inp)? as usize;
+    if n_records > (1 << 24) {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible record count"));
+    }
+    let mut records = Vec::with_capacity(n_records);
+    for _ in 0..n_records {
+        let round = get_u64(&mut inp)? as usize;
+        let test_acc = get_f32(&mut inp)?;
+        let train_loss = get_f32(&mut inp)?;
+        let cum_bytes = get_u64(&mut inp)?;
+        let down_bytes = get_u64(&mut inp)?;
+        let up_bytes = get_u64(&mut inp)?;
+        let wasted_up_bytes = get_u64(&mut inp)?;
+        let down_clients = get_u64(&mut inp)? as usize;
+        let up_clients = get_u64(&mut inp)? as usize;
+        let mut q = [0u8; 1];
+        inp.read_exact(&mut q)?;
+        records.push(RoundRecord {
+            round,
+            test_acc,
+            train_loss,
+            cum_bytes,
+            down_bytes,
+            up_bytes,
+            wasted_up_bytes,
+            down_clients,
+            up_clients,
+            quorum_met: q[0] != 0,
+        });
+    }
+    if !inp.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "trailing metadata bytes"));
+    }
+    Ok(DecodedMeta {
+        fingerprint,
+        next_round,
+        algorithm,
+        sampler_check,
+        fault_check,
+        state_algorithm,
+        state_version,
+        records,
+    })
+}
+
+// ---- save / load -------------------------------------------------------
+
+fn to_bundle(ckpt: &RunCheckpoint) -> CheckpointBundle {
+    CheckpointBundle {
+        meta: encode_meta(ckpt),
+        models: ckpt.state.models.clone(),
+        arrays: ckpt
+            .state
+            .tensors
+            .iter()
+            .map(|(n, t)| (n.clone(), t.dims.clone(), t.values.clone()))
+            .collect(),
+        scalars: ckpt.state.scalars.clone(),
+    }
+}
+
+fn from_bundle(bundle: CheckpointBundle) -> io::Result<RunCheckpoint> {
+    let meta = decode_meta(&bundle.meta)?;
+    let state = AlgorithmState {
+        algorithm: meta.state_algorithm,
+        version: meta.state_version,
+        models: bundle.models,
+        tensors: bundle
+            .arrays
+            .into_iter()
+            .map(|(n, dims, values)| (n, TensorBlob { dims, values }))
+            .collect(),
+        scalars: bundle.scalars,
+    };
+    Ok(RunCheckpoint {
+        fingerprint: meta.fingerprint,
+        next_round: meta.next_round,
+        algorithm: meta.algorithm,
+        sampler_check: meta.sampler_check,
+        fault_check: meta.fault_check,
+        records: meta.records,
+        state,
+    })
+}
+
+/// File name of the checkpoint taken after `next_round` completed
+/// rounds.
+pub fn checkpoint_file(dir: &Path, next_round: usize) -> PathBuf {
+    dir.join(format!("{FILE_PREFIX}{next_round:05}{FILE_SUFFIX}"))
+}
+
+/// Atomically write `ckpt` into `dir` (created on demand) and return the
+/// file path.
+pub fn save_run(ckpt: &RunCheckpoint, dir: &Path) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = checkpoint_file(dir, ckpt.next_round);
+    save_bundle(&to_bundle(ckpt), &path)?;
+    Ok(path)
+}
+
+/// Load a run checkpoint. `path` may be a checkpoint file or a
+/// checkpoint directory; a directory resolves to its newest loadable
+/// `round_*.ckpt` (stray `.tmp` leftovers from an interrupted save and
+/// corrupt files are skipped, so a crash mid-write never blocks resume
+/// from the previous good checkpoint).
+pub fn load_run(path: &Path) -> io::Result<RunCheckpoint> {
+    if path.is_dir() {
+        let mut rounds = checkpoint_rounds(path)?;
+        if rounds.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no round_*.ckpt checkpoints in {}", path.display()),
+            ));
+        }
+        // Newest first; fall back past corrupt files to the last good one.
+        rounds.reverse();
+        let mut last_err = None;
+        for r in rounds {
+            match load_bundle(checkpoint_file(path, r)).and_then(from_bundle) {
+                Ok(ckpt) => return Ok(ckpt),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("non-empty candidate list"))
+    } else {
+        from_bundle(load_bundle(path)?)
+    }
+}
+
+/// Completed-round indices of the `round_*.ckpt` files in `dir`,
+/// ascending. Non-checkpoint files (including `.tmp` leftovers) are
+/// ignored.
+pub fn checkpoint_rounds(dir: &Path) -> io::Result<Vec<usize>> {
+    let mut rounds = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(stem) = name.strip_prefix(FILE_PREFIX).and_then(|s| s.strip_suffix(FILE_SUFFIX))
+        {
+            if let Ok(r) = stem.parse::<usize>() {
+                rounds.push(r);
+            }
+        }
+    }
+    rounds.sort_unstable();
+    Ok(rounds)
+}
+
+/// Path of the newest checkpoint in `dir`, if any (no load attempted).
+pub fn latest_checkpoint(dir: &Path) -> io::Result<Option<PathBuf>> {
+    if !dir.is_dir() {
+        return Ok(None);
+    }
+    Ok(checkpoint_rounds(dir)?.last().map(|&r| checkpoint_file(dir, r)))
+}
+
+/// Delete all but the newest `keep` checkpoints in `dir` (`keep == 0`
+/// keeps everything).
+pub fn prune_checkpoints(dir: &Path, keep: usize) -> io::Result<()> {
+    if keep == 0 {
+        return Ok(());
+    }
+    let rounds = checkpoint_rounds(dir)?;
+    for &r in rounds.iter().rev().skip(keep) {
+        std::fs::remove_file(checkpoint_file(dir, r))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kemf_nn::model::Model;
+    use kemf_nn::models::{Arch, ModelSpec};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("kemf_runckpt_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    fn sample_ckpt(next_round: usize) -> RunCheckpoint {
+        let state = AlgorithmState::new("FedAvg", 1)
+            .with_model("global", Model::new(ModelSpec::scaled(Arch::Cnn2, 1, 8, 10, 3)).state())
+            .with_tensor("c", vec![3], vec![1.0, f32::NAN, -0.0])
+            .with_scalar("mu", 0.01);
+        RunCheckpoint {
+            fingerprint: 0xDEAD_BEEF,
+            next_round,
+            algorithm: "FedAvg".into(),
+            sampler_check: 17,
+            fault_check: 23,
+            records: vec![
+                RoundRecord { round: 0, test_acc: 0.5, train_loss: f32::NAN, ..Default::default() },
+                RoundRecord { round: 1, test_acc: 0.625, train_loss: 1.5, ..Default::default() },
+            ],
+            state,
+        }
+    }
+
+    #[test]
+    fn run_checkpoint_roundtrips_bit_exactly() {
+        let dir = tmpdir("rt");
+        let ckpt = sample_ckpt(2);
+        let path = save_run(&ckpt, &dir).unwrap();
+        let loaded = load_run(&path).unwrap();
+        assert_eq!(loaded.fingerprint, ckpt.fingerprint);
+        assert_eq!(loaded.next_round, 2);
+        assert_eq!(loaded.algorithm, "FedAvg");
+        assert_eq!((loaded.sampler_check, loaded.fault_check), (17, 23));
+        assert_eq!(loaded.state.models, ckpt.state.models);
+        assert_eq!(loaded.state.scalars, ckpt.state.scalars);
+        // NaNs round-trip by bit pattern.
+        assert_eq!(
+            loaded.state.tensors[0].1.values[1].to_bits(),
+            ckpt.state.tensors[0].1.values[1].to_bits()
+        );
+        assert_eq!(loaded.records[0].train_loss.to_bits(), f32::NAN.to_bits());
+        assert_eq!(loaded.records[1].test_acc.to_bits(), 0.625f32.to_bits());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn directory_resume_picks_newest_and_skips_tmp_and_corrupt() {
+        let dir = tmpdir("latest");
+        save_run(&sample_ckpt(2), &dir).unwrap();
+        save_run(&sample_ckpt(4), &dir).unwrap();
+        // A crash mid-write of round 6 leaves a truncated tmp file...
+        std::fs::write(dir.join("round_00006.ckpt.tmp"), b"KEMFCK").unwrap();
+        // ...and even a corrupt *named* checkpoint must fall back.
+        std::fs::write(checkpoint_file(&dir, 8), b"KEMFCKPT garbage").unwrap();
+        assert_eq!(latest_checkpoint(&dir).unwrap(), Some(checkpoint_file(&dir, 8)));
+        let loaded = load_run(&dir).unwrap();
+        assert_eq!(loaded.next_round, 4, "corrupt newest falls back to last good");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_keeps_newest() {
+        let dir = tmpdir("prune");
+        for r in [1, 2, 3, 4] {
+            save_run(&sample_ckpt(r), &dir).unwrap();
+        }
+        prune_checkpoints(&dir, 2).unwrap();
+        assert_eq!(checkpoint_rounds(&dir).unwrap(), vec![3, 4]);
+        prune_checkpoints(&dir, 0).unwrap();
+        assert_eq!(checkpoint_rounds(&dir).unwrap(), vec![3, 4], "keep=0 keeps all");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_ignores_rounds_but_sees_everything_else() {
+        let cfg = FlConfig::default();
+        let faults = FaultConfig::reliable();
+        let base = run_fingerprint(&cfg, &faults, "FedAvg", 7);
+        let longer = FlConfig { rounds: 100, ..cfg };
+        assert_eq!(run_fingerprint(&longer, &faults, "FedAvg", 7), base, "horizon is not identity");
+        let other_seed = run_fingerprint(&cfg, &faults, "FedAvg", 8);
+        assert_ne!(other_seed, base);
+        let other_algo = run_fingerprint(&cfg, &faults, "FedProx", 7);
+        assert_ne!(other_algo, base);
+        let other_cfg = FlConfig { n_clients: 11, ..cfg };
+        assert_ne!(run_fingerprint(&other_cfg, &faults, "FedAvg", 7), base);
+        let other_faults = FaultConfig { drop_after_download: 0.1, ..faults };
+        assert_ne!(run_fingerprint(&cfg, &other_faults, "FedAvg", 7), base);
+    }
+
+    #[test]
+    fn empty_dir_is_clean_error() {
+        let dir = tmpdir("empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = load_run(&dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        assert!(latest_checkpoint(&dir).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -3,6 +3,66 @@
 use crate::lifecycle::FaultConfig;
 use kemf_nn::optim::{LrSchedule, SgdConfig};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a run configuration (or an algorithm's setup against it) is
+/// inconsistent. Validation used to panic; every check now surfaces as a
+/// typed error so embedding servers can reject a bad run without dying.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// A count that must be at least one (clients, rounds, epochs, ...)
+    /// is zero.
+    ZeroCount {
+        /// The offending field.
+        field: &'static str,
+    },
+    /// A field that must lie in a half-open interval is outside it.
+    OutOfRange {
+        /// The offending field.
+        field: &'static str,
+        /// The value supplied.
+        value: f64,
+        /// Human-readable bound, e.g. `(0, 1]`.
+        bounds: &'static str,
+    },
+    /// `min_quorum` exceeds the per-round sample size: no round could
+    /// ever aggregate.
+    UnreachableQuorum {
+        /// Configured quorum.
+        min_quorum: usize,
+        /// Clients sampled per round.
+        sampled_per_round: usize,
+    },
+    /// An algorithm's own setup is inconsistent with the run config
+    /// (e.g. a per-client spec list whose length is not the client
+    /// count).
+    AlgorithmSetup {
+        /// The algorithm reporting the problem.
+        algorithm: String,
+        /// What is wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroCount { field } => write!(f, "{field} must be at least 1"),
+            ConfigError::OutOfRange { field, value, bounds } => {
+                write!(f, "{field} must be in {bounds}, got {value}")
+            }
+            ConfigError::UnreachableQuorum { min_quorum, sampled_per_round } => write!(
+                f,
+                "min_quorum {min_quorum} can never be met with {sampled_per_round} sampled clients per round"
+            ),
+            ConfigError::AlgorithmSetup { algorithm, reason } => {
+                write!(f, "{algorithm} setup: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Configuration of one federated training run.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -95,29 +155,58 @@ impl FlConfig {
         faults
     }
 
-    /// Panic if the configuration is inconsistent.
-    pub fn validate(&self) {
-        assert!(self.n_clients > 0, "need at least one client");
-        assert!(
-            self.sample_ratio > 0.0 && self.sample_ratio <= 1.0,
-            "sample ratio must be in (0, 1]"
-        );
-        assert!(self.rounds > 0, "need at least one round");
-        assert!(self.local_epochs > 0, "need at least one local epoch");
-        assert!(self.batch_size > 0, "batch size must be positive");
-        assert!(self.lr > 0.0, "learning rate must be positive");
-        assert!(self.alpha > 0.0, "alpha must be positive");
-        assert!(
-            (0.0..1.0).contains(&self.dropout_prob),
-            "dropout probability must be in [0, 1)"
-        );
-        self.faults.validate();
-        assert!(
-            self.faults.min_quorum <= self.sampled_per_round(),
-            "min_quorum {} can never be met with {} sampled clients per round",
-            self.faults.min_quorum,
-            self.sampled_per_round()
-        );
+    /// Check the configuration for inconsistencies. Construction sites
+    /// that cannot recover ([`crate::context::FlContext::new`]) `expect`
+    /// the result; the engine propagates it as a typed error.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.n_clients == 0 {
+            return Err(ConfigError::ZeroCount { field: "n_clients" });
+        }
+        if !(self.sample_ratio > 0.0 && self.sample_ratio <= 1.0) {
+            return Err(ConfigError::OutOfRange {
+                field: "sample_ratio",
+                value: self.sample_ratio as f64,
+                bounds: "(0, 1]",
+            });
+        }
+        if self.rounds == 0 {
+            return Err(ConfigError::ZeroCount { field: "rounds" });
+        }
+        if self.local_epochs == 0 {
+            return Err(ConfigError::ZeroCount { field: "local_epochs" });
+        }
+        if self.batch_size == 0 {
+            return Err(ConfigError::ZeroCount { field: "batch_size" });
+        }
+        if self.lr.is_nan() || self.lr <= 0.0 {
+            return Err(ConfigError::OutOfRange {
+                field: "lr",
+                value: self.lr as f64,
+                bounds: "(0, inf)",
+            });
+        }
+        if self.alpha.is_nan() || self.alpha <= 0.0 {
+            return Err(ConfigError::OutOfRange {
+                field: "alpha",
+                value: self.alpha,
+                bounds: "(0, inf)",
+            });
+        }
+        if !(0.0..1.0).contains(&self.dropout_prob) {
+            return Err(ConfigError::OutOfRange {
+                field: "dropout_prob",
+                value: self.dropout_prob as f64,
+                bounds: "[0, 1)",
+            });
+        }
+        self.faults.validate()?;
+        if self.faults.min_quorum > self.sampled_per_round() {
+            return Err(ConfigError::UnreachableQuorum {
+                min_quorum: self.faults.min_quorum,
+                sampled_per_round: self.sampled_per_round(),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -147,14 +236,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
     fn validate_rejects_zero_clients() {
-        FlConfig { n_clients: 0, ..Default::default() }.validate();
+        let err = FlConfig { n_clients: 0, ..Default::default() }.validate().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroCount { field: "n_clients" });
     }
 
     #[test]
     fn default_is_valid() {
-        FlConfig::default().validate();
+        FlConfig::default().validate().unwrap();
     }
 
     #[test]
@@ -172,14 +261,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
     fn validate_rejects_unreachable_quorum() {
-        FlConfig {
+        let err = FlConfig {
             n_clients: 10,
             sample_ratio: 0.4,
             faults: FaultConfig { min_quorum: 5, ..Default::default() },
             ..Default::default()
         }
-        .validate();
+        .validate()
+        .unwrap_err();
+        assert_eq!(err, ConfigError::UnreachableQuorum { min_quorum: 5, sampled_per_round: 4 });
+        // The error renders both numbers, so a log line alone explains it.
+        let msg = err.to_string();
+        assert!(msg.contains('5') && msg.contains('4'), "bad message: {msg}");
     }
 }

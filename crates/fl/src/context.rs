@@ -23,7 +23,11 @@ impl FlContext {
     /// Partition `train` across `cfg.n_clients` clients with the
     /// configured Dirichlet α and materialize per-client datasets.
     pub fn new(cfg: FlConfig, train: &Dataset, test: Dataset) -> Self {
-        cfg.validate();
+        // Construction has no error channel; the engine re-validates and
+        // returns the typed error for callers that need to recover.
+        if let Err(e) = cfg.validate() {
+            panic!("invalid FlConfig: {e}");
+        }
         let shards = dirichlet_partition(
             &train.labels,
             train.classes,
@@ -40,7 +44,9 @@ impl FlContext {
     /// Build with an explicit, pre-computed partition (used by multi-model
     /// experiments that also assign per-client local test sets).
     pub fn with_shards(cfg: FlConfig, train: &Dataset, shards: &[Vec<usize>], test: Dataset) -> Self {
-        cfg.validate();
+        if let Err(e) = cfg.validate() {
+            panic!("invalid FlConfig: {e}");
+        }
         assert_eq!(shards.len(), cfg.n_clients, "shard count must equal client count");
         let het = heterogeneity(&train.labels, train.classes, shards);
         let client_data = shards.iter().map(|s| train.subset(s)).collect();

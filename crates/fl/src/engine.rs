@@ -1,15 +1,37 @@
 //! The federated round loop: client sampling, fault-aware per-round
-//! lifecycle execution, evaluation, and history recording — generic over
-//! [`FedAlgorithm`].
+//! lifecycle execution, evaluation, history recording, and
+//! crash-consistent checkpoint/resume — generic over [`FedAlgorithm`].
+//!
+//! The single entry point is [`Engine::run`] with a [`RunOptions`]
+//! bundle (faults, observability sink, checkpoint policy, resume
+//! source, seed override). The historical free functions (`run`,
+//! `run_with_faults`, `run_traced`, `run_recorded`, `run_with_sink`)
+//! survive as thin deprecated forwarders.
+//!
+//! **Resume is bit-exact.** All engine randomness flows through two
+//! seeded streams (client sampling and fault injection). A checkpoint
+//! stores the completed rounds' records and the algorithm's full
+//! [`AlgorithmState`]; on resume the engine *replays* both RNG streams
+//! over the completed rounds — re-deriving each round's sample and
+//! lifecycle plan — and verifies one probe draw per stream against the
+//! checkpoint before continuing. A resumed run's final [`History`]
+//! therefore serializes byte-identically to an uninterrupted run at the
+//! same seed (enforced by `tests/resume.rs` and the CI smoke).
 
+use crate::checkpoint::{self, CheckpointPolicy, RunCheckpoint};
 use crate::comm::CommTracker;
+use crate::config::ConfigError;
 use crate::context::FlContext;
-use crate::lifecycle::{plan_round, FaultConfig, RoundPlan, WirePayload};
+use crate::lifecycle::{plan_round, FaultConfig, RoundComm, RoundPlan, WirePayload};
 use crate::metrics::{History, RoundRecord};
+use crate::state::{AlgorithmState, RestoreError};
 use crate::trace::{Counters, EventSink, NoopSink, Phase, RoundScope, TraceSink};
 use kemf_tensor::rng::{child_seed, seeded_rng};
-use rand::seq::SliceRandom;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::RngCore;
+use std::fmt;
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// What one communication round reports back to the engine. Byte
@@ -28,7 +50,13 @@ pub trait FedAlgorithm: Send {
     fn name(&self) -> String;
 
     /// One-time setup before round 0 (allocate per-client state, ...).
-    fn init(&mut self, ctx: &FlContext);
+    /// Inconsistent setup (e.g. a per-client spec list whose length is
+    /// not the client count) is a typed error the engine surfaces
+    /// instead of aborting the process.
+    fn init(&mut self, ctx: &FlContext) -> Result<(), ConfigError> {
+        let _ = ctx;
+        Ok(())
+    }
 
     /// Bytes a single client transfers this round, per direction. The
     /// engine multiplies downlink by the broadcast set and uplink by the
@@ -52,6 +80,25 @@ pub trait FedAlgorithm: Send {
     /// Evaluate the current global model on the held-out test set.
     fn evaluate(&mut self, ctx: &FlContext) -> f32;
 
+    /// Export *everything* the algorithm owns — every model, per-client
+    /// tensor, and scalar — as a versioned [`AlgorithmState`] bundle.
+    /// The contract: feeding the bundle back through [`restore`](Self::restore)
+    /// on a freshly initialized instance must continue the run as if it
+    /// never stopped (any state forgotten here shows up as a history
+    /// diff in the resume tests). The default is the empty bundle, for
+    /// stateless probes.
+    fn state(&self) -> AlgorithmState {
+        AlgorithmState::new(self.name(), 0)
+    }
+
+    /// Re-absorb a bundle produced by [`state`](Self::state) into an
+    /// initialized instance. Implementations must validate the header
+    /// and every entry's shape, returning a typed [`RestoreError`]
+    /// rather than panicking.
+    fn restore(&mut self, state: &AlgorithmState) -> Result<(), RestoreError> {
+        state.expect_header(&self.name(), 0)
+    }
+
     /// The current global model, when the algorithm has one it deploys to
     /// clients: its spec and transmitted state. Used by the multi-model
     /// harness (Table 3) to measure per-client local accuracy of the
@@ -60,6 +107,196 @@ pub trait FedAlgorithm: Send {
         None
     }
 }
+
+/// Everything that parameterizes one engine run besides the algorithm
+/// and context. Build it fluently:
+///
+/// ```no_run
+/// # use kemf_fl::engine::RunOptions;
+/// # use kemf_fl::checkpoint::CheckpointPolicy;
+/// # use kemf_fl::lifecycle::FaultConfig;
+/// let opts = RunOptions::new()
+///     .faults(FaultConfig { drop_after_download: 0.1, ..Default::default() })
+///     .checkpoint(CheckpointPolicy::new("/tmp/ckpts", 5))
+///     .record_trace();
+/// ```
+#[derive(Default)]
+pub struct RunOptions<'a> {
+    /// Explicit fault model; `None` uses the context's
+    /// [`crate::config::FlConfig::fault_plan`].
+    pub faults: Option<FaultConfig>,
+    /// External observability sink; `None` with `record_trace` unset
+    /// means no tracing at all.
+    pub sink: Option<&'a mut dyn EventSink>,
+    /// Record the run through an internal [`TraceSink`] and attach the
+    /// trace to the history. Ignored when an external `sink` is given
+    /// (the caller owns that sink's trace).
+    pub record_trace: bool,
+    /// Write crash-consistent checkpoints under this policy.
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Resume from this checkpoint file — or checkpoint *directory*, in
+    /// which case the newest loadable checkpoint wins.
+    pub resume_from: Option<PathBuf>,
+    /// Override the engine seed (sampler and fault streams, checkpoint
+    /// fingerprint). `None` uses `cfg.seed`. Algorithm-internal
+    /// randomness still derives from `cfg.seed`.
+    pub seed: Option<u64>,
+}
+
+impl<'a> RunOptions<'a> {
+    /// Default options: the context's fault plan, no tracing, no
+    /// checkpoints.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run under an explicit fault model.
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Send round-lifecycle events to an external sink.
+    pub fn sink(mut self, sink: &'a mut dyn EventSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Record the run and attach the trace to the returned history.
+    pub fn record_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
+    /// Checkpoint every `policy.every` completed rounds into
+    /// `policy.dir`.
+    pub fn checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = Some(policy);
+        self
+    }
+
+    /// Resume from a checkpoint file or directory.
+    pub fn resume_from(mut self, path: impl Into<PathBuf>) -> Self {
+        self.resume_from = Some(path.into());
+        self
+    }
+
+    /// Override the engine seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+}
+
+/// What a finished run hands back.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Per-round history (with trace attached when recorded).
+    pub history: History,
+    /// Each round's lifecycle plan — including replayed plans for rounds
+    /// completed before a resume, so the report always covers the full
+    /// horizon.
+    pub plans: Vec<RoundPlan>,
+    /// `Some(k)` when the run resumed after `k` completed rounds.
+    pub resumed_from: Option<usize>,
+    /// Checkpoint files written by this run, oldest first (pruned files
+    /// excluded).
+    pub checkpoints: Vec<PathBuf>,
+}
+
+/// Why a run could not start or continue.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The run configuration (or effective fault model) is inconsistent.
+    Config(ConfigError),
+    /// The algorithm's own setup rejected the context.
+    Init(ConfigError),
+    /// Writing a checkpoint failed.
+    Checkpoint(std::io::Error),
+    /// Resuming from a checkpoint failed.
+    Resume(ResumeError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Config(e) => write!(f, "invalid configuration: {e}"),
+            EngineError::Init(e) => write!(f, "algorithm init failed: {e}"),
+            EngineError::Checkpoint(e) => write!(f, "checkpoint write failed: {e}"),
+            EngineError::Resume(e) => write!(f, "resume failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ConfigError> for EngineError {
+    fn from(e: ConfigError) -> Self {
+        EngineError::Config(e)
+    }
+}
+
+/// Why a checkpoint refused to resume the current run.
+#[derive(Debug)]
+pub enum ResumeError {
+    /// Reading the checkpoint failed (missing, truncated, wrong format —
+    /// the message names the file).
+    Io(std::io::Error),
+    /// The checkpoint was written by a run with a different identity
+    /// (config, fault model, algorithm, or seed).
+    FingerprintMismatch {
+        /// Fingerprint of the current run.
+        expected: u64,
+        /// Fingerprint stored in the checkpoint.
+        found: u64,
+    },
+    /// The checkpoint belongs to a different algorithm.
+    AlgorithmMismatch {
+        /// The algorithm being resumed.
+        expected: String,
+        /// The algorithm in the checkpoint.
+        found: String,
+    },
+    /// The algorithm rejected the checkpointed state.
+    Restore(RestoreError),
+    /// Replaying an RNG stream over the completed rounds did not land on
+    /// the probe stored at save time — the run would silently fork, so
+    /// it refuses instead.
+    StreamDiverged {
+        /// `"sampler"` or `"fault"`.
+        stream: &'static str,
+    },
+    /// The checkpoint claims more completed rounds than it has records
+    /// for (corruption the format checks cannot see).
+    Inconsistent {
+        /// What was inconsistent.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResumeError::Io(e) => write!(f, "{e}"),
+            ResumeError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "config fingerprint mismatch: run is {expected:#018x}, checkpoint is {found:#018x} \
+                 (different config, fault model, algorithm, or seed)"
+            ),
+            ResumeError::AlgorithmMismatch { expected, found } => {
+                write!(f, "checkpoint belongs to {found}, not {expected}")
+            }
+            ResumeError::Restore(e) => write!(f, "state restore: {e}"),
+            ResumeError::StreamDiverged { stream } => write!(
+                f,
+                "{stream} RNG replay diverged from the checkpoint probe; refusing to fork the run"
+            ),
+            ResumeError::Inconsistent { detail } => write!(f, "inconsistent checkpoint: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
 
 /// Draw the round's client subset: a seeded shuffle of all clients,
 /// truncated to the configured ratio (sorted for determinism of any
@@ -119,74 +356,143 @@ pub fn init_thread_pool() -> usize {
     })
 }
 
-/// Run a full federated training session and return its history. Fault
-/// injection comes from the context's config ([`crate::config::FlConfig::fault_plan`]).
-pub fn run(algo: &mut dyn FedAlgorithm, ctx: &FlContext) -> History {
-    let faults = ctx.cfg.fault_plan();
-    run_with_faults(algo, ctx, &faults)
+/// One probe draw from a clone of the stream — reads the stream's
+/// position without advancing it. Stored in checkpoints and compared
+/// after replay.
+fn probe(rng: &StdRng) -> u64 {
+    rng.clone().next_u64()
 }
 
-/// Run a session under an explicit fault model.
-pub fn run_with_faults(
-    algo: &mut dyn FedAlgorithm,
-    ctx: &FlContext,
-    faults: &FaultConfig,
-) -> History {
-    run_traced(algo, ctx, faults).0
+/// The engine: a namespace for the canonical run/resume entry points.
+pub struct Engine;
+
+impl Engine {
+    /// Run a federated training session under `opts`. This is the single
+    /// canonical entry point; every legacy free function forwards here.
+    pub fn run(
+        algo: &mut dyn FedAlgorithm,
+        ctx: &FlContext,
+        mut opts: RunOptions<'_>,
+    ) -> Result<RunReport, EngineError> {
+        init_thread_pool();
+        let record = opts.record_trace;
+        match opts.sink.take() {
+            Some(sink) => run_core(algo, ctx, &opts, sink),
+            None if record => {
+                let mut sink = TraceSink::new();
+                let mut report = run_core(algo, ctx, &opts, &mut sink)?;
+                report.history.trace = Some(sink.into_trace());
+                Ok(report)
+            }
+            None => run_core(algo, ctx, &opts, &mut NoopSink),
+        }
+    }
+
+    /// Resume a run from a checkpoint file or directory, with default
+    /// options otherwise. Continue checkpointing by adding a policy:
+    /// `Engine::run(algo, ctx, RunOptions::new().resume_from(dir).checkpoint(policy))`.
+    pub fn resume(
+        algo: &mut dyn FedAlgorithm,
+        ctx: &FlContext,
+        path: impl Into<PathBuf>,
+    ) -> Result<RunReport, EngineError> {
+        Self::run(algo, ctx, RunOptions::new().resume_from(path))
+    }
 }
 
-/// Run a session and also return each round's lifecycle plan, for
-/// wall-clock simulation ([`crate::network::NetworkModel::lifecycle_round_time`])
-/// and fault post-mortems.
-pub fn run_traced(
+/// The round loop, generic over the observability sink (`opts.sink` has
+/// been taken by [`Engine::run`]). With a [`NoopSink`] every tracing
+/// site reduces to one branch and behavior is exactly the
+/// pre-observability engine.
+fn run_core(
     algo: &mut dyn FedAlgorithm,
     ctx: &FlContext,
-    faults: &FaultConfig,
-) -> (History, Vec<RoundPlan>) {
-    run_with_sink(algo, ctx, faults, &mut NoopSink)
-}
-
-/// Run a session with a [`TraceSink`] recording every round-lifecycle
-/// span; the resulting trace is attached to the history
-/// ([`History::trace`]). Tracing reads clocks and counters but draws no
-/// randomness, so the per-round records are bit-identical to an
-/// untraced run at the same seed.
-pub fn run_recorded(
-    algo: &mut dyn FedAlgorithm,
-    ctx: &FlContext,
-    faults: &FaultConfig,
-) -> (History, Vec<RoundPlan>) {
-    let mut sink = TraceSink::new();
-    let (mut history, plans) = run_with_sink(algo, ctx, faults, &mut sink);
-    history.trace = Some(sink.into_trace());
-    (history, plans)
-}
-
-/// The round loop, generic over the observability sink. With a disabled
-/// sink ([`NoopSink`]) every tracing site reduces to one branch and the
-/// behavior is exactly the pre-observability engine.
-pub fn run_with_sink(
-    algo: &mut dyn FedAlgorithm,
-    ctx: &FlContext,
-    faults: &FaultConfig,
+    opts: &RunOptions<'_>,
     sink: &mut dyn EventSink,
-) -> (History, Vec<RoundPlan>) {
-    init_thread_pool();
-    ctx.cfg.validate();
-    faults.validate();
-    algo.init(ctx);
-    let mut history = History::new(algo.name());
+) -> Result<RunReport, EngineError> {
+    ctx.cfg.validate().map_err(EngineError::Config)?;
+    let faults = opts.faults.unwrap_or_else(|| ctx.cfg.fault_plan());
+    faults.validate().map_err(EngineError::Config)?;
+    let per_round = ctx.cfg.sampled_per_round();
+    if faults.min_quorum > per_round {
+        return Err(EngineError::Config(ConfigError::UnreachableQuorum {
+            min_quorum: faults.min_quorum,
+            sampled_per_round: per_round,
+        }));
+    }
+    algo.init(ctx).map_err(EngineError::Init)?;
+
+    let algo_name = algo.name();
+    let engine_seed = opts.seed.unwrap_or(ctx.cfg.seed);
+    let fingerprint = checkpoint::run_fingerprint(&ctx.cfg, &faults, &algo_name, engine_seed);
+    let mut history = History::new(algo_name.clone());
     let mut comm = CommTracker::new();
     let mut plans = Vec::with_capacity(ctx.cfg.rounds);
-    let mut rng = seeded_rng(child_seed(ctx.cfg.seed, 0x5A4D_504C)); // "SMPL"
-    let mut fault_rng = seeded_rng(child_seed(ctx.cfg.seed, 0xD209));
-    let per_round = ctx.cfg.sampled_per_round();
-    for round in 0..ctx.cfg.rounds {
+    let mut rng = seeded_rng(child_seed(engine_seed, 0x5A4D_504C)); // "SMPL"
+    let mut fault_rng = seeded_rng(child_seed(engine_seed, 0xD209));
+
+    // Resume: restore algorithm state, then replay the engine's two RNG
+    // streams over the completed rounds (cheap — draws only, no
+    // training) and verify each against the checkpoint's probe.
+    let mut start_round = 0usize;
+    let mut resumed_from = None;
+    if let Some(path) = &opts.resume_from {
+        let ckpt = checkpoint::load_run(path)
+            .map_err(|e| EngineError::Resume(ResumeError::Io(e)))?;
+        if ckpt.algorithm != algo_name {
+            return Err(EngineError::Resume(ResumeError::AlgorithmMismatch {
+                expected: algo_name,
+                found: ckpt.algorithm,
+            }));
+        }
+        if ckpt.fingerprint != fingerprint {
+            return Err(EngineError::Resume(ResumeError::FingerprintMismatch {
+                expected: fingerprint,
+                found: ckpt.fingerprint,
+            }));
+        }
+        if ckpt.records.len() != ckpt.next_round {
+            return Err(EngineError::Resume(ResumeError::Inconsistent {
+                detail: format!(
+                    "{} records for {} completed rounds",
+                    ckpt.records.len(),
+                    ckpt.next_round
+                ),
+            }));
+        }
+        algo.restore(&ckpt.state)
+            .map_err(|e| EngineError::Resume(ResumeError::Restore(e)))?;
+        for _ in 0..ckpt.next_round {
+            let sampled = sample_clients(ctx.cfg.n_clients, per_round, &mut rng);
+            plans.push(plan_round(&sampled, &faults, &mut fault_rng));
+        }
+        if probe(&rng) != ckpt.sampler_check {
+            return Err(EngineError::Resume(ResumeError::StreamDiverged { stream: "sampler" }));
+        }
+        if probe(&fault_rng) != ckpt.fault_check {
+            return Err(EngineError::Resume(ResumeError::StreamDiverged { stream: "fault" }));
+        }
+        for r in &ckpt.records {
+            comm.record_round(RoundComm {
+                down_bytes: r.down_bytes,
+                up_bytes: r.up_bytes,
+                wasted_up_bytes: r.wasted_up_bytes,
+                down_clients: r.down_clients,
+                up_clients: r.up_clients,
+            });
+        }
+        history.records = ckpt.records;
+        start_round = ckpt.next_round;
+        resumed_from = Some(start_round);
+    }
+
+    let mut checkpoints = Vec::new();
+    for round in start_round..ctx.cfg.rounds {
         let mut scope = RoundScope::new(&mut *sink, round);
         let round_t0 = scope.enabled().then(Instant::now);
         let (sampled, plan) = scope.phase(Phase::Sample, |c| {
             let sampled = sample_clients(ctx.cfg.n_clients, per_round, &mut rng);
-            let plan = plan_round(&sampled, faults, &mut fault_rng);
+            let plan = plan_round(&sampled, &faults, &mut fault_rng);
             c.clients = sampled.len();
             (sampled, plan)
         });
@@ -242,8 +548,91 @@ pub fn run_with_sink(
             );
         }
         plans.push(plan);
+
+        if let Some(policy) = &opts.checkpoint {
+            let completed = round + 1;
+            if completed % policy.every == 0 || completed == ctx.cfg.rounds {
+                let ckpt = RunCheckpoint {
+                    fingerprint,
+                    next_round: completed,
+                    algorithm: algo_name.clone(),
+                    sampler_check: probe(&rng),
+                    fault_check: probe(&fault_rng),
+                    records: history.records.clone(),
+                    state: algo.state(),
+                };
+                let path =
+                    checkpoint::save_run(&ckpt, &policy.dir).map_err(EngineError::Checkpoint)?;
+                checkpoints.push(path);
+                checkpoint::prune_checkpoints(&policy.dir, policy.keep)
+                    .map_err(EngineError::Checkpoint)?;
+            }
+        }
     }
-    (history, plans)
+    Ok(RunReport { history, plans, resumed_from, checkpoints })
+}
+
+/// Run a full federated training session and return its history. Fault
+/// injection comes from the context's config ([`crate::config::FlConfig::fault_plan`]).
+#[deprecated(note = "use Engine::run(algo, ctx, RunOptions::new())")]
+pub fn run(algo: &mut dyn FedAlgorithm, ctx: &FlContext) -> History {
+    Engine::run(algo, ctx, RunOptions::new()).expect("engine run failed").history
+}
+
+/// Run a session under an explicit fault model.
+#[deprecated(note = "use Engine::run with RunOptions::new().faults(..)")]
+pub fn run_with_faults(
+    algo: &mut dyn FedAlgorithm,
+    ctx: &FlContext,
+    faults: &FaultConfig,
+) -> History {
+    Engine::run(algo, ctx, RunOptions::new().faults(*faults))
+        .expect("engine run failed")
+        .history
+}
+
+/// Run a session and also return each round's lifecycle plan, for
+/// wall-clock simulation ([`crate::network::NetworkModel::lifecycle_round_time`])
+/// and fault post-mortems.
+#[deprecated(note = "use Engine::run with RunOptions::new().faults(..); plans are in RunReport")]
+pub fn run_traced(
+    algo: &mut dyn FedAlgorithm,
+    ctx: &FlContext,
+    faults: &FaultConfig,
+) -> (History, Vec<RoundPlan>) {
+    let report = Engine::run(algo, ctx, RunOptions::new().faults(*faults))
+        .expect("engine run failed");
+    (report.history, report.plans)
+}
+
+/// Run a session with a [`TraceSink`] recording every round-lifecycle
+/// span; the resulting trace is attached to the history
+/// ([`History::trace`]). Tracing reads clocks and counters but draws no
+/// randomness, so the per-round records are bit-identical to an
+/// untraced run at the same seed.
+#[deprecated(note = "use Engine::run with RunOptions::new().faults(..).record_trace()")]
+pub fn run_recorded(
+    algo: &mut dyn FedAlgorithm,
+    ctx: &FlContext,
+    faults: &FaultConfig,
+) -> (History, Vec<RoundPlan>) {
+    let report = Engine::run(algo, ctx, RunOptions::new().faults(*faults).record_trace())
+        .expect("engine run failed");
+    (report.history, report.plans)
+}
+
+/// Run a session with an external [`EventSink`] observing every
+/// round-lifecycle span.
+#[deprecated(note = "use Engine::run with RunOptions::new().faults(..).sink(..)")]
+pub fn run_with_sink(
+    algo: &mut dyn FedAlgorithm,
+    ctx: &FlContext,
+    faults: &FaultConfig,
+    sink: &mut dyn EventSink,
+) -> (History, Vec<RoundPlan>) {
+    let report = Engine::run(algo, ctx, RunOptions::new().faults(*faults).sink(sink))
+        .expect("engine run failed");
+    (report.history, report.plans)
 }
 
 #[cfg(test)]
@@ -257,11 +646,16 @@ mod tests {
         rounds_seen: Vec<Vec<usize>>,
     }
 
+    impl Dummy {
+        fn new() -> Self {
+            Dummy { evals: 0, rounds_seen: Vec::new() }
+        }
+    }
+
     impl FedAlgorithm for Dummy {
         fn name(&self) -> String {
             "dummy".into()
         }
-        fn init(&mut self, _ctx: &FlContext) {}
         fn payload_per_client(&self) -> WirePayload {
             WirePayload { down_bytes: 10, up_bytes: 5 }
         }
@@ -295,11 +689,15 @@ mod tests {
         FlContext::new(cfg, &train, test)
     }
 
+    fn run_default(algo: &mut dyn FedAlgorithm, ctx: &FlContext) -> History {
+        Engine::run(algo, ctx, RunOptions::new()).unwrap().history
+    }
+
     #[test]
     fn engine_runs_all_rounds_and_tracks_bytes() {
         let ctx = tiny_ctx();
-        let mut algo = Dummy { evals: 0, rounds_seen: Vec::new() };
-        let h = run(&mut algo, &ctx);
+        let mut algo = Dummy::new();
+        let h = run_default(&mut algo, &ctx);
         assert_eq!(h.rounds(), 4);
         assert_eq!(algo.evals, 4);
         // 3 clients per round, each charged 10 down + 5 up.
@@ -368,8 +766,8 @@ mod tests {
     fn dropout_charges_full_broadcast_but_thinned_uplink() {
         let mut ctx = tiny_ctx();
         ctx.cfg.dropout_prob = 0.5;
-        let mut algo = Dummy { evals: 0, rounds_seen: Vec::new() };
-        let h = run(&mut algo, &ctx);
+        let mut algo = Dummy::new();
+        let h = run_default(&mut algo, &ctx);
         assert_eq!(h.rounds(), 4);
         let mut dropped_any = false;
         for (r, s) in h.records.iter().zip(&algo.rounds_seen) {
@@ -389,8 +787,8 @@ mod tests {
     fn engine_runs_with_heavy_dropout() {
         let mut ctx = tiny_ctx();
         ctx.cfg.dropout_prob = 0.8;
-        let mut algo = Dummy { evals: 0, rounds_seen: Vec::new() };
-        let h = run(&mut algo, &ctx);
+        let mut algo = Dummy::new();
+        let h = run_default(&mut algo, &ctx);
         assert_eq!(h.rounds(), 4);
         // Rounds where everyone crashed abort on quorum and never reach
         // the algorithm; the rest see only survivors.
@@ -410,8 +808,10 @@ mod tests {
             min_quorum: 3,
             ..Default::default()
         };
-        let mut algo = Dummy { evals: 0, rounds_seen: Vec::new() };
-        let h = run_with_faults(&mut algo, &ctx, &faults);
+        let mut algo = Dummy::new();
+        let h = Engine::run(&mut algo, &ctx, RunOptions::new().faults(faults))
+            .unwrap()
+            .history;
         assert_eq!(h.rounds(), 4);
         assert_eq!(algo.evals, 4, "evaluation still happens every round");
         let aborted: Vec<_> = h.records.iter().filter(|r| !r.quorum_met).collect();
@@ -431,13 +831,15 @@ mod tests {
     }
 
     #[test]
-    fn traced_run_exposes_lifecycle_plans() {
+    fn run_report_exposes_lifecycle_plans() {
         let ctx = tiny_ctx();
         let faults = FaultConfig { drop_after_download: 0.4, ..Default::default() };
-        let mut algo = Dummy { evals: 0, rounds_seen: Vec::new() };
-        let (h, plans) = run_traced(&mut algo, &ctx, &faults);
-        assert_eq!(plans.len(), 4);
-        for (r, plan) in h.records.iter().zip(&plans) {
+        let mut algo = Dummy::new();
+        let report = Engine::run(&mut algo, &ctx, RunOptions::new().faults(faults)).unwrap();
+        assert_eq!(report.plans.len(), 4);
+        assert!(report.resumed_from.is_none());
+        assert!(report.checkpoints.is_empty());
+        for (r, plan) in report.history.records.iter().zip(&report.plans) {
             assert_eq!(r.down_clients, plan.broadcast_count());
             assert_eq!(r.up_clients, plan.reporters().len());
         }
@@ -446,15 +848,98 @@ mod tests {
     #[test]
     fn faultless_run_is_identical_to_legacy_engine() {
         // The no-fault path must not consume fault randomness or alter
-        // sampling: run() with default faults and run_with_faults(reliable)
-        // agree exactly, including per-round byte records.
+        // sampling: default options and explicit reliable faults agree
+        // exactly, including per-round byte records — and so do the
+        // deprecated forwarders.
         let ctx = tiny_ctx();
-        let mut a = Dummy { evals: 0, rounds_seen: Vec::new() };
-        let ha = run(&mut a, &ctx);
-        let mut b = Dummy { evals: 0, rounds_seen: Vec::new() };
-        let hb = run_with_faults(&mut b, &ctx, &FaultConfig::reliable());
+        let mut a = Dummy::new();
+        let ha = run_default(&mut a, &ctx);
+        let mut b = Dummy::new();
+        let hb = Engine::run(&mut b, &ctx, RunOptions::new().faults(FaultConfig::reliable()))
+            .unwrap()
+            .history;
         assert_eq!(a.rounds_seen, b.rounds_seen);
         assert_eq!(ha.to_json(), hb.to_json());
+        let mut c = Dummy::new();
+        #[allow(deprecated)]
+        let hc = run(&mut c, &ctx);
+        assert_eq!(ha.to_json(), hc.to_json(), "deprecated forwarder must not drift");
+    }
+
+    #[test]
+    fn engine_surfaces_config_errors_instead_of_panicking() {
+        let mut ctx = tiny_ctx();
+        ctx.cfg.rounds = 0; // mutated after construction: only the engine can catch it
+        let mut algo = Dummy::new();
+        match Engine::run(&mut algo, &ctx, RunOptions::new()) {
+            Err(EngineError::Config(ConfigError::ZeroCount { field: "rounds" })) => {}
+            other => panic!("expected config error, got {other:?}"),
+        }
+        // An unreachable quorum in explicit faults is caught too.
+        let ctx = tiny_ctx();
+        let faults = FaultConfig { min_quorum: 100, ..Default::default() };
+        match Engine::run(&mut algo, &ctx, RunOptions::new().faults(faults)) {
+            Err(EngineError::Config(ConfigError::UnreachableQuorum { .. })) => {}
+            other => panic!("expected quorum error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpointed_dummy_run_resumes_bit_identically() {
+        // The Dummy algorithm is stateless, so the trait's default
+        // state()/restore() suffice — resume correctness here isolates
+        // the engine's own replay machinery.
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("kemf_engine_resume_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let ctx = tiny_ctx();
+        let mut straight = Dummy::new();
+        let h_straight = run_default(&mut straight, &ctx);
+
+        // Run only 2 of the 4 rounds, checkpointing every round.
+        let mut short_ctx = tiny_ctx();
+        short_ctx.cfg.rounds = 2;
+        let mut first = Dummy::new();
+        let report = Engine::run(
+            &mut first,
+            &short_ctx,
+            RunOptions::new().checkpoint(CheckpointPolicy::new(&dir, 1)),
+        )
+        .unwrap();
+        assert_eq!(report.checkpoints.len(), 2);
+
+        // Resume to the full horizon.
+        let mut resumed = Dummy::new();
+        let report = Engine::run(&mut resumed, &ctx, RunOptions::new().resume_from(&dir)).unwrap();
+        assert_eq!(report.resumed_from, Some(2));
+        assert_eq!(report.plans.len(), 4, "replay reconstructs completed rounds' plans");
+        assert_eq!(
+            report.history.to_json(),
+            h_straight.to_json(),
+            "resumed history must be byte-identical"
+        );
+        // The resumed algorithm only saw the remaining rounds.
+        assert_eq!(resumed.rounds_seen, straight.rounds_seen[2..].to_vec());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_refuses_mismatched_seed() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("kemf_engine_fpr_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ctx = tiny_ctx();
+        let mut algo = Dummy::new();
+        Engine::run(&mut algo, &ctx, RunOptions::new().checkpoint(CheckpointPolicy::new(&dir, 2)))
+            .unwrap();
+        // Same context, different engine seed → different fingerprint.
+        let mut other = Dummy::new();
+        match Engine::run(&mut other, &ctx, RunOptions::new().seed(999).resume_from(&dir)) {
+            Err(EngineError::Resume(ResumeError::FingerprintMismatch { .. })) => {}
+            other => panic!("expected fingerprint mismatch, got {:?}", other.err()),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

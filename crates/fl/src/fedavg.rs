@@ -6,6 +6,7 @@ use crate::context::FlContext;
 use crate::engine::{FedAlgorithm, RoundOutcome};
 use crate::lifecycle::WirePayload;
 use crate::local::LocalCfg;
+use crate::state::{check_model_layout, AlgorithmState, RestoreError};
 use crate::trace::{Phase, RoundScope};
 use crate::weight_common::{fan_out_clients, mean_loss, GlobalModel};
 use kemf_nn::models::ModelSpec;
@@ -32,8 +33,6 @@ impl FedAlgorithm for FedAvg {
     fn name(&self) -> String {
         "FedAvg".into()
     }
-
-    fn init(&mut self, _ctx: &FlContext) {}
 
     fn payload_per_client(&self) -> WirePayload {
         WirePayload::symmetric(self.global.payload_bytes())
@@ -79,6 +78,18 @@ impl FedAlgorithm for FedAvg {
         self.global.evaluate(ctx)
     }
 
+    fn state(&self) -> AlgorithmState {
+        AlgorithmState::new(self.name(), 1).with_model("global", self.global.state.clone())
+    }
+
+    fn restore(&mut self, state: &AlgorithmState) -> Result<(), RestoreError> {
+        state.expect_header(&self.name(), 1)?;
+        let incoming = state.model("global")?;
+        check_model_layout("global", incoming, &self.global.state)?;
+        self.global.state = incoming.clone();
+        Ok(())
+    }
+
     fn global_model(&self) -> Option<(kemf_nn::models::ModelSpec, kemf_nn::serialize::ModelState)> {
         Some((self.global.spec, self.global.state.clone()))
     }
@@ -88,9 +99,14 @@ impl FedAlgorithm for FedAvg {
 mod tests {
     use super::*;
     use crate::config::FlConfig;
-    use crate::engine::run;
+    use crate::engine::{Engine, RunOptions};
+    use crate::metrics::History;
     use kemf_data::synth::{SynthConfig, SynthTask};
     use kemf_nn::models::Arch;
+
+    fn run(algo: &mut dyn FedAlgorithm, ctx: &FlContext) -> History {
+        Engine::run(algo, ctx, RunOptions::new()).unwrap().history
+    }
 
     fn tiny_ctx(seed: u64) -> FlContext {
         let task = SynthTask::new(SynthConfig::mnist_like(seed));

@@ -6,6 +6,7 @@ use crate::context::FlContext;
 use crate::engine::{FedAlgorithm, RoundOutcome};
 use crate::lifecycle::WirePayload;
 use crate::local::{add_prox_to_grads, LocalCfg};
+use crate::state::{check_model_layout, AlgorithmState, RestoreError};
 use crate::trace::{Phase, RoundScope};
 use crate::weight_common::{fan_out_clients, mean_loss, GlobalModel};
 use kemf_nn::layer::Layer;
@@ -32,8 +33,6 @@ impl FedAlgorithm for FedProx {
     fn name(&self) -> String {
         "FedProx".into()
     }
-
-    fn init(&mut self, _ctx: &FlContext) {}
 
     fn payload_per_client(&self) -> WirePayload {
         WirePayload::symmetric(self.global.payload_bytes())
@@ -87,6 +86,20 @@ impl FedAlgorithm for FedProx {
         self.global.evaluate(ctx)
     }
 
+    fn state(&self) -> AlgorithmState {
+        // μ is construction config, not evolving state; only the global
+        // weights move between rounds.
+        AlgorithmState::new(self.name(), 1).with_model("global", self.global.state.clone())
+    }
+
+    fn restore(&mut self, state: &AlgorithmState) -> Result<(), RestoreError> {
+        state.expect_header(&self.name(), 1)?;
+        let incoming = state.model("global")?;
+        check_model_layout("global", incoming, &self.global.state)?;
+        self.global.state = incoming.clone();
+        Ok(())
+    }
+
     fn global_model(&self) -> Option<(kemf_nn::models::ModelSpec, kemf_nn::serialize::ModelState)> {
         Some((self.global.spec, self.global.state.clone()))
     }
@@ -96,10 +109,15 @@ impl FedAlgorithm for FedProx {
 mod tests {
     use super::*;
     use crate::config::FlConfig;
-    use crate::engine::run;
+    use crate::engine::{Engine, RunOptions};
     use crate::fedavg::FedAvg;
+    use crate::metrics::History;
     use kemf_data::synth::{SynthConfig, SynthTask};
     use kemf_nn::models::Arch;
+
+    fn run(algo: &mut dyn FedAlgorithm, ctx: &FlContext) -> History {
+        Engine::run(algo, ctx, RunOptions::new()).unwrap().history
+    }
 
     fn ctx(seed: u64, alpha: f64) -> FlContext {
         let task = SynthTask::new(SynthConfig::mnist_like(seed));

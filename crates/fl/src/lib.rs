@@ -4,7 +4,10 @@
 //! baselines the paper compares against:
 //!
 //! * [`engine`] — round loop, client sampling, the [`engine::FedAlgorithm`]
-//!   trait every algorithm (including FedKEMF in `kemf-core`) plugs into;
+//!   trait every algorithm (including FedKEMF in `kemf-core`) plugs into,
+//!   and the [`engine::Engine::run`]/[`engine::RunOptions`] entry point;
+//! * [`state`] / [`checkpoint`] — the algorithm-state bundle and the
+//!   crash-consistent run-checkpoint layer behind resumable runs;
 //! * [`context`] — immutable experiment state: Dirichlet-partitioned
 //!   client shards and the test set;
 //! * [`local`] — the shared local-SGD loop with gradient hooks (proximal
@@ -27,10 +30,11 @@
 //! let test = task.generate(80, 1);
 //! let ctx = FlContext::new(FlConfig { n_clients: 4, min_per_client: 10, ..Default::default() }, &train, test);
 //! let mut algo = FedAvg::new(ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 0));
-//! let history = kemf_fl::engine::run(&mut algo, &ctx);
-//! println!("final accuracy {:.1}%", history.final_accuracy() * 100.0);
+//! let report = Engine::run(&mut algo, &ctx, RunOptions::new()).unwrap();
+//! println!("final accuracy {:.1}%", report.history.final_accuracy() * 100.0);
 //! ```
 
+pub mod checkpoint;
 pub mod comm;
 pub mod compress;
 pub mod config;
@@ -44,17 +48,21 @@ pub mod local;
 pub mod metrics;
 pub mod network;
 pub mod scaffold;
+pub mod state;
 pub mod trace;
 pub mod weight_common;
 
 pub mod prelude {
     //! Common imports for downstream crates.
+    pub use crate::checkpoint::CheckpointPolicy;
     pub use crate::comm::{CommTracker, CostModel};
     pub use crate::compress::{dequantize, quantize, CompressError, QuantizedWeights};
-    pub use crate::config::FlConfig;
+    pub use crate::config::{ConfigError, FlConfig};
     pub use crate::context::FlContext;
+    #[allow(deprecated)]
+    pub use crate::engine::{run, run_recorded, run_traced, run_with_faults, run_with_sink};
     pub use crate::engine::{
-        run, run_recorded, run_traced, run_with_faults, run_with_sink, FedAlgorithm, RoundOutcome,
+        Engine, EngineError, FedAlgorithm, ResumeError, RoundOutcome, RunOptions, RunReport,
     };
     pub use crate::lifecycle::{
         ClientOutcome, ClientRound, FaultConfig, RoundComm, RoundPlan, WirePayload,
@@ -66,6 +74,7 @@ pub mod prelude {
     pub use crate::metrics::{fairness_summary, FairnessSummary, History, RoundRecord};
     pub use crate::network::NetworkModel;
     pub use crate::scaffold::Scaffold;
+    pub use crate::state::{AlgorithmState, RestoreError, TensorBlob};
     pub use crate::trace::{
         Counters, EventSink, NoopSink, Phase, PhaseSummary, RoundScope, RunTrace, Span, TraceSink,
     };

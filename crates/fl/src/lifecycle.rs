@@ -90,20 +90,36 @@ impl FaultConfig {
             || self.upload_failure_prob > 0.0
     }
 
-    /// Panic if the configuration is inconsistent.
-    pub fn validate(&self) {
-        for (p, name) in [
+    /// Check the fault model for inconsistencies (typed error, no panic).
+    pub fn validate(&self) -> Result<(), crate::config::ConfigError> {
+        use crate::config::ConfigError;
+        for (p, field) in [
             (self.drop_before_download, "drop_before_download"),
             (self.drop_after_download, "drop_after_download"),
             (self.straggler_prob, "straggler_prob"),
             (self.upload_failure_prob, "upload_failure_prob"),
         ] {
-            assert!((0.0..1.0).contains(&p), "{name} must be in [0, 1), got {p}");
+            if !(0.0..1.0).contains(&p) {
+                return Err(ConfigError::OutOfRange { field, value: p as f64, bounds: "[0, 1)" });
+            }
         }
-        assert!(self.straggler_delay_s >= 0.0, "straggler delay must be non-negative");
+        if self.straggler_delay_s.is_nan() || self.straggler_delay_s < 0.0 {
+            return Err(ConfigError::OutOfRange {
+                field: "straggler_delay_s",
+                value: self.straggler_delay_s,
+                bounds: "[0, inf)",
+            });
+        }
         if let Some(d) = self.round_deadline_s {
-            assert!(d >= 0.0, "round deadline must be non-negative");
+            if d.is_nan() || d < 0.0 {
+                return Err(ConfigError::OutOfRange {
+                    field: "round_deadline_s",
+                    value: d,
+                    bounds: "[0, inf)",
+                });
+            }
         }
+        Ok(())
     }
 }
 
@@ -431,8 +447,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
     fn validate_rejects_probability_of_one() {
-        FaultConfig { drop_after_download: 1.0, ..Default::default() }.validate();
+        let err = FaultConfig { drop_after_download: 1.0, ..Default::default() }
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("drop_after_download"), "bad message: {err}");
+        FaultConfig::reliable().validate().unwrap();
     }
 }

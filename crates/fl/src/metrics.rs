@@ -38,7 +38,7 @@ pub fn fairness_summary(per_client: &[f32]) -> FairnessSummary {
 /// communication split the fault-aware executor records: downlink over
 /// the full broadcast set, uplink over accepted reports, and wasted
 /// uplink from failed upload attempts.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RoundRecord {
     /// Round index (0-based).
     pub round: usize,

@@ -12,10 +12,12 @@
 //! Control variates double the per-round payload in both directions, which
 //! the paper's cost tables account as 2× FedAvg.
 
+use crate::config::ConfigError;
 use crate::context::FlContext;
 use crate::engine::{FedAlgorithm, RoundOutcome};
 use crate::lifecycle::WirePayload;
 use crate::local::{add_flat_to_grads, LocalCfg};
+use crate::state::{check_model_layout, check_tensor_dims, AlgorithmState, RestoreError};
 use crate::trace::{Phase, RoundScope};
 use crate::weight_common::{fan_out_clients, mean_loss, GlobalModel};
 use kemf_nn::layer::Layer;
@@ -46,9 +48,10 @@ impl FedAlgorithm for Scaffold {
         "SCAFFOLD".into()
     }
 
-    fn init(&mut self, ctx: &FlContext) {
+    fn init(&mut self, ctx: &FlContext) -> Result<(), ConfigError> {
         let dim = self.global.state.params.numel();
         self.c_clients = vec![vec![0.0; dim]; ctx.cfg.n_clients];
+        Ok(())
     }
 
     fn payload_per_client(&self) -> WirePayload {
@@ -146,6 +149,38 @@ impl FedAlgorithm for Scaffold {
         self.global.evaluate(ctx)
     }
 
+    fn state(&self) -> AlgorithmState {
+        let n = self.c_clients.len();
+        let dim = self.c.len();
+        let mut flat = Vec::with_capacity(n * dim);
+        for ck in &self.c_clients {
+            flat.extend_from_slice(ck);
+        }
+        AlgorithmState::new(self.name(), 1)
+            .with_model("global", self.global.state.clone())
+            .with_tensor("c", vec![dim], self.c.clone())
+            .with_tensor("c_clients", vec![n, dim], flat)
+    }
+
+    fn restore(&mut self, state: &AlgorithmState) -> Result<(), RestoreError> {
+        state.expect_header(&self.name(), 1)?;
+        let incoming = state.model("global")?;
+        check_model_layout("global", incoming, &self.global.state)?;
+        let dim = self.c.len();
+        let c = state.tensor("c")?;
+        check_tensor_dims("c", c, &[dim])?;
+        let cc = state.tensor("c_clients")?;
+        // init() has already sized c_clients for this context, so the
+        // client count is known and enforceable here.
+        check_tensor_dims("c_clients", cc, &[self.c_clients.len(), dim])?;
+        self.global.state = incoming.clone();
+        self.c = c.values.clone();
+        for (k, ck) in self.c_clients.iter_mut().enumerate() {
+            ck.copy_from_slice(&cc.values[k * dim..(k + 1) * dim]);
+        }
+        Ok(())
+    }
+
     fn global_model(&self) -> Option<(kemf_nn::models::ModelSpec, kemf_nn::serialize::ModelState)> {
         Some((self.global.spec, self.global.state.clone()))
     }
@@ -155,9 +190,14 @@ impl FedAlgorithm for Scaffold {
 mod tests {
     use super::*;
     use crate::config::FlConfig;
-    use crate::engine::run;
+    use crate::engine::{Engine, RunOptions};
+    use crate::metrics::History;
     use kemf_data::synth::{SynthConfig, SynthTask};
     use kemf_nn::models::Arch;
+
+    fn run(algo: &mut dyn FedAlgorithm, ctx: &FlContext) -> History {
+        Engine::run(algo, ctx, RunOptions::new()).unwrap().history
+    }
 
     fn ctx(seed: u64) -> FlContext {
         let task = SynthTask::new(SynthConfig::mnist_like(seed));

@@ -1,26 +1,116 @@
-//! Binary checkpointing for [`ModelState`]: a tiny self-describing format
-//! (magic, version, section lengths, little-endian f32 payload) so long
-//! federated runs can persist and resume the global model without a
-//! serialization framework.
+//! Binary checkpointing: a tiny self-describing format (magic, version,
+//! section lengths, little-endian payload) so long federated runs can
+//! persist and resume without a serialization framework.
+//!
+//! Two formats share the `KEMFCKPT` magic:
+//!
+//! * **v1** ([`save_state`]/[`load_state`]) — a single [`ModelState`],
+//!   the original global-model checkpoint;
+//! * **v2** ([`save_bundle`]/[`load_bundle`]) — a [`CheckpointBundle`]:
+//!   opaque metadata bytes plus named models, named dimension-tagged f32
+//!   arrays, and named f64 scalars. This is the container the federated
+//!   engine's resumable-run checkpoints are built on: one file holds a
+//!   whole algorithm's state (knowledge network, per-client local
+//!   models, control variates, consensus logits) next to the engine's
+//!   own round/RNG/history metadata.
+//!
+//! All writes are **crash-consistent**: the bytes land in a `*.tmp`
+//! sibling first, are fsynced, and are renamed over the destination only
+//! then ([`atomic_write`]), so an interrupted save can never corrupt the
+//! previous good checkpoint — at worst it leaves a stray `.tmp` file
+//! that loaders ignore.
+//!
+//! Load errors always name the offending file and, for version
+//! mismatches, the expected-vs-found version.
 
 use crate::serialize::{ModelState, Weights};
 use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 8] = b"KEMFCKPT";
-const VERSION: u32 = 1;
+/// Format version of a single-model checkpoint ([`save_state`]).
+pub const STATE_VERSION: u32 = 1;
+/// Format version of a multi-model bundle ([`save_bundle`]).
+pub const BUNDLE_VERSION: u32 = 2;
 
-fn write_weights(w: &Weights, out: &mut impl Write) -> io::Result<()> {
-    out.write_all(&(w.lens.len() as u64).to_le_bytes())?;
-    for &l in &w.lens {
-        out.write_all(&(l as u64).to_le_bytes())?;
-    }
-    out.write_all(&(w.values.len() as u64).to_le_bytes())?;
-    for &v in &w.values {
-        out.write_all(&v.to_le_bytes())?;
+/// A multi-model checkpoint: opaque caller metadata plus named sections.
+/// Section order is preserved exactly, so serialization round-trips
+/// bit-for-bit.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CheckpointBundle {
+    /// Opaque caller-owned metadata (the federated engine stores its
+    /// round index, RNG probes, and history here).
+    pub meta: Vec<u8>,
+    /// Named model states, e.g. `"global"`, `"local.3"`.
+    pub models: Vec<(String, ModelState)>,
+    /// Named dimension-tagged f32 arrays, e.g. control variates.
+    pub arrays: Vec<(String, Vec<usize>, Vec<f32>)>,
+    /// Named f64 scalars.
+    pub scalars: Vec<(String, f64)>,
+}
+
+/// Attach the offending path to an I/O error so callers always see which
+/// file failed, not just the bare reason.
+fn with_path(path: &Path, e: io::Error) -> io::Error {
+    io::Error::new(e.kind(), format!("checkpoint {}: {e}", path.display()))
+}
+
+fn bad_data(path: &Path, msg: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("checkpoint {}: {msg}", path.display()))
+}
+
+/// The path a partially-written checkpoint occupies until the atomic
+/// rename: the destination file name with `.tmp` appended. Loaders that
+/// scan directories must skip these.
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Crash-consistent write: the bytes go to a `.tmp` sibling, are flushed
+/// and fsynced, and only then renamed over `path`. A crash at any point
+/// leaves either the old file intact or the complete new one — never a
+/// truncated checkpoint under the real name.
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    let tmp = tmp_path(path);
+    let mut out = File::create(&tmp).map_err(|e| with_path(&tmp, e))?;
+    out.write_all(bytes).map_err(|e| with_path(&tmp, e))?;
+    out.sync_all().map_err(|e| with_path(&tmp, e))?;
+    drop(out);
+    std::fs::rename(&tmp, path).map_err(|e| with_path(path, e))?;
+    // Persist the rename itself (directory entry) where the platform
+    // allows opening directories; best-effort elsewhere.
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
     }
     Ok(())
+}
+
+// ---- primitive encode/decode ------------------------------------------
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_weights(out: &mut Vec<u8>, w: &Weights) {
+    put_u64(out, w.lens.len() as u64);
+    for &l in &w.lens {
+        put_u64(out, l as u64);
+    }
+    put_u64(out, w.values.len() as u64);
+    for &v in &w.values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
 }
 
 fn read_u64(inp: &mut impl Read) -> io::Result<u64> {
@@ -29,60 +119,197 @@ fn read_u64(inp: &mut impl Read) -> io::Result<u64> {
     Ok(u64::from_le_bytes(b))
 }
 
+fn read_f32(inp: &mut impl Read) -> io::Result<f32> {
+    let mut b = [0u8; 4];
+    inp.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+/// Bounded length guard: a corrupt header must fail cleanly instead of
+/// asking the allocator for exabytes.
+fn checked_len(n: u64, what: &str) -> io::Result<usize> {
+    const MAX: u64 = 1 << 33; // 8 GiB of elements: far beyond any real run
+    if n > MAX {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("implausible {what} length {n}"),
+        ));
+    }
+    Ok(n as usize)
+}
+
+fn read_str(inp: &mut impl Read) -> io::Result<String> {
+    let n = checked_len(read_u64(inp)?, "string")?;
+    let mut buf = vec![0u8; n];
+    inp.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 section name"))
+}
+
 fn read_weights(inp: &mut impl Read) -> io::Result<Weights> {
-    let n_lens = read_u64(inp)? as usize;
+    let n_lens = checked_len(read_u64(inp)?, "lens")?;
     let mut lens = Vec::with_capacity(n_lens);
     for _ in 0..n_lens {
         lens.push(read_u64(inp)? as usize);
     }
-    let n_vals = read_u64(inp)? as usize;
+    let n_vals = checked_len(read_u64(inp)?, "values")?;
     let expected: usize = lens.iter().sum();
     if n_vals != expected {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("checkpoint value count {n_vals} does not match lens sum {expected}"),
+            format!("value count {n_vals} does not match lens sum {expected}"),
         ));
     }
     let mut values = Vec::with_capacity(n_vals);
-    let mut b = [0u8; 4];
     for _ in 0..n_vals {
-        inp.read_exact(&mut b)?;
-        values.push(f32::from_le_bytes(b));
+        values.push(read_f32(inp)?);
     }
     Ok(Weights { values, lens })
 }
 
-/// Write a model state to `path` (atomic-ish: full rewrite).
+fn read_header(inp: &mut impl Read, path: &Path, expected_version: u32) -> io::Result<()> {
+    let mut magic = [0u8; 8];
+    inp.read_exact(&mut magic).map_err(|e| with_path(path, e))?;
+    if &magic != MAGIC {
+        return Err(bad_data(path, "not a kemf checkpoint (bad magic)"));
+    }
+    let mut ver = [0u8; 4];
+    inp.read_exact(&mut ver).map_err(|e| with_path(path, e))?;
+    let version = u32::from_le_bytes(ver);
+    if version != expected_version {
+        return Err(bad_data(
+            path,
+            format!("version mismatch: expected {expected_version}, found {version}"),
+        ));
+    }
+    Ok(())
+}
+
+// ---- v1: single model state -------------------------------------------
+
+/// Write a model state to `path` crash-consistently (tmp + fsync +
+/// rename).
 pub fn save_state(state: &ModelState, path: impl AsRef<Path>) -> io::Result<()> {
-    let mut out = BufWriter::new(File::create(path)?);
-    out.write_all(MAGIC)?;
-    out.write_all(&VERSION.to_le_bytes())?;
-    write_weights(&state.params, &mut out)?;
-    write_weights(&state.buffers, &mut out)?;
-    out.flush()
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&STATE_VERSION.to_le_bytes());
+    put_weights(&mut out, &state.params);
+    put_weights(&mut out, &state.buffers);
+    atomic_write(path, &out)
 }
 
 /// Read a model state from `path`; validates magic, version, and
-/// self-consistency of the section lengths.
+/// self-consistency of the section lengths. Errors name the file and,
+/// on a version mismatch, the expected and found versions.
 pub fn load_state(path: impl AsRef<Path>) -> io::Result<ModelState> {
-    let mut inp = BufReader::new(File::open(path)?);
-    let mut magic = [0u8; 8];
-    inp.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a kemf checkpoint"));
-    }
-    let mut ver = [0u8; 4];
-    inp.read_exact(&mut ver)?;
-    let version = u32::from_le_bytes(ver);
-    if version != VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unsupported checkpoint version {version}"),
-        ));
-    }
-    let params = read_weights(&mut inp)?;
-    let buffers = read_weights(&mut inp)?;
+    let path = path.as_ref();
+    let mut inp = io::BufReader::new(File::open(path).map_err(|e| with_path(path, e))?);
+    read_header(&mut inp, path, STATE_VERSION)?;
+    let params = read_weights(&mut inp).map_err(|e| with_path(path, e))?;
+    let buffers = read_weights(&mut inp).map_err(|e| with_path(path, e))?;
     Ok(ModelState { params, buffers })
+}
+
+// ---- v2: multi-model bundle -------------------------------------------
+
+/// Serialize a bundle to its on-disk byte layout (without writing).
+pub fn encode_bundle(bundle: &CheckpointBundle) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&BUNDLE_VERSION.to_le_bytes());
+    put_u64(&mut out, bundle.meta.len() as u64);
+    out.extend_from_slice(&bundle.meta);
+    put_u64(&mut out, bundle.models.len() as u64);
+    for (name, state) in &bundle.models {
+        put_str(&mut out, name);
+        put_weights(&mut out, &state.params);
+        put_weights(&mut out, &state.buffers);
+    }
+    put_u64(&mut out, bundle.arrays.len() as u64);
+    for (name, dims, values) in &bundle.arrays {
+        put_str(&mut out, name);
+        put_u64(&mut out, dims.len() as u64);
+        for &d in dims {
+            put_u64(&mut out, d as u64);
+        }
+        put_u64(&mut out, values.len() as u64);
+        for &v in values {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    put_u64(&mut out, bundle.scalars.len() as u64);
+    for (name, v) in &bundle.scalars {
+        put_str(&mut out, name);
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Write a multi-model bundle to `path` crash-consistently.
+pub fn save_bundle(bundle: &CheckpointBundle, path: impl AsRef<Path>) -> io::Result<()> {
+    atomic_write(path, &encode_bundle(bundle))
+}
+
+/// Read a multi-model bundle from `path`. Errors name the file and, on a
+/// version mismatch, the expected and found versions; trailing garbage
+/// after the last section is rejected.
+pub fn load_bundle(path: impl AsRef<Path>) -> io::Result<CheckpointBundle> {
+    let path = path.as_ref();
+    let mut inp = io::BufReader::new(File::open(path).map_err(|e| with_path(path, e))?);
+    read_header(&mut inp, path, BUNDLE_VERSION)?;
+    let wrap = |e: io::Error| with_path(path, e);
+
+    let meta_len = checked_len(read_u64(&mut inp).map_err(wrap)?, "meta").map_err(wrap)?;
+    let mut meta = vec![0u8; meta_len];
+    inp.read_exact(&mut meta).map_err(wrap)?;
+
+    let n_models = checked_len(read_u64(&mut inp).map_err(wrap)?, "models").map_err(wrap)?;
+    let mut models = Vec::with_capacity(n_models);
+    for _ in 0..n_models {
+        let name = read_str(&mut inp).map_err(wrap)?;
+        let params = read_weights(&mut inp).map_err(wrap)?;
+        let buffers = read_weights(&mut inp).map_err(wrap)?;
+        models.push((name, ModelState { params, buffers }));
+    }
+
+    let n_arrays = checked_len(read_u64(&mut inp).map_err(wrap)?, "arrays").map_err(wrap)?;
+    let mut arrays = Vec::with_capacity(n_arrays);
+    for _ in 0..n_arrays {
+        let name = read_str(&mut inp).map_err(wrap)?;
+        let n_dims = checked_len(read_u64(&mut inp).map_err(wrap)?, "dims").map_err(wrap)?;
+        let mut dims = Vec::with_capacity(n_dims);
+        for _ in 0..n_dims {
+            dims.push(read_u64(&mut inp).map_err(wrap)? as usize);
+        }
+        let n_vals = checked_len(read_u64(&mut inp).map_err(wrap)?, "array values").map_err(wrap)?;
+        let expected: usize = dims.iter().product();
+        if n_vals != expected {
+            return Err(bad_data(
+                path,
+                format!("array `{name}`: {n_vals} values do not fill dims {dims:?}"),
+            ));
+        }
+        let mut values = Vec::with_capacity(n_vals);
+        for _ in 0..n_vals {
+            values.push(read_f32(&mut inp).map_err(wrap)?);
+        }
+        arrays.push((name, dims, values));
+    }
+
+    let n_scalars = checked_len(read_u64(&mut inp).map_err(wrap)?, "scalars").map_err(wrap)?;
+    let mut scalars = Vec::with_capacity(n_scalars);
+    for _ in 0..n_scalars {
+        let name = read_str(&mut inp).map_err(wrap)?;
+        let mut b = [0u8; 8];
+        inp.read_exact(&mut b).map_err(wrap)?;
+        scalars.push((name, f64::from_le_bytes(b)));
+    }
+
+    let mut trailing = [0u8; 1];
+    if inp.read(&mut trailing).map_err(wrap)? != 0 {
+        return Err(bad_data(path, "trailing bytes after last section"));
+    }
+    Ok(CheckpointBundle { meta, models, arrays, scalars })
 }
 
 #[cfg(test)]
@@ -135,5 +362,96 @@ mod tests {
     #[test]
     fn missing_file_is_clean_error() {
         assert!(load_state("/nonexistent/kemf.ckpt").is_err());
+    }
+
+    #[test]
+    fn load_errors_name_the_file() {
+        let path = tmp("named_err");
+        std::fs::write(&path, b"garbage garbage garbage").unwrap();
+        let err = load_state(&path).unwrap_err().to_string();
+        assert!(err.contains(path.to_str().unwrap()), "error lacks path: {err}");
+        let err = load_state("/nonexistent/kemf.ckpt").unwrap_err().to_string();
+        assert!(err.contains("/nonexistent/kemf.ckpt"), "error lacks path: {err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn version_mismatch_reports_expected_and_found() {
+        // A v2 bundle read through the v1 loader (and vice versa) names
+        // both versions, so operators can tell stale tooling from
+        // corruption.
+        let path = tmp("vers");
+        save_bundle(&CheckpointBundle::default(), &path).unwrap();
+        let err = load_state(&path).unwrap_err().to_string();
+        assert!(err.contains("expected 1") && err.contains("found 2"), "bad message: {err}");
+        let spec = ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 1);
+        save_state(&Model::new(spec).state(), &path).unwrap();
+        let err = load_bundle(&path).unwrap_err().to_string();
+        assert!(err.contains("expected 2") && err.contains("found 1"), "bad message: {err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bundle_roundtrip_is_exact() {
+        let spec_a = ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 1);
+        let spec_b = ModelSpec::scaled(Arch::Cnn2, 1, 8, 10, 2);
+        let bundle = CheckpointBundle {
+            meta: vec![1, 2, 3, 255, 0, 42],
+            models: vec![
+                ("global".into(), Model::new(spec_a).state()),
+                ("local.0".into(), Model::new(spec_b).state()),
+            ],
+            arrays: vec![
+                ("c".into(), vec![4], vec![0.5, -0.25, f32::MIN_POSITIVE, 3.0]),
+                ("empty".into(), vec![0, 7], vec![]),
+            ],
+            scalars: vec![("round".into(), 17.0), ("nan".into(), f64::NAN)],
+        };
+        let path = tmp("bundle_rt");
+        save_bundle(&bundle, &path).unwrap();
+        let loaded = load_bundle(&path).unwrap();
+        assert_eq!(loaded.meta, bundle.meta);
+        assert_eq!(loaded.models, bundle.models);
+        assert_eq!(loaded.arrays, bundle.arrays);
+        assert_eq!(loaded.scalars.len(), 2);
+        assert_eq!(loaded.scalars[0], bundle.scalars[0]);
+        // NaN round-trips by bit pattern, not equality.
+        assert_eq!(loaded.scalars[1].1.to_bits(), bundle.scalars[1].1.to_bits());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bundle_rejects_truncation_and_trailing_garbage() {
+        let bundle = CheckpointBundle {
+            meta: b"meta".to_vec(),
+            models: vec![("m".into(), Model::new(ModelSpec::scaled(Arch::Cnn2, 1, 8, 10, 3)).state())],
+            arrays: vec![("a".into(), vec![2, 2], vec![1.0, 2.0, 3.0, 4.0])],
+            scalars: vec![("s".into(), 1.5)],
+        };
+        let path = tmp("bundle_bad");
+        save_bundle(&bundle, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(load_bundle(&path).is_err(), "truncated bundle must not parse");
+        let mut extended = bytes.clone();
+        extended.extend_from_slice(b"xx");
+        std::fs::write(&path, &extended).unwrap();
+        assert!(load_bundle(&path).is_err(), "trailing garbage must not parse");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn interrupted_write_leaves_previous_checkpoint_intact() {
+        // Crash-consistency: a half-written tmp file (simulating a crash
+        // mid-save) must never affect the good checkpoint under the real
+        // name.
+        let bundle = CheckpointBundle { meta: b"good".to_vec(), ..Default::default() };
+        let path = tmp("atomic");
+        save_bundle(&bundle, &path).unwrap();
+        std::fs::write(tmp_path(&path), b"KEMFCKPT\x02\x00\x00").unwrap();
+        let loaded = load_bundle(&path).unwrap();
+        assert_eq!(loaded.meta, b"good");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(tmp_path(&path));
     }
 }

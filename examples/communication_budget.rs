@@ -52,7 +52,9 @@ fn main() {
     for (mut algo, cost) in runs {
         let ctx = FlContext::new(cfg, &train, test.clone());
         let name = algo.name();
-        let h = fedkemf::fl::engine::run(algo.as_mut(), &ctx);
+        let h = fedkemf::fl::engine::Engine::run(algo.as_mut(), &ctx, fedkemf::fl::engine::RunOptions::new())
+        .expect("run failed")
+        .history;
         results.push((name, h, cost));
     }
     let best = results.iter().map(|(_, h, _)| h.best_accuracy()).fold(0.0f32, f32::max);

@@ -39,7 +39,9 @@ fn main() {
     let knowledge = ModelSpec::scaled(Arch::ResNet20, 3, 16, 10, 999);
     let pool = task.generate_unlabeled(180, 3);
     let mut algo = FedKemf::new(FedKemfConfig::uniform(knowledge, specs, pool));
-    let history = fedkemf::fl::engine::run(&mut algo, &ctx);
+    let history = fedkemf::fl::engine::Engine::run(&mut algo, &ctx, fedkemf::fl::engine::RunOptions::new())
+        .expect("run failed")
+        .history;
 
     println!("\nglobal knowledge network accuracy per round:");
     for r in &history.records {

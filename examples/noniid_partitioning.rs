@@ -48,13 +48,17 @@ fn main() {
 
         let spec = ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 5);
         let mut fedavg = FedAvg::new(spec);
-        let ha = fedkemf::fl::engine::run(&mut fedavg, &ctx);
+        let ha = fedkemf::fl::engine::Engine::run(&mut fedavg, &ctx, fedkemf::fl::engine::RunOptions::new())
+        .expect("run failed")
+        .history;
 
         let knowledge = ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 999);
         let clients = uniform_specs(Arch::Cnn2, 5, 1, 12, 10, 5);
         let pool = task.generate_unlabeled(120, 2);
         let mut kemf = FedKemf::new(FedKemfConfig::uniform(knowledge, clients, pool));
-        let hk = fedkemf::fl::engine::run(&mut kemf, &ctx);
+        let hk = fedkemf::fl::engine::Engine::run(&mut kemf, &ctx, fedkemf::fl::engine::RunOptions::new())
+        .expect("run failed")
+        .history;
 
         println!(
             "  FedAvg : final {:>5.1}%, tail std {:.3}",

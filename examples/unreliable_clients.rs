@@ -92,8 +92,9 @@ fn main() {
         // FedAvg under this regime.
         let spec = ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 5);
         let mut fedavg = FedAvg::new(spec);
-        let (ha, pa) = fedkemf::fl::engine::run_traced(&mut fedavg, &ctx, &plan);
-        report(&ha, &pa, fedavg.payload_per_client(), &net, plan.round_deadline_s);
+        let ra = Engine::run(&mut fedavg, &ctx, RunOptions::new().faults(plan))
+            .expect("fedavg run failed");
+        report(&ra.history, &ra.plans, fedavg.payload_per_client(), &net, plan.round_deadline_s);
 
         // FedKEMF under the same regime: only the knowledge network
         // crosses the (unreliable) wire.
@@ -101,8 +102,9 @@ fn main() {
         let clients = uniform_specs(Arch::Cnn2, n_clients, 1, 12, 10, 5);
         let pool = task.generate_unlabeled(120, 2);
         let mut kemf = FedKemf::new(FedKemfConfig::uniform(knowledge, clients, pool));
-        let (hk, pk) = fedkemf::fl::engine::run_traced(&mut kemf, &ctx, &plan);
-        report(&hk, &pk, kemf.payload_per_client(), &net, plan.round_deadline_s);
+        let rk = Engine::run(&mut kemf, &ctx, RunOptions::new().faults(plan))
+            .expect("fedkemf run failed");
+        report(&rk.history, &rk.plans, kemf.payload_per_client(), &net, plan.round_deadline_s);
 
         // Fairness: per-client accuracy of each method's deployed model on
         // every client's own data distribution (a fresh sample per client).

@@ -23,3 +23,17 @@ for phase in sample broadcast local_update fusion upload eval round; do
         || { echo "trace smoke: missing $phase spans"; exit 1; }
 done
 echo "trace smoke: $(wc -l < "$trace_file") spans in $trace_file"
+
+# Resume smoke: a run checkpointed, killed at round 3 of 6, and resumed
+# must produce a history byte-identical to an uninterrupted 6-round run.
+ckpt_dir=target/resume_smoke_ckpts
+hist_straight=target/resume_smoke_straight.json
+hist_resumed=target/resume_smoke_resumed.json
+rm -rf "$ckpt_dir" "$hist_straight" "$hist_resumed"
+KEMF_ROUNDS=6 KEMF_HISTORY="$hist_straight" cargo run --release --example quickstart
+KEMF_ROUNDS=3 KEMF_CHECKPOINT="$ckpt_dir" cargo run --release --example quickstart
+KEMF_ROUNDS=6 KEMF_CHECKPOINT="$ckpt_dir" KEMF_HISTORY="$hist_resumed" \
+    cargo run --release --example quickstart
+cmp "$hist_straight" "$hist_resumed" \
+    || { echo "resume smoke: resumed history differs from straight run"; exit 1; }
+echo "resume smoke: straight and resumed histories are byte-identical"

@@ -5,10 +5,29 @@
 //! the full broadcast set, uplink only to completed uploads.
 
 use fedkemf::core::fedkemf::{FedKemf, FedKemfConfig};
-use fedkemf::fl::engine::FedAlgorithm;
+use fedkemf::fl::engine::{Engine, FedAlgorithm};
 use fedkemf::fl::lifecycle::plan_round;
+use fedkemf::fl::metrics::History;
+use fedkemf::fl::lifecycle::RoundPlan;
 use fedkemf::prelude::*;
 use fedkemf::tensor::rng::seeded_rng;
+
+fn run(algo: &mut dyn FedAlgorithm, ctx: &FlContext) -> History {
+    Engine::run(algo, ctx, RunOptions::new()).unwrap().history
+}
+
+fn run_with_faults(algo: &mut dyn FedAlgorithm, ctx: &FlContext, faults: &FaultConfig) -> History {
+    Engine::run(algo, ctx, RunOptions::new().faults(*faults)).unwrap().history
+}
+
+fn run_traced(
+    algo: &mut dyn FedAlgorithm,
+    ctx: &FlContext,
+    faults: &FaultConfig,
+) -> (History, Vec<RoundPlan>) {
+    let report = Engine::run(algo, ctx, RunOptions::new().faults(*faults)).unwrap();
+    (report.history, report.plans)
+}
 
 /// A free "algorithm" so the fault matrix can sweep many configurations
 /// without paying for training: fixed asymmetric payload, constant loss.
@@ -18,7 +37,6 @@ impl FedAlgorithm for Probe {
     fn name(&self) -> String {
         "probe".into()
     }
-    fn init(&mut self, _ctx: &FlContext) {}
     fn payload_per_client(&self) -> WirePayload {
         WirePayload { down_bytes: 1000, up_bytes: 100 }
     }
@@ -98,7 +116,7 @@ fn every_fault_mode_finishes_with_lifecycle_consistent_bytes() {
     let ctx = probe_ctx(90);
     for (name, faults) in fault_modes() {
         let mut probe = Probe;
-        let (h, plans) = fedkemf::fl::engine::run_traced(&mut probe, &ctx, &faults);
+        let (h, plans) = run_traced(&mut probe, &ctx, &faults);
         assert_eq!(h.rounds(), 6, "{name}: all rounds recorded");
         assert_eq!(plans.len(), 6, "{name}: one plan per round");
         let payload = probe.payload_per_client();
@@ -132,14 +150,14 @@ fn fault_injection_is_deterministic_per_seed() {
     for (name, faults) in fault_modes() {
         let run = || {
             let ctx = probe_ctx(91);
-            fedkemf::fl::engine::run_with_faults(&mut Probe, &ctx, &faults).to_json()
+            run_with_faults(&mut Probe, &ctx, &faults).to_json()
         };
         assert_eq!(run(), run(), "{name}: same seed, same history");
     }
     // And a different seed perturbs at least the combined storm.
     let (_, combined) = fault_modes().pop().unwrap();
-    let a = fedkemf::fl::engine::run_with_faults(&mut Probe, &probe_ctx(91), &combined);
-    let b = fedkemf::fl::engine::run_with_faults(&mut Probe, &probe_ctx(92), &combined);
+    let a = run_with_faults(&mut Probe, &probe_ctx(91), &combined);
+    let b = run_with_faults(&mut Probe, &probe_ctx(92), &combined);
     assert_ne!(a.to_json(), b.to_json());
 }
 
@@ -153,7 +171,7 @@ fn dropout_downlink_covers_full_broadcast_set() {
     let sampled = ctx.cfg.sampled_per_round() as u64;
     let mut probe = Probe;
     let payload = probe.payload_per_client();
-    let h = fedkemf::fl::engine::run(&mut probe, &ctx);
+    let h = run(&mut probe, &ctx);
     let down: u64 = h.records.iter().map(|r| r.down_bytes).sum();
     let up: u64 = h.records.iter().map(|r| r.up_bytes).sum();
     // Legacy dropout fires after download: every sampled client is
@@ -229,7 +247,7 @@ fn all_algorithms_survive_combined_faults() {
             .map(|algo| {
                 let payload = algo.payload_per_client();
                 let (h, plans) =
-                    fedkemf::fl::engine::run_traced(algo.as_mut(), &ctx, &storm);
+                    run_traced(algo.as_mut(), &ctx, &storm);
                 assert_eq!(h.rounds(), 2, "{}", h.algorithm);
                 assert!(
                     h.accuracies().iter().all(|a| a.is_finite()),
@@ -274,9 +292,9 @@ fn reliable_fleet_matches_faultless_engine_exactly() {
     };
     let spec = ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 3);
     let mut a = FedAvg::new(spec);
-    let ha = fedkemf::fl::engine::run(&mut a, &mk());
+    let ha = run(&mut a, &mk());
     let mut b = FedAvg::new(spec);
-    let hb = fedkemf::fl::engine::run_with_faults(&mut b, &mk(), &FaultConfig::reliable());
+    let hb = run_with_faults(&mut b, &mk(), &FaultConfig::reliable());
     assert_eq!(ha.to_json(), hb.to_json());
 }
 
@@ -288,7 +306,7 @@ fn quorum_aborted_rounds_record_nan_loss() {
     let ctx = probe_ctx(97);
     let faults =
         FaultConfig { drop_before_download: 0.95, min_quorum: 6, ..Default::default() };
-    let h = fedkemf::fl::engine::run_with_faults(&mut Probe, &ctx, &faults);
+    let h = run_with_faults(&mut Probe, &ctx, &faults);
     assert!(
         h.records.iter().any(|r| !r.quorum_met),
         "storm should abort at least one round"

@@ -3,8 +3,13 @@
 //! reproducible.
 
 use fedkemf::core::fedkemf::{FedKemf, FedKemfConfig};
-use fedkemf::fl::engine::FedAlgorithm;
+use fedkemf::fl::engine::{Engine, FedAlgorithm};
 use fedkemf::prelude::*;
+
+fn run(algo: &mut dyn FedAlgorithm, ctx: &FlContext) -> History {
+    Engine::run(algo, ctx, RunOptions::new()).unwrap().history
+}
+
 
 fn world(seed: u64) -> (FlContext, SynthTask) {
     let task = SynthTask::new(SynthConfig::mnist_like(seed));
@@ -43,7 +48,7 @@ fn all_algorithms_learn_above_chance() {
     let (ctx, task) = world(7);
     for mut algo in algorithms(&ctx, &task) {
         let name = algo.name();
-        let h = fedkemf::fl::engine::run(algo.as_mut(), &ctx);
+        let h = run(algo.as_mut(), &ctx);
         assert_eq!(h.rounds(), 8, "{name} must run all rounds");
         assert!(
             h.best_accuracy() > 0.25,
@@ -63,7 +68,7 @@ fn every_algorithm_is_deterministic() {
         let run_once = || {
             let (ctx, task) = world(13);
             let mut algos = algorithms(&ctx, &task);
-            fedkemf::fl::engine::run(algos[idx].as_mut(), &ctx).accuracies()
+            run(algos[idx].as_mut(), &ctx).accuracies()
         };
         let name = {
             let (ctx, task) = world(13);
@@ -77,7 +82,7 @@ fn every_algorithm_is_deterministic() {
 fn histories_record_monotone_cumulative_bytes() {
     let (ctx, task) = world(21);
     for mut algo in algorithms(&ctx, &task) {
-        let h = fedkemf::fl::engine::run(algo.as_mut(), &ctx);
+        let h = run(algo.as_mut(), &ctx);
         let bytes: Vec<u64> = h.records.iter().map(|r| r.cum_bytes).collect();
         assert!(bytes.windows(2).all(|w| w[0] < w[1]), "{}: bytes must strictly grow", h.algorithm);
     }
@@ -102,12 +107,12 @@ fn fedkemf_ships_fewer_bytes_than_weight_baselines_with_large_locals() {
     let ctx = FlContext::new(cfg, &train, test);
     let local_spec = ModelSpec::scaled(Arch::ResNet32, 1, 12, 10, 3);
     let mut fedavg = FedAvg::new(local_spec);
-    let ha = fedkemf::fl::engine::run(&mut fedavg, &ctx);
+    let ha = run(&mut fedavg, &ctx);
     let knowledge = ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 99);
     let clients = uniform_specs(Arch::ResNet32, 5, 1, 12, 10, 5);
     let pool = task.generate_unlabeled(80, 2);
     let mut kemf = FedKemf::new(FedKemfConfig::uniform(knowledge, clients, pool));
-    let hk = fedkemf::fl::engine::run(&mut kemf, &ctx);
+    let hk = run(&mut kemf, &ctx);
     assert!(
         hk.total_bytes() * 3 < ha.total_bytes(),
         "FedKEMF bytes {} should be well under FedAvg bytes {}",
@@ -120,7 +125,7 @@ fn fedkemf_ships_fewer_bytes_than_weight_baselines_with_large_locals() {
 fn global_models_are_exposed_for_deployment() {
     let (ctx, task) = world(41);
     for mut algo in algorithms(&ctx, &task) {
-        let _ = fedkemf::fl::engine::run(algo.as_mut(), &ctx);
+        let _ = run(algo.as_mut(), &ctx);
         let (spec, state) = algo.global_model().expect("all comparison algorithms expose a model");
         let mut model = Model::new(spec);
         model.set_state(&state);

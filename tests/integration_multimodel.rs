@@ -5,7 +5,13 @@
 
 use fedkemf::core::fedkemf::{FedKemf, FedKemfConfig};
 use fedkemf::core::resource::ResourceTier;
+use fedkemf::fl::engine::Engine;
 use fedkemf::prelude::*;
+
+fn run(algo: &mut dyn FedAlgorithm, ctx: &FlContext) -> History {
+    Engine::run(algo, ctx, RunOptions::new()).unwrap().history
+}
+
 
 fn hetero_world(seed: u64) -> (FlContext, SynthTask, Vec<ModelSpec>) {
     let task = SynthTask::new(SynthConfig::cifar_like(seed));
@@ -53,7 +59,7 @@ fn multimodel_training_improves_local_models() {
         / n as f32;
 
     let mut algo = FedKemf::new(FedKemfConfig::uniform(knowledge, specs.clone(), pool));
-    let h = fedkemf::fl::engine::run(&mut algo, &ctx);
+    let h = run(&mut algo, &ctx);
     assert!(h.accuracies().iter().all(|a| a.is_finite()));
     let trained_avg = algo.evaluate_local_models(&client_tests, 32);
     // Margin: untrained models sit at chance, so any decisive fleet-wide
@@ -84,7 +90,7 @@ fn knowledge_payload_is_independent_of_local_model_sizes() {
         big_zoo.payload_bytes(),
         "only the knowledge network crosses the wire"
     );
-    let h_small = fedkemf::fl::engine::run(&mut small_zoo, &ctx);
-    let h_big = fedkemf::fl::engine::run(&mut big_zoo, &ctx);
+    let h_small = run(&mut small_zoo, &ctx);
+    let h_big = run(&mut big_zoo, &ctx);
     assert_eq!(h_small.total_bytes(), h_big.total_bytes());
 }

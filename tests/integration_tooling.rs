@@ -3,10 +3,14 @@
 //! deployment would use them.
 
 use fedkemf::fl::compress::{dequantize, max_abs_error, quantize, DEFAULT_CHUNK};
-use fedkemf::fl::engine::FedAlgorithm;
+use fedkemf::fl::engine::{Engine, FedAlgorithm};
 use fedkemf::fl::network::NetworkModel;
 use fedkemf::nn::checkpoint::{load_state, save_state};
 use fedkemf::prelude::*;
+
+fn run(algo: &mut dyn FedAlgorithm, ctx: &FlContext) -> History {
+    Engine::run(algo, ctx, RunOptions::new()).unwrap().history
+}
 
 fn trained_fedavg() -> (FedAvg, FlContext) {
     let task = SynthTask::new(SynthConfig::mnist_like(51));
@@ -24,7 +28,7 @@ fn trained_fedavg() -> (FedAvg, FlContext) {
     };
     let ctx = FlContext::new(cfg, &train, test);
     let mut algo = FedAvg::new(ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 3));
-    let _ = fedkemf::fl::engine::run(&mut algo, &ctx);
+    let _ = run(&mut algo, &ctx);
     (algo, ctx)
 }
 
@@ -89,14 +93,14 @@ fn network_model_orders_algorithms_by_payload() {
     let ctx = FlContext::new(cfg, &train, test);
 
     let mut fedavg = FedAvg::new(ModelSpec::scaled(Arch::ResNet32, 1, 12, 10, 3));
-    let ha = fedkemf::fl::engine::run(&mut fedavg, &ctx);
+    let ha = run(&mut fedavg, &ctx);
     let knowledge = ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 99);
     let clients = uniform_specs(Arch::ResNet32, 4, 1, 12, 10, 5);
     let pool = task.generate_unlabeled(60, 2);
     let mut kemf = fedkemf::core::fedkemf::FedKemf::new(
         fedkemf::core::fedkemf::FedKemfConfig::uniform(knowledge, clients, pool),
     );
-    let hk = fedkemf::fl::engine::run(&mut kemf, &ctx);
+    let hk = run(&mut kemf, &ctx);
 
     for net in [NetworkModel::iot(), NetworkModel::cellular_4g(), NetworkModel::broadband()] {
         let ta = net.history_comm_time(&ha);

@@ -8,9 +8,25 @@
 
 use fedkemf::core::fedkemf::{FedKemf, FedKemfConfig};
 use fedkemf::core::resource::uniform_specs;
+use fedkemf::fl::engine::Engine;
 use fedkemf::fl::fedavg::FedAvg;
+use fedkemf::fl::lifecycle::RoundPlan;
 use fedkemf::nn::models::Arch;
 use fedkemf::prelude::*;
+
+fn run_recorded(
+    algo: &mut dyn FedAlgorithm,
+    ctx: &FlContext,
+    faults: &FaultConfig,
+) -> (History, Vec<RoundPlan>) {
+    let report = Engine::run(
+        algo,
+        ctx,
+        RunOptions::new().faults(*faults).record_trace(),
+    )
+    .unwrap();
+    (report.history, report.plans)
+}
 
 /// Tiny FedKEMF world: real DML + ensemble distillation, small enough
 /// for a fast integration test.
@@ -117,12 +133,18 @@ fn traced_fedkemf_run_emits_full_round_structure() {
 #[test]
 fn noop_sink_history_is_bit_identical_to_untraced() {
     let (ctx, mut a) = fedavg_world(72);
-    let ha = fedkemf::fl::engine::run(&mut a, &ctx);
+    let ha = Engine::run(&mut a, &ctx, RunOptions::new()).unwrap().history;
     assert!(!ha.to_json().contains("trace"), "untraced JSON carries no trace key");
 
     let (_, mut b) = fedavg_world(72);
     let mut noop = NoopSink;
-    let (hb, _) = run_with_sink(&mut b, &ctx, &FaultConfig::reliable(), &mut noop);
+    let hb = Engine::run(
+        &mut b,
+        &ctx,
+        RunOptions::new().faults(FaultConfig::reliable()).sink(&mut noop),
+    )
+    .unwrap()
+    .history;
     assert_eq!(ha.to_json(), hb.to_json(), "NoopSink run serializes identically");
 
     // A recorded run differs only by its trace: strip it and the JSON
@@ -158,7 +180,6 @@ impl FedAlgorithm for Probe {
     fn name(&self) -> String {
         "probe".into()
     }
-    fn init(&mut self, _ctx: &FlContext) {}
     fn payload_per_client(&self) -> WirePayload {
         WirePayload { down_bytes: 1000, up_bytes: 100 }
     }
