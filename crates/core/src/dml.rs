@@ -10,6 +10,15 @@
 //! Each network treats the other's predictive distribution as a fixed
 //! target for the batch (the standard DML formulation), so the two KL
 //! gradients are the distillation gradients `σ(z) − target`.
+//!
+//! DML is deliberately outside the int8 compute-format switch
+//! ([`kemf_fl::compress::ComputePrecision`]): here each forward's logits
+//! serve both as the *other* network's mutual target **and** as the same
+//! network's own cross-entropy/backward input, so a quantized forward
+//! would either corrupt the gradient path or force a second exact pass.
+//! Quantized inference is a server-side concern — see
+//! [`crate::distill::DistillConfig::precision`] and
+//! [`crate::ensemble::ensemble_forward_with_precision`].
 
 use kemf_data::dataset::Dataset;
 use kemf_nn::loss::{cross_entropy_ws, kl_to_target_ws, soften_ws};

@@ -2,6 +2,8 @@
 //! the paper's ablation): max-logits (default), average-logits, and
 //! majority vote.
 
+use kemf_fl::compress::ComputePrecision;
+use kemf_nn::layer::Precision;
 use kemf_nn::model::Model;
 use kemf_tensor::ops::{argmax_rows, elementwise_max, elementwise_mean};
 use kemf_tensor::Tensor;
@@ -81,8 +83,29 @@ pub fn ensemble_forward(
     images: &Tensor,
     strategy: EnsembleStrategy,
 ) -> Tensor {
+    ensemble_forward_with_precision(members, images, strategy, ComputePrecision::F32)
+}
+
+/// [`ensemble_forward`] with an explicit member compute format. `Int8`
+/// runs each member's forward through the quantized GEMM path; every
+/// member is switched back to exact f32 before returning, so the choice
+/// is scoped to this one pass and cannot leak into later training.
+pub fn ensemble_forward_with_precision(
+    members: &mut [Model],
+    images: &Tensor,
+    strategy: EnsembleStrategy,
+    precision: ComputePrecision,
+) -> Tensor {
     assert!(!members.is_empty(), "ensemble of zero members");
-    let logits: Vec<Tensor> = members.iter_mut().map(|m| m.predict(images)).collect();
+    let logits: Vec<Tensor> = members
+        .iter_mut()
+        .map(|m| {
+            m.set_precision(precision.to_layer());
+            let z = m.predict(images);
+            m.set_precision(Precision::F32);
+            z
+        })
+        .collect();
     ensemble_logits(&logits, strategy)
 }
 
@@ -159,5 +182,31 @@ mod tests {
     #[should_panic]
     fn empty_ensemble_panics() {
         let _ = ensemble_logits(&[], EnsembleStrategy::MaxLogits);
+    }
+
+    #[test]
+    fn int8_ensemble_forward_tracks_f32() {
+        use kemf_data::synth::{SynthConfig, SynthTask};
+        use kemf_nn::models::{Arch, ModelSpec};
+        let mut members = vec![
+            Model::new(ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 21)),
+            Model::new(ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 22)),
+        ];
+        let task = SynthTask::new(SynthConfig::mnist_like(23));
+        let x = task.generate_unlabeled(6, 24);
+        let exact = ensemble_forward(&mut members, &x, EnsembleStrategy::AvgLogits);
+        let quant = ensemble_forward_with_precision(
+            &mut members,
+            &x,
+            EnsembleStrategy::AvgLogits,
+            ComputePrecision::Int8,
+        );
+        let max_abs = exact.data().iter().fold(0f32, |a, v| a.max(v.abs())).max(1.0);
+        for (e, q) in exact.data().iter().zip(quant.data()) {
+            assert!((e - q).abs() <= 0.1 * max_abs, "int8 drifted too far: {e} vs {q}");
+        }
+        // The switch must not leak: a plain forward afterwards is exact f32.
+        let again = ensemble_forward(&mut members, &x, EnsembleStrategy::AvgLogits);
+        assert_eq!(exact.data(), again.data());
     }
 }

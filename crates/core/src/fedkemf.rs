@@ -432,6 +432,47 @@ mod tests {
     }
 
     #[test]
+    fn int8_server_inference_matches_f32_final_accuracy() {
+        // Acceptance bound for the quantized ensemble-inference path: run
+        // a full FedKEMF training with the int8 teacher pass enabled, then
+        // evaluate the final-round global knowledge network with exact f32
+        // and with the int8 forward. Quantized server inference must move
+        // final-round accuracy by less than 0.5% (absolute). The test set
+        // is sized so 0.5% is resolvable (1 sample = 0.25%).
+        let task = SynthTask::new(SynthConfig::mnist_like(67));
+        let train = task.generate(60 * 4, 0);
+        let test = task.generate(400, 1);
+        let cfg = FlConfig {
+            n_clients: 4,
+            sample_ratio: 1.0,
+            rounds: 5,
+            local_epochs: 2,
+            batch_size: 16,
+            alpha: 0.5,
+            min_per_client: 10,
+            seed: 67,
+            ..Default::default()
+        };
+        let ctx = FlContext::new(cfg, &train, test.clone());
+        let specs = uniform_specs(Arch::Cnn2, 4, 1, 12, 10, 2);
+        let pool = task.generate_unlabeled(120, 5);
+        let mut kemf_cfg = FedKemfConfig::uniform(knowledge_spec(), specs, pool);
+        kemf_cfg.distill.precision = kemf_fl::compress::ComputePrecision::Int8;
+        let mut algo = FedKemf::new(kemf_cfg);
+        let h = run(&mut algo, &ctx);
+        assert!(h.best_accuracy() > 0.2, "int8-distilled run should still learn: {}", h.best_accuracy());
+        let mut final_model = Model::new(knowledge_spec());
+        final_model.set_state(algo.global_knowledge());
+        let exact = final_model.evaluate(&test.images, &test.labels, 32);
+        final_model.set_precision(kemf_nn::layer::Precision::Int8);
+        let quant = final_model.evaluate(&test.images, &test.labels, 32);
+        assert!(
+            (exact - quant).abs() < 0.005,
+            "int8 server inference moved final accuracy too far: {exact} vs {quant}"
+        );
+    }
+
+    #[test]
     fn fedkemf_is_deterministic() {
         let run_once = || {
             let (ctx, task) = mk(66, 3);

@@ -48,7 +48,9 @@ pub mod prelude {
     //! Common imports for downstream crates.
     pub use crate::distill::{distill_ensemble, DistillConfig, DistillOutcome};
     pub use crate::dml::{dml_local_update, DmlConfig, DmlOutcome};
-    pub use crate::ensemble::{ensemble_forward, ensemble_logits, EnsembleStrategy};
+    pub use crate::ensemble::{
+        ensemble_forward, ensemble_forward_with_precision, ensemble_logits, EnsembleStrategy,
+    };
     pub use crate::feddf::FedDf;
     pub use crate::fedkemf::{FedKemf, FedKemfConfig};
     pub use crate::fedmd::{FedMd, FedMdConfig};

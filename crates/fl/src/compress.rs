@@ -8,9 +8,41 @@
 //! corrupted from an unreliable client, so decoding validates the
 //! structure and returns a [`CompressError`] instead of indexing out of
 //! bounds.
+//!
+//! Int8 is also a *compute* format here, not just a wire format: the
+//! serializable [`ComputePrecision`] switch maps onto
+//! [`kemf_nn::layer::Precision`] and routes a model's GEMM-backed layers
+//! through the symmetric int8 engine (`kemf_tensor::quant`) — the
+//! server's quantized ensemble-logit pass. The property tests at the
+//! bottom pin the quantize → int8-forward round trip to its analytic
+//! error bound.
 
+use kemf_nn::layer::Precision;
 use kemf_nn::serialize::Weights;
 use serde::{Deserialize, Serialize};
+
+/// Serializable compute-format switch for inference passes (the config
+/// counterpart of [`kemf_nn::layer::Precision`], which stays
+/// serde-free). Default is exact f32; `Int8` is an inference-only
+/// approximation for ensemble-logit computation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ComputePrecision {
+    /// Exact f32 forward (default; required for training).
+    #[default]
+    F32,
+    /// Symmetric per-row/per-column int8 quantized forward.
+    Int8,
+}
+
+impl ComputePrecision {
+    /// The layer-level precision this switch selects.
+    pub fn to_layer(self) -> Precision {
+        match self {
+            ComputePrecision::F32 => Precision::F32,
+            ComputePrecision::Int8 => Precision::Int8,
+        }
+    }
+}
 
 /// A uniformly-quantized weight snapshot: int8 codes plus a per-chunk
 /// affine dequantization `(scale, zero_point)`.
@@ -271,5 +303,102 @@ mod tests {
 
         // The untouched payload still decodes.
         assert!(dequantize(&good).is_ok());
+    }
+
+    #[test]
+    fn compute_precision_maps_to_layer_precision() {
+        use kemf_nn::layer::Precision;
+        assert_eq!(ComputePrecision::default(), ComputePrecision::F32);
+        assert_eq!(ComputePrecision::F32.to_layer(), Precision::F32);
+        assert_eq!(ComputePrecision::Int8.to_layer(), Precision::Int8);
+        // Round-trips through serde for config files.
+        let json = serde_json::to_string(&ComputePrecision::Int8).unwrap();
+        assert_eq!(serde_json::from_str::<ComputePrecision>(&json).unwrap(), ComputePrecision::Int8);
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use kemf_tensor::gemm::{gemm_naive, Store};
+    use kemf_tensor::quant;
+    use kemf_tensor::rng::seeded_rng;
+    use proptest::prelude::*;
+    use rand::Rng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Wire round trip: every element lands within half a
+        /// quantization step of its chunk.
+        #[test]
+        fn wire_roundtrip_within_half_step(
+            pool in prop::collection::vec(-8.0f32..8.0, 300),
+            len in 1usize..300,
+            chunk in 1usize..64,
+        ) {
+            let values = pool[..len].to_vec();
+            let w = Weights { values: values.clone(), lens: vec![values.len()] };
+            let q = quantize(&w, chunk).unwrap();
+            let r = dequantize(&q).unwrap();
+            for (bi, block) in values.chunks(chunk).enumerate() {
+                let tol = q.scales[bi] * 0.5 + 1e-5;
+                for (a, b) in block.iter().zip(&r.values[bi * chunk..]) {
+                    prop_assert!((a - b).abs() <= tol, "{a} vs {b} (half-step {tol})");
+                }
+            }
+        }
+
+        /// Full round trip of the server's quantized inference: weights
+        /// cross the wire (affine int8), then the forward pass itself
+        /// runs in the symmetric int8 compute format. The end-to-end
+        /// error stays within the sum of the compute-format bound
+        /// (actual scales) and the wire error propagated through the
+        /// product (k · max|x| · half-step).
+        #[test]
+        fn quantize_then_int8_forward_within_combined_bound(
+            m in 1usize..6,
+            k in 1usize..48,
+            n in 1usize..16,
+            seed in 0u64..1_000_000,
+        ) {
+            let mut rng = seeded_rng(seed);
+            let x: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+            let wmat: Vec<f32> = (0..n * k).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+
+            // Wire leg: weights travel as affine int8 chunks.
+            let w = Weights { values: wmat.clone(), lens: vec![wmat.len()] };
+            let q = quantize(&w, DEFAULT_CHUNK).unwrap();
+            let restored = dequantize(&q).unwrap().values;
+            let wire_half_step = q.scales.iter().copied().fold(0.0f32, f32::max) * 0.5;
+
+            // Compute leg: symmetric int8 GEMM over the restored weights
+            // ([n, k] is exactly the Linear weight layout).
+            let mut qa = vec![0i8; quant::a_codes_len(m, k)];
+            let mut sa = vec![0.0f32; m];
+            quant::quantize_a_rows(&x, m, k, &mut qa, &mut sa);
+            let mut bp = vec![0i8; quant::b_pack_len(k, n)];
+            let mut sb = vec![0.0f32; n];
+            quant::pack_b_transposed(&restored, n, k, &mut bp, &mut sb);
+            let mut got = vec![0.0f32; m * n];
+            quant::gemm_i8(m, k, n, &qa, &sa, &bp, &sb, &mut Store { c: &mut got, ldc: n });
+
+            let exact = gemm_naive(m, k, n, |i, kk| x[i * k + kk], |kk, j| wmat[j * k + kk]);
+            for i in 0..m {
+                let max_a = x[i * k..(i + 1) * k].iter().fold(0.0f32, |mx, &v| mx.max(v.abs()));
+                for j in 0..n {
+                    let max_b = restored[j * k..(j + 1) * k]
+                        .iter()
+                        .fold(0.0f32, |mx, &v| mx.max(v.abs()));
+                    let bound = quant::error_bound(k, max_a, sa[i], max_b, sb[j])
+                        + k as f32 * max_a * wire_half_step;
+                    let err = (got[i * n + j] - exact[i * n + j]).abs();
+                    prop_assert!(
+                        err <= bound * 1.05 + 1e-4,
+                        "({i},{j}): err {err} > bound {bound}"
+                    );
+                }
+            }
+        }
     }
 }

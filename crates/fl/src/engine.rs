@@ -342,17 +342,27 @@ pub fn init_thread_pool() -> usize {
     use std::sync::OnceLock;
     static WIDTH: OnceLock<usize> = OnceLock::new();
     *WIDTH.get_or_init(|| {
-        let requested = std::env::var("KEMF_THREADS")
+        let env_threads = std::env::var("KEMF_THREADS")
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-            });
-        // A failure means a pool already exists (e.g. a test harness built
-        // one); inherit it rather than abort.
-        let _ = rayon::ThreadPoolBuilder::new().num_threads(requested).build_global();
-        rayon::current_num_threads()
+            .filter(|&n| n > 0);
+        let requested = env_threads.unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        });
+        // A build failure means a pool already exists (e.g. a test harness
+        // built one); inherit it rather than abort — but if the user asked
+        // for a specific width via KEMF_THREADS and lost, say so once
+        // instead of silently running at the wrong parallelism.
+        let already_built =
+            rayon::ThreadPoolBuilder::new().num_threads(requested).build_global().is_err();
+        let actual = rayon::current_num_threads();
+        if already_built && env_threads.is_some() && actual != requested {
+            eprintln!(
+                "warning: KEMF_THREADS={requested} requested, but the global compute pool \
+                 was already built with {actual} thread(s); inheriting the existing pool"
+            );
+        }
+        actual
     })
 }
 

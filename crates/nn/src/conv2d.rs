@@ -18,10 +18,11 @@
 //! caller's [`Workspace`], so a steady-state training step allocates
 //! nothing.
 
-use crate::layer::Layer;
+use crate::layer::{Layer, Precision};
 use crate::param::Param;
 use kemf_tensor::conv::{col2im, im2col, ConvGeom};
 use kemf_tensor::gemm::{gemm, Accumulate, NchwScatterBias, Store};
+use kemf_tensor::quant;
 use kemf_tensor::rng::seeded_rng;
 use kemf_tensor::workspace::Workspace;
 use kemf_tensor::Tensor;
@@ -35,6 +36,7 @@ pub struct Conv2d {
     kernel: usize,
     stride: usize,
     pad: usize,
+    precision: Precision,
     /// (im2col matrix, geometry) cached during training forward.
     cache: Option<(Vec<f32>, ConvGeom)>,
 }
@@ -59,6 +61,7 @@ impl Conv2d {
             kernel,
             stride,
             pad,
+            precision: Precision::F32,
             cache: None,
         }
     }
@@ -92,19 +95,51 @@ impl Layer for Conv2d {
         // one GEMM whose epilogue scatters straight into NCHW with the
         // bias added, replacing a staging matrix + reorder copy.
         let mut y = ws.take_tensor(&[geom.n, self.out_channels, oh, ow]);
-        gemm(
-            self.out_channels,
-            patch,
-            ncols,
-            |oi, p| self.weight.value.data()[oi * patch + p],
-            |p, col| cols[p * ncols + col],
-            &mut NchwScatterBias {
-                out: y.data_mut(),
-                o: self.out_channels,
-                plane,
-                bias: self.bias.value.data(),
-            },
-        );
+        match self.precision {
+            Precision::F32 => gemm(
+                self.out_channels,
+                patch,
+                ncols,
+                |oi, p| self.weight.value.data()[oi * patch + p],
+                |p, col| cols[p * ncols + col],
+                &mut NchwScatterBias {
+                    out: y.data_mut(),
+                    o: self.out_channels,
+                    plane,
+                    bias: self.bias.value.data(),
+                },
+            ),
+            Precision::Int8 => {
+                // A = filter bank per-row, B = im2col matrix per-column;
+                // the dequantizing epilogue reuses the fused NCHW scatter.
+                let o = self.out_channels;
+                let mut qa = ws.take_i8(quant::a_codes_len(o, patch));
+                let mut sa = ws.take(o);
+                quant::quantize_a_rows(self.weight.value.data(), o, patch, &mut qa, &mut sa);
+                let mut bp = ws.take_i8(quant::b_pack_len(patch, ncols));
+                let mut sb = ws.take(ncols);
+                quant::pack_b_rowmajor(&cols, patch, ncols, &mut bp, &mut sb);
+                quant::gemm_i8(
+                    o,
+                    patch,
+                    ncols,
+                    &qa,
+                    &sa,
+                    &bp,
+                    &sb,
+                    &mut NchwScatterBias {
+                        out: y.data_mut(),
+                        o,
+                        plane,
+                        bias: self.bias.value.data(),
+                    },
+                );
+                ws.recycle_i8(qa);
+                ws.recycle_i8(bp);
+                ws.recycle(sa);
+                ws.recycle(sb);
+            }
+        }
         if train {
             self.cache = Some((cols, geom));
         } else {
@@ -176,6 +211,10 @@ impl Layer for Conv2d {
         f(&mut self.bias);
     }
 
+    fn set_precision(&mut self, p: Precision) {
+        self.precision = p;
+    }
+
     fn name(&self) -> &'static str {
         "Conv2d"
     }
@@ -195,6 +234,7 @@ impl Clone for Conv2d {
             kernel: self.kernel,
             stride: self.stride,
             pad: self.pad,
+            precision: self.precision,
             cache: None,
         }
     }
@@ -286,6 +326,27 @@ mod tests {
         // buffer, and its dims reuse y's recycled dims).
         assert_eq!(ws.fresh_allocations(), 3, "f32 pool misses after warm-up");
         assert_eq!(ws.fresh_usize_allocations(), 1, "dims pool misses after warm-up");
+    }
+
+    #[test]
+    fn int8_forward_stays_close_to_f32() {
+        let mut conv = Conv2d::new(3, 8, 3, 1, 1, 55);
+        let mut rng = seeded_rng(56);
+        let x = Tensor::randn(&[2, 3, 8, 8], 1.0, &mut rng);
+        let exact = conv.forward(&x, false);
+        conv.set_precision(crate::layer::Precision::Int8);
+        let quantized = conv.forward(&x, false);
+        assert_eq!(exact.dims(), quantized.dims());
+        // Quantization error scales with output magnitude; 2·127 levels
+        // over a 27-element patch keeps relative error small.
+        let max_out = exact.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        for (e, q) in exact.data().iter().zip(quantized.data()) {
+            assert!((e - q).abs() <= 0.05 * max_out + 1e-3, "{e} vs {q}");
+        }
+        // Switching back restores the exact path.
+        conv.set_precision(crate::layer::Precision::F32);
+        let again = conv.forward(&x, false);
+        assert_eq!(exact.data(), again.data());
     }
 
     #[test]

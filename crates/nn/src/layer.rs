@@ -18,6 +18,23 @@ use crate::param::Param;
 use kemf_tensor::workspace::Workspace;
 use kemf_tensor::Tensor;
 
+/// Numeric compute format of the forward pass.
+///
+/// `F32` is exact and required for training; `Int8` routes the GEMM-backed
+/// layers (`Linear`, `Conv2d`) through the symmetric int8 engine in
+/// [`kemf_tensor::quant`] — an inference-only approximation used by the
+/// server's quantized ensemble-logit pass. Backward always runs in f32
+/// from the cached f32 activations, so a layer left in `Int8` by mistake
+/// still trains on exact gradients of an approximate forward.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Exact f32 compute (default).
+    #[default]
+    F32,
+    /// Symmetric per-row/per-column int8 quantized forward.
+    Int8,
+}
+
 /// A differentiable network module.
 pub trait Layer: Send {
     /// Compute the layer output. `train` selects training-mode behaviour
@@ -58,6 +75,10 @@ pub trait Layer: Send {
 
     /// Mutable counterpart of [`Layer::visit_buffers`], same order.
     fn visit_buffers_mut(&mut self, _f: &mut dyn FnMut(&mut Tensor)) {}
+
+    /// Select the forward compute format. Containers forward the call to
+    /// their children; layers without a quantized path ignore it.
+    fn set_precision(&mut self, _p: Precision) {}
 
     /// Short human-readable layer name for debugging.
     fn name(&self) -> &'static str;

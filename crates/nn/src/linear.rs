@@ -7,9 +7,10 @@
 //! cached input copy, the returned tensors) live in the caller's
 //! [`Workspace`], so a steady-state step allocates nothing.
 
-use crate::layer::Layer;
+use crate::layer::{Layer, Precision};
 use crate::param::Param;
 use kemf_tensor::gemm::{gemm, Accumulate, BiasCol, Store};
+use kemf_tensor::quant;
 use kemf_tensor::rng::seeded_rng;
 use kemf_tensor::workspace::Workspace;
 use kemf_tensor::Tensor;
@@ -20,6 +21,7 @@ pub struct Linear {
     bias: Param,   // [out]
     in_features: usize,
     out_features: usize,
+    precision: Precision,
     cached_input: Option<Tensor>,
 }
 
@@ -32,6 +34,7 @@ impl Linear {
             bias: Param::new(Tensor::zeros(&[out_features])),
             in_features,
             out_features,
+            precision: Precision::F32,
             cached_input: None,
         }
     }
@@ -63,14 +66,46 @@ impl Layer for Linear {
         // y[b, o] = Σ_i x[b, i] W[o, i] + b[o]; the Wᵀ read is an accessor,
         // the bias add is the epilogue.
         let mut y = ws.take_tensor(&[batch, self.out_features]);
-        gemm(
-            batch,
-            feat,
-            self.out_features,
-            |bi, i| xd[bi * feat + i],
-            |i, o| self.weight.value.data()[o * feat + i],
-            &mut BiasCol { c: y.data_mut(), ldc: self.out_features, bias: self.bias.value.data() },
-        );
+        match self.precision {
+            Precision::F32 => gemm(
+                batch,
+                feat,
+                self.out_features,
+                |bi, i| xd[bi * feat + i],
+                |i, o| self.weight.value.data()[o * feat + i],
+                &mut BiasCol {
+                    c: y.data_mut(),
+                    ldc: self.out_features,
+                    bias: self.bias.value.data(),
+                },
+            ),
+            Precision::Int8 => {
+                // A = x per-row, B = Wᵀ per-column (one packed column per
+                // contiguous weight row); the dequantizing epilogue reuses
+                // the fused bias writer unchanged.
+                let out = self.out_features;
+                let mut qa = ws.take_i8(quant::a_codes_len(batch, feat));
+                let mut sa = ws.take(batch);
+                quant::quantize_a_rows(xd, batch, feat, &mut qa, &mut sa);
+                let mut bp = ws.take_i8(quant::b_pack_len(feat, out));
+                let mut sb = ws.take(out);
+                quant::pack_b_transposed(self.weight.value.data(), out, feat, &mut bp, &mut sb);
+                quant::gemm_i8(
+                    batch,
+                    feat,
+                    out,
+                    &qa,
+                    &sa,
+                    &bp,
+                    &sb,
+                    &mut BiasCol { c: y.data_mut(), ldc: out, bias: self.bias.value.data() },
+                );
+                ws.recycle_i8(qa);
+                ws.recycle_i8(bp);
+                ws.recycle(sa);
+                ws.recycle(sb);
+            }
+        }
         if train {
             let mut cached = ws.take_tensor(&[batch, feat]);
             cached.data_mut().copy_from_slice(xd);
@@ -128,6 +163,10 @@ impl Layer for Linear {
         f(&mut self.bias);
     }
 
+    fn set_precision(&mut self, p: Precision) {
+        self.precision = p;
+    }
+
     fn name(&self) -> &'static str {
         "Linear"
     }
@@ -144,6 +183,7 @@ impl Clone for Linear {
             bias: self.bias.clone(),
             in_features: self.in_features,
             out_features: self.out_features,
+            precision: self.precision,
             cached_input: None,
         }
     }
@@ -200,6 +240,38 @@ mod tests {
         for (ga, gb) in grads_a.iter().zip(grads_b.iter()) {
             kemf_tensor::assert_close(ga.data(), gb.data(), 1e-5);
         }
+    }
+
+    #[test]
+    fn int8_forward_tracks_f32_forward() {
+        use kemf_tensor::rng::seeded_rng;
+        let mut l = Linear::new(48, 10, 3);
+        let mut rng = seeded_rng(4);
+        let x = Tensor::randn(&[8, 48], 1.0, &mut rng);
+        let exact = l.forward(&x, false);
+        l.set_precision(crate::layer::Precision::Int8);
+        let quantized = l.forward(&x, false);
+        // Per-element error must stay within the analytic quantization
+        // bound (with slack for f32 accumulation order).
+        let xd = x.data();
+        let wd = l.weight.value.data();
+        for b in 0..8 {
+            let row = &xd[b * 48..(b + 1) * 48];
+            let max_a = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            for o in 0..10 {
+                let col = &wd[o * 48..(o + 1) * 48];
+                let max_b = col.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+                let bound =
+                    quant::error_bound(48, max_a, max_a / 127.0, max_b, max_b / 127.0) * 1.05
+                        + 1e-4;
+                let err = (exact.data()[b * 10 + o] - quantized.data()[b * 10 + o]).abs();
+                assert!(err <= bound, "({b},{o}): err {err} > bound {bound}");
+            }
+        }
+        // Flipping back restores the exact path bit-for-bit.
+        l.set_precision(crate::layer::Precision::F32);
+        let again = l.forward(&x, false);
+        assert_eq!(exact.data(), again.data());
     }
 
     #[test]

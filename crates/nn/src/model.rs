@@ -84,6 +84,14 @@ impl Model {
         self.net.zero_grad();
     }
 
+    /// Select the forward compute format for every layer (see
+    /// [`crate::layer::Precision`]). `Int8` is an inference-only
+    /// approximation; callers that train afterwards must switch back to
+    /// `F32`.
+    pub fn set_precision(&mut self, p: crate::layer::Precision) {
+        self.net.set_precision(p);
+    }
+
     /// Snapshot the weights.
     pub fn weights(&self) -> Weights {
         Weights::from_layer(&self.net)

@@ -146,6 +146,12 @@ impl Layer for Sequential {
         }
     }
 
+    fn set_precision(&mut self, p: crate::layer::Precision) {
+        for l in &mut self.layers {
+            l.set_precision(p);
+        }
+    }
+
     fn name(&self) -> &'static str {
         "Sequential"
     }
@@ -323,6 +329,14 @@ impl Layer for BasicBlock {
         self.bn2.visit_buffers_mut(f);
         if let Some((_, bn)) = &mut self.shortcut {
             bn.visit_buffers_mut(f);
+        }
+    }
+
+    fn set_precision(&mut self, p: crate::layer::Precision) {
+        self.conv1.set_precision(p);
+        self.conv2.set_precision(p);
+        if let Some((conv, _)) = &mut self.shortcut {
+            conv.set_precision(p);
         }
     }
 

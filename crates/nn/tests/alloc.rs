@@ -4,7 +4,10 @@
 //! after one warm-up step populates every pool (im2col buffers, layer
 //! outputs, loss gradients, optimizer velocity), a second full training
 //! step — forward, loss, backward, SGD — performs **zero** heap
-//! allocations.
+//! allocations. The same audit then covers the int8 quantized forward
+//! (per-layer code/scale buffers from the i8 pool) and a GEMM large
+//! enough to take the parallel-packing grid split (per-thread pack
+//! pools).
 //!
 //! This file holds exactly one test: the counter is process-global, and a
 //! concurrent test in the same binary would pollute it.
@@ -117,4 +120,34 @@ fn second_training_step_allocates_nothing() {
         }
     });
     assert_eq!(allocs, 0, "later steps allocated {allocs} times");
+
+    // Int8 quantized inference: the first forward populates the i8
+    // code/scale pools; the second must be allocation-free too.
+    net.set_precision(kemf_nn::layer::Precision::Int8);
+    let warm = net.forward_ws(&x, false, &mut ws);
+    ws.recycle_tensor(warm);
+    let allocs = count_allocs(|| {
+        let y = net.forward_ws(&x, false, &mut ws);
+        assert!(y.data().iter().all(|v| v.is_finite()));
+        ws.recycle_tensor(y);
+    });
+    assert_eq!(allocs, 0, "steady-state int8 forward allocated {allocs} times");
+    net.set_precision(kemf_nn::layer::Precision::F32);
+
+    // Parallel-packing path: 160³ multiply-adds is past
+    // `kemf_tensor::gemm::PAR_FLOPS`, so with a multi-thread pool
+    // configured the M/N grid split engages (the vendored rayon runs it
+    // inline on this thread, which keeps the audit deterministic). The
+    // per-thread pack pools must absorb the second call entirely.
+    rayon::ThreadPoolBuilder::new().num_threads(2).build_global().ok();
+    let dim = 160;
+    let a = vec![0.5f32; dim * dim];
+    let b = vec![0.25f32; dim * dim];
+    let mut c = vec![0.0f32; dim * dim];
+    kemf_tensor::matmul::matmul_into(&a, &b, &mut c, dim, dim, dim);
+    let allocs = count_allocs(|| {
+        kemf_tensor::matmul::matmul_into(&a, &b, &mut c, dim, dim, dim);
+    });
+    assert_eq!(allocs, 0, "steady-state parallel-packed GEMM allocated {allocs} times");
+    assert!((c[0] - 0.5 * 0.25 * dim as f32).abs() < 1e-3);
 }

@@ -1,4 +1,5 @@
-//! Packed, cache-blocked GEMM with fused epilogues.
+//! Packed, cache-blocked GEMM with fused epilogues and runtime SIMD
+//! dispatch.
 //!
 //! The training loop of every model in this workspace reduces to a handful
 //! of matrix products (forward activations, weight gradients, input
@@ -7,23 +8,34 @@
 //!
 //! * **Panel packing** — operand tiles are copied into contiguous,
 //!   register-block-ordered panels once per macro-tile, so the inner loop
-//!   reads both operands sequentially regardless of the logical layout
-//!   (plain, transposed, or strided NCHW gradients). Packing is driven by
-//!   element-accessor closures, which is what lets the convolution
-//!   backward pass consume `[N, O, OH, OW]` gradients directly — the
-//!   former `nchw_to_ocols` full-copy reorder is gone.
-//! * **Register micro-tiling** — an [`MR`]×[`NR`] (8×8) f32 accumulator
-//!   block lives in registers across the whole k loop; with
-//!   `-C target-cpu=native` (see `.cargo/config.toml`) the compiler turns
-//!   each k step into broadcast + FMA over the packed panels.
+//!   reads both operands sequentially regardless of the logical layout.
+//!   Packing is driven by the [`Operand`] trait: [`RowMajor`] and
+//!   [`ColMajor`] sources pack via contiguous slice copies, and arbitrary
+//!   views (strided NCHW gradients) fall back to the element-accessor
+//!   [`FnOp`] — which is what lets the convolution backward pass consume
+//!   `[N, O, OH, OW]` gradients directly.
+//! * **Register micro-tiling with runtime dispatch** — on x86-64 hosts
+//!   with AVX-512F the explicit 8×32 microkernel in [`crate::simd`] keeps
+//!   sixteen 16-lane accumulators in ZMM registers across the whole k
+//!   loop; AVX2+FMA hosts get the 6×16 YMM variant; every other host (or
+//!   a thread under [`crate::simd::force_scalar`]) uses the portable
+//!   [`MR`]×[`NR`] (8×8) scalar kernel, which the compiler autovectorizes
+//!   under `-C target-cpu=native`. The tier is chosen once per GEMM call
+//!   and propagates into parallel sub-tasks.
 //! * **Cache macro-blocking** — B is packed once per [`NC`]-wide column
 //!   block, A once per [`MC`]-row block, sized so the panels live in L1/L2
 //!   while streaming.
+//! * **Intra-GEMM threading** — [`gemm_blocked_store`] splits the M/N
+//!   macro-loops into an `MC`×`NC` block grid across the rayon pool
+//!   (`KEMF_THREADS`) when the product is large, not nested inside
+//!   client-level parallelism, and has more than one block to hand out.
+//!   Each worker packs into its own thread-local pool, so threads never
+//!   contend on pack buffers.
 //! * **Fused epilogues** — the micro-tile result is handed to a
-//!   [`TileWriter`], so bias-add, bias+ReLU, gradient accumulation (`+=`)
-//!   and the `[O, N·OH·OW] → [N, O, OH, OW]` convolution-output scatter
-//!   happen on register-resident values instead of extra passes (and
-//!   extra buffers) over memory.
+//!   [`TileWriter`] row-by-row, so bias-add, bias+ReLU, gradient
+//!   accumulation (`+=`) and the `[O, N·OH·OW] → [N, O, OH, OW]`
+//!   convolution-output scatter happen on register-resident values instead
+//!   of extra passes (and extra buffers) over memory.
 //!
 //! Unlike the axpy kernels this replaces, there is **no zero-skip**: an
 //! input of `0.0` must still propagate `NaN`/`Inf` partners per IEEE-754
@@ -33,12 +45,13 @@
 //! Packing buffers come from a thread-local [`Workspace`], so steady-state
 //! calls allocate nothing.
 
+use crate::simd::{self, Isa};
 use crate::workspace::Workspace;
 use std::cell::RefCell;
 
-/// Micro-tile rows (register block height).
+/// Micro-tile rows of the portable scalar kernel.
 pub const MR: usize = 8;
-/// Micro-tile columns (register block width).
+/// Micro-tile columns of the portable scalar kernel.
 pub const NR: usize = 8;
 /// Macro-tile rows: how many rows of A are packed at once.
 pub const MC: usize = 64;
@@ -49,11 +62,162 @@ pub const NC: usize = 256;
 /// it saves; a plain unpacked loop runs instead.
 const SMALL_FLOPS: usize = 16 * 1024;
 
+/// Minimum multiply-add count before a single GEMM is split across the
+/// rayon pool; below this the spawn overhead outweighs the work.
+pub const PAR_FLOPS: usize = 1 << 20;
+
+/// Scratch tile large enough for any kernel tier's micro-tile.
+const TILE_ELEMS: usize = simd::SIMD_MR512 * simd::SIMD_NR512;
+const _: () = assert!(TILE_ELEMS >= MR * NR);
+const _: () = assert!(TILE_ELEMS >= simd::SIMD_MR * simd::SIMD_NR);
+
 thread_local! {
     /// Per-thread pack-buffer pool. Thread-local (rather than per-call
-    /// allocation) so concurrent client tasks never contend and repeated
-    /// calls reuse warm buffers.
+    /// allocation) so concurrent client tasks and intra-GEMM workers never
+    /// contend and repeated calls reuse warm buffers.
     static PACK_POOL: RefCell<Workspace> = RefCell::new(Workspace::new());
+}
+
+/// A logical `[rows, cols]` matrix the packing routines can read.
+///
+/// `at` is the universal accessor; `fill_row`/`fill_col` are the bulk
+/// entry points packing actually calls, with contiguous-copy overrides on
+/// the concrete layouts. Implementors only need `at`.
+pub trait Operand {
+    /// Element at logical position `(i, j)`.
+    fn at(&self, i: usize, j: usize) -> f32;
+
+    /// `dst[t] = at(i, j0 + t)` — one logical row segment.
+    #[inline]
+    fn fill_row(&self, i: usize, j0: usize, dst: &mut [f32]) {
+        for (t, d) in dst.iter_mut().enumerate() {
+            *d = self.at(i, j0 + t);
+        }
+    }
+
+    /// `dst[t] = at(i0 + t, j)` — one logical column segment.
+    #[inline]
+    fn fill_col(&self, j: usize, i0: usize, dst: &mut [f32]) {
+        for (t, d) in dst.iter_mut().enumerate() {
+            *d = self.at(i0 + t, j);
+        }
+    }
+
+    /// [`Operand::fill_row`] with a compile-time length: full micro-tile
+    /// rows pack through this so contiguous layouts compile to straight
+    /// vector moves instead of a runtime-length `memcpy` call (which costs
+    /// more than the 64-byte copy itself at these sizes).
+    #[inline]
+    fn fill_row_arr<const L: usize>(&self, i: usize, j0: usize, dst: &mut [f32; L]) {
+        self.fill_row(i, j0, dst);
+    }
+
+    /// [`Operand::fill_col`] with a compile-time length; same rationale as
+    /// [`Operand::fill_row_arr`].
+    #[inline]
+    fn fill_col_arr<const L: usize>(&self, j: usize, i0: usize, dst: &mut [f32; L]) {
+        self.fill_col(j, i0, dst);
+    }
+
+    /// The backing storage and row stride when this operand is a plain
+    /// row-major matrix, letting the engine read it in place (the
+    /// direct-B kernel path) instead of packing. `None` for any layout
+    /// that is not literally row-major contiguous.
+    #[inline]
+    fn as_row_major(&self) -> Option<(&[f32], usize)> {
+        None
+    }
+}
+
+/// Row-major storage: `at(i, j) = data[i·ld + j]`. Row segments pack as
+/// straight `memcpy`.
+pub struct RowMajor<'a> {
+    /// Backing storage.
+    pub data: &'a [f32],
+    /// Leading dimension (row stride).
+    pub ld: usize,
+}
+
+impl Operand for RowMajor<'_> {
+    #[inline(always)]
+    fn at(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.ld + j]
+    }
+
+    #[inline]
+    fn fill_row(&self, i: usize, j0: usize, dst: &mut [f32]) {
+        let src = &self.data[i * self.ld + j0..][..dst.len()];
+        dst.copy_from_slice(src);
+    }
+
+    #[inline]
+    fn fill_col(&self, j: usize, i0: usize, dst: &mut [f32]) {
+        let mut idx = i0 * self.ld + j;
+        for d in dst.iter_mut() {
+            *d = self.data[idx];
+            idx += self.ld;
+        }
+    }
+
+    #[inline]
+    fn fill_row_arr<const L: usize>(&self, i: usize, j0: usize, dst: &mut [f32; L]) {
+        let src = self.data[i * self.ld + j0..].first_chunk::<L>().expect("row in bounds");
+        *dst = *src;
+    }
+
+    #[inline]
+    fn as_row_major(&self) -> Option<(&[f32], usize)> {
+        Some((self.data, self.ld))
+    }
+}
+
+/// Column-major view of row-major storage: `at(i, j) = data[j·ld + i]`.
+/// Expresses transposed operands (`Aᵀ·B`, `A·Bᵀ`) without materializing
+/// the transpose; column segments pack as straight `memcpy`.
+pub struct ColMajor<'a> {
+    /// Backing storage.
+    pub data: &'a [f32],
+    /// Leading dimension (stride between logical columns).
+    pub ld: usize,
+}
+
+impl Operand for ColMajor<'_> {
+    #[inline(always)]
+    fn at(&self, i: usize, j: usize) -> f32 {
+        self.data[j * self.ld + i]
+    }
+
+    #[inline]
+    fn fill_row(&self, i: usize, j0: usize, dst: &mut [f32]) {
+        let mut idx = j0 * self.ld + i;
+        for d in dst.iter_mut() {
+            *d = self.data[idx];
+            idx += self.ld;
+        }
+    }
+
+    #[inline]
+    fn fill_col(&self, j: usize, i0: usize, dst: &mut [f32]) {
+        let src = &self.data[j * self.ld + i0..][..dst.len()];
+        dst.copy_from_slice(src);
+    }
+
+    #[inline]
+    fn fill_col_arr<const L: usize>(&self, j: usize, i0: usize, dst: &mut [f32; L]) {
+        let src = self.data[j * self.ld + i0..].first_chunk::<L>().expect("column in bounds");
+        *dst = *src;
+    }
+}
+
+/// Closure-backed operand for layouts no contiguous copy can express
+/// (e.g. the conv backward's virtual `[O, N·OH·OW]` gradient view).
+pub struct FnOp<F>(pub F);
+
+impl<F: Fn(usize, usize) -> f32> Operand for FnOp<F> {
+    #[inline(always)]
+    fn at(&self, i: usize, j: usize) -> f32 {
+        (self.0)(i, j)
+    }
 }
 
 /// Destination of a computed micro-tile: receives each C element exactly
@@ -62,6 +226,16 @@ thread_local! {
 pub trait TileWriter {
     /// Consume the value of `C[i, j]`.
     fn write(&mut self, i: usize, j: usize, v: f32);
+
+    /// Consume `C[i, j0..j0+vals.len()]` — one micro-tile row. The engine
+    /// always emits through this; the default defers to [`TileWriter::write`],
+    /// concrete writers override it with contiguous stores.
+    #[inline]
+    fn write_row(&mut self, i: usize, j0: usize, vals: &[f32]) {
+        for (dj, &v) in vals.iter().enumerate() {
+            self.write(i, j0 + dj, v);
+        }
+    }
 }
 
 /// `C[i, j] = v` into a row-major `[m, n]` matrix.
@@ -77,6 +251,20 @@ impl TileWriter for Store<'_> {
     fn write(&mut self, i: usize, j: usize, v: f32) {
         self.c[i * self.ldc + j] = v;
     }
+
+    #[inline]
+    fn write_row(&mut self, i: usize, j0: usize, vals: &[f32]) {
+        let dst = &mut self.c[i * self.ldc + j0..][..vals.len()];
+        // Compile-time lengths for the full-tile cases: a runtime-length
+        // memcpy call costs more than these 16–64 byte copies.
+        match vals.len() {
+            32 => *dst.first_chunk_mut::<32>().unwrap() = *vals.first_chunk::<32>().unwrap(),
+            16 => *dst.first_chunk_mut::<16>().unwrap() = *vals.first_chunk::<16>().unwrap(),
+            8 => *dst.first_chunk_mut::<8>().unwrap() = *vals.first_chunk::<8>().unwrap(),
+            4 => *dst.first_chunk_mut::<4>().unwrap() = *vals.first_chunk::<4>().unwrap(),
+            _ => dst.copy_from_slice(vals),
+        }
+    }
 }
 
 /// `C[i, j] += v` — gradient accumulation without a temporary.
@@ -91,6 +279,14 @@ impl TileWriter for Accumulate<'_> {
     #[inline(always)]
     fn write(&mut self, i: usize, j: usize, v: f32) {
         self.c[i * self.ldc + j] += v;
+    }
+
+    #[inline]
+    fn write_row(&mut self, i: usize, j0: usize, vals: &[f32]) {
+        let dst = &mut self.c[i * self.ldc + j0..][..vals.len()];
+        for (d, &v) in dst.iter_mut().zip(vals) {
+            *d += v;
+        }
     }
 }
 
@@ -109,6 +305,15 @@ impl TileWriter for BiasCol<'_> {
     fn write(&mut self, i: usize, j: usize, v: f32) {
         self.c[i * self.ldc + j] = v + self.bias[j];
     }
+
+    #[inline]
+    fn write_row(&mut self, i: usize, j0: usize, vals: &[f32]) {
+        let dst = &mut self.c[i * self.ldc + j0..][..vals.len()];
+        let bias = &self.bias[j0..][..vals.len()];
+        for ((d, &v), &b) in dst.iter_mut().zip(vals).zip(bias) {
+            *d = v + b;
+        }
+    }
 }
 
 /// `C[i, j] = max(0, v + bias[j])` — fused Linear + ReLU.
@@ -125,6 +330,15 @@ impl TileWriter for BiasColRelu<'_> {
     #[inline(always)]
     fn write(&mut self, i: usize, j: usize, v: f32) {
         self.c[i * self.ldc + j] = (v + self.bias[j]).max(0.0);
+    }
+
+    #[inline]
+    fn write_row(&mut self, i: usize, j0: usize, vals: &[f32]) {
+        let dst = &mut self.c[i * self.ldc + j0..][..vals.len()];
+        let bias = &self.bias[j0..][..vals.len()];
+        for ((d, &v), &b) in dst.iter_mut().zip(vals).zip(bias) {
+            *d = (v + b).max(0.0);
+        }
     }
 }
 
@@ -151,6 +365,54 @@ impl TileWriter for NchwScatterBias<'_> {
         let p = j - ni * self.plane;
         self.out[(ni * self.o + i) * self.plane + p] = v + self.bias[i];
     }
+
+    #[inline]
+    fn write_row(&mut self, i: usize, j0: usize, vals: &[f32]) {
+        // A tile row may straddle image boundaries; copy per contiguous
+        // run within one image plane.
+        let b = self.bias[i];
+        let mut t = 0;
+        while t < vals.len() {
+            let j = j0 + t;
+            let ni = j / self.plane;
+            let p = j - ni * self.plane;
+            let run = (self.plane - p).min(vals.len() - t);
+            let dst = &mut self.out[(ni * self.o + i) * self.plane + p..][..run];
+            for (d, &v) in dst.iter_mut().zip(&vals[t..t + run]) {
+                *d = v + b;
+            }
+            t += run;
+        }
+    }
+}
+
+/// Concrete microkernel the macro loops drive.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum KernelKind {
+    /// AVX-512F 8×32 tile — the widest SIMD kernel.
+    Avx8x32,
+    /// AVX2+FMA 6×16 tile — the 256-bit SIMD kernel.
+    Avx6x16,
+    /// Portable 8×8 scalar tile.
+    Scalar8x8,
+}
+
+/// Kernel tier chosen once per GEMM call.
+#[derive(Clone, Copy)]
+struct Kernel {
+    kind: KernelKind,
+    mr: usize,
+    nr: usize,
+}
+
+/// One runtime decision per call: the widest SIMD tile the host supports,
+/// or the portable scalar kernel.
+fn select_kernel() -> Kernel {
+    match simd::isa() {
+        Isa::Avx512 => Kernel { kind: KernelKind::Avx8x32, mr: simd::SIMD_MR512, nr: simd::SIMD_NR512 },
+        Isa::Avx2Fma => Kernel { kind: KernelKind::Avx6x16, mr: simd::SIMD_MR, nr: simd::SIMD_NR },
+        Isa::Scalar => Kernel { kind: KernelKind::Scalar8x8, mr: MR, nr: NR },
+    }
 }
 
 /// General matrix multiply with packed operands and a fused epilogue:
@@ -160,10 +422,23 @@ impl TileWriter for NchwScatterBias<'_> {
 /// The accessors index the *logical* `[m, k]` and `[k, n]` operands;
 /// layout (transposition, strides, NCHW views) lives entirely in the
 /// closures and is paid once during packing, not in the O(m·n·k) loop.
+/// Call sites whose operands are contiguous should prefer [`gemm_ops`]
+/// with [`RowMajor`]/[`ColMajor`], which packs via slice copies.
 pub fn gemm<A, B, W>(m: usize, k: usize, n: usize, a: A, b: B, writer: &mut W)
 where
     A: Fn(usize, usize) -> f32,
     B: Fn(usize, usize) -> f32,
+    W: TileWriter,
+{
+    gemm_ops(m, k, n, &FnOp(a), &FnOp(b), writer);
+}
+
+/// [`gemm`] over [`Operand`] sources: the layout-aware entry point every
+/// other form lowers to.
+pub fn gemm_ops<A, B, W>(m: usize, k: usize, n: usize, a: &A, b: &B, writer: &mut W)
+where
+    A: Operand,
+    B: Operand,
     W: TileWriter,
 {
     if m == 0 || n == 0 {
@@ -179,43 +454,234 @@ where
         return;
     }
     if m * n * k <= SMALL_FLOPS {
-        gemm_small(m, k, n, &a, &b, writer);
+        gemm_small(m, k, n, a, b, writer);
+        return;
+    }
+    run_macro(select_kernel(), k, a, b, writer, 0, m, 0, n);
+}
+
+/// `C[m,n] = A·B` into a plain row-major slice, splitting the M/N
+/// macro-loops across the rayon pool when the product is large enough.
+///
+/// This is the entry the `matmul_*` family uses. Parallelism is only a
+/// property of the *plain-store* output shape: each worker owns a
+/// disjoint `MC`×`NC` block grid cell of `c` and packs operand panels
+/// into its own thread-local pool. Inside an already-parallel region
+/// (federated client tasks) or below [`PAR_FLOPS`] the call stays
+/// sequential, so client-level parallelism is never oversubscribed by
+/// kernel-level parallelism.
+pub fn gemm_blocked_store<A, B>(m: usize, k: usize, n: usize, a: &A, b: &B, c: &mut [f32])
+where
+    A: Operand + Sync,
+    B: Operand + Sync,
+{
+    assert!(c.len() >= m * n, "C size mismatch: {} < {}", c.len(), m * n);
+    let row_blocks = m.div_ceil(MC.max(1)).max(1);
+    let col_blocks = n.div_ceil(NC.max(1)).max(1);
+    let parallel = rayon::current_num_threads() > 1
+        && rayon::current_thread_index().is_none()
+        && m * n * k >= PAR_FLOPS
+        && row_blocks * col_blocks > 1;
+    if !parallel {
+        gemm_ops(m, k, n, a, b, &mut Store { c, ldc: n });
         return;
     }
 
+    crate::flops::add(2 * m as u64 * n as u64 * k as u64);
+    let kern = select_kernel();
+
+    /// Raw output pointer that may cross thread boundaries. Soundness rests
+    /// on the grid partition below: every task writes a disjoint
+    /// `[i0..i0+mc) × [j0..j0+nc)` block of C, so no two tasks ever touch
+    /// the same element.
+    struct GridStore {
+        ptr: *mut f32,
+        ldc: usize,
+    }
+    // SAFETY: tasks write disjoint C blocks (see struct docs); the pointer
+    // outlives the parallel region because `c` is borrowed for its whole
+    // duration.
+    unsafe impl Send for GridStore {}
+    // SAFETY: shared across tasks only to be copied into per-task writers;
+    // disjointness of the written blocks is guaranteed by the grid split.
+    unsafe impl Sync for GridStore {}
+    impl TileWriter for GridStore {
+        #[inline(always)]
+        fn write(&mut self, i: usize, j: usize, v: f32) {
+            // SAFETY: (i, j) lies inside this task's disjoint block and
+            // within the `m × n` extent of `c`.
+            unsafe { *self.ptr.add(i * self.ldc + j) = v }
+        }
+
+        #[inline]
+        fn write_row(&mut self, i: usize, j0: usize, vals: &[f32]) {
+            // SAFETY: the row segment lies inside this task's disjoint
+            // block; source and destination never overlap (`vals` is a
+            // stack tile).
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    vals.as_ptr(),
+                    self.ptr.add(i * self.ldc + j0),
+                    vals.len(),
+                );
+            }
+        }
+    }
+
+    let grid = GridStore { ptr: c.as_mut_ptr(), ldc: n };
+    let grid_ref = &grid;
+    use rayon::prelude::*;
+    (0..row_blocks * col_blocks).into_par_iter().for_each(move |cell| {
+        let i0 = (cell / col_blocks) * MC;
+        let j0 = (cell % col_blocks) * NC;
+        let mc = MC.min(m - i0);
+        let nc = NC.min(n - j0);
+        let mut w = GridStore { ptr: grid_ref.ptr, ldc: grid_ref.ldc };
+        run_macro(kern, k, a, b, &mut w, i0, i0 + mc, j0, j0 + nc);
+    });
+}
+
+/// The macro-loop engine over one `[i_begin, i_end) × [j_begin, j_end)`
+/// region: pack B per `NC` column block, A per `MC` row block, run the
+/// selected microkernel over every micro-tile, hand rows to the writer.
+/// Pack buffers come from the calling thread's pool.
+#[allow(clippy::too_many_arguments)] // internal engine: region bounds beat a one-use struct
+fn run_macro<A, B, W>(
+    kern: Kernel,
+    k: usize,
+    a: &A,
+    b: &B,
+    writer: &mut W,
+    i_begin: usize,
+    i_end: usize,
+    j_begin: usize,
+    j_end: usize,
+) where
+    A: Operand,
+    B: Operand,
+    W: TileWriter,
+{
+    let a_cap = MC.div_ceil(kern.mr) * kern.mr * k;
+    let b_cap = NC.div_ceil(kern.nr) * kern.nr * k;
+    // Direct-B fast path: with at most two A row panels a packed B panel
+    // is read back at most twice, so the pack's extra write+read pass
+    // over B costs more than it saves. The widest kernel reads row-major
+    // B in place instead (and the ≤ 2·mr row bound keeps the i loop to a
+    // single iteration, so edge panels pack at most once per column).
+    let direct_b = if kern.kind == KernelKind::Avx8x32 && i_end - i_begin <= 2 * kern.mr {
+        b.as_row_major()
+    } else {
+        None
+    };
     PACK_POOL.with(|pool| {
         let mut ws = pool.borrow_mut();
         // Panel buffers, padded to full micro-tiles so the kernel never
-        // branches on edges; the padding lanes multiply against zeros.
-        let mut a_pack = ws.take(MC * k);
-        let mut b_pack = ws.take(k * NC);
+        // branches on edges (the padding lanes multiply against zeros),
+        // over-allocated by 16 floats so the panel start can be rounded
+        // up to a 64-byte boundary — 512-bit loads that straddle cache
+        // lines halve effective load bandwidth.
+        let mut a_buf = ws.take(a_cap + 16);
+        let mut b_buf = ws.take(b_cap + 16);
         drop(ws);
+        let a_skip = align64_offset(a_buf.as_ptr());
+        let b_skip = align64_offset(b_buf.as_ptr());
+        let a_pack = &mut a_buf[a_skip..];
+        let b_pack = &mut b_buf[b_skip..];
 
-        let mut j0 = 0;
-        while j0 < n {
-            let nc = NC.min(n - j0);
-            let nc_panels = nc.div_ceil(NR);
-            pack_b(&b, k, j0, nc, &mut b_pack);
+        // 64-byte-aligned scratch tile, same rationale for the stores.
+        #[repr(align(64))]
+        struct Tile([f32; TILE_ELEMS]);
+        let mut tile = Tile([0.0f32; TILE_ELEMS]);
+        let tile = &mut tile.0;
+        let mut j0 = j_begin;
+        while j0 < j_end {
+            let nc = NC.min(j_end - j0);
+            let nc_panels = nc.div_ceil(kern.nr);
+            if direct_b.is_none() {
+                pack_b(b, k, j0, nc, kern.nr, b_pack);
+            }
 
-            let mut i0 = 0;
-            while i0 < m {
-                let mc = MC.min(m - i0);
-                let mc_panels = mc.div_ceil(MR);
-                pack_a(&a, k, i0, mc, &mut a_pack);
+            let mut i0 = i_begin;
+            while i0 < i_end {
+                let mc = MC.min(i_end - i0);
+                let mc_panels = mc.div_ceil(kern.mr);
+                pack_a(a, k, i0, mc, kern.mr, a_pack);
 
                 for jp in 0..nc_panels {
-                    let b_panel = &b_pack[jp * k * NR..(jp + 1) * k * NR];
-                    let jbase = j0 + jp * NR;
-                    let nr = NR.min(n - jbase);
+                    let jbase = j0 + jp * kern.nr;
+                    let nr_eff = kern.nr.min(j_end - jbase);
+                    // Direct-B only serves full-width tiles (the kernel
+                    // has no column masking); an edge panel still packs.
+                    let direct_panel = match direct_b {
+                        Some(src) if nr_eff == kern.nr => Some(src),
+                        Some(_) => {
+                            pack_b(b, k, jbase, nr_eff, kern.nr, &mut b_pack[..k * kern.nr]);
+                            None
+                        }
+                        None => None,
+                    };
+                    let b_panel = if direct_b.is_none() {
+                        &b_pack[jp * k * kern.nr..(jp + 1) * k * kern.nr]
+                    } else {
+                        &b_pack[..k * kern.nr]
+                    };
                     for ip in 0..mc_panels {
-                        let a_panel = &a_pack[ip * k * MR..(ip + 1) * k * MR];
-                        let ibase = i0 + ip * MR;
-                        let mr = MR.min(m - ibase);
-                        let acc = microkernel(k, a_panel, b_panel);
-                        for (di, row) in acc.iter().enumerate().take(mr) {
-                            for (dj, &v) in row.iter().enumerate().take(nr) {
-                                writer.write(ibase + di, jbase + dj, v);
+                        let a_panel = &a_pack[ip * k * kern.mr..(ip + 1) * k * kern.mr];
+                        let ibase = i0 + ip * kern.mr;
+                        let mr_eff = kern.mr.min(i_end - ibase);
+                        match kern.kind {
+                            #[cfg(target_arch = "x86_64")]
+                            // SAFETY: this tier is only selected when
+                            // runtime detection confirmed AVX-512F; the A
+                            // panel is padded to k·8, the tile holds 256
+                            // floats, and on the direct path
+                            // `jbase + 32 <= j_end <= ldb`, so every row
+                            // load stays inside B's `[k, ldb]` storage.
+                            KernelKind::Avx8x32 => unsafe {
+                                if let Some((bd, ldb)) = direct_panel {
+                                    simd::microkernel_f32_8x32_ldb(
+                                        k,
+                                        a_panel.as_ptr(),
+                                        bd.as_ptr().add(jbase),
+                                        ldb,
+                                        tile.as_mut_ptr(),
+                                    );
+                                } else {
+                                    simd::microkernel_f32_8x32(
+                                        k,
+                                        a_panel.as_ptr(),
+                                        b_panel.as_ptr(),
+                                        tile.as_mut_ptr(),
+                                    );
+                                }
+                            },
+                            #[cfg(target_arch = "x86_64")]
+                            // SAFETY: this tier is only selected when
+                            // runtime detection confirmed AVX2+FMA; panels
+                            // are padded to k·6 / k·16 and the 6×16 tile
+                            // writes 96 floats into the 256-float buffer.
+                            KernelKind::Avx6x16 => unsafe {
+                                simd::microkernel_f32_6x16(
+                                    k,
+                                    a_panel.as_ptr(),
+                                    b_panel.as_ptr(),
+                                    tile.as_mut_ptr(),
+                                );
+                            },
+                            #[cfg(not(target_arch = "x86_64"))]
+                            KernelKind::Avx8x32 | KernelKind::Avx6x16 => {
+                                unreachable!("x86 SIMD tier selected on non-x86-64 host")
                             }
+                            KernelKind::Scalar8x8 => {
+                                microkernel_scalar(k, a_panel, b_panel, tile)
+                            }
+                        }
+                        for di in 0..mr_eff {
+                            writer.write_row(
+                                ibase + di,
+                                jbase,
+                                &tile[di * kern.nr..di * kern.nr + nr_eff],
+                            );
                         }
                     }
                 }
@@ -225,9 +691,16 @@ where
         }
 
         let mut ws = pool.borrow_mut();
-        ws.recycle(a_pack);
-        ws.recycle(b_pack);
+        ws.recycle(a_buf);
+        ws.recycle(b_buf);
     });
+}
+
+/// Elements to skip so a `f32` buffer starts on a 64-byte boundary.
+/// `Vec<f32>` storage is only guaranteed 4-byte aligned; the SIMD kernels
+/// want panel rows that never straddle cache lines.
+fn align64_offset(p: *const f32) -> usize {
+    ((p as usize).wrapping_neg() & 63) / std::mem::size_of::<f32>()
 }
 
 /// Fused multiply-add that compiles to a hardware FMA when the target has
@@ -245,13 +718,14 @@ fn fma(a: f32, b: f32, c: f32) -> f32 {
     }
 }
 
-/// The register kernel: an MR×NR block of C accumulated over the full k
-/// extent of two packed panels. `a_panel[kk·MR + i]` holds A(i, kk),
-/// `b_panel[kk·NR + j]` holds B(kk, j); both reads are sequential. The
-/// accumulator array stays in vector registers (8 lanes × 8 rows on
-/// AVX2), each k step being one broadcast and one FMA per row.
+/// The portable register kernel: an MR×NR block of C accumulated over the
+/// full k extent of two packed panels. `a_panel[kk·MR + i]` holds
+/// A(i, kk), `b_panel[kk·NR + j]` holds B(kk, j); both reads are
+/// sequential. The accumulator array stays in vector registers under
+/// autovectorization, each k step being one broadcast and one FMA per
+/// row. Results land in `tile` with row stride [`NR`].
 #[inline(always)]
-fn microkernel(k: usize, a_panel: &[f32], b_panel: &[f32]) -> [[f32; NR]; MR] {
+fn microkernel_scalar(k: usize, a_panel: &[f32], b_panel: &[f32], tile: &mut [f32; TILE_ELEMS]) {
     let mut acc = [[0.0f32; NR]; MR];
     for kk in 0..k {
         let a = &a_panel[kk * MR..kk * MR + MR];
@@ -263,34 +737,63 @@ fn microkernel(k: usize, a_panel: &[f32], b_panel: &[f32]) -> [[f32; NR]; MR] {
             }
         }
     }
-    acc
+    for (i, row) in acc.iter().enumerate() {
+        tile[i * NR..i * NR + NR].copy_from_slice(row);
+    }
 }
 
-/// Pack `mc` rows of A starting at `i0` into MR-row panels:
-/// `a_pack[panel][kk][i]`. Rows beyond `m` pad with zeros.
-fn pack_a<A: Fn(usize, usize) -> f32>(a: &A, k: usize, i0: usize, mc: usize, a_pack: &mut [f32]) {
-    for ip in 0..mc.div_ceil(MR) {
-        let panel = &mut a_pack[ip * k * MR..(ip + 1) * k * MR];
-        let rows = MR.min(mc - ip * MR);
-        for kk in 0..k {
-            let slot = &mut panel[kk * MR..kk * MR + MR];
-            for (di, s) in slot.iter_mut().enumerate() {
-                *s = if di < rows { a(i0 + ip * MR + di, kk) } else { 0.0 };
+/// Pack `mc` rows of A starting at `i0` into `mr`-row panels:
+/// `a_pack[panel][kk][i]`. Rows beyond the block pad with zeros.
+fn pack_a<A: Operand>(a: &A, k: usize, i0: usize, mc: usize, mr: usize, a_pack: &mut [f32]) {
+    for ip in 0..mc.div_ceil(mr) {
+        let panel = &mut a_pack[ip * k * mr..(ip + 1) * k * mr];
+        let rows = mr.min(mc - ip * mr);
+        let base = i0 + ip * mr;
+        if rows == mr {
+            // Full panels go through the compile-time-length fills so
+            // contiguous layouts copy without a runtime memcpy call.
+            for kk in 0..k {
+                let slot = &mut panel[kk * mr..kk * mr + mr];
+                match mr {
+                    8 => a.fill_col_arr::<8>(kk, base, slot.first_chunk_mut().unwrap()),
+                    6 => a.fill_col_arr::<6>(kk, base, slot.first_chunk_mut().unwrap()),
+                    _ => a.fill_col(kk, base, slot),
+                }
+            }
+        } else {
+            for kk in 0..k {
+                let slot = &mut panel[kk * mr..kk * mr + mr];
+                a.fill_col(kk, base, &mut slot[..rows]);
+                slot[rows..].fill(0.0);
             }
         }
     }
 }
 
-/// Pack `nc` columns of B starting at `j0` into NR-column panels:
-/// `b_pack[panel][kk][j]`. Columns beyond `n` pad with zeros.
-fn pack_b<B: Fn(usize, usize) -> f32>(b: &B, k: usize, j0: usize, nc: usize, b_pack: &mut [f32]) {
-    for jp in 0..nc.div_ceil(NR) {
-        let panel = &mut b_pack[jp * k * NR..(jp + 1) * k * NR];
-        let cols = NR.min(nc - jp * NR);
-        for kk in 0..k {
-            let slot = &mut panel[kk * NR..kk * NR + NR];
-            for (dj, s) in slot.iter_mut().enumerate() {
-                *s = if dj < cols { b(kk, j0 + jp * NR + dj) } else { 0.0 };
+/// Pack `nc` columns of B starting at `j0` into `nr`-column panels:
+/// `b_pack[panel][kk][j]`. Columns beyond the block pad with zeros.
+fn pack_b<B: Operand>(b: &B, k: usize, j0: usize, nc: usize, nr: usize, b_pack: &mut [f32]) {
+    for jp in 0..nc.div_ceil(nr) {
+        let panel = &mut b_pack[jp * k * nr..(jp + 1) * k * nr];
+        let cols = nr.min(nc - jp * nr);
+        let base = j0 + jp * nr;
+        if cols == nr {
+            // Full panels go through the compile-time-length fills so
+            // contiguous layouts copy without a runtime memcpy call.
+            for kk in 0..k {
+                let slot = &mut panel[kk * nr..kk * nr + nr];
+                match nr {
+                    32 => b.fill_row_arr::<32>(kk, base, slot.first_chunk_mut().unwrap()),
+                    16 => b.fill_row_arr::<16>(kk, base, slot.first_chunk_mut().unwrap()),
+                    8 => b.fill_row_arr::<8>(kk, base, slot.first_chunk_mut().unwrap()),
+                    _ => b.fill_row(kk, base, slot),
+                }
+            }
+        } else {
+            for kk in 0..k {
+                let slot = &mut panel[kk * nr..kk * nr + nr];
+                b.fill_row(kk, base, &mut slot[..cols]);
+                slot[cols..].fill(0.0);
             }
         }
     }
@@ -300,15 +803,15 @@ fn pack_b<B: Fn(usize, usize) -> f32>(b: &B, k: usize, j0: usize, nc: usize, b_p
 /// Same contract, same no-zero-skip semantics.
 fn gemm_small<A, B, W>(m: usize, k: usize, n: usize, a: &A, b: &B, writer: &mut W)
 where
-    A: Fn(usize, usize) -> f32,
-    B: Fn(usize, usize) -> f32,
+    A: Operand,
+    B: Operand,
     W: TileWriter,
 {
     for i in 0..m {
         for j in 0..n {
             let mut acc = 0.0f32;
             for kk in 0..k {
-                acc = fma(a(i, kk), b(kk, j), acc);
+                acc = fma(a.at(i, kk), b.at(kk, j), acc);
             }
             writer.write(i, j, acc);
         }
@@ -371,6 +874,64 @@ mod tests {
             let want = gemm_naive(m, k, n, |i, kk| a[i * k + kk], |kk, j| b[kk * n + j]);
             assert_close(&c, &want, 1e-4);
         }
+    }
+
+    #[test]
+    fn forced_scalar_matches_simd_tier() {
+        // Same product through both dispatch tiers; bitwise equality is
+        // not guaranteed (different accumulation orders), closeness is.
+        let (m, k, n) = (45, 37, 83);
+        let a = random(m * k, 21);
+        let b = random(k * n, 22);
+        let ra = RowMajor { data: &a, ld: k };
+        let rb = RowMajor { data: &b, ld: n };
+        let mut c_auto = vec![0.0f32; m * n];
+        gemm_ops(m, k, n, &ra, &rb, &mut Store { c: &mut c_auto, ldc: n });
+        let mut c_scalar = vec![0.0f32; m * n];
+        {
+            let _g = simd::ScalarGuard::new();
+            gemm_ops(m, k, n, &ra, &rb, &mut Store { c: &mut c_scalar, ldc: n });
+        }
+        assert_close(&c_auto, &c_scalar, 1e-4);
+    }
+
+    #[test]
+    fn row_and_col_major_operands_match_closures() {
+        let (m, k, n) = (30, 41, 52);
+        let a = random(m * k, 31);
+        let b_t = random(n * k, 32); // B stored [n, k]
+        let want = gemm_naive(m, k, n, |i, kk| a[i * k + kk], |kk, j| b_t[j * k + kk]);
+        let mut c = vec![0.0f32; m * n];
+        gemm_ops(
+            m,
+            k,
+            n,
+            &RowMajor { data: &a, ld: k },
+            &ColMajor { data: &b_t, ld: k },
+            &mut Store { c: &mut c, ldc: n },
+        );
+        assert_close(&c, &want, 1e-4);
+    }
+
+    #[test]
+    fn blocked_store_matches_sequential() {
+        // Exercise the grid-parallel entry (sequential on the vendored
+        // rayon; block decomposition must still be exact).
+        rayon::ThreadPoolBuilder::new().num_threads(2).build_global().ok();
+        let (m, k, n) = (130, 70, 300); // > PAR_FLOPS? 130*70*300 = 2.73M ✓
+        let a = random(m * k, 41);
+        let b = random(k * n, 42);
+        let mut c = vec![0.0f32; m * n];
+        gemm_blocked_store(
+            m,
+            k,
+            n,
+            &RowMajor { data: &a, ld: k },
+            &RowMajor { data: &b, ld: n },
+            &mut c,
+        );
+        let want = gemm_naive(m, k, n, |i, kk| a[i * k + kk], |kk, j| b[kk * n + j]);
+        assert_close(&c, &want, 1e-4);
     }
 
     #[test]
@@ -457,6 +1018,34 @@ mod tests {
                     let want = cmat[oi * n + ni * plane + p] + bias[oi];
                     let got = out[(ni * o + oi) * plane + p];
                     assert!((got - want).abs() < 1e-5, "({ni},{oi},{p}): {got} vs {want}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nchw_scatter_row_path_matches_elementwise_on_large_shape() {
+        // Big enough for the packed path so write_row (with plane-boundary
+        // straddles: plane = 5 < NR) actually runs.
+        let (o, batch, plane) = (9, 40, 5);
+        let (m, k, n) = (o, 30, batch * plane);
+        let a = random(m * k, 50);
+        let b = random(k * n, 51);
+        let bias = random(o, 52);
+        let mut out = vec![0.0f32; batch * o * plane];
+        gemm(m, k, n, |i, kk| a[i * k + kk], |kk, j| b[kk * n + j], &mut NchwScatterBias {
+            out: &mut out,
+            o,
+            plane,
+            bias: &bias,
+        });
+        let cmat = gemm_naive(m, k, n, |i, kk| a[i * k + kk], |kk, j| b[kk * n + j]);
+        for ni in 0..batch {
+            for oi in 0..o {
+                for p in 0..plane {
+                    let want = cmat[oi * n + ni * plane + p] + bias[oi];
+                    let got = out[(ni * o + oi) * plane + p];
+                    assert!((got - want).abs() < 1e-4, "({ni},{oi},{p}): {got} vs {want}");
                 }
             }
         }

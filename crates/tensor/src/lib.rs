@@ -10,10 +10,21 @@
 //!    cross-checked against naive reference implementations and finite
 //!    differences (in `kemf-nn`).
 //! 2. **Predictable performance on CPU** — row-major contiguous storage, a
-//!    packed cache-blocked GEMM ([`gemm`]) with an 8×8 FMA microkernel and
-//!    fused epilogues, convolution lowered to matmul through `im2col`, and
-//!    a [`workspace::Workspace`] scratch arena so steady-state training
+//!    packed cache-blocked GEMM ([`gemm`]) with runtime-dispatched
+//!    microkernels and fused epilogues, intra-GEMM macro-loop threading
+//!    for large products, an int8 symmetric quantized inference path
+//!    ([`quant`]), convolution lowered to matmul through `im2col`, and a
+//!    [`workspace::Workspace`] scratch arena so steady-state training
 //!    steps perform no heap allocation.
+//!
+//!    Dispatch ([`simd`]) picks the widest tier the host supports at the
+//!    first GEMM call and can be capped with `KEMF_SIMD=avx2|scalar`:
+//!
+//!    * f32: AVX-512F 8×32 tile → AVX2+FMA 6×16 tile → portable scalar
+//!      8×8 tile.
+//!    * int8: AVX-512 VNNI `vpdpbusd` kernel → AVX2 widen-and-`madd`
+//!      kernel → portable scalar loop, all over the same k-quad
+//!      interleaved panel and all bit-identical (exact i32 accumulation).
 //! 3. **Small, explicit API** — tensors are plain `Vec<f32>` + shape; there
 //!    is no autograd graph here. Backpropagation lives in `kemf-nn` as
 //!    explicit `backward` methods, which keeps the numeric core simple and
@@ -35,8 +46,10 @@ pub mod flops;
 pub mod gemm;
 pub mod matmul;
 pub mod ops;
+pub mod quant;
 pub mod rng;
 pub mod shape;
+pub mod simd;
 pub mod tensor;
 pub mod workspace;
 

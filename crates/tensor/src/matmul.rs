@@ -8,36 +8,23 @@
 //! * [`matmul_nt_into`] — `C = A · Bᵀ`         (input gradients)
 //!
 //! All three are thin layout adapters over the packed, cache-blocked
-//! engine in [`crate::gemm`]: the stored layout is expressed as an
-//! element-accessor closure, packing normalizes it into register-ordered
-//! panels, and one 8×8 FMA microkernel serves every variant. Large
-//! top-level products additionally split their row macro-tiles across
-//! rayon; inside an already-parallel region (federated client tasks) or
-//! below a size threshold they stay sequential, so client-level
-//! parallelism is never oversubscribed by kernel-level parallelism.
+//! engine in [`crate::gemm`]: the stored layout is expressed as a
+//! [`RowMajor`]/[`ColMajor`] operand (so packing is contiguous slice
+//! copies, not per-element accessor calls), packing normalizes it into
+//! register-ordered panels, and one runtime-dispatched microkernel
+//! (AVX2+FMA 6×16 or the portable scalar 8×8) serves every variant.
+//! Large top-level products additionally split their M/N macro-loops
+//! across rayon inside [`crate::gemm::gemm_blocked_store`]; inside an
+//! already-parallel region (federated client tasks) or below a size
+//! threshold they stay sequential, so client-level parallelism is never
+//! oversubscribed by kernel-level parallelism.
 //!
 //! There is deliberately no zero-skip fast path: `0 × ∞` and `0 × NaN`
 //! must produce `NaN` in the output, matching IEEE-754 and the naive
 //! reference (see `zero_times_nonfinite_propagates`).
 
-use crate::gemm::{gemm, Store, MC};
+use crate::gemm::{gemm_blocked_store, ColMajor, RowMajor};
 use crate::tensor::Tensor;
-use rayon::prelude::*;
-
-/// Minimum multiply-add count before row blocks are fanned out across
-/// rayon; below this the spawn overhead outweighs the work.
-const PAR_FLOPS: usize = 1 << 20;
-
-/// True when splitting this product across the global pool is worthwhile
-/// and safe: big enough, more than one macro-row-block to hand out, and
-/// not already running inside a rayon worker (nested parallelism would
-/// oversubscribe the pool that federated client tasks already fill).
-fn split_rows(m: usize, k: usize, n: usize) -> bool {
-    m > MC
-        && m * k * n >= PAR_FLOPS
-        && rayon::current_num_threads() > 1
-        && rayon::current_thread_index().is_none()
-}
 
 /// `C[m,n] = A[m,k] · B[k,n]`, writing into `c`.
 ///
@@ -46,25 +33,7 @@ pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
     assert_eq!(a.len(), m * k, "A size mismatch");
     assert_eq!(b.len(), k * n, "B size mismatch");
     assert_eq!(c.len(), m * n, "C size mismatch");
-    if split_rows(m, k, n) {
-        // Each task owns MC rows of C and packs its own operand panels
-        // (thread-local buffers); re-packing B per row block costs ~1/MC
-        // of the kernel work.
-        c.par_chunks_mut(MC * n).enumerate().for_each(|(ci, chunk)| {
-            let row0 = ci * MC;
-            let rows = chunk.len() / n;
-            gemm(
-                rows,
-                k,
-                n,
-                |i, kk| a[(row0 + i) * k + kk],
-                |kk, j| b[kk * n + j],
-                &mut Store { c: chunk, ldc: n },
-            );
-        });
-    } else {
-        gemm(m, k, n, |i, kk| a[i * k + kk], |kk, j| b[kk * n + j], &mut Store { c, ldc: n });
-    }
+    gemm_blocked_store(m, k, n, &RowMajor { data: a, ld: k }, &RowMajor { data: b, ld: n }, c);
 }
 
 /// `C[m,n] = Aᵀ[m,k] · B[k,n]` where `A` is stored as `[k, m]`.
@@ -72,22 +41,8 @@ pub fn matmul_tn_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n
     assert_eq!(a.len(), k * m, "A size mismatch");
     assert_eq!(b.len(), k * n, "B size mismatch");
     assert_eq!(c.len(), m * n, "C size mismatch");
-    if split_rows(m, k, n) {
-        c.par_chunks_mut(MC * n).enumerate().for_each(|(ci, chunk)| {
-            let row0 = ci * MC;
-            let rows = chunk.len() / n;
-            gemm(
-                rows,
-                k,
-                n,
-                |i, kk| a[kk * m + (row0 + i)],
-                |kk, j| b[kk * n + j],
-                &mut Store { c: chunk, ldc: n },
-            );
-        });
-    } else {
-        gemm(m, k, n, |i, kk| a[kk * m + i], |kk, j| b[kk * n + j], &mut Store { c, ldc: n });
-    }
+    // Logical A(i, kk) = a[kk·m + i]: a column-major view with ld = m.
+    gemm_blocked_store(m, k, n, &ColMajor { data: a, ld: m }, &RowMajor { data: b, ld: n }, c);
 }
 
 /// `C[m,n] = A[m,k] · Bᵀ[k,n]` where `B` is stored as `[n, k]`.
@@ -95,22 +50,8 @@ pub fn matmul_nt_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n
     assert_eq!(a.len(), m * k, "A size mismatch");
     assert_eq!(b.len(), n * k, "B size mismatch");
     assert_eq!(c.len(), m * n, "C size mismatch");
-    if split_rows(m, k, n) {
-        c.par_chunks_mut(MC * n).enumerate().for_each(|(ci, chunk)| {
-            let row0 = ci * MC;
-            let rows = chunk.len() / n;
-            gemm(
-                rows,
-                k,
-                n,
-                |i, kk| a[(row0 + i) * k + kk],
-                |kk, j| b[j * k + kk],
-                &mut Store { c: chunk, ldc: n },
-            );
-        });
-    } else {
-        gemm(m, k, n, |i, kk| a[i * k + kk], |kk, j| b[j * k + kk], &mut Store { c, ldc: n });
-    }
+    // Logical B(kk, j) = b[j·k + kk]: a column-major view with ld = k.
+    gemm_blocked_store(m, k, n, &RowMajor { data: a, ld: k }, &ColMajor { data: b, ld: k }, c);
 }
 
 impl Tensor {

@@ -166,6 +166,38 @@ proptest! {
     }
 
     #[test]
+    fn simd_dispatch_tiers_agree_with_naive(
+        mi in 0usize..5,
+        ki in 0usize..5,
+        ni in 0usize..5,
+        seed in 0u64..(1 << 32),
+    ) {
+        // The same product through every dispatch tier available on this
+        // host: whatever `simd::isa()` auto-selects (AVX-512 8×32 or
+        // AVX2 6×16 where present) and the forced portable scalar 8×8
+        // path must both agree with the triple-loop reference. Tier
+        // results differ only by accumulation order, so each is checked
+        // against naive rather than bitwise against the other.
+        const DIMS: [usize; 5] = [1, 5, 8, 33, 70];
+        let (m, k, n) = (DIMS[mi], DIMS[ki], DIMS[ni]);
+        let mut rng = seeded_rng(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let expect = gemm_naive(m, k, n, |i, kk| a[i * k + kk], |kk, j| b[kk * n + j]);
+
+        let mut c_auto = vec![0.0; m * n];
+        matmul_into(&a, &b, &mut c_auto, m, k, n);
+        kemf_tensor::assert_close(&c_auto, &expect, 1e-4);
+
+        let mut c_scalar = vec![0.0; m * n];
+        {
+            let _g = kemf_tensor::simd::ScalarGuard::new();
+            matmul_into(&a, &b, &mut c_scalar, m, k, n);
+        }
+        kemf_tensor::assert_close(&c_scalar, &expect, 1e-4);
+    }
+
+    #[test]
     fn gather_rows_then_concat_is_permutation(v in tensor_strategy(12)) {
         let t = Tensor::from_vec(v, &[4, 3]);
         let g = t.gather_rows(&[2, 0, 3, 1]);

@@ -7,6 +7,19 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
 
+# Kernel smoke: run every GEMM/int8 bench code path with a tiny time
+# budget (no JSON write). Catches dispatch-tier crashes — e.g. an AVX-512
+# path that faults on the CI host — that unit tests under a forced tier
+# would miss.
+cargo run --release -p kemf-bench --bin bench_kernels -- --smoke
+
+# Native-tuned build: the runtime SIMD dispatch must not conflict with
+# target-cpu=native codegen (the autovectorizer emitting wider ops around
+# the explicit kernels). Build and run the fast test suite in a separate
+# target dir so the default cache stays warm.
+RUSTFLAGS="-C target-cpu=native" CARGO_TARGET_DIR=target/native \
+    cargo test -q --release
+
 # Smoke-run the fault-injection example: exercises the client lifecycle
 # (drops, stragglers, upload retries, quorum aborts) end to end.
 cargo run --release --example unreliable_clients
