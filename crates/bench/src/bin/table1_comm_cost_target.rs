@@ -66,7 +66,11 @@ fn main() {
             let fedavg_total: Option<f64> = runs.iter().find(|(k, _)| *k == AlgoKind::FedAvg).map(
                 |(k, h)| {
                     h.rounds_to_target(target)
-                        .map(|r| k.cost_model(&spec).total_cost(r, sampled) as f64)
+                        .map(|r| {
+                            k.cost_model(&spec)
+                                .total_cost(r, sampled)
+                                .expect("paper-scale cost fits u64") as f64
+                        })
                         .unwrap_or(f64::NAN)
                 },
             );
@@ -74,10 +78,15 @@ fn main() {
             for (kind, h) in &runs {
                 let cost = kind.cost_model(&spec);
                 let (rounds_str, total, reached) = match h.rounds_to_target(target) {
-                    Some(r) => (r.to_string(), cost.total_cost(r, sampled) as f64, true),
+                    Some(r) => (
+                        r.to_string(),
+                        cost.total_cost(r, sampled).expect("paper-scale cost fits u64") as f64,
+                        true,
+                    ),
                     None => (
                         format!("{}*", spec.rounds),
-                        cost.total_cost(spec.rounds, sampled) as f64,
+                        cost.total_cost(spec.rounds, sampled)
+                            .expect("paper-scale cost fits u64") as f64,
                         false,
                     ),
                 };
@@ -95,7 +104,9 @@ fn main() {
                     fmt_pct(target),
                     clients.to_string(),
                     rounds_str,
-                    fmt_bytes(cost.round_cost_per_client() as f64),
+                    fmt_bytes(
+                        cost.round_cost_per_client().expect("paper-scale cost fits u64") as f64,
+                    ),
                     fmt_bytes(total),
                     dcost,
                     speedup,

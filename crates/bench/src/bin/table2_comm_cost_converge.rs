@@ -44,7 +44,9 @@ fn main() {
                 runs.iter().find(|(k, _)| *k == AlgoKind::FedAvg).map(|(k, h)| {
                     let r = h.converge_round(tol);
                     (
-                        k.cost_model(&spec).total_cost(r, sampled) as f64,
+                        k.cost_model(&spec)
+                            .total_cost(r, sampled)
+                            .expect("paper-scale cost fits u64") as f64,
                         h.converged_accuracy(window),
                     )
                 });
@@ -52,7 +54,8 @@ fn main() {
             for (kind, h) in &runs {
                 let cost = kind.cost_model(&spec);
                 let rounds = h.converge_round(tol);
-                let total = cost.total_cost(rounds, sampled) as f64;
+                let total =
+                    cost.total_cost(rounds, sampled).expect("paper-scale cost fits u64") as f64;
                 let acc = h.converged_accuracy(window);
                 let (speedup, dacc) = match reference {
                     Some((ft, fa)) => (
@@ -67,7 +70,9 @@ fn main() {
                     arch.display().into(),
                     format!("{ratio}"),
                     rounds.to_string(),
-                    fmt_bytes(cost.round_cost_per_client() as f64),
+                    fmt_bytes(
+                        cost.round_cost_per_client().expect("paper-scale cost fits u64") as f64,
+                    ),
                     fmt_bytes(total),
                     speedup,
                     fmt_pct(acc),

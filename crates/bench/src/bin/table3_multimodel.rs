@@ -107,7 +107,9 @@ fn main() {
     let _ = kemf_fl::engine::Engine::run(&mut kemf, &ctx, kemf_fl::engine::RunOptions::new())
             .expect("run failed")
             .history;
-    let avg = kemf.evaluate_local_models(&client_tests, 64);
+    let avg = kemf
+        .evaluate_local_models(&client_tests, 64)
+        .expect("one test set per client");
     table.row(&[
         "FedKEMF".into(),
         "Multi-model".into(),

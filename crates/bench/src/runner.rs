@@ -121,6 +121,7 @@ impl ExperimentSpec {
             eval_batch: 64,
             dropout_prob: 0.0,
             faults: FaultConfig::default(),
+            cohort_batch: None,
             seed: self.seed,
         };
         (FlContext::new(cfg, &train, test), task)
@@ -323,12 +324,13 @@ mod tests {
         let kemf = AlgoKind::FedKemf.cost_model(&spec);
         // FedNova pays 2× FedAvg at equal rounds.
         assert_eq!(
-            fednova.round_cost_per_client(),
-            2 * fedavg.round_cost_per_client()
+            fednova.round_cost_per_client().unwrap(),
+            2 * fedavg.round_cost_per_client().unwrap()
         );
         // FedKEMF ships a ResNet-20 knowledge net instead of VGG-11: the
         // per-round ratio is the headline ~19× (paper: 42 MB vs 2.1 MB).
-        let ratio = fedavg.round_cost_per_client() as f64 / kemf.round_cost_per_client() as f64;
+        let ratio = fedavg.round_cost_per_client().unwrap() as f64
+            / kemf.round_cost_per_client().unwrap() as f64;
         assert!(ratio > 8.0, "VGG/knowledge-net payload ratio {ratio}");
     }
 

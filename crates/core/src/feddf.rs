@@ -8,7 +8,7 @@
 
 use crate::distill::{distill_ensemble, DistillConfig};
 use kemf_fl::context::FlContext;
-use kemf_fl::engine::{FedAlgorithm, RoundOutcome};
+use kemf_fl::engine::{EngineError, FedAlgorithm, RoundOutcome};
 use kemf_fl::lifecycle::WirePayload;
 use kemf_fl::local::LocalCfg;
 use kemf_fl::state::{check_model_layout, AlgorithmState, RestoreError};
@@ -51,12 +51,18 @@ impl FedAlgorithm for FedDf {
         sampled: &[usize],
         ctx: &FlContext,
         scope: &mut RoundScope<'_>,
-    ) -> RoundOutcome {
+    ) -> Result<RoundOutcome, EngineError> {
+        if sampled.is_empty() {
+            return Ok(RoundOutcome { train_loss: f32::NAN });
+        }
         let local = LocalCfg {
             epochs: ctx.cfg.local_epochs,
             batch: ctx.cfg.batch_size,
             sgd: ctx.cfg.sgd_at(round),
         };
+        // Single fan-out, no cohort streaming: FedDF's fusion distills the
+        // *full-model* ensemble, so every teacher state must be resident
+        // anyway — chunking the local update would not bound memory.
         let results = scope.phase(Phase::LocalUpdate, |c| {
             let results = fan_out_clients(
                 &self.global.state,
@@ -94,7 +100,7 @@ impl FedAlgorithm for FedDf {
             c.batches = out.batches as u64;
             self.global.state = student.state();
         });
-        RoundOutcome { train_loss: mean_loss(&results) }
+        Ok(RoundOutcome { train_loss: mean_loss(&results) })
     }
 
     fn evaluate(&mut self, ctx: &FlContext) -> f32 {

@@ -13,9 +13,10 @@
 use crate::distill::{distill_ensemble, DistillConfig};
 use crate::dml::{dml_local_update, DmlConfig};
 use crate::fusion::{weight_average_fusion, FusionMode};
+use kemf_fl::client_store::{ClientBlob, ClientStateStore, SpillConfig, StoreError};
 use kemf_fl::config::ConfigError;
 use kemf_fl::context::FlContext;
-use kemf_fl::engine::{FedAlgorithm, RoundOutcome};
+use kemf_fl::engine::{EngineError, FedAlgorithm, RoundOutcome};
 use kemf_fl::lifecycle::WirePayload;
 use kemf_fl::local::{local_train, LocalCfg};
 use kemf_fl::state::{check_model_layout, AlgorithmState, RestoreError};
@@ -54,6 +55,10 @@ pub struct FedKemfConfig {
     /// from round 0 measurably drags the knowledge network (see the
     /// ablation harness). 0 = constant weight (paper-literal Algorithm 1).
     pub kl_warmup_rounds: usize,
+    /// Spill per-client local models to disk instead of holding
+    /// `n_clients` of them resident; `None` (the default) keeps the
+    /// classic in-memory population.
+    pub spill: Option<SpillConfig>,
 }
 
 impl FedKemfConfig {
@@ -73,7 +78,15 @@ impl FedKemfConfig {
             dml_temperature: 1.0,
             mutual: true,
             kl_warmup_rounds: 10,
+            spill: None,
         }
+    }
+
+    /// Spill per-client local models to `spill.dir` (population-scale
+    /// cohorts; resident memory becomes O(cohort), not O(population)).
+    pub fn with_spill(mut self, spill: SpillConfig) -> Self {
+        self.spill = Some(spill);
+        self
     }
 
     /// Paper-literal Algorithm 1 weighting: mutual KL weight 1.0 from
@@ -91,8 +104,41 @@ pub struct FedKemf {
     global_knowledge: ModelState,
     eval_model: Model,
     /// Persistent per-client local models (deployed on-device; never
-    /// communicated).
-    local_models: Vec<Option<Model>>,
+    /// communicated), fetched and committed through the client-state
+    /// store: resident for the classic in-memory mode, spilled to disk
+    /// for population-scale cohorts.
+    store: ClientStateStore,
+}
+
+/// A fresh (never-sampled) client's deployed model: built from its spec,
+/// whose seed makes it deterministic. Memory mode seeds every slot with
+/// this at init; sharded mode materializes it lazily on first fetch.
+pub(crate) fn fresh_local_blob(spec: ModelSpec) -> ClientBlob {
+    ClientBlob::new().with_model("model", Model::new(spec).state())
+}
+
+/// Rebuild client `k`'s deployed model from its stored blob, with the
+/// layout validated against the client's spec as a typed error — a blob
+/// from the wrong population must not panic the training process.
+pub(crate) fn model_from_blob(blob: &ClientBlob, k: usize, spec: ModelSpec) -> Result<Model, StoreError> {
+    let st = blob.model("model").ok_or_else(|| StoreError::Corrupt {
+        client: k,
+        detail: "missing deployed-model entry `model`".into(),
+    })?;
+    let mut model = Model::new(spec);
+    let layout = model.state();
+    if st.params.lens != layout.params.lens || st.buffers.lens != layout.buffers.lens {
+        return Err(StoreError::Corrupt {
+            client: k,
+            detail: format!(
+                "stored model layout ({} params) does not match the client spec ({} params)",
+                st.params.numel(),
+                layout.params.numel()
+            ),
+        });
+    }
+    model.set_state(st);
+    Ok(model)
 }
 
 impl FedKemf {
@@ -100,7 +146,7 @@ impl FedKemf {
     pub fn new(cfg: FedKemfConfig) -> Self {
         let eval_model = Model::new(cfg.knowledge_spec);
         let global_knowledge = eval_model.state();
-        FedKemf { cfg, global_knowledge, eval_model, local_models: Vec::new() }
+        FedKemf { cfg, global_knowledge, eval_model, store: ClientStateStore::in_memory(0) }
     }
 
     /// Current global knowledge-network state.
@@ -116,28 +162,43 @@ impl FedKemf {
 
     /// Per-client accuracy of the *deployed local models* on per-client
     /// test sets. Clients that were never sampled evaluate at their
-    /// current (possibly initial) weights.
+    /// current (possibly initial) weights. A test-set/population count
+    /// mismatch or an unreadable stored model is a typed error, not a
+    /// panic.
     pub fn evaluate_local_models_per_client(
-        &mut self,
+        &self,
         client_tests: &[Dataset],
         eval_batch: usize,
-    ) -> Vec<f32> {
-        assert_eq!(client_tests.len(), self.local_models.len(), "need one test set per client");
-        self.local_models
-            .iter_mut()
-            .zip(client_tests.iter())
-            .map(|(m, t)| {
-                let model = m.as_mut().expect("local models initialized in init()");
-                model.evaluate(&t.images, &t.labels, eval_batch)
-            })
-            .collect()
+    ) -> Result<Vec<f32>, EngineError> {
+        if client_tests.len() != self.store.n_clients() {
+            return Err(EngineError::Config(ConfigError::AlgorithmSetup {
+                algorithm: self.name(),
+                reason: format!(
+                    "need one test set per client: {} sets for {} clients",
+                    client_tests.len(),
+                    self.store.n_clients()
+                ),
+            }));
+        }
+        let mut out = Vec::with_capacity(client_tests.len());
+        for (k, t) in client_tests.iter().enumerate() {
+            let spec = self.cfg.client_specs[k];
+            let blob = self.store.read(k, |_| fresh_local_blob(spec))?;
+            let mut model = model_from_blob(&blob, k, spec)?;
+            out.push(model.evaluate(&t.images, &t.labels, eval_batch));
+        }
+        Ok(out)
     }
 
     /// Average accuracy of the deployed local models on per-client test
     /// sets (the paper's multi-model metric, Table 3).
-    pub fn evaluate_local_models(&mut self, client_tests: &[Dataset], eval_batch: usize) -> f32 {
-        let per_client = self.evaluate_local_models_per_client(client_tests, eval_batch);
-        per_client.iter().sum::<f32>() / per_client.len().max(1) as f32
+    pub fn evaluate_local_models(
+        &self,
+        client_tests: &[Dataset],
+        eval_batch: usize,
+    ) -> Result<f32, EngineError> {
+        let per_client = self.evaluate_local_models_per_client(client_tests, eval_batch)?;
+        Ok(per_client.iter().sum::<f32>() / per_client.len().max(1) as f32)
     }
 }
 
@@ -160,12 +221,19 @@ impl FedAlgorithm for FedKemf {
                 ),
             });
         }
-        self.local_models = self
-            .cfg
-            .client_specs
-            .iter()
-            .map(|spec| Some(Model::new(*spec)))
-            .collect();
+        self.store = match &self.cfg.spill {
+            Some(spill) => ClientStateStore::sharded(ctx.cfg.n_clients, spill.clone())
+                .map_err(|e| ConfigError::AlgorithmSetup {
+                    algorithm: self.name(),
+                    reason: format!("opening spill store: {e}"),
+                })?,
+            None => {
+                let mut store = ClientStateStore::in_memory(ctx.cfg.n_clients);
+                let specs = &self.cfg.client_specs;
+                store.seed_all(|k| fresh_local_blob(specs[k]));
+                store
+            }
+        };
         Ok(())
     }
 
@@ -180,7 +248,11 @@ impl FedAlgorithm for FedKemf {
         sampled: &[usize],
         ctx: &FlContext,
         scope: &mut RoundScope<'_>,
-    ) -> RoundOutcome {
+    ) -> Result<RoundOutcome, EngineError> {
+        self.store.begin_round(round);
+        if sampled.is_empty() {
+            return Ok(RoundOutcome { train_loss: f32::NAN });
+        }
         let ramp = if self.cfg.kl_warmup_rounds == 0 {
             1.0
         } else {
@@ -194,57 +266,66 @@ impl FedAlgorithm for FedKemf {
             temperature: self.cfg.dml_temperature,
             clip_norm: 5.0,
         };
-        // Move the sampled clients' local models out for the parallel
-        // fan-out, then restore them afterwards.
-        let mut moved: Vec<(usize, Model)> = sampled
-            .iter()
-            .map(|&k| (k, self.local_models[k].take().expect("model present")))
-            .collect();
-        let global = &self.global_knowledge;
-        let knowledge_spec = self.cfg.knowledge_spec;
-        let mutual = self.cfg.mutual;
-        let results: Vec<(usize, Model, Model, f32, usize)> = scope.phase(Phase::LocalUpdate, |c| {
-            let results: Vec<(usize, Model, Model, f32, usize)> = moved
-                .par_drain(..)
-                .map(|(k, mut local)| {
-                    let mut knowledge = Model::new(knowledge_spec);
-                    knowledge.set_state(global);
-                    let seed = child_seed(ctx.cfg.seed, 0xD31 ^ ((round as u64) << 20 | k as u64));
-                    let (loss, steps) = if mutual {
-                        let out = dml_local_update(
-                            &mut local,
-                            &mut knowledge,
-                            &ctx.client_data[k],
-                            &dml_cfg,
-                            seed,
-                        );
-                        (out.mean_knowledge_loss, out.steps)
-                    } else {
-                        // Ablation: decoupled training (no knowledge extraction).
-                        let plain =
-                            LocalCfg { epochs: dml_cfg.epochs, batch: dml_cfg.batch, sgd: dml_cfg.sgd };
-                        let a = local_train(&mut local, &ctx.client_data[k], &plain, seed, None);
-                        let out = local_train(&mut knowledge, &ctx.client_data[k], &plain, seed ^ 1, None);
-                        (out.mean_loss, a.steps + out.steps)
-                    };
-                    (k, local, knowledge, loss, steps)
-                })
-                .collect();
-            c.clients = results.len();
-            c.steps = results.iter().map(|r| r.4 as u64).sum();
-            c.batches = c.steps;
-            results
-        });
-        // Restore local models; collect uploaded knowledge networks.
-        let mut teachers: Vec<Model> = Vec::with_capacity(results.len());
-        let mut sample_counts: Vec<usize> = Vec::with_capacity(results.len());
+        // Stream the cohort through local update in bounded batches;
+        // only the tiny uploaded knowledge networks stay resident for
+        // fusion, so memory is O(batch · local + cohort · knet).
+        let chunk = ctx.cfg.cohort_chunk(sampled.len());
+        let mut teachers: Vec<Model> = Vec::with_capacity(sampled.len());
+        let mut sample_counts: Vec<usize> = Vec::with_capacity(sampled.len());
         let mut loss_sum = 0.0f32;
-        for (k, local, knowledge, loss, _steps) in results {
-            self.local_models[k] = Some(local);
-            sample_counts.push(ctx.client_data[k].len());
-            teachers.push(knowledge);
-            loss_sum += loss;
-        }
+        scope.phase(Phase::LocalUpdate, |c| -> Result<(), EngineError> {
+            for batch in sampled.chunks(chunk) {
+                // Sequential fetch (the store is `&mut self`): rebuild
+                // each sampled client's deployed model.
+                let mut locals: Vec<(usize, Model)> = Vec::with_capacity(batch.len());
+                for &k in batch {
+                    let spec = self.cfg.client_specs[k];
+                    let blob = self.store.fetch(k, |_| fresh_local_blob(spec))?;
+                    locals.push((k, model_from_blob(&blob, k, spec)?));
+                }
+                let global = &self.global_knowledge;
+                let knowledge_spec = self.cfg.knowledge_spec;
+                let mutual = self.cfg.mutual;
+                let results: Vec<(usize, Model, Model, f32, usize)> = locals
+                    .into_par_iter()
+                    .map(|(k, mut local)| {
+                        let mut knowledge = Model::new(knowledge_spec);
+                        knowledge.set_state(global);
+                        let seed =
+                            child_seed(ctx.cfg.seed, 0xD31 ^ ((round as u64) << 20 | k as u64));
+                        let shard = ctx.client_shard(k);
+                        let (loss, steps) = if mutual {
+                            let out =
+                                dml_local_update(&mut local, &mut knowledge, &shard, &dml_cfg, seed);
+                            (out.mean_knowledge_loss, out.steps)
+                        } else {
+                            // Ablation: decoupled training (no knowledge extraction).
+                            let plain = LocalCfg {
+                                epochs: dml_cfg.epochs,
+                                batch: dml_cfg.batch,
+                                sgd: dml_cfg.sgd,
+                            };
+                            let a = local_train(&mut local, &shard, &plain, seed, None);
+                            let out = local_train(&mut knowledge, &shard, &plain, seed ^ 1, None);
+                            (out.mean_loss, a.steps + out.steps)
+                        };
+                        (k, local, knowledge, loss, steps)
+                    })
+                    .collect();
+                c.clients += results.len();
+                c.steps += results.iter().map(|r| r.4 as u64).sum::<u64>();
+                c.batches = c.steps;
+                // Commit updated local models back to the store; collect
+                // uploaded knowledge networks in sampled order.
+                for (k, local, knowledge, loss, _steps) in results {
+                    self.store.commit(k, ClientBlob::new().with_model("model", local.state()))?;
+                    sample_counts.push(ctx.client_shard_len(k));
+                    teachers.push(knowledge);
+                    loss_sum += loss;
+                }
+            }
+            Ok(())
+        })?;
         let train_loss = loss_sum / teachers.len().max(1) as f32;
 
         // Server fusion.
@@ -279,7 +360,7 @@ impl FedAlgorithm for FedKemf {
                 }
             }
         });
-        RoundOutcome { train_loss }
+        Ok(RoundOutcome { train_loss })
     }
 
     fn evaluate(&mut self, ctx: &FlContext) -> f32 {
@@ -291,12 +372,22 @@ impl FedAlgorithm for FedKemf {
     fn state(&self) -> AlgorithmState {
         // The local models never leave their devices in the protocol, but
         // a checkpoint is the device: dropping them would silently reset
-        // every client's deployed model on resume.
+        // every client's deployed model on resume. In sharded mode they
+        // already live in the spill directory (write-through commits), so
+        // the checkpoint carries only the population size for validation.
         let mut s = AlgorithmState::new(self.name(), 1)
             .with_model("knowledge", self.global_knowledge.clone());
-        for (k, m) in self.local_models.iter().enumerate() {
-            let m = m.as_ref().expect("local models are only taken within round()");
-            s.push_model(format!("local.{k}"), m.state());
+        if self.store.is_sharded() {
+            s = s.with_scalar("sharded_clients", self.store.n_clients() as f64);
+        } else {
+            for k in 0..self.store.n_clients() {
+                let blob = self
+                    .store
+                    .read(k, |_| ClientBlob::new())
+                    .expect("memory store is seeded at init");
+                let m = blob.model("model").expect("deployed model present");
+                s.push_model(format!("local.{k}"), m.clone());
+            }
         }
         s
     }
@@ -305,18 +396,33 @@ impl FedAlgorithm for FedKemf {
         state.expect_header(&self.name(), 1)?;
         let knowledge = state.model("knowledge")?;
         check_model_layout("knowledge", knowledge, &self.global_knowledge)?;
-        // Pre-check every local model before mutating anything, so a
-        // failed restore leaves the instance untouched.
-        for (k, m) in self.local_models.iter().enumerate() {
-            let name = format!("local.{k}");
-            let live = m.as_ref().expect("local models are only taken within round()");
-            check_model_layout(&name, state.model(&name)?, &live.state())?;
+        if self.store.is_sharded() {
+            let n = self.store.n_clients();
+            let recorded = state.scalar("sharded_clients")?;
+            if recorded != n as f64 {
+                return Err(RestoreError::ShapeMismatch {
+                    name: "sharded_clients".into(),
+                    detail: format!("checkpoint covers {recorded} clients, store has {n}"),
+                });
+            }
+        } else {
+            // Pre-check every local model before mutating anything, so a
+            // failed restore leaves the instance untouched.
+            let n = self.store.n_clients();
+            for k in 0..n {
+                let name = format!("local.{k}");
+                let layout = Model::new(self.cfg.client_specs[k]).state();
+                check_model_layout(&name, state.model(&name)?, &layout)?;
+            }
+            for k in 0..n {
+                let name = format!("local.{k}");
+                let incoming = state.model(&name)?.clone();
+                self.store
+                    .commit(k, ClientBlob::new().with_model("model", incoming))
+                    .expect("memory commit cannot fail");
+            }
         }
         self.global_knowledge = knowledge.clone();
-        for (k, m) in self.local_models.iter_mut().enumerate() {
-            let name = format!("local.{k}");
-            m.as_mut().unwrap().set_state(state.model(&name)?);
-        }
         Ok(())
     }
 
@@ -395,15 +501,25 @@ mod tests {
         let mut algo = FedKemf::new(FedKemfConfig::uniform(knowledge_spec(), specs.clone(), pool));
         let h = run(&mut algo, &ctx);
         assert!(h.accuracies().iter().all(|a| a.is_finite()));
-        // Local models kept their per-client architectures.
-        for (m, spec) in algo.local_models.iter().zip(specs.iter()) {
-            assert_eq!(m.as_ref().unwrap().spec().arch, spec.arch);
+        // Stored local models kept their per-client architectures: each
+        // blob's parameter layout matches the client's own spec.
+        for (k, spec) in specs.iter().enumerate() {
+            let blob = algo.store.read(k, |_| ClientBlob::new()).unwrap();
+            let stored = blob.model("model").unwrap();
+            assert_eq!(stored.params.lens, Model::new(*spec).state().params.lens);
         }
         // Per-client local evaluation works and all models learned
         // something beyond chance on their own shard distribution.
         let client_tests: Vec<_> = (0..6).map(|i| task.generate(40, 100 + i as u64)).collect();
-        let avg = algo.evaluate_local_models(&client_tests, 32);
+        let avg = algo.evaluate_local_models(&client_tests, 32).unwrap();
         assert!(avg > 0.15, "average local accuracy {avg}");
+        // A test-set count that doesn't match the population is a typed
+        // error, not the assert it used to be.
+        let err = algo.evaluate_local_models(&client_tests[..2], 32).unwrap_err();
+        assert!(
+            matches!(err, EngineError::Config(ConfigError::AlgorithmSetup { .. })),
+            "wrong error: {err}"
+        );
     }
 
     #[test]

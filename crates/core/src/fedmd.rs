@@ -15,10 +15,12 @@
 //! logits, so `global_model()` is `None` and evaluation reports the mean
 //! client-model accuracy.
 
+use crate::fedkemf::{fresh_local_blob, model_from_blob};
 use kemf_data::dataset::Dataset;
+use kemf_fl::client_store::{ClientBlob, ClientStateStore, SpillConfig};
 use kemf_fl::config::ConfigError;
 use kemf_fl::context::FlContext;
-use kemf_fl::engine::{FedAlgorithm, RoundOutcome};
+use kemf_fl::engine::{EngineError, FedAlgorithm, RoundOutcome};
 use kemf_fl::lifecycle::WirePayload;
 use kemf_fl::local::{local_train, LocalCfg};
 use kemf_fl::state::{check_model_layout, check_tensor_dims, AlgorithmState, RestoreError};
@@ -61,7 +63,10 @@ pub struct FedMd {
     public: Tensor,
     /// Current consensus logits `[pool, classes]` (None before round 0).
     consensus: Option<Tensor>,
-    local_models: Vec<Option<Model>>,
+    /// Per-client local models, held in the client-state store (resident
+    /// for memory mode, spilled to disk for population-scale cohorts).
+    store: ClientStateStore,
+    spill: Option<SpillConfig>,
     classes: usize,
 }
 
@@ -69,7 +74,22 @@ impl FedMd {
     /// New FedMD population over a public reference set.
     pub fn new(client_specs: Vec<ModelSpec>, public: Tensor, classes: usize, cfg: FedMdConfig) -> Self {
         assert!(!client_specs.is_empty(), "need at least one client spec");
-        FedMd { client_specs, cfg, public, consensus: None, local_models: Vec::new(), classes }
+        FedMd {
+            client_specs,
+            cfg,
+            public,
+            consensus: None,
+            store: ClientStateStore::in_memory(0),
+            spill: None,
+            classes,
+        }
+    }
+
+    /// Spill per-client local models to `spill.dir` instead of holding
+    /// `n_clients` of them resident.
+    pub fn with_spill(mut self, spill: SpillConfig) -> Self {
+        self.spill = Some(spill);
+        self
     }
 
     /// Per-direction payload: the logit matrix on the public set.
@@ -77,14 +97,31 @@ impl FedMd {
         (self.public.dims()[0] * self.classes * 4) as u64
     }
 
-    /// Mean per-client accuracy of the local models on `tests`.
-    pub fn evaluate_local_models(&mut self, tests: &[Dataset], eval_batch: usize) -> f32 {
-        assert_eq!(tests.len(), self.local_models.len(), "one test set per client");
-        let mut total = 0.0;
-        for (m, t) in self.local_models.iter_mut().zip(tests.iter()) {
-            total += m.as_mut().expect("init ran").evaluate(&t.images, &t.labels, eval_batch);
+    /// Mean per-client accuracy of the local models on `tests`. A count
+    /// mismatch or unreadable stored model is a typed error, not a panic.
+    pub fn evaluate_local_models(
+        &self,
+        tests: &[Dataset],
+        eval_batch: usize,
+    ) -> Result<f32, EngineError> {
+        if tests.len() != self.store.n_clients() {
+            return Err(EngineError::Config(ConfigError::AlgorithmSetup {
+                algorithm: self.name(),
+                reason: format!(
+                    "need one test set per client: {} sets for {} clients",
+                    tests.len(),
+                    self.store.n_clients()
+                ),
+            }));
         }
-        total / tests.len() as f32
+        let mut total = 0.0;
+        for (k, t) in tests.iter().enumerate() {
+            let spec = self.client_specs[k];
+            let blob = self.store.read(k, |_| fresh_local_blob(spec))?;
+            let mut model = model_from_blob(&blob, k, spec)?;
+            total += model.evaluate(&t.images, &t.labels, eval_batch);
+        }
+        Ok(total / tests.len() as f32)
     }
 }
 
@@ -136,7 +173,19 @@ impl FedAlgorithm for FedMd {
                 ),
             });
         }
-        self.local_models = self.client_specs.iter().map(|s| Some(Model::new(*s))).collect();
+        self.store = match &self.spill {
+            Some(spill) => ClientStateStore::sharded(ctx.cfg.n_clients, spill.clone())
+                .map_err(|e| ConfigError::AlgorithmSetup {
+                    algorithm: self.name(),
+                    reason: format!("opening spill store: {e}"),
+                })?,
+            None => {
+                let mut store = ClientStateStore::in_memory(ctx.cfg.n_clients);
+                let specs = &self.client_specs;
+                store.seed_all(|k| fresh_local_blob(specs[k]));
+                store
+            }
+        };
         Ok(())
     }
 
@@ -151,7 +200,11 @@ impl FedAlgorithm for FedMd {
         sampled: &[usize],
         ctx: &FlContext,
         scope: &mut RoundScope<'_>,
-    ) -> RoundOutcome {
+    ) -> Result<RoundOutcome, EngineError> {
+        self.store.begin_round(round);
+        if sampled.is_empty() {
+            return Ok(RoundOutcome { train_loss: f32::NAN });
+        }
         let local = LocalCfg {
             epochs: ctx.cfg.local_epochs,
             batch: ctx.cfg.batch_size,
@@ -161,73 +214,102 @@ impl FedAlgorithm for FedMd {
             .consensus
             .as_ref()
             .map(|c| soften(c, self.cfg.temperature));
-        let mut moved: Vec<(usize, Model)> = sampled
-            .iter()
-            .map(|&k| (k, self.local_models[k].take().expect("model present")))
-            .collect();
-        let cfg = self.cfg;
-        let public = &self.public;
-        let results: Vec<(usize, Model, Tensor, f32, usize)> = scope.phase(Phase::LocalUpdate, |c| {
-            let results: Vec<(usize, Model, Tensor, f32, usize)> = moved
-                .par_drain(..)
-                .map(|(k, mut model)| {
-                    let seed = child_seed(ctx.cfg.seed, 0x3D ^ ((round as u64) << 16 | k as u64));
-                    // Digest the consensus, when one exists.
-                    let digest_steps = if let Some(targets) = &consensus_targets {
-                        digest(&mut model, public, targets, &cfg, local.sgd, seed)
-                    } else {
-                        0
-                    };
-                    // Revisit private data.
-                    let out = local_train(&mut model, &ctx.client_data[k], &local, seed ^ 7, None);
-                    // Publish logits on the public set (batch statistics:
-                    // local models take few steps per round, same rationale
-                    // as FedKEMF's distillation targets).
-                    let logits = model.predict_batch_stats(public);
-                    (k, model, logits, out.mean_loss, digest_steps + out.steps)
-                })
-                .collect();
-            c.clients = results.len();
-            c.steps = results.iter().map(|r| r.4 as u64).sum();
-            c.batches = c.steps;
-            results
-        });
-        let mut member_logits = Vec::with_capacity(results.len());
-        let mut loss_sum = 0.0;
-        for (k, model, logits, loss, _steps) in results {
-            self.local_models[k] = Some(model);
-            member_logits.push(logits);
-            loss_sum += loss;
-        }
+        // Stream the cohort in bounded batches; only the per-client logit
+        // matrices stay resident for the consensus average, so memory is
+        // O(batch · model + cohort · logits).
+        let chunk = ctx.cfg.cohort_chunk(sampled.len());
+        let mut member_logits: Vec<Tensor> = Vec::with_capacity(sampled.len());
+        let mut loss_sum = 0.0f32;
+        scope.phase(Phase::LocalUpdate, |c| -> Result<(), EngineError> {
+            for batch in sampled.chunks(chunk) {
+                // Sequential fetch (the store is `&mut self`): rebuild each
+                // sampled client's local model.
+                let mut locals: Vec<(usize, Model)> = Vec::with_capacity(batch.len());
+                for &k in batch {
+                    let spec = self.client_specs[k];
+                    let blob = self.store.fetch(k, |_| fresh_local_blob(spec))?;
+                    locals.push((k, model_from_blob(&blob, k, spec)?));
+                }
+                let cfg = self.cfg;
+                let public = &self.public;
+                let results: Vec<(usize, Model, Tensor, f32, usize)> = locals
+                    .into_par_iter()
+                    .map(|(k, mut model)| {
+                        let seed =
+                            child_seed(ctx.cfg.seed, 0x3D ^ ((round as u64) << 16 | k as u64));
+                        // Digest the consensus, when one exists.
+                        let digest_steps = if let Some(targets) = &consensus_targets {
+                            digest(&mut model, public, targets, &cfg, local.sgd, seed)
+                        } else {
+                            0
+                        };
+                        // Revisit private data.
+                        let shard = ctx.client_shard(k);
+                        let out = local_train(&mut model, &shard, &local, seed ^ 7, None);
+                        // Publish logits on the public set (batch statistics:
+                        // local models take few steps per round, same rationale
+                        // as FedKEMF's distillation targets).
+                        let logits = model.predict_batch_stats(public);
+                        (k, model, logits, out.mean_loss, digest_steps + out.steps)
+                    })
+                    .collect();
+                c.clients += results.len();
+                c.steps += results.iter().map(|r| r.4 as u64).sum::<u64>();
+                c.batches = c.steps;
+                // Commit updated models back; collect logits in sampled order.
+                for (k, model, logits, loss, _steps) in results {
+                    self.store.commit(k, ClientBlob::new().with_model("model", model.state()))?;
+                    member_logits.push(logits);
+                    loss_sum += loss;
+                }
+            }
+            Ok(())
+        })?;
         scope.phase(Phase::Fusion, |c| {
             c.clients = member_logits.len();
             let refs: Vec<&Tensor> = member_logits.iter().collect();
             self.consensus = Some(elementwise_mean(&refs));
         });
-        RoundOutcome { train_loss: loss_sum / member_logits.len().max(1) as f32 }
+        Ok(RoundOutcome { train_loss: loss_sum / member_logits.len().max(1) as f32 })
     }
 
     /// FedMD has no global model; report the mean client accuracy on the
     /// shared test set (the metric its paper uses).
     fn evaluate(&mut self, ctx: &FlContext) -> f32 {
+        let n = self.store.n_clients();
+        if n == 0 {
+            return 0.0;
+        }
         let mut total = 0.0;
-        let mut count = 0;
-        for m in self.local_models.iter_mut().flatten() {
-            total += m.evaluate(&ctx.test.images, &ctx.test.labels, ctx.cfg.eval_batch);
-            count += 1;
+        for k in 0..n {
+            let spec = self.client_specs[k];
+            let blob = match self.store.read(k, |_| fresh_local_blob(spec)) {
+                Ok(b) => b,
+                Err(_) => continue,
+            };
+            let Ok(mut model) = model_from_blob(&blob, k, spec) else { continue };
+            total += model.evaluate(&ctx.test.images, &ctx.test.labels, ctx.cfg.eval_batch);
         }
-        if count == 0 {
-            0.0
-        } else {
-            total / count as f32
-        }
+        total / n as f32
     }
 
     fn state(&self) -> AlgorithmState {
+        // In sharded mode the local models already live in the spill
+        // directory (write-through commits), so the checkpoint carries only
+        // the population size for validation; memory mode embeds them all,
+        // keeping the v1 checkpoint format unchanged.
         let mut s = AlgorithmState::new(self.name(), 1);
-        for (k, m) in self.local_models.iter().enumerate() {
-            let m = m.as_ref().expect("local models are only taken within round()");
-            s.push_model(format!("local.{k}"), m.state());
+        if self.store.is_sharded() {
+            s = s.with_scalar("sharded_clients", self.store.n_clients() as f64);
+        } else {
+            for k in 0..self.store.n_clients() {
+                let blob = self
+                    .store
+                    .read(k, |_| ClientBlob::new())
+                    .expect("memory store is seeded at init");
+                let m = blob.model("model").expect("local model present");
+                s.push_model(format!("local.{k}"), m.clone());
+            }
         }
         // Presence of the entry encodes the Option: no consensus exists
         // before the first completed round.
@@ -239,11 +321,6 @@ impl FedAlgorithm for FedMd {
 
     fn restore(&mut self, state: &AlgorithmState) -> Result<(), RestoreError> {
         state.expect_header(&self.name(), 1)?;
-        for (k, m) in self.local_models.iter().enumerate() {
-            let name = format!("local.{k}");
-            let live = m.as_ref().expect("local models are only taken within round()");
-            check_model_layout(&name, state.model(&name)?, &live.state())?;
-        }
         let consensus = match state.opt_tensor("consensus") {
             Some(blob) => {
                 let dims = [self.public.dims()[0], self.classes];
@@ -252,9 +329,31 @@ impl FedAlgorithm for FedMd {
             }
             None => None,
         };
-        for (k, m) in self.local_models.iter_mut().enumerate() {
-            let name = format!("local.{k}");
-            m.as_mut().unwrap().set_state(state.model(&name)?);
+        if self.store.is_sharded() {
+            let n = self.store.n_clients();
+            let recorded = state.scalar("sharded_clients")?;
+            if recorded != n as f64 {
+                return Err(RestoreError::ShapeMismatch {
+                    name: "sharded_clients".into(),
+                    detail: format!("checkpoint covers {recorded} clients, store has {n}"),
+                });
+            }
+        } else {
+            // Pre-check every local model before mutating anything, so a
+            // failed restore leaves the instance untouched.
+            let n = self.store.n_clients();
+            for k in 0..n {
+                let name = format!("local.{k}");
+                let layout = Model::new(self.client_specs[k]).state();
+                check_model_layout(&name, state.model(&name)?, &layout)?;
+            }
+            for k in 0..n {
+                let name = format!("local.{k}");
+                let incoming = state.model(&name)?.clone();
+                self.store
+                    .commit(k, ClientBlob::new().with_model("model", incoming))
+                    .expect("memory commit cannot fail");
+            }
         }
         self.consensus = consensus;
         Ok(())
@@ -338,7 +437,7 @@ mod tests {
         assert!(algo.consensus.is_none());
         let mut sink = kemf_fl::trace::NoopSink;
         let mut scope = RoundScope::new(&mut sink, 0);
-        let _ = algo.round(0, &[0, 1, 2], &ctx, &mut scope);
+        algo.round(0, &[0, 1, 2], &ctx, &mut scope).unwrap();
         let c = algo.consensus.as_ref().expect("consensus after round 0");
         assert_eq!(c.dims(), &[40, 10]);
     }

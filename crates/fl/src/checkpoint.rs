@@ -33,6 +33,7 @@ use crate::lifecycle::FaultConfig;
 use crate::metrics::RoundRecord;
 use crate::state::{AlgorithmState, TensorBlob};
 use kemf_nn::checkpoint::{load_bundle, save_bundle, CheckpointBundle};
+use std::fmt;
 use std::io::{self, Read};
 use std::path::{Path, PathBuf};
 
@@ -309,22 +310,65 @@ pub fn save_run(ckpt: &RunCheckpoint, dir: &Path) -> io::Result<PathBuf> {
     Ok(path)
 }
 
+/// Why [`load_run`] could not produce a checkpoint. The directory cases
+/// are distinguished so a resume caller can tell "nothing was ever
+/// checkpointed here" from "checkpoints exist but every one is
+/// unreadable" — the former is typically a wrong path, the latter real
+/// corruption.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Reading the path (or a single checkpoint file) failed.
+    Io(io::Error),
+    /// The directory exists but holds no `round_*.ckpt` files at all.
+    NoCheckpoints {
+        /// The directory scanned.
+        dir: PathBuf,
+    },
+    /// Every `round_*.ckpt` candidate in the directory failed to load.
+    AllCorrupt {
+        /// The directory scanned.
+        dir: PathBuf,
+        /// Number of candidates tried (newest first).
+        tried: usize,
+        /// The error from the last (oldest) candidate.
+        last: io::Error,
+    },
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "{e}"),
+            LoadError::NoCheckpoints { dir } => {
+                write!(f, "no round_*.ckpt checkpoints in {}", dir.display())
+            }
+            LoadError::AllCorrupt { dir, tried, last } => write!(
+                f,
+                "all {tried} checkpoint(s) in {} failed to load; last error: {last}",
+                dir.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
 /// Load a run checkpoint. `path` may be a checkpoint file or a
 /// checkpoint directory; a directory resolves to its newest loadable
 /// `round_*.ckpt` (stray `.tmp` leftovers from an interrupted save and
 /// corrupt files are skipped, so a crash mid-write never blocks resume
-/// from the previous good checkpoint).
-pub fn load_run(path: &Path) -> io::Result<RunCheckpoint> {
+/// from the previous good checkpoint). An empty directory and a
+/// directory of only unreadable files are distinct typed errors, not
+/// panics.
+pub fn load_run(path: &Path) -> Result<RunCheckpoint, LoadError> {
     if path.is_dir() {
-        let mut rounds = checkpoint_rounds(path)?;
+        let mut rounds = checkpoint_rounds(path).map_err(LoadError::Io)?;
         if rounds.is_empty() {
-            return Err(io::Error::new(
-                io::ErrorKind::NotFound,
-                format!("no round_*.ckpt checkpoints in {}", path.display()),
-            ));
+            return Err(LoadError::NoCheckpoints { dir: path.to_path_buf() });
         }
         // Newest first; fall back past corrupt files to the last good one.
         rounds.reverse();
+        let tried = rounds.len();
         let mut last_err = None;
         for r in rounds {
             match load_bundle(checkpoint_file(path, r)).and_then(from_bundle) {
@@ -332,9 +376,15 @@ pub fn load_run(path: &Path) -> io::Result<RunCheckpoint> {
                 Err(e) => last_err = Some(e),
             }
         }
-        Err(last_err.expect("non-empty candidate list"))
+        Err(LoadError::AllCorrupt {
+            dir: path.to_path_buf(),
+            tried,
+            // `rounds` was non-empty, so the loop ran at least once and
+            // recorded an error before falling through to here.
+            last: last_err.unwrap_or_else(|| io::Error::other("no load attempted")),
+        })
     } else {
-        from_bundle(load_bundle(path)?)
+        from_bundle(load_bundle(path).map_err(LoadError::Io)?).map_err(LoadError::Io)
     }
 }
 
@@ -482,8 +532,28 @@ mod tests {
         let dir = tmpdir("empty");
         std::fs::create_dir_all(&dir).unwrap();
         let err = load_run(&dir).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        assert!(matches!(err, LoadError::NoCheckpoints { .. }), "got: {err}");
+        assert!(err.to_string().contains("no round_*.ckpt"), "bad message: {err}");
         assert!(latest_checkpoint(&dir).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_only_dir_is_a_typed_error_not_a_panic() {
+        let dir = tmpdir("corrupt_only");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Two named checkpoints, both garbage: the fallback scan used to
+        // end in `last_err.expect(..)`; now it reports what it tried.
+        std::fs::write(checkpoint_file(&dir, 2), b"KEMFCKPT nope").unwrap();
+        std::fs::write(checkpoint_file(&dir, 4), b"still nope").unwrap();
+        let err = load_run(&dir).unwrap_err();
+        match err {
+            LoadError::AllCorrupt { dir: ref d, tried, .. } => {
+                assert_eq!(tried, 2);
+                assert_eq!(d, &dir);
+            }
+            other => panic!("expected AllCorrupt, got: {other}"),
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -10,6 +10,7 @@
 
 use crate::lifecycle::RoundComm;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Running per-phase byte counters of a federated training run. Each
 /// round records the honest lifecycle split: downlink over the full
@@ -99,15 +100,73 @@ impl CostModel {
     }
 
     /// Round cost per client (the paper's "Round/Client" column).
-    pub fn round_cost_per_client(&self) -> u64 {
-        (self.down_bytes_per_client + self.up_bytes_per_client) * self.aux_multiplier
+    /// Checked: at million-client scale with auxiliary multipliers the
+    /// old unchecked arithmetic silently wrapped `u64`.
+    pub fn round_cost_per_client(&self) -> Result<u64, CostError> {
+        self.down_bytes_per_client
+            .checked_add(self.up_bytes_per_client)
+            .and_then(|per_dir| per_dir.checked_mul(self.aux_multiplier))
+            .ok_or(CostError::RoundCostOverflow {
+                down: self.down_bytes_per_client,
+                up: self.up_bytes_per_client,
+                aux: self.aux_multiplier,
+            })
     }
 
     /// Total cost for `rounds` rounds with `sampled` clients per round.
-    pub fn total_cost(&self, rounds: usize, sampled: usize) -> u64 {
-        self.round_cost_per_client() * rounds as u64 * sampled as u64
+    /// Computed through `u128` and rejected with a typed error when the
+    /// true value does not fit a byte count.
+    pub fn total_cost(&self, rounds: usize, sampled: usize) -> Result<u64, CostError> {
+        let round_cost = self.round_cost_per_client()?;
+        let total = round_cost as u128 * rounds as u128 * sampled as u128;
+        u64::try_from(total).map_err(|_| CostError::TotalCostOverflow {
+            round_cost,
+            rounds,
+            sampled,
+        })
     }
 }
+
+/// A closed-form cost that does not fit in a `u64` byte count. Silent
+/// wrapping here produced plausible-looking but garbage table entries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CostError {
+    /// `(down + up) × aux` overflowed.
+    RoundCostOverflow {
+        /// Downlink bytes per client.
+        down: u64,
+        /// Uplink bytes per client.
+        up: u64,
+        /// Auxiliary-state multiplier.
+        aux: u64,
+    },
+    /// `round_cost × rounds × sampled` exceeds `u64::MAX` bytes.
+    TotalCostOverflow {
+        /// Per-client round cost.
+        round_cost: u64,
+        /// Round count requested.
+        rounds: usize,
+        /// Sampled clients per round.
+        sampled: usize,
+    },
+}
+
+impl fmt::Display for CostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostError::RoundCostOverflow { down, up, aux } => write!(
+                f,
+                "per-client round cost ({down} + {up}) x {aux} overflows u64 bytes"
+            ),
+            CostError::TotalCostOverflow { round_cost, rounds, sampled } => write!(
+                f,
+                "total cost {round_cost} x {rounds} rounds x {sampled} clients overflows u64 bytes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CostError {}
 
 #[cfg(test)]
 mod tests {
@@ -145,10 +204,10 @@ mod tests {
         // ResNet-20 ≈ 0.27 M params ≈ 1.05 MB; up+down ≈ 2.1 MB/round/client.
         let model_bytes = 272_474u64 * 4;
         let m = CostModel::symmetric(model_bytes, 1);
-        let per_round_mb = m.round_cost_per_client() as f64 / (1024.0 * 1024.0);
+        let per_round_mb = m.round_cost_per_client().unwrap() as f64 / (1024.0 * 1024.0);
         assert!((per_round_mb - 2.08).abs() < 0.1, "{per_round_mb}");
         // FedAvg, 30 clients ratio 0.4 → 12 sampled, 163 rounds ≈ 4 GB.
-        let total_gb = m.total_cost(163, 12) as f64 / (1024.0f64.powi(3));
+        let total_gb = m.total_cost(163, 12).unwrap() as f64 / (1024.0f64.powi(3));
         assert!((total_gb - 3.97).abs() < 0.2, "{total_gb}");
     }
 
@@ -156,6 +215,39 @@ mod tests {
     fn aux_multiplier_doubles_cost() {
         let a = CostModel::symmetric(1000, 1);
         let b = CostModel::symmetric(1000, 2);
-        assert_eq!(b.total_cost(10, 5), 2 * a.total_cost(10, 5));
+        assert_eq!(b.total_cost(10, 5).unwrap(), 2 * a.total_cost(10, 5).unwrap());
+    }
+
+    #[test]
+    fn cost_overflow_is_a_typed_error_at_the_exact_boundary() {
+        // Round cost: (down + up) itself overflows…
+        let m = CostModel { down_bytes_per_client: u64::MAX, up_bytes_per_client: 1, aux_multiplier: 1 };
+        assert_eq!(
+            m.round_cost_per_client().unwrap_err(),
+            CostError::RoundCostOverflow { down: u64::MAX, up: 1, aux: 1 }
+        );
+        // …and the aux multiplier can push a fitting sum over the edge.
+        let m = CostModel::symmetric(u64::MAX / 2, 3);
+        assert!(matches!(m.round_cost_per_client(), Err(CostError::RoundCostOverflow { .. })));
+
+        // Total cost, straddling the boundary: round_cost × rounds ×
+        // sampled at exactly u64::MAX fits; one more client overflows.
+        let m = CostModel { down_bytes_per_client: u64::MAX / 15, up_bytes_per_client: 0, aux_multiplier: 1 };
+        assert_eq!(m.total_cost(3, 5).unwrap(), (u64::MAX / 15) * 15);
+        let err = m.total_cost(3, 6).unwrap_err();
+        assert_eq!(
+            err,
+            CostError::TotalCostOverflow { round_cost: u64::MAX / 15, rounds: 3, sampled: 6 }
+        );
+        // The message names every factor, so a log line alone explains it.
+        let msg = err.to_string();
+        assert!(msg.contains("3 rounds") && msg.contains("6 clients"), "bad message: {msg}");
+
+        // The realistic trigger: a million-client federation shipping a
+        // multi-GB foundation model with an aux multiplier for years of
+        // rounds — exactly the regime the paper's premise targets.
+        let m = CostModel::symmetric(8 * 1024 * 1024 * 1024, 2);
+        assert!(m.round_cost_per_client().is_ok(), "per-round still fits");
+        assert!(m.total_cost(100_000, 1_000_000).is_err(), "total honestly refuses");
     }
 }

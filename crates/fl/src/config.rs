@@ -99,6 +99,12 @@ pub struct FlConfig {
     /// Lifecycle fault model (per-phase drops, stragglers, upload
     /// retries, quorum). Defaults to a fully reliable fleet.
     pub faults: FaultConfig,
+    /// Stream each round's cohort through local update in batches of at
+    /// most this many clients, bounding resident models by the batch
+    /// instead of the cohort. `None` runs the whole cohort at once.
+    /// Purely a memory knob: all per-result arithmetic is sequential in
+    /// sampled order, so histories are bit-identical across batch sizes.
+    pub cohort_batch: Option<usize>,
     /// Master seed for sampling, partitioning, and initialization.
     pub seed: u64,
 }
@@ -120,6 +126,7 @@ impl Default for FlConfig {
             eval_batch: 64,
             dropout_prob: 0.0,
             faults: FaultConfig::default(),
+            cohort_batch: None,
             seed: 0,
         }
     }
@@ -130,6 +137,12 @@ impl FlConfig {
     pub fn sampled_per_round(&self) -> usize {
         (((self.n_clients as f32) * self.sample_ratio).round() as usize)
             .clamp(1, self.n_clients)
+    }
+
+    /// How many of a `cohort`-client round to hold resident at once
+    /// during local update: `cohort_batch` clamped to the cohort.
+    pub fn cohort_chunk(&self, cohort: usize) -> usize {
+        self.cohort_batch.unwrap_or(cohort).clamp(1, cohort.max(1))
     }
 
     /// SGD config at a given round (learning rate follows the schedule).
@@ -199,6 +212,9 @@ impl FlConfig {
                 bounds: "[0, 1)",
             });
         }
+        if self.cohort_batch == Some(0) {
+            return Err(ConfigError::ZeroCount { field: "cohort_batch" });
+        }
         self.faults.validate()?;
         if self.faults.min_quorum > self.sampled_per_round() {
             return Err(ConfigError::UnreachableQuorum {
@@ -244,6 +260,17 @@ mod tests {
     #[test]
     fn default_is_valid() {
         FlConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn cohort_batch_rejects_zero_and_clamps_to_cohort() {
+        let err = FlConfig { cohort_batch: Some(0), ..Default::default() }.validate().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroCount { field: "cohort_batch" });
+        let cfg = FlConfig { cohort_batch: Some(64), ..Default::default() };
+        cfg.validate().unwrap();
+        assert_eq!(cfg.cohort_chunk(10), 10);
+        assert_eq!(cfg.cohort_chunk(1000), 64);
+        assert_eq!(FlConfig::default().cohort_chunk(1000), 1000);
     }
 
     #[test]

@@ -18,7 +18,8 @@
 //! therefore serializes byte-identically to an uninterrupted run at the
 //! same seed (enforced by `tests/resume.rs` and the CI smoke).
 
-use crate::checkpoint::{self, CheckpointPolicy, RunCheckpoint};
+use crate::checkpoint::{self, CheckpointPolicy, LoadError, RunCheckpoint};
+use crate::client_store::StoreError;
 use crate::comm::CommTracker;
 use crate::config::ConfigError;
 use crate::context::FlContext;
@@ -28,7 +29,6 @@ use crate::state::{AlgorithmState, RestoreError};
 use crate::trace::{Counters, EventSink, NoopSink, Phase, RoundScope, TraceSink};
 use kemf_tensor::rng::{child_seed, seeded_rng};
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
 use rand::RngCore;
 use std::fmt;
 use std::path::PathBuf;
@@ -69,13 +69,18 @@ pub trait FedAlgorithm: Send {
     /// client fan-out in [`Phase::LocalUpdate`] and their server-side
     /// aggregation/distillation in [`Phase::Fusion`] via
     /// [`RoundScope::phase`] (a no-op branch when tracing is off).
+    ///
+    /// A round that cannot complete — a corrupt client-state slot, a
+    /// failed spill read — returns a typed [`EngineError`] (usually
+    /// [`EngineError::State`]) and the engine surfaces it to the
+    /// caller; it must not panic the process.
     fn round(
         &mut self,
         round: usize,
         sampled: &[usize],
         ctx: &FlContext,
         scope: &mut RoundScope<'_>,
-    ) -> RoundOutcome;
+    ) -> Result<RoundOutcome, EngineError>;
 
     /// Evaluate the current global model on the held-out test set.
     fn evaluate(&mut self, ctx: &FlContext) -> f32;
@@ -215,6 +220,9 @@ pub enum EngineError {
     Checkpoint(std::io::Error),
     /// Resuming from a checkpoint failed.
     Resume(ResumeError),
+    /// A per-client state-store operation failed mid-round (unknown
+    /// client slot, corrupt or unreadable spill file).
+    State(StoreError),
 }
 
 impl fmt::Display for EngineError {
@@ -224,6 +232,7 @@ impl fmt::Display for EngineError {
             EngineError::Init(e) => write!(f, "algorithm init failed: {e}"),
             EngineError::Checkpoint(e) => write!(f, "checkpoint write failed: {e}"),
             EngineError::Resume(e) => write!(f, "resume failed: {e}"),
+            EngineError::State(e) => write!(f, "client state store: {e}"),
         }
     }
 }
@@ -236,12 +245,32 @@ impl From<ConfigError> for EngineError {
     }
 }
 
+impl From<StoreError> for EngineError {
+    fn from(e: StoreError) -> Self {
+        EngineError::State(e)
+    }
+}
+
 /// Why a checkpoint refused to resume the current run.
 #[derive(Debug)]
 pub enum ResumeError {
     /// Reading the checkpoint failed (missing, truncated, wrong format —
     /// the message names the file).
     Io(std::io::Error),
+    /// The checkpoint directory exists but was never checkpointed into.
+    NoCheckpoints {
+        /// The directory scanned.
+        dir: PathBuf,
+    },
+    /// Checkpoints exist but every candidate failed to load.
+    AllCorrupt {
+        /// The directory scanned.
+        dir: PathBuf,
+        /// Candidates tried, newest first.
+        tried: usize,
+        /// The last candidate's load error.
+        last: std::io::Error,
+    },
     /// The checkpoint was written by a run with a different identity
     /// (config, fault model, algorithm, or seed).
     FingerprintMismatch {
@@ -278,6 +307,14 @@ impl fmt::Display for ResumeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ResumeError::Io(e) => write!(f, "{e}"),
+            ResumeError::NoCheckpoints { dir } => {
+                write!(f, "no round_*.ckpt checkpoints in {}", dir.display())
+            }
+            ResumeError::AllCorrupt { dir, tried, last } => write!(
+                f,
+                "all {tried} checkpoint(s) in {} failed to load; last error: {last}",
+                dir.display()
+            ),
             ResumeError::FingerprintMismatch { expected, found } => write!(
                 f,
                 "config fingerprint mismatch: run is {expected:#018x}, checkpoint is {found:#018x} \
@@ -298,20 +335,48 @@ impl fmt::Display for ResumeError {
 
 impl std::error::Error for ResumeError {}
 
-/// Draw the round's client subset: a seeded shuffle of all clients,
-/// truncated to the configured ratio (sorted for determinism of any
-/// order-dependent aggregation). An empty population yields an empty
+impl From<LoadError> for ResumeError {
+    fn from(e: LoadError) -> Self {
+        match e {
+            LoadError::Io(e) => ResumeError::Io(e),
+            LoadError::NoCheckpoints { dir } => ResumeError::NoCheckpoints { dir },
+            LoadError::AllCorrupt { dir, tried, last } => {
+                ResumeError::AllCorrupt { dir, tried, last }
+            }
+        }
+    }
+}
+
+/// Draw the round's client subset: a uniform `count`-element sample of
+/// `0..n_clients` without replacement, sorted (for determinism of any
+/// order-dependent aggregation). Implemented as a partial Fisher–Yates
+/// shuffle over a sparse swap table, so time and memory are O(count) —
+/// a 1%-sampled million-client round allocates ten thousand entries,
+/// not a million-element shuffle. An empty population yields an empty
 /// sample — `clamp(1, 0)` used to panic here; configs reject
 /// `n_clients == 0` up front in [`crate::config::FlConfig::validate`].
 pub fn sample_clients(n_clients: usize, count: usize, rng: &mut StdRng) -> Vec<usize> {
+    use rand::Rng;
     if n_clients == 0 {
         return Vec::new();
     }
-    let mut ids: Vec<usize> = (0..n_clients).collect();
-    ids.shuffle(rng);
-    ids.truncate(count.clamp(1, n_clients));
-    ids.sort_unstable();
-    ids
+    let count = count.clamp(1, n_clients);
+    if count == n_clients {
+        return (0..n_clients).collect();
+    }
+    // Virtual array a[i] = i; `swaps` records only displaced entries.
+    let mut swaps: std::collections::HashMap<usize, usize> =
+        std::collections::HashMap::with_capacity(count * 2);
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let j = rng.gen_range(i..n_clients);
+        let vj = swaps.get(&j).copied().unwrap_or(j);
+        let vi = swaps.get(&i).copied().unwrap_or(i);
+        out.push(vj);
+        swaps.insert(j, vi);
+    }
+    out.sort_unstable();
+    out
 }
 
 /// Legacy single-knob failure injection: drop each sampled client with
@@ -448,7 +513,7 @@ fn run_core(
     let mut resumed_from = None;
     if let Some(path) = &opts.resume_from {
         let ckpt = checkpoint::load_run(path)
-            .map_err(|e| EngineError::Resume(ResumeError::Io(e)))?;
+            .map_err(|e| EngineError::Resume(ResumeError::from(e)))?;
         if ckpt.algorithm != algo_name {
             return Err(EngineError::Resume(ResumeError::AlgorithmMismatch {
                 expected: algo_name,
@@ -520,7 +585,7 @@ fn run_core(
         // clients report, so there is no training loss to record: NaN,
         // not 0.0 (which every loss series would read as *perfect*).
         let train_loss = if quorum_met {
-            algo.round(round, &reporters, ctx, &mut scope).train_loss
+            algo.round(round, &reporters, ctx, &mut scope)?.train_loss
         } else {
             f32::NAN
         };
@@ -675,9 +740,9 @@ mod tests {
             sampled: &[usize],
             _ctx: &FlContext,
             _scope: &mut RoundScope<'_>,
-        ) -> RoundOutcome {
+        ) -> Result<RoundOutcome, EngineError> {
             self.rounds_seen.push(sampled.to_vec());
-            RoundOutcome { train_loss: 1.0 }
+            Ok(RoundOutcome { train_loss: 1.0 })
         }
         fn evaluate(&mut self, _ctx: &FlContext) -> f32 {
             self.evals += 1;
@@ -753,6 +818,23 @@ mod tests {
         let r1 = sample_clients(30, 12, &mut rng);
         let r2 = sample_clients(30, 12, &mut rng);
         assert_ne!(r1, r2);
+    }
+
+    #[test]
+    fn sampling_is_uniform_sorted_and_cheap_at_population_scale() {
+        let mut rng = seeded_rng(11);
+        // A 1%-sampled million-client draw: O(count) partial
+        // Fisher–Yates, no million-element shuffle.
+        let s = sample_clients(1_000_000, 10_000, &mut rng);
+        assert_eq!(s.len(), 10_000);
+        assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted and unique");
+        assert!(s.iter().all(|&k| k < 1_000_000));
+        // Full-population sampling is the identity permutation.
+        assert_eq!(sample_clients(5, 5, &mut rng), vec![0, 1, 2, 3, 4]);
+        assert_eq!(sample_clients(5, 99, &mut rng), vec![0, 1, 2, 3, 4]);
+        // Rough uniformity: the sample's mean index sits near the middle.
+        let mean = s.iter().sum::<usize>() as f64 / s.len() as f64;
+        assert!((mean - 500_000.0).abs() < 25_000.0, "mean index {mean}");
     }
 
     #[test]
@@ -964,7 +1046,7 @@ mod tests {
     #[test]
     fn context_exposes_partition_stats() {
         let ctx = tiny_ctx();
-        assert_eq!(ctx.client_data.len(), 6);
+        assert_eq!(ctx.n_shards(), 6);
         assert_eq!(ctx.total_train_samples(), 120);
         assert!(ctx.heterogeneity > 0.0);
         assert_eq!(ctx.classes(), 10);

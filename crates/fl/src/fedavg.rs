@@ -3,12 +3,12 @@
 //! weighted average of the returned weights.
 
 use crate::context::FlContext;
-use crate::engine::{FedAlgorithm, RoundOutcome};
+use crate::engine::{EngineError, FedAlgorithm, RoundOutcome};
 use crate::lifecycle::WirePayload;
 use crate::local::LocalCfg;
 use crate::state::{check_model_layout, AlgorithmState, RestoreError};
 use crate::trace::{Phase, RoundScope};
-use crate::weight_common::{fan_out_clients, mean_loss, GlobalModel};
+use crate::weight_common::{fan_out_clients, GlobalModel, StateAverage};
 use kemf_nn::models::ModelSpec;
 use kemf_nn::serialize::ModelState;
 
@@ -44,34 +44,53 @@ impl FedAlgorithm for FedAvg {
         sampled: &[usize],
         ctx: &FlContext,
         scope: &mut RoundScope<'_>,
-    ) -> RoundOutcome {
+    ) -> Result<RoundOutcome, EngineError> {
+        if sampled.is_empty() {
+            // Nothing reported: no loss exists and the global state must
+            // not move (an average over zero clients has no value).
+            return Ok(RoundOutcome { train_loss: f32::NAN });
+        }
         let local = LocalCfg {
             epochs: ctx.cfg.local_epochs,
             batch: ctx.cfg.batch_size,
             sgd: ctx.cfg.sgd_at(round),
         };
-        let results = scope.phase(Phase::LocalUpdate, |c| {
-            let results = fan_out_clients(
-                &self.global.state,
-                self.global.spec,
-                round,
-                sampled,
-                ctx,
-                &local,
-                &|_k| None,
-            );
-            c.clients = results.len();
-            c.steps = results.iter().map(|r| r.outcome.steps as u64).sum();
-            c.batches = c.steps;
-            results
+        // Coefficient total over the whole cohort, computed before
+        // streaming: the running average divides by it up front, so any
+        // cohort_batch size folds results identically.
+        let total: f32 = sampled.iter().map(|&k| ctx.client_shard_len(k) as f32).sum();
+        let chunk = ctx.cfg.cohort_chunk(sampled.len());
+        let mut avg = StateAverage::new(&self.global.state, total);
+        let mut loss_sum = 0.0f32;
+        let mut reported = 0usize;
+        scope.phase(Phase::LocalUpdate, |c| {
+            for batch in sampled.chunks(chunk) {
+                let results = fan_out_clients(
+                    &self.global.state,
+                    self.global.spec,
+                    round,
+                    batch,
+                    ctx,
+                    &local,
+                    &|_k| None,
+                );
+                c.clients += results.len();
+                c.steps += results.iter().map(|r| r.outcome.steps as u64).sum::<u64>();
+                c.batches = c.steps;
+                // Sequential in sampled order, so f32 accumulation is
+                // bit-identical no matter how the cohort was batched.
+                for r in &results {
+                    avg.add(&r.state, r.n_samples as f32);
+                    loss_sum += r.outcome.mean_loss;
+                    reported += 1;
+                }
+            }
         });
         scope.phase(Phase::Fusion, |c| {
-            c.clients = results.len();
-            let states: Vec<ModelState> = results.iter().map(|r| r.state.clone()).collect();
-            let coeffs: Vec<f32> = results.iter().map(|r| r.n_samples as f32).collect();
-            self.global.state = ModelState::weighted_average(&states, &coeffs);
+            c.clients = reported;
+            self.global.state = avg.finish();
         });
-        RoundOutcome { train_loss: mean_loss(&results) }
+        Ok(RoundOutcome { train_loss: loss_sum / reported as f32 })
     }
 
     fn evaluate(&mut self, ctx: &FlContext) -> f32 {
@@ -157,6 +176,22 @@ mod tests {
             run(&mut algo, &ctx).accuracies()
         };
         assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn cohort_batching_is_bit_identical() {
+        // cohort_batch is a memory knob only: the streamed average and
+        // the sequential loss fold must reproduce the unbatched history
+        // bit for bit, whatever the batch size.
+        let history = |batch: Option<usize>| {
+            let mut ctx = tiny_ctx(15);
+            ctx.cfg.cohort_batch = batch;
+            let mut algo = FedAvg::new(ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 0));
+            run(&mut algo, &ctx).records
+        };
+        let whole = history(None);
+        assert_eq!(whole, history(Some(1)));
+        assert_eq!(whole, history(Some(3)));
     }
 
     #[test]

@@ -12,14 +12,13 @@
 //! accounts as a 2× per-round payload vs FedAvg.
 
 use crate::context::FlContext;
-use crate::engine::{FedAlgorithm, RoundOutcome};
+use crate::engine::{EngineError, FedAlgorithm, RoundOutcome};
 use crate::lifecycle::WirePayload;
 use crate::local::LocalCfg;
 use crate::state::{check_model_layout, AlgorithmState, RestoreError};
 use crate::trace::{Phase, RoundScope};
-use crate::weight_common::{fan_out_clients, mean_loss, GlobalModel};
+use crate::weight_common::{fan_out_clients, GlobalModel, WeightsAverage};
 use kemf_nn::models::ModelSpec;
-use kemf_nn::serialize::Weights;
 
 /// The FedNova baseline.
 pub struct FedNova {
@@ -49,48 +48,60 @@ impl FedAlgorithm for FedNova {
         sampled: &[usize],
         ctx: &FlContext,
         scope: &mut RoundScope<'_>,
-    ) -> RoundOutcome {
+    ) -> Result<RoundOutcome, EngineError> {
+        if sampled.is_empty() {
+            return Ok(RoundOutcome { train_loss: f32::NAN });
+        }
         let local = LocalCfg {
             epochs: ctx.cfg.local_epochs,
             batch: ctx.cfg.batch_size,
             sgd: ctx.cfg.sgd_at(round),
         };
-        let results = scope.phase(Phase::LocalUpdate, |c| {
-            let results = fan_out_clients(
-                &self.global.state,
-                self.global.spec,
-                round,
-                sampled,
-                ctx,
-                &local,
-                &|_k| None,
-            );
-            c.clients = results.len();
-            c.steps = results.iter().map(|r| r.outcome.steps as u64).sum();
-            c.batches = c.steps;
-            results
+        // Σ n over the whole cohort, before streaming (identical f32 sum
+        // order to the per-result fold it replaces: sampled order).
+        let total_n: f32 = sampled.iter().map(|&k| ctx.client_shard_len(k) as f32).sum();
+        let chunk = ctx.cfg.cohort_chunk(sampled.len());
+        // Normalized directions d_k = (w_global − w_k) / τ_k, folded in
+        // as each client reports; the global stays fixed until fusion.
+        let mut combined = self.global.state.params.zeros_like();
+        let mut tau_eff = 0.0f32;
+        let mut buffers = WeightsAverage::new(&self.global.state.buffers, total_n);
+        let mut loss_sum = 0.0f32;
+        let mut reported = 0usize;
+        scope.phase(Phase::LocalUpdate, |c| {
+            for batch in sampled.chunks(chunk) {
+                let results = fan_out_clients(
+                    &self.global.state,
+                    self.global.spec,
+                    round,
+                    batch,
+                    ctx,
+                    &local,
+                    &|_k| None,
+                );
+                c.clients += results.len();
+                c.steps += results.iter().map(|r| r.outcome.steps as u64).sum::<u64>();
+                c.batches = c.steps;
+                for r in &results {
+                    let tau = r.outcome.steps.max(1) as f32;
+                    let p = r.n_samples as f32 / total_n;
+                    tau_eff += p * tau;
+                    let d = self.global.state.params.delta(&r.state.params);
+                    combined.scale_add(1.0, &d, p / tau);
+                    // Buffers: weighted average, as for FedAvg.
+                    buffers.add(&r.state.buffers, r.n_samples as f32);
+                    loss_sum += r.outcome.mean_loss;
+                    reported += 1;
+                }
+            }
         });
         scope.phase(Phase::Fusion, |c| {
-            c.clients = results.len();
-            let total_n: f32 = results.iter().map(|r| r.n_samples as f32).sum();
-            // Normalized directions d_k = (w_global − w_k) / τ_k.
-            let mut combined = self.global.state.params.zeros_like();
-            let mut tau_eff = 0.0f32;
-            for r in &results {
-                let tau = r.outcome.steps.max(1) as f32;
-                let p = r.n_samples as f32 / total_n;
-                tau_eff += p * tau;
-                let d = self.global.state.params.delta(&r.state.params);
-                combined.scale_add(1.0, &d, p / tau);
-            }
+            c.clients = reported;
             // w ← w − τ_eff · Σ p_k d_k  (note d already points from w to w_k).
             self.global.state.params.scale_add(1.0, &combined, -tau_eff);
-            // Buffers: weighted average, as for FedAvg.
-            let buffers: Vec<Weights> = results.iter().map(|r| r.state.buffers.clone()).collect();
-            let coeffs: Vec<f32> = results.iter().map(|r| r.n_samples as f32).collect();
-            self.global.state.buffers = Weights::weighted_average(&buffers, &coeffs);
+            self.global.state.buffers = buffers.finish();
         });
-        RoundOutcome { train_loss: mean_loss(&results) }
+        Ok(RoundOutcome { train_loss: loss_sum / reported as f32 })
     }
 
     fn evaluate(&mut self, ctx: &FlContext) -> f32 {

@@ -3,15 +3,14 @@
 //! client drift under heterogeneous data.
 
 use crate::context::FlContext;
-use crate::engine::{FedAlgorithm, RoundOutcome};
+use crate::engine::{EngineError, FedAlgorithm, RoundOutcome};
 use crate::lifecycle::WirePayload;
 use crate::local::{add_prox_to_grads, LocalCfg};
 use crate::state::{check_model_layout, AlgorithmState, RestoreError};
 use crate::trace::{Phase, RoundScope};
-use crate::weight_common::{fan_out_clients, mean_loss, GlobalModel};
+use crate::weight_common::{fan_out_clients, GlobalModel, StateAverage};
 use kemf_nn::layer::Layer;
 use kemf_nn::models::ModelSpec;
-use kemf_nn::serialize::ModelState;
 use std::sync::Arc;
 
 /// The FedProx baseline.
@@ -44,7 +43,10 @@ impl FedAlgorithm for FedProx {
         sampled: &[usize],
         ctx: &FlContext,
         scope: &mut RoundScope<'_>,
-    ) -> RoundOutcome {
+    ) -> Result<RoundOutcome, EngineError> {
+        if sampled.is_empty() {
+            return Ok(RoundOutcome { train_loss: f32::NAN });
+        }
         let local = LocalCfg {
             epochs: ctx.cfg.local_epochs,
             batch: ctx.cfg.batch_size,
@@ -53,33 +55,43 @@ impl FedAlgorithm for FedProx {
         // Every client's hook pulls toward this round's global weights.
         let anchor = Arc::new(self.global.state.params.values.clone());
         let mu = self.mu;
-        let results = scope.phase(Phase::LocalUpdate, |c| {
-            let results = fan_out_clients(
-                &self.global.state,
-                self.global.spec,
-                round,
-                sampled,
-                ctx,
-                &local,
-                &move |_k| {
-                    let anchor = Arc::clone(&anchor);
-                    Some(Box::new(move |net: &mut dyn Layer| {
-                        add_prox_to_grads(net, &anchor, mu);
-                    }) as Box<dyn Fn(&mut dyn Layer) + Send + Sync>)
-                },
-            );
-            c.clients = results.len();
-            c.steps = results.iter().map(|r| r.outcome.steps as u64).sum();
-            c.batches = c.steps;
-            results
+        let total: f32 = sampled.iter().map(|&k| ctx.client_shard_len(k) as f32).sum();
+        let chunk = ctx.cfg.cohort_chunk(sampled.len());
+        let mut avg = StateAverage::new(&self.global.state, total);
+        let mut loss_sum = 0.0f32;
+        let mut reported = 0usize;
+        scope.phase(Phase::LocalUpdate, |c| {
+            for batch in sampled.chunks(chunk) {
+                let anchor = Arc::clone(&anchor);
+                let results = fan_out_clients(
+                    &self.global.state,
+                    self.global.spec,
+                    round,
+                    batch,
+                    ctx,
+                    &local,
+                    &move |_k| {
+                        let anchor = Arc::clone(&anchor);
+                        Some(Box::new(move |net: &mut dyn Layer| {
+                            add_prox_to_grads(net, &anchor, mu);
+                        }) as Box<dyn Fn(&mut dyn Layer) + Send + Sync>)
+                    },
+                );
+                c.clients += results.len();
+                c.steps += results.iter().map(|r| r.outcome.steps as u64).sum::<u64>();
+                c.batches = c.steps;
+                for r in &results {
+                    avg.add(&r.state, r.n_samples as f32);
+                    loss_sum += r.outcome.mean_loss;
+                    reported += 1;
+                }
+            }
         });
         scope.phase(Phase::Fusion, |c| {
-            c.clients = results.len();
-            let states: Vec<ModelState> = results.iter().map(|r| r.state.clone()).collect();
-            let coeffs: Vec<f32> = results.iter().map(|r| r.n_samples as f32).collect();
-            self.global.state = ModelState::weighted_average(&states, &coeffs);
+            c.clients = reported;
+            self.global.state = avg.finish();
         });
-        RoundOutcome { train_loss: mean_loss(&results) }
+        Ok(RoundOutcome { train_loss: loss_sum / reported as f32 })
     }
 
     fn evaluate(&mut self, ctx: &FlContext) -> f32 {

@@ -8,6 +8,9 @@
 //!   and the [`engine::Engine::run`]/[`engine::RunOptions`] entry point;
 //! * [`state`] / [`checkpoint`] — the algorithm-state bundle and the
 //!   crash-consistent run-checkpoint layer behind resumable runs;
+//! * [`client_store`] — per-client state at population scale: memory
+//!   slots for small worlds, atomic disk spill (O(cohort) resident) for
+//!   million-client ones;
 //! * [`context`] — immutable experiment state: Dirichlet-partitioned
 //!   client shards and the test set;
 //! * [`local`] — the shared local-SGD loop with gradient hooks (proximal
@@ -35,6 +38,7 @@
 //! ```
 
 pub mod checkpoint;
+pub mod client_store;
 pub mod comm;
 pub mod compress;
 pub mod config;
@@ -55,7 +59,8 @@ pub mod weight_common;
 pub mod prelude {
     //! Common imports for downstream crates.
     pub use crate::checkpoint::CheckpointPolicy;
-    pub use crate::comm::{CommTracker, CostModel};
+    pub use crate::client_store::{ClientBlob, ClientStateStore, SpillConfig, StoreError};
+    pub use crate::comm::{CommTracker, CostError, CostModel};
     pub use crate::compress::{dequantize, quantize, CompressError, QuantizedWeights};
     pub use crate::config::{ConfigError, FlConfig};
     pub use crate::context::FlContext;

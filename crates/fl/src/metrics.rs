@@ -20,18 +20,23 @@ pub struct FairnessSummary {
     pub max: f32,
 }
 
-/// Summarize per-client accuracies into a fairness triple.
-pub fn fairness_summary(per_client: &[f32]) -> FairnessSummary {
-    assert!(!per_client.is_empty(), "no client accuracies");
+/// Summarize per-client accuracies into a fairness triple. `None` when
+/// no clients reported — the old version asserted, killing a server over
+/// a fully-dropped round, and a 0/0 variant would have reported NaN/±∞
+/// as if they were measurements.
+pub fn fairness_summary(per_client: &[f32]) -> Option<FairnessSummary> {
+    if per_client.is_empty() {
+        return None;
+    }
     let n = per_client.len() as f32;
     let mean = per_client.iter().sum::<f32>() / n;
     let var = per_client.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / n;
-    FairnessSummary {
+    Some(FairnessSummary {
         mean,
         std: var.sqrt(),
         min: per_client.iter().copied().fold(f32::INFINITY, f32::min),
         max: per_client.iter().copied().fold(f32::NEG_INFINITY, f32::max),
-    }
+    })
 }
 
 /// One communication round's observables, including the per-phase
@@ -163,9 +168,11 @@ impl History {
 
     /// Convergence accuracy: mean test accuracy over the last `window`
     /// rounds (the paper's "converge acc."). Uses all rounds if fewer.
+    /// NaN for an empty history — a mean over zero rounds is not `0.0`,
+    /// and downstream `{:.4}` formatting renders NaN honestly.
     pub fn converged_accuracy(&self, window: usize) -> f32 {
         if self.records.is_empty() {
-            return 0.0;
+            return f32::NAN;
         }
         let w = window.clamp(1, self.records.len());
         let tail = &self.records[self.records.len() - w..];
@@ -315,7 +322,8 @@ mod tests {
     fn empty_history_is_safe() {
         let h = History::new("x");
         assert_eq!(h.rounds_to_target(0.1), None);
-        assert_eq!(h.converged_accuracy(5), 0.0);
+        assert!(h.converged_accuracy(5).is_nan(), "no rounds → no mean, not a fake 0.0");
+        assert_eq!(h.tail_std(5), 0.0);
         assert_eq!(h.best_accuracy(), 0.0);
         assert_eq!(h.total_bytes(), 0);
     }
@@ -369,12 +377,15 @@ mod tests {
 
     #[test]
     fn fairness_summary_statistics() {
-        let f = fairness_summary(&[0.5, 0.7, 0.9]);
+        let f = fairness_summary(&[0.5, 0.7, 0.9]).unwrap();
         assert!((f.mean - 0.7).abs() < 1e-6);
         assert!((f.min - 0.5).abs() < 1e-6);
         assert!((f.max - 0.9).abs() < 1e-6);
         assert!(f.std > 0.1 && f.std < 0.2);
-        let uniform = fairness_summary(&[0.6; 4]);
+        let uniform = fairness_summary(&[0.6; 4]).unwrap();
         assert!(uniform.std < 1e-6, "identical clients are perfectly fair");
+        // Zero reporting clients is an absence of data, not a NaN/±∞
+        // summary and not a process-killing assert.
+        assert!(fairness_summary(&[]).is_none());
     }
 }

@@ -12,17 +12,18 @@
 //! Control variates double the per-round payload in both directions, which
 //! the paper's cost tables account as 2× FedAvg.
 
+use crate::client_store::{ClientBlob, ClientStateStore, SpillConfig, StoreError};
 use crate::config::ConfigError;
 use crate::context::FlContext;
-use crate::engine::{FedAlgorithm, RoundOutcome};
+use crate::engine::{EngineError, FedAlgorithm, RoundOutcome};
 use crate::lifecycle::WirePayload;
 use crate::local::{add_flat_to_grads, LocalCfg};
 use crate::state::{check_model_layout, check_tensor_dims, AlgorithmState, RestoreError};
 use crate::trace::{Phase, RoundScope};
-use crate::weight_common::{fan_out_clients, mean_loss, GlobalModel};
+use crate::weight_common::{fan_out_clients, GlobalModel, StateAverage};
 use kemf_nn::layer::Layer;
 use kemf_nn::models::ModelSpec;
-use kemf_nn::serialize::ModelState;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// The SCAFFOLD baseline.
@@ -30,8 +31,33 @@ pub struct Scaffold {
     global: GlobalModel,
     /// Server control variate (flat, parameter layout).
     c: Vec<f32>,
-    /// Per-client control variates.
-    c_clients: Vec<Vec<f32>>,
+    /// Per-client control variates, fetched and committed through the
+    /// client-state store (resident for memory mode, spilled to disk for
+    /// population-scale cohorts).
+    store: ClientStateStore,
+    spill: Option<SpillConfig>,
+}
+
+/// A fresh client's control variate: all zeros, as the paper initializes.
+fn zero_variate(dim: usize) -> ClientBlob {
+    ClientBlob::new().with_tensor("c", vec![dim], vec![0.0; dim])
+}
+
+/// Pull the flat variate out of a stored blob, validating its length.
+fn variate_from_blob(blob: &ClientBlob, k: usize, dim: usize) -> Result<Vec<f32>, StoreError> {
+    let t = blob
+        .tensor("c")
+        .ok_or_else(|| StoreError::Corrupt {
+            client: k,
+            detail: "missing control-variate tensor `c`".into(),
+        })?;
+    if t.values.len() != dim {
+        return Err(StoreError::Corrupt {
+            client: k,
+            detail: format!("control variate has {} values, model has {dim}", t.values.len()),
+        });
+    }
+    Ok(t.values.clone())
 }
 
 impl Scaffold {
@@ -39,7 +65,14 @@ impl Scaffold {
     pub fn new(spec: ModelSpec) -> Self {
         let global = GlobalModel::new(spec);
         let dim = global.state.params.numel();
-        Scaffold { global, c: vec![0.0; dim], c_clients: Vec::new() }
+        Scaffold { global, c: vec![0.0; dim], store: ClientStateStore::in_memory(0), spill: None }
+    }
+
+    /// Spill per-client control variates to `spill.dir` instead of
+    /// holding `n_clients` of them resident.
+    pub fn with_spill(mut self, spill: SpillConfig) -> Self {
+        self.spill = Some(spill);
+        self
     }
 }
 
@@ -50,7 +83,18 @@ impl FedAlgorithm for Scaffold {
 
     fn init(&mut self, ctx: &FlContext) -> Result<(), ConfigError> {
         let dim = self.global.state.params.numel();
-        self.c_clients = vec![vec![0.0; dim]; ctx.cfg.n_clients];
+        self.store = match &self.spill {
+            Some(spill) => ClientStateStore::sharded(ctx.cfg.n_clients, spill.clone())
+                .map_err(|e| ConfigError::AlgorithmSetup {
+                    algorithm: self.name(),
+                    reason: format!("opening spill store: {e}"),
+                })?,
+            None => {
+                let mut store = ClientStateStore::in_memory(ctx.cfg.n_clients);
+                store.seed_all(|_| zero_variate(dim));
+                store
+            }
+        };
         Ok(())
     }
 
@@ -65,7 +109,11 @@ impl FedAlgorithm for Scaffold {
         sampled: &[usize],
         ctx: &FlContext,
         scope: &mut RoundScope<'_>,
-    ) -> RoundOutcome {
+    ) -> Result<RoundOutcome, EngineError> {
+        self.store.begin_round(round);
+        if sampled.is_empty() {
+            return Ok(RoundOutcome { train_loss: f32::NAN });
+        }
         // SCAFFOLD's control-variate refresh divides by K·η assuming plain
         // local SGD; momentum would inflate the effective step by
         // 1/(1−ρ) and blow the variates up, so it is disabled locally
@@ -79,70 +127,91 @@ impl FedAlgorithm for Scaffold {
             sgd,
         };
         let eta = local.sgd.lr;
-        // Per-client corrections (c − c_k), computed up front and shared
-        // with the parallel fan-out.
-        let corrections: Vec<Arc<Vec<f32>>> = sampled
-            .iter()
-            .map(|&k| {
-                Arc::new(
-                    self.c
-                        .iter()
-                        .zip(self.c_clients[k].iter())
-                        .map(|(&c, &ck)| c - ck)
-                        .collect::<Vec<f32>>(),
-                )
-            })
-            .collect();
-        let index_of = |k: usize| sampled.iter().position(|&s| s == k).unwrap();
-        let corrections_ref = &corrections;
-        let results = scope.phase(Phase::LocalUpdate, |ctr| {
-            let results = fan_out_clients(
-                &self.global.state,
-                self.global.spec,
-                round,
-                sampled,
-                ctx,
-                &local,
-                &move |k| {
-                    let corr = Arc::clone(&corrections_ref[index_of(k)]);
-                    Some(Box::new(move |net: &mut dyn Layer| {
-                        add_flat_to_grads(net, &corr, 1.0);
-                    }) as Box<dyn Fn(&mut dyn Layer) + Send + Sync>)
-                },
-            );
-            ctr.clients = results.len();
-            ctr.steps = results.iter().map(|r| r.outcome.steps as u64).sum();
-            ctr.batches = ctr.steps;
-            results
-        });
-        scope.phase(Phase::Fusion, |ctr| {
-            ctr.clients = results.len();
-            // Control-variate refresh (option II) and aggregation.
-            let mut delta_c_mean = vec![0.0f32; self.c.len()];
-            for r in &results {
-                let k = r.client;
-                let steps = r.outcome.steps.max(1) as f32;
-                let inv = 1.0 / (steps * eta);
-                let g = &self.global.state.params.values;
-                let w = &r.state.params.values;
-                let ck = &mut self.c_clients[k];
-                for i in 0..ck.len() {
-                    let ck_new = ck[i] - self.c[i] + (g[i] - w[i]) * inv;
-                    delta_c_mean[i] += (ck_new - ck[i]) / results.len() as f32;
-                    ck[i] = ck_new;
+        let dim = self.c.len();
+        let n_sampled = sampled.len();
+        let chunk = ctx.cfg.cohort_chunk(n_sampled);
+        let mut avg = StateAverage::new(&self.global.state, n_sampled as f32);
+        let mut delta_c_mean = vec![0.0f32; dim];
+        let mut loss_sum = 0.0f32;
+        scope.phase(Phase::LocalUpdate, |ctr| -> Result<(), EngineError> {
+            for batch in sampled.chunks(chunk) {
+                // Sequential fetch: the store is `&mut self` and cannot
+                // cross the parallel fan-out.
+                let mut variates = Vec::with_capacity(batch.len());
+                for &k in batch {
+                    let blob = self.store.fetch(k, |_| zero_variate(dim))?;
+                    variates.push(variate_from_blob(&blob, k, dim)?);
+                }
+                // Per-client corrections (c − c_k), shared with the
+                // parallel fan-out.
+                let corrections: Vec<Arc<Vec<f32>>> = variates
+                    .iter()
+                    .map(|ck| {
+                        Arc::new(
+                            self.c
+                                .iter()
+                                .zip(ck.iter())
+                                .map(|(&c, &ck)| c - ck)
+                                .collect::<Vec<f32>>(),
+                        )
+                    })
+                    .collect();
+                let index_of: HashMap<usize, usize> =
+                    batch.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+                let corrections_ref = &corrections;
+                let index_ref = &index_of;
+                let results = fan_out_clients(
+                    &self.global.state,
+                    self.global.spec,
+                    round,
+                    batch,
+                    ctx,
+                    &local,
+                    &move |k| {
+                        let corr = Arc::clone(&corrections_ref[index_ref[&k]]);
+                        Some(Box::new(move |net: &mut dyn Layer| {
+                            add_flat_to_grads(net, &corr, 1.0);
+                        }) as Box<dyn Fn(&mut dyn Layer) + Send + Sync>)
+                    },
+                );
+                ctr.clients += results.len();
+                ctr.steps += results.iter().map(|r| r.outcome.steps as u64).sum::<u64>();
+                ctr.batches = ctr.steps;
+                // Control-variate refresh (option II), committed back to
+                // the store; sequential in sampled order so the f32 folds
+                // are bit-identical across batch sizes.
+                for (i, r) in results.iter().enumerate() {
+                    let steps = r.outcome.steps.max(1) as f32;
+                    let inv = 1.0 / (steps * eta);
+                    let g = &self.global.state.params.values;
+                    let w = &r.state.params.values;
+                    let ck = &variates[i];
+                    let mut ck_new = vec![0.0f32; dim];
+                    for j in 0..dim {
+                        ck_new[j] = ck[j] - self.c[j] + (g[j] - w[j]) * inv;
+                        delta_c_mean[j] += (ck_new[j] - ck[j]) / n_sampled as f32;
+                    }
+                    self.store.commit(
+                        r.client,
+                        ClientBlob::new().with_tensor("c", vec![dim], ck_new),
+                    )?;
+                    // Uniform mean of client states (SCAFFOLD aggregates
+                    // with global learning rate 1).
+                    avg.add(&r.state, 1.0);
+                    loss_sum += r.outcome.mean_loss;
                 }
             }
-            let frac = results.len() as f32 / ctx.cfg.n_clients as f32;
+            Ok(())
+        })?;
+        scope.phase(Phase::Fusion, |ctr| {
+            ctr.clients = n_sampled;
+            let frac = n_sampled as f32 / ctx.cfg.n_clients as f32;
             for (c, &d) in self.c.iter_mut().zip(delta_c_mean.iter()) {
                 *c += frac * d;
             }
-            // Uniform mean of client states (SCAFFOLD aggregates with global
-            // learning rate 1).
-            let states: Vec<ModelState> = results.iter().map(|r| r.state.clone()).collect();
-            let coeffs = vec![1.0f32; states.len()];
-            self.global.state = ModelState::weighted_average(&states, &coeffs);
+            self.global.state = avg.finish();
         });
-        RoundOutcome { train_loss: mean_loss(&results) }
+        Ok(RoundOutcome { train_loss: loss_sum / n_sampled as f32 })
     }
 
     fn evaluate(&mut self, ctx: &FlContext) -> f32 {
@@ -150,16 +219,29 @@ impl FedAlgorithm for Scaffold {
     }
 
     fn state(&self) -> AlgorithmState {
-        let n = self.c_clients.len();
+        let n = self.store.n_clients();
         let dim = self.c.len();
-        let mut flat = Vec::with_capacity(n * dim);
-        for ck in &self.c_clients {
-            flat.extend_from_slice(ck);
-        }
-        AlgorithmState::new(self.name(), 1)
+        let base = AlgorithmState::new(self.name(), 1)
             .with_model("global", self.global.state.clone())
-            .with_tensor("c", vec![dim], self.c.clone())
-            .with_tensor("c_clients", vec![n, dim], flat)
+            .with_tensor("c", vec![dim], self.c.clone());
+        if self.store.is_sharded() {
+            // Per-client variates already live in the spill directory
+            // (write-through commits); the checkpoint carries only the
+            // population size so restore can refuse a mismatched spill.
+            base.with_scalar("sharded_clients", n as f64)
+        } else {
+            let mut flat = Vec::with_capacity(n * dim);
+            for k in 0..n {
+                let blob = self
+                    .store
+                    .read(k, |_| zero_variate(dim))
+                    .expect("memory store is seeded at init");
+                flat.extend_from_slice(
+                    &blob.tensor("c").expect("variate tensor present").values,
+                );
+            }
+            base.with_tensor("c_clients", vec![n, dim], flat)
+        }
     }
 
     fn restore(&mut self, state: &AlgorithmState) -> Result<(), RestoreError> {
@@ -169,15 +251,29 @@ impl FedAlgorithm for Scaffold {
         let dim = self.c.len();
         let c = state.tensor("c")?;
         check_tensor_dims("c", c, &[dim])?;
-        let cc = state.tensor("c_clients")?;
-        // init() has already sized c_clients for this context, so the
+        // init() has already built the store for this context, so the
         // client count is known and enforceable here.
-        check_tensor_dims("c_clients", cc, &[self.c_clients.len(), dim])?;
+        let n = self.store.n_clients();
+        if self.store.is_sharded() {
+            let recorded = state.scalar("sharded_clients")?;
+            if recorded != n as f64 {
+                return Err(RestoreError::ShapeMismatch {
+                    name: "sharded_clients".into(),
+                    detail: format!("checkpoint covers {recorded} clients, store has {n}"),
+                });
+            }
+        } else {
+            let cc = state.tensor("c_clients")?;
+            check_tensor_dims("c_clients", cc, &[n, dim])?;
+            for k in 0..n {
+                let ck = cc.values[k * dim..(k + 1) * dim].to_vec();
+                self.store
+                    .commit(k, ClientBlob::new().with_tensor("c", vec![dim], ck))
+                    .expect("memory commit cannot fail");
+            }
+        }
         self.global.state = incoming.clone();
         self.c = c.values.clone();
-        for (k, ck) in self.c_clients.iter_mut().enumerate() {
-            ck.copy_from_slice(&cc.values[k * dim..(k + 1) * dim]);
-        }
         Ok(())
     }
 
@@ -232,7 +328,12 @@ mod tests {
         let _ = run(&mut algo, &c);
         let norm: f32 = algo.c.iter().map(|&v| v * v).sum::<f32>().sqrt();
         assert!(norm > 1e-4, "server control variate stayed zero");
-        assert!(algo.c_clients.iter().any(|ck| ck.iter().any(|&v| v != 0.0)));
+        let dim = algo.c.len();
+        let any_nonzero = (0..algo.store.n_clients()).any(|k| {
+            let blob = algo.store.read(k, |_| zero_variate(dim)).unwrap();
+            blob.tensor("c").unwrap().values.iter().any(|&v| v != 0.0)
+        });
+        assert!(any_nonzero, "no client variate ever moved");
     }
 
     #[test]
@@ -245,6 +346,39 @@ mod tests {
         assert_eq!(h.total_bytes(), 6 * 4 * 2 * (model_bytes + control_bytes));
         // Control variates are roughly the model size → ≈2× FedAvg payload.
         assert!(control_bytes * 10 > model_bytes * 9, "control ≈ model size");
+    }
+
+    #[test]
+    fn sharded_spill_matches_in_memory_bit_for_bit() {
+        // Partial sampling, so clients skip rounds and fetch must pick
+        // the newest pre-round spill stamp across the gaps.
+        let mk = || {
+            let task = SynthTask::new(SynthConfig::mnist_like(45));
+            let train = task.generate(240, 0);
+            let test = task.generate(80, 1);
+            let cfg = FlConfig {
+                n_clients: 4,
+                sample_ratio: 0.5,
+                rounds: 6,
+                local_epochs: 1,
+                batch_size: 16,
+                alpha: 0.5,
+                min_per_client: 10,
+                seed: 45,
+                ..Default::default()
+            };
+            FlContext::new(cfg, &train, test)
+        };
+        let spec = ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 0);
+        let mut mem = Scaffold::new(spec);
+        let hm = run(&mut mem, &mk());
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("kemf_scaffold_spill_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut sharded = Scaffold::new(spec).with_spill(SpillConfig::new(&dir));
+        let hs = run(&mut sharded, &mk());
+        assert_eq!(hm.records, hs.records, "spilling variates must not change a bit");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

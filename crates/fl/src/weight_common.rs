@@ -1,13 +1,15 @@
 //! Shared plumbing for the weight-sharing baselines (FedAvg, FedProx,
-//! FedNova, SCAFFOLD): a global model holder with evaluation, and the
-//! parallel client-update fan-out.
+//! FedNova, SCAFFOLD): a global model holder with evaluation, the
+//! parallel client-update fan-out, and streaming weighted averages that
+//! let a round fold results in as they arrive instead of holding every
+//! client state until aggregation.
 
 use crate::context::FlContext;
 use crate::local::{local_train, LocalCfg, LocalOutcome};
 use kemf_nn::layer::Layer;
 use kemf_nn::model::Model;
 use kemf_nn::models::ModelSpec;
-use kemf_nn::serialize::ModelState;
+use kemf_nn::serialize::{ModelState, Weights};
 use kemf_tensor::rng::child_seed;
 use rayon::prelude::*;
 
@@ -76,14 +78,15 @@ pub fn fan_out_clients(
             model.set_state(global);
             let hook = hook_for(k);
             let seed = child_seed(ctx.cfg.seed, (round as u64) << 20 | k as u64);
+            let shard = ctx.client_shard(k);
             let outcome = local_train(
                 &mut model,
-                &ctx.client_data[k],
+                &shard,
                 local,
                 seed,
                 hook.as_deref().map(|h| h as &dyn Fn(&mut dyn Layer)),
             );
-            ClientResult { client: k, state: model.state(), n_samples: ctx.client_data[k].len(), outcome }
+            ClientResult { client: k, state: model.state(), n_samples: shard.len(), outcome }
         })
         .collect()
 }
@@ -94,4 +97,101 @@ pub fn mean_loss(results: &[ClientResult]) -> f32 {
         return 0.0;
     }
     results.iter().map(|r| r.outcome.mean_loss).sum::<f32>() / results.len() as f32
+}
+
+/// Streaming weighted average over [`Weights`] snapshots.
+///
+/// Bit-identical to [`Weights::weighted_average`] when fed the same
+/// snapshots in the same order with the same coefficient total: the
+/// accumulation is the identical `acc += (coeff / total) * value` inner
+/// loop, just spread over `add` calls instead of one pass. This is what
+/// lets the cohort stream through local update in bounded batches
+/// without perturbing a single bit of the aggregate.
+pub struct WeightsAverage {
+    total: f32,
+    acc: Weights,
+}
+
+impl WeightsAverage {
+    /// Start an average with the layout of `layout` and a precomputed
+    /// coefficient total (must be positive; callers compute it over the
+    /// full cohort before streaming).
+    pub fn new(layout: &Weights, total: f32) -> Self {
+        assert!(total > 0.0, "coefficients must sum to a positive value");
+        WeightsAverage { total, acc: layout.zeros_like() }
+    }
+
+    /// Fold one snapshot in with coefficient `coeff`.
+    pub fn add(&mut self, snap: &Weights, coeff: f32) {
+        assert_eq!(snap.values.len(), self.acc.values.len(), "layout mismatch");
+        let w = coeff / self.total;
+        for (o, &v) in self.acc.values.iter_mut().zip(snap.values.iter()) {
+            *o += w * v;
+        }
+    }
+
+    /// The accumulated average.
+    pub fn finish(self) -> Weights {
+        self.acc
+    }
+}
+
+/// Streaming weighted average over full [`ModelState`]s (parameters and
+/// buffers), matching [`ModelState::weighted_average`] bit-for-bit under
+/// the same feeding order and coefficient total.
+pub struct StateAverage {
+    params: WeightsAverage,
+    buffers: WeightsAverage,
+}
+
+impl StateAverage {
+    /// Start an average with the layout of `layout` and a precomputed
+    /// positive coefficient total.
+    pub fn new(layout: &ModelState, total: f32) -> Self {
+        StateAverage {
+            params: WeightsAverage::new(&layout.params, total),
+            buffers: WeightsAverage::new(&layout.buffers, total),
+        }
+    }
+
+    /// Fold one client state in with coefficient `coeff`.
+    pub fn add(&mut self, state: &ModelState, coeff: f32) {
+        self.params.add(&state.params, coeff);
+        self.buffers.add(&state.buffers, coeff);
+    }
+
+    /// The accumulated average.
+    pub fn finish(self) -> ModelState {
+        ModelState { params: self.params.finish(), buffers: self.buffers.finish() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kemf_nn::models::Arch;
+
+    #[test]
+    fn streaming_average_is_bit_identical_to_batch_average() {
+        let spec = ModelSpec::scaled(Arch::Cnn2, 1, 12, 4, 3);
+        let states: Vec<ModelState> =
+            (0u64..5).map(|s| Model::new(ModelSpec { seed: s, ..spec }).state()).collect();
+        let coeffs = [3.0f32, 1.0, 7.0, 2.0, 5.0];
+        let batch = ModelState::weighted_average(&states, &coeffs);
+        let total: f32 = coeffs.iter().sum();
+        let mut stream = StateAverage::new(&states[0], total);
+        for (s, &c) in states.iter().zip(coeffs.iter()) {
+            stream.add(s, c);
+        }
+        let streamed = stream.finish();
+        // Bit equality, not approximate: f32 addition order is identical.
+        assert_eq!(
+            streamed.params.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            batch.params.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+        assert_eq!(
+            streamed.buffers.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            batch.buffers.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+    }
 }

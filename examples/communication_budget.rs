@@ -67,14 +67,22 @@ fn main() {
     );
     for (name, h, cost) in &results {
         let (rounds_str, total) = match h.rounds_to_target(target) {
-            Some(r) => (r.to_string(), cost.total_cost(r, sampled)),
-            None => (format!(">{}", cfg.rounds), cost.total_cost(cfg.rounds, sampled)),
+            Some(r) => (
+                r.to_string(),
+                cost.total_cost(r, sampled).expect("paper-scale cost fits u64"),
+            ),
+            None => (
+                format!(">{}", cfg.rounds),
+                cost.total_cost(cfg.rounds, sampled).expect("paper-scale cost fits u64"),
+            ),
         };
         println!(
             "{:<10} {:>8} {:>14} {:>12} {:>9.1}%",
             name,
             rounds_str,
-            format_bytes(cost.round_cost_per_client() as f64),
+            format_bytes(
+                cost.round_cost_per_client().expect("paper-scale cost fits u64") as f64
+            ),
             format_bytes(total as f64),
             h.final_accuracy() * 100.0
         );

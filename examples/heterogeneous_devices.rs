@@ -51,6 +51,8 @@ fn main() {
     // Per-client deployed-model accuracy on fresh data from the task —
     // every device, regardless of architecture, benefited from the fleet.
     let client_tests: Vec<_> = (0..n_clients).map(|i| task.generate(60, 200 + i as u64)).collect();
-    let avg = algo.evaluate_local_models(&client_tests, 64);
+    let avg = algo
+        .evaluate_local_models(&client_tests, 64)
+        .expect("one test set per client");
     println!("\naverage deployed-model accuracy across the fleet: {:.1}%", avg * 100.0);
 }

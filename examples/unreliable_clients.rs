@@ -118,9 +118,11 @@ fn main() {
             .map(|t| deployed.evaluate(&t.images, &t.labels, 32))
             .collect();
         // FedKEMF deploys each client's own local model.
-        let kemf_accs = kemf.evaluate_local_models_per_client(&client_tests, 32);
-        let fa = fairness_summary(&fedavg_accs);
-        let fk = fairness_summary(&kemf_accs);
+        let kemf_accs = kemf
+            .evaluate_local_models_per_client(&client_tests, 32)
+            .expect("one test set per client");
+        let fa = fairness_summary(&fedavg_accs).expect("non-empty cohort");
+        let fk = fairness_summary(&kemf_accs).expect("non-empty cohort");
         println!(
             "fairness FedAvg : mean {:.1}% std {:.3} min {:.1}% max {:.1}%",
             fa.mean * 100.0, fa.std, fa.min * 100.0, fa.max * 100.0

@@ -13,6 +13,12 @@ cargo clippy --workspace -- -D warnings
 # would miss.
 cargo run --release -p kemf-bench --bin bench_kernels -- --smoke
 
+# Population smoke: equal 1000-client cohorts sampled from 100k- and
+# 50k-client populations must peak at the same RSS (memory is O(cohort),
+# not O(population)), and FedKEMF with client models spilled to disk
+# must be bit-identical to the eager in-memory run. Asserts internally.
+cargo run --release -p kemf-bench --bin bench_population -- --smoke
+
 # Native-tuned build: the runtime SIMD dispatch must not conflict with
 # target-cpu=native codegen (the autovectorizer emitting wider ops around
 # the explicit kernels). Build and run the fast test suite in a separate

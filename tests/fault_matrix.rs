@@ -46,8 +46,8 @@ impl FedAlgorithm for Probe {
         _sampled: &[usize],
         _ctx: &FlContext,
         _scope: &mut RoundScope<'_>,
-    ) -> RoundOutcome {
-        RoundOutcome { train_loss: 1.0 }
+    ) -> Result<RoundOutcome, EngineError> {
+        Ok(RoundOutcome { train_loss: 1.0 })
     }
     fn evaluate(&mut self, _ctx: &FlContext) -> f32 {
         0.5

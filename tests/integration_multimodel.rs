@@ -61,7 +61,9 @@ fn multimodel_training_improves_local_models() {
     let mut algo = FedKemf::new(FedKemfConfig::uniform(knowledge, specs.clone(), pool));
     let h = run(&mut algo, &ctx);
     assert!(h.accuracies().iter().all(|a| a.is_finite()));
-    let trained_avg = algo.evaluate_local_models(&client_tests, 32);
+    let trained_avg = algo
+        .evaluate_local_models(&client_tests, 32)
+        .expect("one test set per client");
     // Margin: untrained models sit at chance, so any decisive fleet-wide
     // lift proves the multi-model path trains. 0.05 keeps that property
     // while staying clear of sampling noise — with 6 clients × 50 test

@@ -189,10 +189,10 @@ impl FedAlgorithm for Probe {
         sampled: &[usize],
         _ctx: &FlContext,
         scope: &mut RoundScope<'_>,
-    ) -> RoundOutcome {
+    ) -> Result<RoundOutcome, EngineError> {
         scope.phase(Phase::LocalUpdate, |c| c.clients = sampled.len());
         scope.phase(Phase::Fusion, |c| c.clients = sampled.len());
-        RoundOutcome { train_loss: 1.0 }
+        Ok(RoundOutcome { train_loss: 1.0 })
     }
     fn evaluate(&mut self, _ctx: &FlContext) -> f32 {
         0.5
