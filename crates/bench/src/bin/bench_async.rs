@@ -1,0 +1,237 @@
+//! Sync-vs-async time-to-accuracy under stragglers.
+//!
+//! The buffered-asynchronous executor exists to stop waiting for the
+//! slowest reporter: under straggler injection a synchronous round is
+//! gated by the deadline, while the async server fuses whatever the
+//! buffer holds and moves on. This binary measures that trade on the
+//! simulated clock — for each mode, the virtual seconds to reach a
+//! target accuracy and at the horizon — plus the equivalence anchor
+//! (full buffer + zero delay ⇒ bit-identical history) as a smoke
+//! assertion.
+//!
+//! Usage:
+//!   bench_async --smoke     # CI: equivalence + one buffered run
+//!   bench_async             # full sweep, writes BENCH_async.json
+//!
+//! Time-to-target is measured honestly for both modes: the engine's
+//! round streams are horizon-independent (a k-round run is a bit-exact
+//! prefix of a longer one — the same property checkpoint/resume leans
+//! on), so after locating the first round that reaches the target we
+//! re-run the async scenario truncated to that horizon and read its
+//! final virtual clock.
+
+use kemf_bench::Args;
+use kemf_core::fedkemf::{FedKemf, FedKemfConfig};
+use kemf_core::resource::uniform_specs;
+use kemf_data::synth::{SynthConfig, SynthTask};
+use kemf_fl::config::FlConfig;
+use kemf_fl::context::FlContext;
+use kemf_fl::engine::{Engine, FedAlgorithm, RunOptions, RunReport};
+use kemf_fl::fedavg::FedAvg;
+use kemf_fl::lifecycle::FaultConfig;
+use kemf_fl::network::NetworkModel;
+use kemf_fl::scheduler::AsyncConfig;
+use kemf_nn::models::{Arch, ModelSpec};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One (algorithm × mode) measurement, as written to BENCH_async.json.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct AsyncRecord {
+    algo: String,
+    mode: String,
+    rounds: usize,
+    buffer_size: usize,
+    best_accuracy: f32,
+    target_accuracy: f32,
+    /// First round index (0-based) whose accuracy reached the target,
+    /// if any round did.
+    rounds_to_target: Option<usize>,
+    /// Simulated seconds to the end of `rounds_to_target`, if reached.
+    sim_time_to_target_s: Option<f64>,
+    /// Simulated seconds at the horizon.
+    sim_time_total_s: f64,
+    wall_rounds_per_sec: f64,
+}
+
+fn world(seed: u64, rounds: usize) -> (FlContext, SynthTask) {
+    let task = SynthTask::new(SynthConfig::mnist_like(seed));
+    let train = task.generate(240, 0);
+    let test = task.generate(80, 1);
+    let cfg = FlConfig {
+        n_clients: 8,
+        sample_ratio: 0.5,
+        rounds,
+        local_epochs: 1,
+        batch_size: 16,
+        alpha: 0.5,
+        min_per_client: 10,
+        seed,
+        ..Default::default()
+    };
+    (FlContext::new(cfg, &train, test), task)
+}
+
+/// The straggler regime the comparison runs under: over half the cohort
+/// is delayed, and the synchronous executor cuts at the deadline.
+fn straggler_faults() -> FaultConfig {
+    FaultConfig {
+        straggler_prob: 0.6,
+        straggler_delay_s: 120.0,
+        round_deadline_s: Some(30.0),
+        ..Default::default()
+    }
+}
+
+fn build(algo: &str, ctx: &FlContext, task: &SynthTask) -> Box<dyn FedAlgorithm> {
+    let spec = ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 3);
+    match algo {
+        "fedavg" => Box::new(FedAvg::new(spec)),
+        "fedkemf" => {
+            let knowledge = ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 99);
+            let clients = uniform_specs(Arch::Cnn2, ctx.cfg.n_clients, 1, 12, 10, 5);
+            Box::new(FedKemf::new(FedKemfConfig::uniform(
+                knowledge,
+                clients,
+                task.generate_unlabeled(40, 2),
+            )))
+        }
+        other => panic!("unknown algo {other}"),
+    }
+}
+
+fn async_opts(buffer: usize, net: NetworkModel) -> RunOptions<'static> {
+    RunOptions::new()
+        .faults(straggler_faults())
+        .async_rounds(AsyncConfig::new(buffer).max_staleness(4).staleness_decay(0.7).network(net))
+}
+
+fn run_mode(algo_name: &str, mode: &str, rounds: usize, buffer: usize, seed: u64) -> AsyncRecord {
+    let net = NetworkModel::cellular_4g();
+    let (ctx, task) = world(seed, rounds);
+    let mut algo = build(algo_name, &ctx, &task);
+    let start = Instant::now();
+    let report: RunReport = match mode {
+        "sync" => Engine::run(
+            algo.as_mut(),
+            &ctx,
+            RunOptions::new().faults(straggler_faults()),
+        )
+        .expect("sync run"),
+        "async" => Engine::run(algo.as_mut(), &ctx, async_opts(buffer, net)).expect("async run"),
+        other => panic!("unknown mode {other}"),
+    };
+    let wall = start.elapsed().as_secs_f64();
+    let payload = algo.payload_per_client();
+
+    // Cumulative simulated clock per round. Sync: the lifecycle gates on
+    // the slowest surviving reporter, bounded by the deadline. Async:
+    // the scheduler's own clock, read by re-running a truncated horizon
+    // (bit-exact prefix property).
+    let deadline = straggler_faults().round_deadline_s;
+    let sync_clock_through = |r: usize| -> f64 {
+        report.plans[..=r].iter().map(|p| net.lifecycle_round_time(p, payload, deadline)).sum()
+    };
+    let async_clock_through = |r: usize| -> f64 {
+        let (ctx_r, task_r) = world(seed, r + 1);
+        let mut fresh = build(algo_name, &ctx_r, &task_r);
+        Engine::run(fresh.as_mut(), &ctx_r, async_opts(buffer, net))
+            .expect("truncated async run")
+            .sim_time_s
+            .expect("async run reports a clock")
+    };
+
+    let target = 0.5f32;
+    let accs = report.history.accuracies();
+    let rounds_to_target = accs.iter().position(|&a| a >= target);
+    let clock_through = |r: usize| -> f64 {
+        if mode == "sync" {
+            sync_clock_through(r)
+        } else {
+            async_clock_through(r)
+        }
+    };
+    let sim_time_to_target_s = rounds_to_target.map(&clock_through);
+    let sim_time_total_s = clock_through(rounds - 1);
+
+    AsyncRecord {
+        algo: algo.name(),
+        mode: mode.into(),
+        rounds,
+        buffer_size: if mode == "sync" { 0 } else { buffer },
+        best_accuracy: report.history.best_accuracy(),
+        target_accuracy: target,
+        rounds_to_target,
+        sim_time_to_target_s,
+        sim_time_total_s,
+        wall_rounds_per_sec: rounds as f64 / wall.max(1e-9),
+    }
+}
+
+fn smoke() {
+    // Anchor: full buffer + zero delay reproduces the sync history
+    // bit-for-bit (FedAvg keeps the smoke cheap).
+    let (ctx, task) = world(7, 3);
+    let mut a = build("fedavg", &ctx, &task);
+    let sync = Engine::run(a.as_mut(), &ctx, RunOptions::new()).expect("sync");
+    let mut b = build("fedavg", &ctx, &task);
+    let cohort = ctx.cfg.sampled_per_round();
+    let buffered = Engine::run(
+        b.as_mut(),
+        &ctx,
+        RunOptions::new().async_rounds(AsyncConfig::new(cohort)),
+    )
+    .expect("async");
+    assert_eq!(
+        buffered.history.to_json(),
+        sync.history.to_json(),
+        "full-buffer async must reproduce the sync history bit-for-bit"
+    );
+
+    // One genuinely buffered run under stragglers + 4G advances the
+    // virtual clock and finishes every cycle.
+    let rec = run_mode("fedavg", "async", 4, 2, 7);
+    assert!(rec.sim_time_total_s > 0.0, "virtual clock must advance");
+    println!(
+        "smoke ok: equivalence anchor holds; buffered run simulated {:.1} s over {} cycles",
+        rec.sim_time_total_s, rec.rounds
+    );
+}
+
+fn main() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let is_smoke = raw.iter().any(|a| a == "--smoke");
+    raw.retain(|a| a != "--smoke");
+    let args = Args::from_iter(raw);
+
+    if is_smoke {
+        smoke();
+        return;
+    }
+
+    let rounds = args.get("rounds", 16usize);
+    let seed = args.get("seed", 7u64);
+    let buffer = args.get("buffer", 3usize);
+    let mut records = Vec::new();
+    for algo in ["fedavg", "fedkemf"] {
+        for mode in ["sync", "async"] {
+            let rec = run_mode(algo, mode, rounds, buffer, seed);
+            println!(
+                "{:8} {:5}: best acc {:.3}, target {} at {:?} ({:?} sim s), horizon {:.0} sim s",
+                rec.algo,
+                rec.mode,
+                rec.best_accuracy,
+                rec.target_accuracy,
+                rec.rounds_to_target,
+                rec.sim_time_to_target_s.map(|t| t.round()),
+                rec.sim_time_total_s,
+            );
+            records.push(rec);
+        }
+    }
+    let json = serde_json::to_string_pretty(&records).expect("records serialize");
+    let _ = std::fs::create_dir_all("bench_results");
+    let path = "bench_results/BENCH_async.json";
+    std::fs::write(path, json).expect("write benchmark json");
+    println!("wrote {path}");
+}

@@ -7,13 +7,16 @@
 //! network: the full model crosses the wire every round.
 
 use crate::distill::{distill_ensemble, DistillConfig};
+use crate::fusion::weight_average_fusion_weighted;
+use kemf_fl::config::ConfigError;
 use kemf_fl::context::FlContext;
 use kemf_fl::engine::{EngineError, FedAlgorithm, RoundOutcome};
 use kemf_fl::lifecycle::WirePayload;
 use kemf_fl::local::LocalCfg;
+use kemf_fl::scheduler::{PreparedUpdate, UpdatePayload};
 use kemf_fl::state::{check_model_layout, AlgorithmState, RestoreError};
 use kemf_fl::trace::{Phase, RoundScope};
-use kemf_fl::weight_common::{fan_out_clients, mean_loss, GlobalModel};
+use kemf_fl::weight_common::{fan_out_clients, mean_loss, train_cohort_states, GlobalModel};
 use kemf_nn::model::Model;
 use kemf_nn::models::ModelSpec;
 use kemf_nn::serialize::ModelState;
@@ -103,12 +106,81 @@ impl FedAlgorithm for FedDf {
         Ok(RoundOutcome { train_loss: mean_loss(&results) })
     }
 
+    fn train_cohort(
+        &mut self,
+        wave: usize,
+        sampled: &[usize],
+        ctx: &FlContext,
+        scope: &mut RoundScope<'_>,
+    ) -> Result<Vec<PreparedUpdate>, EngineError> {
+        let local = LocalCfg {
+            epochs: ctx.cfg.local_epochs,
+            batch: ctx.cfg.batch_size,
+            sgd: ctx.cfg.sgd_at(wave),
+        };
+        Ok(train_cohort_states(&self.global, wave, sampled, ctx, &local, &|_k| None, scope))
+    }
+
+    fn fuse(
+        &mut self,
+        round: usize,
+        updates: Vec<(PreparedUpdate, f32)>,
+        ctx: &FlContext,
+        scope: &mut RoundScope<'_>,
+    ) -> Result<RoundOutcome, EngineError> {
+        if updates.is_empty() {
+            return Ok(RoundOutcome { train_loss: f32::NAN });
+        }
+        let mut states: Vec<ModelState> = Vec::with_capacity(updates.len());
+        let mut sample_counts: Vec<usize> = Vec::with_capacity(updates.len());
+        let mut weights: Vec<f32> = Vec::with_capacity(updates.len());
+        let mut loss_sum = 0.0f32;
+        for (u, w) in updates {
+            let UpdatePayload::State(state) = u.payload else {
+                return Err(EngineError::Config(ConfigError::AlgorithmSetup {
+                    algorithm: self.name(),
+                    reason: format!("client {}: expected a model-state payload", u.client),
+                }));
+            };
+            states.push(state);
+            sample_counts.push(u.n_samples);
+            weights.push(w);
+            loss_sum += u.loss;
+        }
+        let reported = states.len();
+        scope.phase(Phase::Fusion, |c| {
+            c.clients = reported;
+            // Staleness discounting shapes the warm-start average; the
+            // distillation pass treats every teacher alike (see DESIGN.md).
+            let mut student = Model::new(self.global.spec);
+            student.set_state(&weight_average_fusion_weighted(
+                &states,
+                &sample_counts,
+                &weights,
+            ));
+            let mut teachers: Vec<Model> = states
+                .iter()
+                .map(|s| {
+                    let mut t = Model::new(self.global.spec);
+                    t.set_state(s);
+                    t
+                })
+                .collect();
+            let seed = child_seed(ctx.cfg.seed, 0xDF ^ round as u64);
+            let out = distill_ensemble(&mut student, &mut teachers, &self.pool, &self.distill, seed);
+            c.steps = out.steps as u64;
+            c.batches = out.batches as u64;
+            self.global.state = student.state();
+        });
+        Ok(RoundOutcome { train_loss: loss_sum / reported as f32 })
+    }
+
     fn evaluate(&mut self, ctx: &FlContext) -> f32 {
         self.global.evaluate(ctx)
     }
 
-    fn state(&self) -> AlgorithmState {
-        AlgorithmState::new(self.name(), 1).with_model("global", self.global.state.clone())
+    fn state(&self) -> Result<AlgorithmState, EngineError> {
+        Ok(AlgorithmState::new(self.name(), 1).with_model("global", self.global.state.clone()))
     }
 
     fn restore(&mut self, state: &AlgorithmState) -> Result<(), RestoreError> {

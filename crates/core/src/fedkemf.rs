@@ -12,13 +12,14 @@
 
 use crate::distill::{distill_ensemble, DistillConfig};
 use crate::dml::{dml_local_update, DmlConfig};
-use crate::fusion::{weight_average_fusion, FusionMode};
+use crate::fusion::{weight_average_fusion, weight_average_fusion_weighted, FusionMode};
 use kemf_fl::client_store::{ClientBlob, ClientStateStore, SpillConfig, StoreError};
 use kemf_fl::config::ConfigError;
 use kemf_fl::context::FlContext;
 use kemf_fl::engine::{EngineError, FedAlgorithm, RoundOutcome};
 use kemf_fl::lifecycle::WirePayload;
 use kemf_fl::local::{local_train, LocalCfg};
+use kemf_fl::scheduler::{PreparedUpdate, UpdatePayload};
 use kemf_fl::state::{check_model_layout, AlgorithmState, RestoreError};
 use kemf_fl::trace::{Phase, RoundScope};
 use kemf_data::dataset::Dataset;
@@ -363,13 +364,176 @@ impl FedAlgorithm for FedKemf {
         Ok(RoundOutcome { train_loss })
     }
 
+    fn train_cohort(
+        &mut self,
+        wave: usize,
+        sampled: &[usize],
+        ctx: &FlContext,
+        scope: &mut RoundScope<'_>,
+    ) -> Result<Vec<PreparedUpdate>, EngineError> {
+        self.store.begin_round(wave);
+        if sampled.is_empty() {
+            return Ok(Vec::new());
+        }
+        let ramp = if self.cfg.kl_warmup_rounds == 0 {
+            1.0
+        } else {
+            ((wave + 1) as f32 / self.cfg.kl_warmup_rounds as f32).min(1.0)
+        };
+        let dml_cfg = DmlConfig {
+            epochs: ctx.cfg.local_epochs,
+            batch: ctx.cfg.batch_size,
+            sgd: ctx.cfg.sgd_at(wave),
+            kl_weight: self.cfg.kl_weight * ramp,
+            temperature: self.cfg.dml_temperature,
+            clip_norm: 5.0,
+        };
+        let chunk = ctx.cfg.cohort_chunk(sampled.len());
+        let mut out = Vec::with_capacity(sampled.len());
+        scope.phase(Phase::LocalUpdate, |c| -> Result<(), EngineError> {
+            for batch in sampled.chunks(chunk) {
+                let mut locals: Vec<(usize, Model)> = Vec::with_capacity(batch.len());
+                for &k in batch {
+                    let spec = self.cfg.client_specs[k];
+                    let blob = self.store.fetch(k, |_| fresh_local_blob(spec))?;
+                    locals.push((k, model_from_blob(&blob, k, spec)?));
+                }
+                let global = &self.global_knowledge;
+                let knowledge_spec = self.cfg.knowledge_spec;
+                let mutual = self.cfg.mutual;
+                let results: Vec<(usize, Model, Model, f32, usize)> = locals
+                    .into_par_iter()
+                    .map(|(k, mut local)| {
+                        let mut knowledge = Model::new(knowledge_spec);
+                        knowledge.set_state(global);
+                        let seed =
+                            child_seed(ctx.cfg.seed, 0xD31 ^ ((wave as u64) << 20 | k as u64));
+                        let shard = ctx.client_shard(k);
+                        let (loss, steps) = if mutual {
+                            let out =
+                                dml_local_update(&mut local, &mut knowledge, &shard, &dml_cfg, seed);
+                            (out.mean_knowledge_loss, out.steps)
+                        } else {
+                            let plain = LocalCfg {
+                                epochs: dml_cfg.epochs,
+                                batch: dml_cfg.batch,
+                                sgd: dml_cfg.sgd,
+                            };
+                            let a = local_train(&mut local, &shard, &plain, seed, None);
+                            let out = local_train(&mut knowledge, &shard, &plain, seed ^ 1, None);
+                            (out.mean_loss, a.steps + out.steps)
+                        };
+                        (k, local, knowledge, loss, steps)
+                    })
+                    .collect();
+                c.clients += results.len();
+                c.steps += results.iter().map(|r| r.4 as u64).sum::<u64>();
+                c.batches = c.steps;
+                // The refreshed deployed model rides along as a deferred
+                // commit: an evicted or quorum-aborted update must not
+                // have touched the device.
+                for (k, local, knowledge, loss, steps) in results {
+                    out.push(PreparedUpdate {
+                        client: k,
+                        n_samples: ctx.client_shard_len(k),
+                        steps,
+                        loss,
+                        payload: UpdatePayload::State(knowledge.state()),
+                        commit: Some(
+                            ClientBlob::new().with_model("model", local.state()),
+                        ),
+                    });
+                }
+            }
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    fn fuse(
+        &mut self,
+        round: usize,
+        updates: Vec<(PreparedUpdate, f32)>,
+        ctx: &FlContext,
+        scope: &mut RoundScope<'_>,
+    ) -> Result<RoundOutcome, EngineError> {
+        self.store.begin_round(round);
+        if updates.is_empty() {
+            return Ok(RoundOutcome { train_loss: f32::NAN });
+        }
+        let mut states: Vec<ModelState> = Vec::with_capacity(updates.len());
+        let mut sample_counts: Vec<usize> = Vec::with_capacity(updates.len());
+        let mut weights: Vec<f32> = Vec::with_capacity(updates.len());
+        let mut loss_sum = 0.0f32;
+        for (u, w) in updates {
+            let UpdatePayload::State(state) = u.payload else {
+                return Err(EngineError::Config(ConfigError::AlgorithmSetup {
+                    algorithm: self.name(),
+                    reason: format!(
+                        "client {}: expected a knowledge-network state payload",
+                        u.client
+                    ),
+                }));
+            };
+            if let Some(blob) = u.commit {
+                self.store.commit(u.client, blob)?;
+            }
+            states.push(state);
+            sample_counts.push(u.n_samples);
+            weights.push(w);
+            loss_sum += u.loss;
+        }
+        let train_loss = loss_sum / states.len() as f32;
+        scope.phase(Phase::Fusion, |c| {
+            c.clients = states.len();
+            match self.cfg.fusion {
+                FusionMode::EnsembleDistill => {
+                    // Staleness discounting applies to the warm-start
+                    // average; the distillation pass itself treats every
+                    // teacher alike (MaxLogits has no weighted analogue —
+                    // see DESIGN.md).
+                    let mut student = Model::new(self.cfg.knowledge_spec);
+                    student.set_state(&weight_average_fusion_weighted(
+                        &states,
+                        &sample_counts,
+                        &weights,
+                    ));
+                    let mut teachers: Vec<Model> = states
+                        .iter()
+                        .map(|s| {
+                            let mut t = Model::new(self.cfg.knowledge_spec);
+                            t.set_state(s);
+                            t
+                        })
+                        .collect();
+                    let seed = child_seed(ctx.cfg.seed, 0xD157 ^ round as u64);
+                    let out = distill_ensemble(
+                        &mut student,
+                        &mut teachers,
+                        &self.cfg.public_pool,
+                        &self.cfg.distill,
+                        seed,
+                    );
+                    c.steps = out.steps as u64;
+                    c.batches = out.batches as u64;
+                    self.global_knowledge = student.state();
+                }
+                FusionMode::WeightAverage => {
+                    self.global_knowledge =
+                        weight_average_fusion_weighted(&states, &sample_counts, &weights);
+                }
+            }
+        });
+        Ok(RoundOutcome { train_loss })
+    }
+
     fn evaluate(&mut self, ctx: &FlContext) -> f32 {
         self.eval_model.set_state(&self.global_knowledge);
         self.eval_model
             .evaluate(&ctx.test.images, &ctx.test.labels, ctx.cfg.eval_batch)
     }
 
-    fn state(&self) -> AlgorithmState {
+    fn state(&self) -> Result<AlgorithmState, EngineError> {
         // The local models never leave their devices in the protocol, but
         // a checkpoint is the device: dropping them would silently reset
         // every client's deployed model on resume. In sharded mode they
@@ -381,15 +545,15 @@ impl FedAlgorithm for FedKemf {
             s = s.with_scalar("sharded_clients", self.store.n_clients() as f64);
         } else {
             for k in 0..self.store.n_clients() {
-                let blob = self
-                    .store
-                    .read(k, |_| ClientBlob::new())
-                    .expect("memory store is seeded at init");
-                let m = blob.model("model").expect("deployed model present");
+                let blob = self.store.read(k, |_| ClientBlob::new())?;
+                let m = blob.model("model").ok_or(StoreError::Corrupt {
+                    client: k,
+                    detail: "missing deployed-model entry `model`".into(),
+                })?;
                 s.push_model(format!("local.{k}"), m.clone());
             }
         }
-        s
+        Ok(s)
     }
 
     fn restore(&mut self, state: &AlgorithmState) -> Result<(), RestoreError> {
@@ -419,7 +583,7 @@ impl FedAlgorithm for FedKemf {
                 let incoming = state.model(&name)?.clone();
                 self.store
                     .commit(k, ClientBlob::new().with_model("model", incoming))
-                    .expect("memory commit cannot fail");
+                    .map_err(|e| RestoreError::Store { detail: e.to_string() })?;
             }
         }
         self.global_knowledge = knowledge.clone();

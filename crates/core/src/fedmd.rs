@@ -17,13 +17,16 @@
 
 use crate::fedkemf::{fresh_local_blob, model_from_blob};
 use kemf_data::dataset::Dataset;
-use kemf_fl::client_store::{ClientBlob, ClientStateStore, SpillConfig};
+use kemf_fl::client_store::{ClientBlob, ClientStateStore, SpillConfig, StoreError};
 use kemf_fl::config::ConfigError;
 use kemf_fl::context::FlContext;
 use kemf_fl::engine::{EngineError, FedAlgorithm, RoundOutcome};
 use kemf_fl::lifecycle::WirePayload;
 use kemf_fl::local::{local_train, LocalCfg};
-use kemf_fl::state::{check_model_layout, check_tensor_dims, AlgorithmState, RestoreError};
+use kemf_fl::scheduler::{PreparedUpdate, UpdatePayload};
+use kemf_fl::state::{
+    check_model_layout, check_tensor_dims, AlgorithmState, RestoreError, TensorBlob,
+};
 use kemf_fl::trace::{Phase, RoundScope};
 use kemf_nn::loss::kl_to_target;
 use kemf_nn::model::Model;
@@ -273,6 +276,138 @@ impl FedAlgorithm for FedMd {
         Ok(RoundOutcome { train_loss: loss_sum / member_logits.len().max(1) as f32 })
     }
 
+    fn train_cohort(
+        &mut self,
+        wave: usize,
+        sampled: &[usize],
+        ctx: &FlContext,
+        scope: &mut RoundScope<'_>,
+    ) -> Result<Vec<PreparedUpdate>, EngineError> {
+        self.store.begin_round(wave);
+        if sampled.is_empty() {
+            return Ok(Vec::new());
+        }
+        let local = LocalCfg {
+            epochs: ctx.cfg.local_epochs,
+            batch: ctx.cfg.batch_size,
+            sgd: ctx.cfg.sgd_at(wave),
+        };
+        // Clients digest the consensus that was current when they were
+        // dispatched — a stale worker keeps learning from the snapshot it
+        // downloaded, exactly as a real device would.
+        let consensus_targets = self
+            .consensus
+            .as_ref()
+            .map(|c| soften(c, self.cfg.temperature));
+        let chunk = ctx.cfg.cohort_chunk(sampled.len());
+        let mut out = Vec::with_capacity(sampled.len());
+        scope.phase(Phase::LocalUpdate, |c| -> Result<(), EngineError> {
+            for batch in sampled.chunks(chunk) {
+                let mut locals: Vec<(usize, Model)> = Vec::with_capacity(batch.len());
+                for &k in batch {
+                    let spec = self.client_specs[k];
+                    let blob = self.store.fetch(k, |_| fresh_local_blob(spec))?;
+                    locals.push((k, model_from_blob(&blob, k, spec)?));
+                }
+                let cfg = self.cfg;
+                let public = &self.public;
+                let results: Vec<(usize, Model, Tensor, f32, usize)> = locals
+                    .into_par_iter()
+                    .map(|(k, mut model)| {
+                        let seed =
+                            child_seed(ctx.cfg.seed, 0x3D ^ ((wave as u64) << 16 | k as u64));
+                        let digest_steps = if let Some(targets) = &consensus_targets {
+                            digest(&mut model, public, targets, &cfg, local.sgd, seed)
+                        } else {
+                            0
+                        };
+                        let shard = ctx.client_shard(k);
+                        let out = local_train(&mut model, &shard, &local, seed ^ 7, None);
+                        let logits = model.predict_batch_stats(public);
+                        (k, model, logits, out.mean_loss, digest_steps + out.steps)
+                    })
+                    .collect();
+                c.clients += results.len();
+                c.steps += results.iter().map(|r| r.4 as u64).sum::<u64>();
+                c.batches = c.steps;
+                for (k, model, logits, loss, steps) in results {
+                    out.push(PreparedUpdate {
+                        client: k,
+                        n_samples: ctx.client_shard_len(k),
+                        steps,
+                        loss,
+                        payload: UpdatePayload::Logits(TensorBlob {
+                            dims: logits.dims().to_vec(),
+                            values: logits.data().to_vec(),
+                        }),
+                        commit: Some(
+                            ClientBlob::new().with_model("model", model.state()),
+                        ),
+                    });
+                }
+            }
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    fn fuse(
+        &mut self,
+        round: usize,
+        updates: Vec<(PreparedUpdate, f32)>,
+        _ctx: &FlContext,
+        scope: &mut RoundScope<'_>,
+    ) -> Result<RoundOutcome, EngineError> {
+        self.store.begin_round(round);
+        if updates.is_empty() {
+            return Ok(RoundOutcome { train_loss: f32::NAN });
+        }
+        let dims = [self.public.dims()[0], self.classes];
+        let mut logits: Vec<Tensor> = Vec::with_capacity(updates.len());
+        let mut weights: Vec<f32> = Vec::with_capacity(updates.len());
+        let mut loss_sum = 0.0f32;
+        for (u, w) in updates {
+            let UpdatePayload::Logits(blob) = u.payload else {
+                return Err(EngineError::Config(ConfigError::AlgorithmSetup {
+                    algorithm: self.name(),
+                    reason: format!("client {}: expected a logit payload", u.client),
+                }));
+            };
+            if blob.dims != dims {
+                return Err(EngineError::Config(ConfigError::AlgorithmSetup {
+                    algorithm: self.name(),
+                    reason: format!(
+                        "client {}: logit payload is {:?}, public set needs {dims:?}",
+                        u.client, blob.dims
+                    ),
+                }));
+            }
+            if let Some(commit) = u.commit {
+                self.store.commit(u.client, commit)?;
+            }
+            logits.push(Tensor::from_vec(blob.values, &dims));
+            weights.push(w);
+            loss_sum += u.loss;
+        }
+        let reported = logits.len();
+        scope.phase(Phase::Fusion, |c| {
+            c.clients = reported;
+            // Weighted elementwise mean with the same clone/axpy/scale
+            // structure as `elementwise_mean`: with every weight at 1.0
+            // the first scale is ×1.0 (a bitwise no-op), each axpy adds
+            // 1.0·t, and Σw is the exact count — bit-identical.
+            let mut acc = logits[0].clone();
+            acc.scale_inplace(weights[0]);
+            for (t, &w) in logits[1..].iter().zip(weights[1..].iter()) {
+                acc.axpy(w, t);
+            }
+            let total: f32 = weights.iter().sum();
+            acc.scale_inplace(1.0 / total);
+            self.consensus = Some(acc);
+        });
+        Ok(RoundOutcome { train_loss: loss_sum / reported as f32 })
+    }
+
     /// FedMD has no global model; report the mean client accuracy on the
     /// shared test set (the metric its paper uses).
     fn evaluate(&mut self, ctx: &FlContext) -> f32 {
@@ -293,7 +428,7 @@ impl FedAlgorithm for FedMd {
         total / n as f32
     }
 
-    fn state(&self) -> AlgorithmState {
+    fn state(&self) -> Result<AlgorithmState, EngineError> {
         // In sharded mode the local models already live in the spill
         // directory (write-through commits), so the checkpoint carries only
         // the population size for validation; memory mode embeds them all,
@@ -303,11 +438,11 @@ impl FedAlgorithm for FedMd {
             s = s.with_scalar("sharded_clients", self.store.n_clients() as f64);
         } else {
             for k in 0..self.store.n_clients() {
-                let blob = self
-                    .store
-                    .read(k, |_| ClientBlob::new())
-                    .expect("memory store is seeded at init");
-                let m = blob.model("model").expect("local model present");
+                let blob = self.store.read(k, |_| ClientBlob::new())?;
+                let m = blob.model("model").ok_or(StoreError::Corrupt {
+                    client: k,
+                    detail: "missing local-model entry `model`".into(),
+                })?;
                 s.push_model(format!("local.{k}"), m.clone());
             }
         }
@@ -316,7 +451,7 @@ impl FedAlgorithm for FedMd {
         if let Some(c) = &self.consensus {
             s.push_tensor("consensus", c.dims().to_vec(), c.data().to_vec());
         }
-        s
+        Ok(s)
     }
 
     fn restore(&mut self, state: &AlgorithmState) -> Result<(), RestoreError> {
@@ -352,7 +487,7 @@ impl FedAlgorithm for FedMd {
                 let incoming = state.model(&name)?.clone();
                 self.store
                     .commit(k, ClientBlob::new().with_model("model", incoming))
-                    .expect("memory commit cannot fail");
+                    .map_err(|e| RestoreError::Store { detail: e.to_string() })?;
             }
         }
         self.consensus = consensus;

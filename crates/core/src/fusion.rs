@@ -26,6 +26,25 @@ pub fn weight_average_fusion(states: &[ModelState], sample_counts: &[usize]) -> 
     ModelState::weighted_average(states, &coeffs)
 }
 
+/// Weight-average fusion with an extra per-state multiplier (buffered-
+/// asynchronous staleness discounting): coefficient `weights[i] ×
+/// sample_counts[i]`. With every multiplier at exactly `1.0` this is
+/// bit-identical to [`weight_average_fusion`] — `1.0 × n` is `n` in f32.
+pub fn weight_average_fusion_weighted(
+    states: &[ModelState],
+    sample_counts: &[usize],
+    weights: &[f32],
+) -> ModelState {
+    assert_eq!(states.len(), sample_counts.len(), "state/count length mismatch");
+    assert_eq!(states.len(), weights.len(), "state/weight length mismatch");
+    let coeffs: Vec<f32> = sample_counts
+        .iter()
+        .zip(weights.iter())
+        .map(|(&n, &w)| w * n as f32)
+        .collect();
+    ModelState::weighted_average(states, &coeffs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

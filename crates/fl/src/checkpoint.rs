@@ -28,18 +28,29 @@
 //! kill-and-resume tests and the CI smoke. Everything else mismatching
 //! refuses resume with [`ResumeError::FingerprintMismatch`].
 
+use crate::client_store::ClientBlob;
 use crate::config::FlConfig;
 use crate::lifecycle::FaultConfig;
 use crate::metrics::RoundRecord;
+use crate::scheduler::{PendingEvent, PreparedUpdate, SchedulerState, UpdatePayload};
 use crate::state::{AlgorithmState, TensorBlob};
 use kemf_nn::checkpoint::{load_bundle, save_bundle, CheckpointBundle};
+use kemf_nn::serialize::{ModelState, Weights};
 use std::fmt;
 use std::io::{self, Read};
 use std::path::{Path, PathBuf};
 
 /// Format version of the engine metadata inside the bundle's `meta`
-/// section.
+/// section. Synchronous runs still write exactly this version (and
+/// byte-identical files to every earlier build); buffered-asynchronous
+/// runs write [`ASYNC_CHECKPOINT_VERSION`], which appends the
+/// scheduler's virtual clock and in-flight event queue after the v1
+/// fields. Both versions load.
 pub const RUN_CHECKPOINT_VERSION: u32 = 1;
+
+/// Meta version written when the checkpoint carries async scheduler
+/// state.
+pub const ASYNC_CHECKPOINT_VERSION: u32 = 2;
 
 /// File-name prefix/suffix of round checkpoints inside a checkpoint
 /// directory: `round_00004.ckpt` holds the state *after* 4 completed
@@ -66,6 +77,10 @@ pub struct RunCheckpoint {
     pub records: Vec<RoundRecord>,
     /// The algorithm's full state after round `next_round - 1`.
     pub state: AlgorithmState,
+    /// Async scheduler snapshot (virtual clock + in-flight updates);
+    /// `None` for synchronous runs. The fusion buffer is transient
+    /// within a cycle, so the queue is the only event state to persist.
+    pub scheduler: Option<SchedulerState>,
 }
 
 /// When and where the engine writes checkpoints.
@@ -155,9 +170,204 @@ fn get_str(inp: &mut impl Read) -> io::Result<String> {
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 string"))
 }
 
+// ---- scheduler-state encoding (meta v2) --------------------------------
+//
+// In-flight updates carry raw f32 values in the opaque meta section:
+// little-endian bit patterns, so NaNs, -0.0, and every rounding artifact
+// survive the round trip — the async kill-and-resume test compares the
+// finished histories byte-for-byte.
+
+fn put_f32_vec(out: &mut Vec<u8>, v: &[f32]) {
+    put_u64(out, v.len() as u64);
+    for &x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn get_f32_vec(inp: &mut impl Read) -> io::Result<Vec<f32>> {
+    let n = get_u64(inp)? as usize;
+    if n > (1 << 28) {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible f32 vector length"));
+    }
+    let mut buf = vec![0u8; n * 4];
+    inp.read_exact(&mut buf)?;
+    Ok(buf.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
+}
+
+fn put_usize_vec(out: &mut Vec<u8>, v: &[usize]) {
+    put_u64(out, v.len() as u64);
+    for &x in v {
+        put_u64(out, x as u64);
+    }
+}
+
+fn get_usize_vec(inp: &mut impl Read) -> io::Result<Vec<usize>> {
+    let n = get_u64(inp)? as usize;
+    if n > (1 << 24) {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible usize vector length"));
+    }
+    (0..n).map(|_| get_u64(inp).map(|x| x as usize)).collect()
+}
+
+fn put_weights(out: &mut Vec<u8>, w: &Weights) {
+    put_usize_vec(out, &w.lens);
+    put_f32_vec(out, &w.values);
+}
+
+fn get_weights(inp: &mut impl Read) -> io::Result<Weights> {
+    let lens = get_usize_vec(inp)?;
+    let values = get_f32_vec(inp)?;
+    Ok(Weights { lens, values })
+}
+
+fn put_model_state(out: &mut Vec<u8>, s: &ModelState) {
+    put_weights(out, &s.params);
+    put_weights(out, &s.buffers);
+}
+
+fn get_model_state(inp: &mut impl Read) -> io::Result<ModelState> {
+    let params = get_weights(inp)?;
+    let buffers = get_weights(inp)?;
+    Ok(ModelState { params, buffers })
+}
+
+fn put_tensor_blob(out: &mut Vec<u8>, t: &TensorBlob) {
+    put_usize_vec(out, &t.dims);
+    put_f32_vec(out, &t.values);
+}
+
+fn get_tensor_blob(inp: &mut impl Read) -> io::Result<TensorBlob> {
+    let dims = get_usize_vec(inp)?;
+    let values = get_f32_vec(inp)?;
+    Ok(TensorBlob { dims, values })
+}
+
+fn put_client_blob(out: &mut Vec<u8>, blob: &ClientBlob) {
+    put_u64(out, blob.models.len() as u64);
+    for (name, state) in &blob.models {
+        put_str(out, name);
+        put_model_state(out, state);
+    }
+    put_u64(out, blob.tensors.len() as u64);
+    for (name, tensor) in &blob.tensors {
+        put_str(out, name);
+        put_tensor_blob(out, tensor);
+    }
+}
+
+fn get_client_blob(inp: &mut impl Read) -> io::Result<ClientBlob> {
+    let n_models = get_u64(inp)? as usize;
+    if n_models > (1 << 16) {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible blob model count"));
+    }
+    let mut blob = ClientBlob::new();
+    for _ in 0..n_models {
+        let name = get_str(inp)?;
+        blob.models.push((name, get_model_state(inp)?));
+    }
+    let n_tensors = get_u64(inp)? as usize;
+    if n_tensors > (1 << 16) {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible blob tensor count"));
+    }
+    for _ in 0..n_tensors {
+        let name = get_str(inp)?;
+        blob.tensors.push((name, get_tensor_blob(inp)?));
+    }
+    Ok(blob)
+}
+
+const PAYLOAD_EMPTY: u8 = 0;
+const PAYLOAD_STATE: u8 = 1;
+const PAYLOAD_STATE_AUX: u8 = 2;
+const PAYLOAD_LOGITS: u8 = 3;
+
+fn put_event(out: &mut Vec<u8>, ev: &PendingEvent) {
+    put_u64(out, ev.time_bits);
+    put_u64(out, ev.wave as u64);
+    put_u64(out, ev.idx as u64);
+    put_u64(out, ev.update.client as u64);
+    put_u64(out, ev.update.n_samples as u64);
+    put_u64(out, ev.update.steps as u64);
+    out.extend_from_slice(&ev.update.loss.to_le_bytes());
+    match &ev.update.payload {
+        UpdatePayload::Empty => out.push(PAYLOAD_EMPTY),
+        UpdatePayload::State(state) => {
+            out.push(PAYLOAD_STATE);
+            put_model_state(out, state);
+        }
+        UpdatePayload::StateAux { state, aux } => {
+            out.push(PAYLOAD_STATE_AUX);
+            put_model_state(out, state);
+            put_f32_vec(out, aux);
+        }
+        UpdatePayload::Logits(t) => {
+            out.push(PAYLOAD_LOGITS);
+            put_tensor_blob(out, t);
+        }
+    }
+    match &ev.update.commit {
+        None => out.push(0),
+        Some(blob) => {
+            out.push(1);
+            put_client_blob(out, blob);
+        }
+    }
+}
+
+fn get_event(inp: &mut impl Read) -> io::Result<PendingEvent> {
+    let time_bits = get_u64(inp)?;
+    let wave = get_u64(inp)? as usize;
+    let idx = get_u64(inp)? as usize;
+    let client = get_u64(inp)? as usize;
+    let n_samples = get_u64(inp)? as usize;
+    let steps = get_u64(inp)? as usize;
+    let loss = get_f32(inp)?;
+    let mut tag = [0u8; 1];
+    inp.read_exact(&mut tag)?;
+    let payload = match tag[0] {
+        PAYLOAD_EMPTY => UpdatePayload::Empty,
+        PAYLOAD_STATE => UpdatePayload::State(get_model_state(inp)?),
+        PAYLOAD_STATE_AUX => {
+            let state = get_model_state(inp)?;
+            let aux = get_f32_vec(inp)?;
+            UpdatePayload::StateAux { state, aux }
+        }
+        PAYLOAD_LOGITS => UpdatePayload::Logits(get_tensor_blob(inp)?),
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown update payload tag {other}"),
+            ));
+        }
+    };
+    let mut flag = [0u8; 1];
+    inp.read_exact(&mut flag)?;
+    let commit = match flag[0] {
+        0 => None,
+        1 => Some(get_client_blob(inp)?),
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown commit flag {other}"),
+            ));
+        }
+    };
+    Ok(PendingEvent {
+        time_bits,
+        wave,
+        idx,
+        update: PreparedUpdate { client, n_samples, steps, loss, payload, commit },
+    })
+}
+
 fn encode_meta(ckpt: &RunCheckpoint) -> Vec<u8> {
+    let version = if ckpt.scheduler.is_some() {
+        ASYNC_CHECKPOINT_VERSION
+    } else {
+        RUN_CHECKPOINT_VERSION
+    };
     let mut out = Vec::new();
-    out.extend_from_slice(&RUN_CHECKPOINT_VERSION.to_le_bytes());
+    out.extend_from_slice(&version.to_le_bytes());
     put_u64(&mut out, ckpt.fingerprint);
     put_u64(&mut out, ckpt.next_round as u64);
     put_str(&mut out, &ckpt.algorithm);
@@ -178,6 +388,13 @@ fn encode_meta(ckpt: &RunCheckpoint) -> Vec<u8> {
         put_u64(&mut out, r.up_clients as u64);
         out.push(r.quorum_met as u8);
     }
+    if let Some(sched) = &ckpt.scheduler {
+        put_u64(&mut out, sched.now_bits);
+        put_u64(&mut out, sched.events.len() as u64);
+        for ev in &sched.events {
+            put_event(&mut out, ev);
+        }
+    }
     out
 }
 
@@ -190,16 +407,18 @@ struct DecodedMeta {
     state_algorithm: String,
     state_version: u32,
     records: Vec<RoundRecord>,
+    scheduler: Option<SchedulerState>,
 }
 
 fn decode_meta(meta: &[u8]) -> io::Result<DecodedMeta> {
     let mut inp = meta;
     let version = get_u32(&mut inp)?;
-    if version != RUN_CHECKPOINT_VERSION {
+    if version != RUN_CHECKPOINT_VERSION && version != ASYNC_CHECKPOINT_VERSION {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!(
-                "run-checkpoint version mismatch: expected {RUN_CHECKPOINT_VERSION}, found {version}"
+                "run-checkpoint version mismatch: expected {RUN_CHECKPOINT_VERSION} or \
+                 {ASYNC_CHECKPOINT_VERSION}, found {version}"
             ),
         ));
     }
@@ -240,6 +459,20 @@ fn decode_meta(meta: &[u8]) -> io::Result<DecodedMeta> {
             quorum_met: q[0] != 0,
         });
     }
+    let scheduler = if version >= ASYNC_CHECKPOINT_VERSION {
+        let now_bits = get_u64(&mut inp)?;
+        let n_events = get_u64(&mut inp)? as usize;
+        if n_events > (1 << 24) {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible event count"));
+        }
+        let mut events = Vec::with_capacity(n_events);
+        for _ in 0..n_events {
+            events.push(get_event(&mut inp)?);
+        }
+        Some(SchedulerState { now_bits, events })
+    } else {
+        None
+    };
     if !inp.is_empty() {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "trailing metadata bytes"));
     }
@@ -252,6 +485,7 @@ fn decode_meta(meta: &[u8]) -> io::Result<DecodedMeta> {
         state_algorithm,
         state_version,
         records,
+        scheduler,
     })
 }
 
@@ -292,6 +526,7 @@ fn from_bundle(bundle: CheckpointBundle) -> io::Result<RunCheckpoint> {
         fault_check: meta.fault_check,
         records: meta.records,
         state,
+        scheduler: meta.scheduler,
     })
 }
 
@@ -457,6 +692,7 @@ mod tests {
                 RoundRecord { round: 1, test_acc: 0.625, train_loss: 1.5, ..Default::default() },
             ],
             state,
+            scheduler: None,
         }
     }
 
@@ -479,6 +715,124 @@ mod tests {
         );
         assert_eq!(loaded.records[0].train_loss.to_bits(), f32::NAN.to_bits());
         assert_eq!(loaded.records[1].test_acc.to_bits(), 0.625f32.to_bits());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn async_checkpoint_with_in_flight_events_roundtrips_bit_exactly() {
+        use crate::client_store::ClientBlob;
+        use crate::scheduler::{PendingEvent, PreparedUpdate, SchedulerState, UpdatePayload};
+        let dir = tmpdir("async_rt");
+        let model = Model::new(ModelSpec::scaled(Arch::Cnn2, 1, 8, 10, 3)).state();
+        // One event per payload variant, with awkward bit patterns.
+        let events = vec![
+            PendingEvent {
+                time_bits: 3.5f64.to_bits(),
+                wave: 0,
+                idx: 1,
+                update: PreparedUpdate {
+                    client: 7,
+                    n_samples: 12,
+                    steps: 30,
+                    loss: f32::NAN,
+                    payload: UpdatePayload::Empty,
+                    commit: None,
+                },
+            },
+            PendingEvent {
+                time_bits: 4.25f64.to_bits(),
+                wave: 1,
+                idx: 0,
+                update: PreparedUpdate {
+                    client: 2,
+                    n_samples: 9,
+                    steps: 18,
+                    loss: 0.75,
+                    payload: UpdatePayload::StateAux {
+                        state: model.clone(),
+                        aux: vec![1.0, -0.0, f32::NAN],
+                    },
+                    commit: Some(
+                        ClientBlob::new()
+                            .with_model("model", model.clone())
+                            .with_tensor("c", vec![2], vec![0.5, -1.5]),
+                    ),
+                },
+            },
+            PendingEvent {
+                time_bits: 9.0f64.to_bits(),
+                wave: 1,
+                idx: 2,
+                update: PreparedUpdate {
+                    client: 4,
+                    n_samples: 3,
+                    steps: 6,
+                    loss: 2.0,
+                    payload: UpdatePayload::Logits(TensorBlob {
+                        dims: vec![2, 3],
+                        values: vec![0.1, 0.2, 0.3, -0.4, 0.5, -0.0],
+                    }),
+                    commit: None,
+                },
+            },
+        ];
+        let mut ckpt = sample_ckpt(2);
+        ckpt.scheduler = Some(SchedulerState { now_bits: 1.125f64.to_bits(), events });
+        let path = save_run(&ckpt, &dir).unwrap();
+        let loaded = load_run(&path).unwrap();
+        let sched = loaded.scheduler.expect("v2 checkpoint carries the scheduler");
+        let want = ckpt.scheduler.as_ref().unwrap();
+        assert_eq!(sched.now_bits, want.now_bits);
+        assert_eq!(sched.events.len(), want.events.len());
+        for (got, want) in sched.events.iter().zip(&want.events) {
+            assert_eq!((got.time_bits, got.wave, got.idx), (want.time_bits, want.wave, want.idx));
+            assert_eq!(
+                (got.update.client, got.update.n_samples, got.update.steps),
+                (want.update.client, want.update.n_samples, want.update.steps)
+            );
+            // NaN losses round-trip by bit pattern (PartialEq would
+            // reject NaN == NaN, so compare bits).
+            assert_eq!(got.update.loss.to_bits(), want.update.loss.to_bits());
+            assert_eq!(got.update.commit, want.update.commit, "blob equality is bit-exact");
+        }
+        match &sched.events[1].update.payload {
+            UpdatePayload::StateAux { state, aux } => {
+                assert_eq!(state, &model);
+                assert_eq!(aux[0].to_bits(), 1.0f32.to_bits());
+                assert_eq!(aux[1].to_bits(), (-0.0f32).to_bits());
+                assert_eq!(aux[2].to_bits(), f32::NAN.to_bits());
+            }
+            other => panic!("wrong payload variant: {other:?}"),
+        }
+        match &sched.events[2].update.payload {
+            UpdatePayload::Logits(t) => assert_eq!(t.dims, vec![2, 3]),
+            other => panic!("wrong payload variant: {other:?}"),
+        }
+        assert!(matches!(sched.events[0].update.payload, UpdatePayload::Empty));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sync_checkpoints_still_write_version_one() {
+        // Growing the format must not disturb synchronous checkpoints:
+        // the meta section still leads with version 1 byte-for-byte.
+        let dir = tmpdir("v1_stable");
+        let path = save_run(&sample_ckpt(2), &dir).unwrap();
+        let loaded = load_run(&path).unwrap();
+        assert!(loaded.scheduler.is_none());
+        assert_eq!(loaded.next_round, 2);
+        assert_eq!(loaded.records.len(), 2);
+        let mut sync = sample_ckpt(2);
+        let sync_meta = super::encode_meta(&sync);
+        assert_eq!(sync_meta[0..4], RUN_CHECKPOINT_VERSION.to_le_bytes());
+        sync.scheduler = Some(crate::scheduler::SchedulerState { now_bits: 0, events: vec![] });
+        let async_meta = super::encode_meta(&sync);
+        assert_eq!(async_meta[0..4], ASYNC_CHECKPOINT_VERSION.to_le_bytes());
+        assert_eq!(
+            async_meta[4..sync_meta.len()],
+            sync_meta[4..],
+            "v2 appends after the v1 fields, it does not reshuffle them"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -45,36 +45,61 @@ impl CommTracker {
     }
 
     /// Total downlink bytes (server → broadcast sets).
-    pub fn down_total(&self) -> u64 {
-        self.per_round.iter().map(|r| r.down_bytes).sum()
+    pub fn down_total(&self) -> Result<u64, CostError> {
+        checked_byte_sum(self.per_round.iter().map(|r| r.down_bytes))
     }
 
     /// Total accepted uplink bytes (completed uploads only).
-    pub fn up_total(&self) -> u64 {
-        self.per_round.iter().map(|r| r.up_bytes).sum()
+    pub fn up_total(&self) -> Result<u64, CostError> {
+        checked_byte_sum(self.per_round.iter().map(|r| r.up_bytes))
     }
 
     /// Total wasted uplink bytes (failed upload attempts).
-    pub fn wasted_total(&self) -> u64 {
-        self.per_round.iter().map(|r| r.wasted_up_bytes).sum()
+    pub fn wasted_total(&self) -> Result<u64, CostError> {
+        checked_byte_sum(self.per_round.iter().map(|r| r.wasted_up_bytes))
     }
 
     /// Total bytes that crossed the network in either direction,
     /// including wasted upload attempts — the honest traffic bill.
-    pub fn total(&self) -> u64 {
-        self.down_total() + self.up_total() + self.wasted_total()
+    /// Checked: the old unchecked `sum()` silently wrapped `u64` on
+    /// long runs at foundation-model payloads (debug builds panicked).
+    pub fn total(&self) -> Result<u64, CostError> {
+        checked_byte_sum(
+            self.per_round
+                .iter()
+                .flat_map(|r| [r.down_bytes, r.up_bytes, r.wasted_up_bytes]),
+        )
     }
 
-    /// Cumulative bytes after each round.
-    pub fn cumulative(&self) -> Vec<u64> {
+    /// Cumulative bytes after each round, rejecting overflow with a
+    /// typed error instead of wrapping.
+    pub fn cumulative(&self) -> Result<Vec<u64>, CostError> {
         let mut out = Vec::with_capacity(self.rounds());
         let mut acc = 0u64;
         for r in &self.per_round {
-            acc += r.down_bytes + r.up_bytes + r.wasted_up_bytes;
+            acc = checked_round_add(acc, r)?;
             out.push(acc);
         }
-        out
+        Ok(out)
     }
+}
+
+/// Fold a byte iterator with overflow detection.
+fn checked_byte_sum(bytes: impl Iterator<Item = u64>) -> Result<u64, CostError> {
+    let mut acc = 0u64;
+    for b in bytes {
+        acc = acc.checked_add(b).ok_or(CostError::ByteTotalOverflow { acc, add: b })?;
+    }
+    Ok(acc)
+}
+
+/// `acc + down + up + wasted`, checked at every step.
+pub(crate) fn checked_round_add(acc: u64, r: &RoundComm) -> Result<u64, CostError> {
+    [r.down_bytes, r.up_bytes, r.wasted_up_bytes]
+        .iter()
+        .try_fold(acc, |a, &b| {
+            a.checked_add(b).ok_or(CostError::ByteTotalOverflow { acc: a, add: b })
+        })
 }
 
 /// Closed-form communication cost model for a federated algorithm.
@@ -149,6 +174,22 @@ pub enum CostError {
         /// Sampled clients per round.
         sampled: usize,
     },
+    /// A running byte total overflowed while folding measured rounds
+    /// (cumulative traffic of a live run, not the closed-form model).
+    ByteTotalOverflow {
+        /// Accumulated bytes before the failing addition.
+        acc: u64,
+        /// The addend that pushed the total past `u64::MAX`.
+        add: u64,
+    },
+    /// `count × per_client_bytes` overflowed while billing a buffered
+    /// cycle's uplink (fused or evicted updates).
+    UplinkOverflow {
+        /// Updates billed.
+        count: u64,
+        /// Per-client uplink payload in bytes.
+        bytes: u64,
+    },
 }
 
 impl fmt::Display for CostError {
@@ -161,6 +202,14 @@ impl fmt::Display for CostError {
             CostError::TotalCostOverflow { round_cost, rounds, sampled } => write!(
                 f,
                 "total cost {round_cost} x {rounds} rounds x {sampled} clients overflows u64 bytes"
+            ),
+            CostError::ByteTotalOverflow { acc, add } => write!(
+                f,
+                "cumulative byte total {acc} + {add} overflows u64"
+            ),
+            CostError::UplinkOverflow { count, bytes } => write!(
+                f,
+                "buffered uplink {count} update(s) x {bytes} bytes overflows u64"
             ),
         }
     }
@@ -178,10 +227,10 @@ mod tests {
         t.record(100, 50);
         t.record(200, 70);
         assert_eq!(t.rounds(), 2);
-        assert_eq!(t.total(), 420);
-        assert_eq!(t.cumulative(), vec![150, 420]);
-        assert_eq!(t.down_total(), 300);
-        assert_eq!(t.up_total(), 120);
+        assert_eq!(t.total().unwrap(), 420);
+        assert_eq!(t.cumulative().unwrap(), vec![150, 420]);
+        assert_eq!(t.down_total().unwrap(), 300);
+        assert_eq!(t.up_total().unwrap(), 120);
     }
 
     #[test]
@@ -194,9 +243,26 @@ mod tests {
             down_clients: 5,
             up_clients: 3,
         });
-        assert_eq!(t.total(), 180, "wasted attempts are real traffic");
-        assert_eq!(t.wasted_total(), 20);
-        assert_eq!(t.cumulative(), vec![180]);
+        assert_eq!(t.total().unwrap(), 180, "wasted attempts are real traffic");
+        assert_eq!(t.wasted_total().unwrap(), 20);
+        assert_eq!(t.cumulative().unwrap(), vec![180]);
+    }
+
+    #[test]
+    fn tracker_totals_refuse_overflow_instead_of_wrapping() {
+        // Two half-max rounds fit exactly; a third byte overflows. The
+        // old unchecked `sum()` wrapped silently in release builds.
+        let mut t = CommTracker::new();
+        t.record(u64::MAX / 2, 0);
+        t.record(u64::MAX / 2 + 1, 0);
+        assert_eq!(t.down_total().unwrap(), u64::MAX);
+        assert_eq!(t.total().unwrap(), u64::MAX);
+        assert_eq!(t.cumulative().unwrap(), vec![u64::MAX / 2, u64::MAX]);
+        t.record(0, 1);
+        assert!(matches!(t.total(), Err(CostError::ByteTotalOverflow { .. })));
+        assert!(matches!(t.cumulative(), Err(CostError::ByteTotalOverflow { .. })));
+        let msg = t.total().unwrap_err().to_string();
+        assert!(msg.contains("overflows u64"), "bad message: {msg}");
     }
 
     #[test]

@@ -20,11 +20,12 @@
 
 use crate::checkpoint::{self, CheckpointPolicy, LoadError, RunCheckpoint};
 use crate::client_store::StoreError;
-use crate::comm::CommTracker;
+use crate::comm::{CommTracker, CostError};
 use crate::config::ConfigError;
 use crate::context::FlContext;
 use crate::lifecycle::{plan_round, FaultConfig, RoundComm, RoundPlan, WirePayload};
 use crate::metrics::{History, RoundRecord};
+use crate::scheduler::{AsyncScheduler, PreparedUpdate, RoundMode};
 use crate::state::{AlgorithmState, RestoreError};
 use crate::trace::{Counters, EventSink, NoopSink, Phase, RoundScope, TraceSink};
 use kemf_tensor::rng::{child_seed, seeded_rng};
@@ -82,6 +83,51 @@ pub trait FedAlgorithm: Send {
         scope: &mut RoundScope<'_>,
     ) -> Result<RoundOutcome, EngineError>;
 
+    /// Train the sampled cohort against the *current* global model
+    /// without fusing: one [`PreparedUpdate`] per entry of `sampled`,
+    /// in order. The buffered-asynchronous scheduler banks these and
+    /// fuses them — possibly cycles later, staleness-weighted — via
+    /// [`fuse`](Self::fuse). Every side effect the synchronous
+    /// [`round`](Self::round) applies at aggregation time must be
+    /// deferred: per-client store commits ride in
+    /// [`PreparedUpdate::commit`] and are applied by `fuse` only for
+    /// updates that actually fold in. The default rejects asynchronous
+    /// rounds with a typed error, so synchronous-only algorithms fail
+    /// fast instead of silently diverging.
+    fn train_cohort(
+        &mut self,
+        wave: usize,
+        sampled: &[usize],
+        ctx: &FlContext,
+        scope: &mut RoundScope<'_>,
+    ) -> Result<Vec<PreparedUpdate>, EngineError> {
+        let _ = (wave, sampled, ctx, scope);
+        Err(EngineError::Config(ConfigError::AlgorithmSetup {
+            algorithm: self.name(),
+            reason: "buffered-asynchronous rounds are not supported by this algorithm".into(),
+        }))
+    }
+
+    /// Fuse a buffer of prepared updates into the global model, each at
+    /// its staleness weight (`1.0` means fresh; the fold must be
+    /// bit-identical to the synchronous fold when every weight is
+    /// `1.0`). Consumes the buffer — deferred store commits of folded
+    /// updates are applied here, and an empty buffer reports NaN loss
+    /// without touching state (mirroring a synchronous empty round).
+    fn fuse(
+        &mut self,
+        round: usize,
+        updates: Vec<(PreparedUpdate, f32)>,
+        ctx: &FlContext,
+        scope: &mut RoundScope<'_>,
+    ) -> Result<RoundOutcome, EngineError> {
+        let _ = (round, updates, ctx, scope);
+        Err(EngineError::Config(ConfigError::AlgorithmSetup {
+            algorithm: self.name(),
+            reason: "buffered-asynchronous rounds are not supported by this algorithm".into(),
+        }))
+    }
+
     /// Evaluate the current global model on the held-out test set.
     fn evaluate(&mut self, ctx: &FlContext) -> f32;
 
@@ -90,10 +136,12 @@ pub trait FedAlgorithm: Send {
     /// The contract: feeding the bundle back through [`restore`](Self::restore)
     /// on a freshly initialized instance must continue the run as if it
     /// never stopped (any state forgotten here shows up as a history
-    /// diff in the resume tests). The default is the empty bundle, for
+    /// diff in the resume tests). A store-backed algorithm whose export
+    /// hits an unreadable or corrupt client slot returns a typed error
+    /// instead of panicking. The default is the empty bundle, for
     /// stateless probes.
-    fn state(&self) -> AlgorithmState {
-        AlgorithmState::new(self.name(), 0)
+    fn state(&self) -> Result<AlgorithmState, EngineError> {
+        Ok(AlgorithmState::new(self.name(), 0))
     }
 
     /// Re-absorb a bundle produced by [`state`](Self::state) into an
@@ -146,6 +194,9 @@ pub struct RunOptions<'a> {
     /// fingerprint). `None` uses `cfg.seed`. Algorithm-internal
     /// randomness still derives from `cfg.seed`.
     pub seed: Option<u64>,
+    /// How rounds advance: classic synchronous rounds (the default) or
+    /// buffered-asynchronous cycles with staleness-weighted fusion.
+    pub round_mode: RoundMode,
 }
 
 impl<'a> RunOptions<'a> {
@@ -191,6 +242,18 @@ impl<'a> RunOptions<'a> {
         self.seed = Some(seed);
         self
     }
+
+    /// Select how rounds advance (see [`RoundMode`]).
+    pub fn round_mode(mut self, mode: RoundMode) -> Self {
+        self.round_mode = mode;
+        self
+    }
+
+    /// Shorthand for [`RoundMode::Async`].
+    pub fn async_rounds(mut self, cfg: crate::scheduler::AsyncConfig) -> Self {
+        self.round_mode = RoundMode::Async(cfg);
+        self
+    }
 }
 
 /// What a finished run hands back.
@@ -207,6 +270,11 @@ pub struct RunReport {
     /// Checkpoint files written by this run, oldest first (pruned files
     /// excluded).
     pub checkpoints: Vec<PathBuf>,
+    /// Final virtual clock of the asynchronous scheduler in simulated
+    /// seconds — the time the server finished its last fused buffer.
+    /// `None` for synchronous runs (wall-clock there is priced after
+    /// the fact by [`crate::network::NetworkModel`]).
+    pub sim_time_s: Option<f64>,
 }
 
 /// Why a run could not start or continue.
@@ -223,6 +291,9 @@ pub enum EngineError {
     /// A per-client state-store operation failed mid-round (unknown
     /// client slot, corrupt or unreadable spill file).
     State(StoreError),
+    /// Byte accounting overflowed u64 (cumulative totals or a buffered
+    /// cycle's uplink sum).
+    Cost(CostError),
 }
 
 impl fmt::Display for EngineError {
@@ -233,6 +304,7 @@ impl fmt::Display for EngineError {
             EngineError::Checkpoint(e) => write!(f, "checkpoint write failed: {e}"),
             EngineError::Resume(e) => write!(f, "resume failed: {e}"),
             EngineError::State(e) => write!(f, "client state store: {e}"),
+            EngineError::Cost(e) => write!(f, "byte accounting: {e}"),
         }
     }
 }
@@ -248,6 +320,12 @@ impl From<ConfigError> for EngineError {
 impl From<StoreError> for EngineError {
     fn from(e: StoreError) -> Self {
         EngineError::State(e)
+    }
+}
+
+impl From<CostError> for EngineError {
+    fn from(e: CostError) -> Self {
+        EngineError::Cost(e)
     }
 }
 
@@ -495,11 +573,26 @@ fn run_core(
             sampled_per_round: per_round,
         }));
     }
+    let async_cfg = match &opts.round_mode {
+        RoundMode::Sync => None,
+        RoundMode::Async(a) => {
+            a.validate(per_round).map_err(EngineError::Config)?;
+            Some(a.clone())
+        }
+    };
     algo.init(ctx).map_err(EngineError::Init)?;
 
     let algo_name = algo.name();
     let engine_seed = opts.seed.unwrap_or(ctx.cfg.seed);
     let fingerprint = checkpoint::run_fingerprint(&ctx.cfg, &faults, &algo_name, engine_seed);
+    // Async knobs change the trajectory, so they join the run identity;
+    // synchronous fingerprints are exactly what they always were, and a
+    // checkpoint can never resume across modes.
+    let fingerprint = match &async_cfg {
+        Some(a) => a.mix_fingerprint(fingerprint),
+        None => fingerprint,
+    };
+    let mut scheduler = async_cfg.map(AsyncScheduler::new);
     let mut history = History::new(algo_name.clone());
     let mut comm = CommTracker::new();
     let mut plans = Vec::with_capacity(ctx.cfg.rounds);
@@ -556,6 +649,25 @@ fn run_core(
                 up_clients: r.up_clients,
             });
         }
+        // The virtual clock and in-flight event queue are part of an
+        // async run's trajectory; a checkpoint without them (or with
+        // them, for a sync run) is from the other mode — unreachable
+        // past the fingerprint check, but checked for defense in depth.
+        match (scheduler.as_mut(), ckpt.scheduler) {
+            (Some(s), Some(st)) => s.restore(st),
+            (None, None) => {}
+            (Some(_), None) => {
+                return Err(EngineError::Resume(ResumeError::Inconsistent {
+                    detail: "async resume needs scheduler state, checkpoint has none".into(),
+                }));
+            }
+            (None, Some(_)) => {
+                return Err(EngineError::Resume(ResumeError::Inconsistent {
+                    detail: "checkpoint carries async scheduler state but the run is synchronous"
+                        .into(),
+                }));
+            }
+        }
         history.records = ckpt.records;
         start_round = ckpt.next_round;
         resumed_from = Some(start_round);
@@ -571,36 +683,42 @@ fn run_core(
             c.clients = sampled.len();
             (sampled, plan)
         });
-        let round_comm = scope.phase(Phase::Broadcast, |c| {
-            let round_comm = plan.comm(algo.payload_per_client());
+        let payload = algo.payload_per_client();
+        let wave_comm = scope.phase(Phase::Broadcast, |c| {
+            let round_comm = plan.comm(payload);
             c.clients = round_comm.down_clients;
             c.down_bytes = round_comm.down_bytes;
             round_comm
         });
-        let reporters = plan.reporters();
-        let quorum_met = plan.quorum_met();
-        // Quorum failure: the broadcast (and any stray uploads) already
-        // cost bytes, but the server discards the round — the algorithm
-        // never runs and the previous global state carries over. No
-        // clients report, so there is no training loss to record: NaN,
-        // not 0.0 (which every loss series would read as *perfect*).
-        let train_loss = if quorum_met {
-            algo.round(round, &reporters, ctx, &mut scope)?.train_loss
+        let (round_comm, quorum_met, train_loss) = if let Some(sched) = scheduler.as_mut() {
+            run_async_cycle(algo, ctx, &faults, sched, round, &plan, payload, wave_comm, &mut scope)?
         } else {
-            f32::NAN
+            let reporters = plan.reporters();
+            let quorum_met = plan.quorum_met();
+            // Quorum failure: the broadcast (and any stray uploads) already
+            // cost bytes, but the server discards the round — the algorithm
+            // never runs and the previous global state carries over. No
+            // clients report, so there is no training loss to record: NaN,
+            // not 0.0 (which every loss series would read as *perfect*).
+            let train_loss = if quorum_met {
+                algo.round(round, &reporters, ctx, &mut scope)?.train_loss
+            } else {
+                f32::NAN
+            };
+            scope.phase(Phase::Upload, |c| {
+                c.clients = wave_comm.up_clients;
+                c.up_bytes = wave_comm.up_bytes;
+                c.wasted_up_bytes = wave_comm.wasted_up_bytes;
+            });
+            (wave_comm, quorum_met, train_loss)
         };
-        scope.phase(Phase::Upload, |c| {
-            c.clients = round_comm.up_clients;
-            c.up_bytes = round_comm.up_bytes;
-            c.wasted_up_bytes = round_comm.wasted_up_bytes;
-        });
         comm.record_round(round_comm);
         let acc = scope.phase(Phase::Eval, |_c| algo.evaluate(ctx));
         history.push(RoundRecord {
             round,
             test_acc: acc,
             train_loss,
-            cum_bytes: comm.total(),
+            cum_bytes: comm.total()?,
             down_bytes: round_comm.down_bytes,
             up_bytes: round_comm.up_bytes,
             wasted_up_bytes: round_comm.wasted_up_bytes,
@@ -634,7 +752,8 @@ fn run_core(
                     sampler_check: probe(&rng),
                     fault_check: probe(&fault_rng),
                     records: history.records.clone(),
-                    state: algo.state(),
+                    state: algo.state()?,
+                    scheduler: scheduler.as_ref().map(|s| s.state()),
                 };
                 let path =
                     checkpoint::save_run(&ckpt, &policy.dir).map_err(EngineError::Checkpoint)?;
@@ -644,7 +763,98 @@ fn run_core(
             }
         }
     }
-    Ok(RunReport { history, plans, resumed_from, checkpoints })
+    let sim_time_s = scheduler.as_ref().map(|s| s.now());
+    Ok(RunReport { history, plans, resumed_from, checkpoints, sim_time_s })
+}
+
+/// One buffered-asynchronous aggregation cycle: train the wave's
+/// reporters against the current global model, dispatch their
+/// completions at simulated arrival times, drain the buffer, and fuse
+/// the accepted updates at their staleness weights.
+///
+/// Byte accounting differs from the synchronous path only in *when*
+/// uplink is charged: downlink (and in-flight upload retries) bill with
+/// the wave that caused them, while each successful upload bills in the
+/// cycle whose fused buffer consumed it, and an eviction bills its
+/// payload as wasted. Updates still in flight when the run ends are
+/// never charged — the server never received them.
+#[allow(clippy::too_many_arguments)]
+fn run_async_cycle(
+    algo: &mut dyn FedAlgorithm,
+    ctx: &FlContext,
+    faults: &FaultConfig,
+    sched: &mut AsyncScheduler,
+    cycle: usize,
+    plan: &RoundPlan,
+    payload: WirePayload,
+    wave_comm: RoundComm,
+    scope: &mut RoundScope<'_>,
+) -> Result<(RoundComm, bool, f32), EngineError> {
+    let reporters = plan.reporters();
+    // Eager training at dispatch: the clients that will complete this
+    // wave all saw the global model of cycle `cycle`, which is what
+    // makes `cycle - wave` the honest staleness at fold time.
+    let updates = if reporters.is_empty() {
+        Vec::new()
+    } else {
+        algo.train_cohort(cycle, &reporters, ctx, scope)?
+    };
+    if updates.len() != reporters.len() {
+        return Err(EngineError::Config(ConfigError::AlgorithmSetup {
+            algorithm: algo.name(),
+            reason: format!(
+                "train_cohort returned {} update(s) for {} reporter(s)",
+                updates.len(),
+                reporters.len()
+            ),
+        }));
+    }
+    sched.dispatch(cycle, plan, payload, updates);
+    let drained = scope.phase(Phase::Buffer, |c| {
+        let d = sched.drain(cycle);
+        c.clients = d.folded.len();
+        c.stale_updates = d.stale;
+        c.evicted_updates = d.evicted;
+        d
+    });
+    let folded_n = drained.folded.len();
+    // Same quorum rule as the synchronous `RoundPlan::quorum_met`, but
+    // over the updates that actually reached the fused buffer.
+    let quorum_met = folded_n >= faults.min_quorum.max(1);
+    let train_loss = if quorum_met {
+        algo.fuse(cycle, drained.folded, ctx, scope)?.train_loss
+    } else {
+        // Quorum abort discards the buffer wholesale — deferred store
+        // commits never apply, exactly like a synchronous abort where
+        // the algorithm never ran.
+        f32::NAN
+    };
+    let mul = |count: u64, bytes: u64| {
+        count
+            .checked_mul(bytes)
+            .ok_or(EngineError::Cost(CostError::UplinkOverflow { count, bytes }))
+    };
+    let fused_up = mul(folded_n as u64, payload.up_bytes)?;
+    let evicted_up = mul(drained.evicted, payload.up_bytes)?;
+    let wasted_up_bytes = wave_comm.wasted_up_bytes.checked_add(evicted_up).ok_or(
+        EngineError::Cost(CostError::ByteTotalOverflow {
+            acc: wave_comm.wasted_up_bytes,
+            add: evicted_up,
+        }),
+    )?;
+    let round_comm = RoundComm {
+        down_bytes: wave_comm.down_bytes,
+        up_bytes: fused_up,
+        wasted_up_bytes,
+        down_clients: wave_comm.down_clients,
+        up_clients: folded_n,
+    };
+    scope.phase(Phase::Upload, |c| {
+        c.clients = round_comm.up_clients;
+        c.up_bytes = round_comm.up_bytes;
+        c.wasted_up_bytes = round_comm.wasted_up_bytes;
+    });
+    Ok((round_comm, quorum_met, train_loss))
 }
 
 /// Run a full federated training session and return its history. Fault
@@ -714,6 +924,7 @@ pub fn run_with_sink(
 mod tests {
     use super::*;
     use crate::config::FlConfig;
+    use crate::scheduler::{AsyncConfig, UpdatePayload};
     use kemf_data::synth::{SynthConfig, SynthTask};
 
     struct Dummy {
@@ -743,6 +954,39 @@ mod tests {
         ) -> Result<RoundOutcome, EngineError> {
             self.rounds_seen.push(sampled.to_vec());
             Ok(RoundOutcome { train_loss: 1.0 })
+        }
+        fn train_cohort(
+            &mut self,
+            _wave: usize,
+            sampled: &[usize],
+            _ctx: &FlContext,
+            _scope: &mut RoundScope<'_>,
+        ) -> Result<Vec<PreparedUpdate>, EngineError> {
+            self.rounds_seen.push(sampled.to_vec());
+            Ok(sampled
+                .iter()
+                .map(|&client| PreparedUpdate {
+                    client,
+                    n_samples: 10,
+                    steps: 5,
+                    loss: 1.0,
+                    payload: UpdatePayload::Empty,
+                    commit: None,
+                })
+                .collect())
+        }
+        fn fuse(
+            &mut self,
+            _round: usize,
+            updates: Vec<(PreparedUpdate, f32)>,
+            _ctx: &FlContext,
+            _scope: &mut RoundScope<'_>,
+        ) -> Result<RoundOutcome, EngineError> {
+            if updates.is_empty() {
+                return Ok(RoundOutcome { train_loss: f32::NAN });
+            }
+            let loss: f32 = updates.iter().map(|(u, w)| w * u.loss).sum();
+            Ok(RoundOutcome { train_loss: loss / updates.len() as f32 })
         }
         fn evaluate(&mut self, _ctx: &FlContext) -> f32 {
             self.evals += 1;
@@ -1032,6 +1276,107 @@ mod tests {
             other => panic!("expected fingerprint mismatch, got {:?}", other.err()),
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn async_full_buffer_no_delay_matches_sync_bit_for_bit() {
+        // The correctness anchor: buffer == cohort and zero injected
+        // delay means every update folds fresh at weight exactly 1.0,
+        // in sampled order — the async history must serialize
+        // byte-identically to the sync one.
+        let ctx = tiny_ctx();
+        let mut sync = Dummy::new();
+        let h_sync = run_default(&mut sync, &ctx);
+        let mut asy = Dummy::new();
+        let report = Engine::run(
+            &mut asy,
+            &ctx,
+            RunOptions::new().async_rounds(AsyncConfig::new(3)),
+        )
+        .unwrap();
+        assert_eq!(report.history.to_json(), h_sync.to_json());
+        assert_eq!(asy.rounds_seen, sync.rounds_seen);
+        // No network model and no delays: the virtual clock never moves.
+        assert_eq!(report.sim_time_s, Some(0.0));
+    }
+
+    #[test]
+    fn async_small_buffer_spreads_uplink_across_cycles() {
+        let ctx = tiny_ctx();
+        let mut algo = Dummy::new();
+        let report = Engine::run(
+            &mut algo,
+            &ctx,
+            RunOptions::new().async_rounds(AsyncConfig::new(1).max_staleness(8)),
+        )
+        .unwrap();
+        // Every wave trains its full 3-client cohort, but each cycle
+        // fuses exactly one buffered update.
+        for r in &report.history.records {
+            assert_eq!(r.down_clients, 3);
+            assert_eq!(r.up_clients, 1, "buffer_size caps fused uploads");
+            assert_eq!(r.up_bytes, 5);
+        }
+        // 4 waves × 3 updates, 4 fused: the other 8 are still in flight
+        // at run end and were never charged uplink.
+        assert_eq!(report.history.records.iter().map(|r| r.up_bytes).sum::<u64>(), 4 * 5);
+    }
+
+    #[test]
+    fn async_mode_rejects_overfull_buffer() {
+        let ctx = tiny_ctx();
+        let mut algo = Dummy::new();
+        match Engine::run(&mut algo, &ctx, RunOptions::new().async_rounds(AsyncConfig::new(4))) {
+            Err(EngineError::Config(ConfigError::OutOfRange {
+                field: "async.buffer_size", ..
+            })) => {}
+            other => panic!("expected buffer-size rejection, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn async_checkpoints_refuse_cross_mode_resume() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("kemf_engine_xmode_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ctx = tiny_ctx();
+        let mut algo = Dummy::new();
+        Engine::run(
+            &mut algo,
+            &ctx,
+            RunOptions::new().checkpoint(CheckpointPolicy::new(&dir, 2)),
+        )
+        .unwrap();
+        // A sync checkpoint must not seed an async run: the async knobs
+        // are folded into the fingerprint.
+        let mut other = Dummy::new();
+        match Engine::run(
+            &mut other,
+            &ctx,
+            RunOptions::new().async_rounds(AsyncConfig::new(3)).resume_from(&dir),
+        ) {
+            Err(EngineError::Resume(ResumeError::FingerprintMismatch { .. })) => {}
+            other => panic!("expected fingerprint mismatch, got {:?}", other.err()),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn async_run_with_network_reports_virtual_time() {
+        let ctx = tiny_ctx();
+        let mut algo = Dummy::new();
+        let net = crate::network::NetworkModel { bandwidth_bps: 10.0, latency_s: 1.0 };
+        let report = Engine::run(
+            &mut algo,
+            &ctx,
+            RunOptions::new().async_rounds(AsyncConfig::new(3).network(net)),
+        )
+        .unwrap();
+        // Each completion arrives at t_down + t_up after dispatch:
+        // (1 + 10/10) + (1 + 5/10) = 3.5 s; four cycles each wait for
+        // their own wave's last arrival, so the clock walks forward.
+        let t = report.sim_time_s.unwrap();
+        assert!(t > 0.0, "network transfers must advance the virtual clock, got {t}");
     }
 
     #[test]

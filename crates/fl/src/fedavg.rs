@@ -6,9 +6,12 @@ use crate::context::FlContext;
 use crate::engine::{EngineError, FedAlgorithm, RoundOutcome};
 use crate::lifecycle::WirePayload;
 use crate::local::LocalCfg;
+use crate::scheduler::PreparedUpdate;
 use crate::state::{check_model_layout, AlgorithmState, RestoreError};
 use crate::trace::{Phase, RoundScope};
-use crate::weight_common::{fan_out_clients, GlobalModel, StateAverage};
+use crate::weight_common::{
+    fan_out_clients, fuse_state_average, train_cohort_states, GlobalModel, StateAverage,
+};
 use kemf_nn::models::ModelSpec;
 use kemf_nn::serialize::ModelState;
 
@@ -93,12 +96,37 @@ impl FedAlgorithm for FedAvg {
         Ok(RoundOutcome { train_loss: loss_sum / reported as f32 })
     }
 
+    fn train_cohort(
+        &mut self,
+        wave: usize,
+        sampled: &[usize],
+        ctx: &FlContext,
+        scope: &mut RoundScope<'_>,
+    ) -> Result<Vec<PreparedUpdate>, EngineError> {
+        let local = LocalCfg {
+            epochs: ctx.cfg.local_epochs,
+            batch: ctx.cfg.batch_size,
+            sgd: ctx.cfg.sgd_at(wave),
+        };
+        Ok(train_cohort_states(&self.global, wave, sampled, ctx, &local, &|_k| None, scope))
+    }
+
+    fn fuse(
+        &mut self,
+        _round: usize,
+        updates: Vec<(PreparedUpdate, f32)>,
+        _ctx: &FlContext,
+        scope: &mut RoundScope<'_>,
+    ) -> Result<RoundOutcome, EngineError> {
+        fuse_state_average("FedAvg", &mut self.global, updates, scope)
+    }
+
     fn evaluate(&mut self, ctx: &FlContext) -> f32 {
         self.global.evaluate(ctx)
     }
 
-    fn state(&self) -> AlgorithmState {
-        AlgorithmState::new(self.name(), 1).with_model("global", self.global.state.clone())
+    fn state(&self) -> Result<AlgorithmState, EngineError> {
+        Ok(AlgorithmState::new(self.name(), 1).with_model("global", self.global.state.clone()))
     }
 
     fn restore(&mut self, state: &AlgorithmState) -> Result<(), RestoreError> {

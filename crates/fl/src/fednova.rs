@@ -15,10 +15,12 @@ use crate::context::FlContext;
 use crate::engine::{EngineError, FedAlgorithm, RoundOutcome};
 use crate::lifecycle::WirePayload;
 use crate::local::LocalCfg;
+use crate::scheduler::{PreparedUpdate, UpdatePayload};
 use crate::state::{check_model_layout, AlgorithmState, RestoreError};
 use crate::trace::{Phase, RoundScope};
 use crate::weight_common::{fan_out_clients, GlobalModel, WeightsAverage};
 use kemf_nn::models::ModelSpec;
+use kemf_nn::serialize::ModelState;
 
 /// The FedNova baseline.
 pub struct FedNova {
@@ -104,12 +106,100 @@ impl FedAlgorithm for FedNova {
         Ok(RoundOutcome { train_loss: loss_sum / reported as f32 })
     }
 
+    fn train_cohort(
+        &mut self,
+        wave: usize,
+        sampled: &[usize],
+        ctx: &FlContext,
+        scope: &mut RoundScope<'_>,
+    ) -> Result<Vec<PreparedUpdate>, EngineError> {
+        let local = LocalCfg {
+            epochs: ctx.cfg.local_epochs,
+            batch: ctx.cfg.batch_size,
+            sgd: ctx.cfg.sgd_at(wave),
+        };
+        let chunk = ctx.cfg.cohort_chunk(sampled.len().max(1));
+        let mut out = Vec::with_capacity(sampled.len());
+        scope.phase(Phase::LocalUpdate, |c| {
+            for batch in sampled.chunks(chunk) {
+                let results = fan_out_clients(
+                    &self.global.state,
+                    self.global.spec,
+                    wave,
+                    batch,
+                    ctx,
+                    &local,
+                    &|_k| None,
+                );
+                c.clients += results.len();
+                c.steps += results.iter().map(|r| r.outcome.steps as u64).sum::<u64>();
+                c.batches = c.steps;
+                for r in results {
+                    // The normalized direction is anchored to the global
+                    // weights the client actually started from, so it is
+                    // computed here at dispatch time, not at fusion.
+                    let d = self.global.state.params.delta(&r.state.params);
+                    out.push(PreparedUpdate {
+                        client: r.client,
+                        n_samples: r.n_samples,
+                        steps: r.outcome.steps,
+                        loss: r.outcome.mean_loss,
+                        payload: UpdatePayload::State(ModelState {
+                            params: d,
+                            buffers: r.state.buffers,
+                        }),
+                        commit: None,
+                    });
+                }
+            }
+        });
+        Ok(out)
+    }
+
+    fn fuse(
+        &mut self,
+        _round: usize,
+        updates: Vec<(PreparedUpdate, f32)>,
+        _ctx: &FlContext,
+        scope: &mut RoundScope<'_>,
+    ) -> Result<RoundOutcome, EngineError> {
+        if updates.is_empty() {
+            return Ok(RoundOutcome { train_loss: f32::NAN });
+        }
+        let total_n: f32 = updates.iter().map(|(u, w)| w * u.n_samples as f32).sum();
+        let mut combined = self.global.state.params.zeros_like();
+        let mut tau_eff = 0.0f32;
+        let mut buffers = WeightsAverage::new(&self.global.state.buffers, total_n);
+        let mut loss_sum = 0.0f32;
+        let reported = updates.len();
+        for (u, w) in &updates {
+            let UpdatePayload::State(delta) = &u.payload else {
+                return Err(EngineError::Config(crate::config::ConfigError::AlgorithmSetup {
+                    algorithm: "FedNova".into(),
+                    reason: format!("client {}: expected a direction-state payload", u.client),
+                }));
+            };
+            let tau = u.steps.max(1) as f32;
+            let p = w * u.n_samples as f32 / total_n;
+            tau_eff += p * tau;
+            combined.scale_add(1.0, &delta.params, p / tau);
+            buffers.add(&delta.buffers, w * u.n_samples as f32);
+            loss_sum += u.loss;
+        }
+        scope.phase(Phase::Fusion, |c| {
+            c.clients = reported;
+            self.global.state.params.scale_add(1.0, &combined, -tau_eff);
+            self.global.state.buffers = buffers.finish();
+        });
+        Ok(RoundOutcome { train_loss: loss_sum / reported as f32 })
+    }
+
     fn evaluate(&mut self, ctx: &FlContext) -> f32 {
         self.global.evaluate(ctx)
     }
 
-    fn state(&self) -> AlgorithmState {
-        AlgorithmState::new(self.name(), 1).with_model("global", self.global.state.clone())
+    fn state(&self) -> Result<AlgorithmState, EngineError> {
+        Ok(AlgorithmState::new(self.name(), 1).with_model("global", self.global.state.clone()))
     }
 
     fn restore(&mut self, state: &AlgorithmState) -> Result<(), RestoreError> {

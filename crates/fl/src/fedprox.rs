@@ -6,9 +6,13 @@ use crate::context::FlContext;
 use crate::engine::{EngineError, FedAlgorithm, RoundOutcome};
 use crate::lifecycle::WirePayload;
 use crate::local::{add_prox_to_grads, LocalCfg};
+use crate::scheduler::PreparedUpdate;
 use crate::state::{check_model_layout, AlgorithmState, RestoreError};
 use crate::trace::{Phase, RoundScope};
-use crate::weight_common::{fan_out_clients, GlobalModel, StateAverage};
+use crate::weight_common::{
+    fan_out_clients, fuse_state_average, train_cohort_states, BoxedGradHook, GlobalModel,
+    StateAverage,
+};
 use kemf_nn::layer::Layer;
 use kemf_nn::models::ModelSpec;
 use std::sync::Arc;
@@ -94,14 +98,49 @@ impl FedAlgorithm for FedProx {
         Ok(RoundOutcome { train_loss: loss_sum / reported as f32 })
     }
 
+    fn train_cohort(
+        &mut self,
+        wave: usize,
+        sampled: &[usize],
+        ctx: &FlContext,
+        scope: &mut RoundScope<'_>,
+    ) -> Result<Vec<PreparedUpdate>, EngineError> {
+        let local = LocalCfg {
+            epochs: ctx.cfg.local_epochs,
+            batch: ctx.cfg.batch_size,
+            sgd: ctx.cfg.sgd_at(wave),
+        };
+        // Clients dispatched in wave `wave` anchor to the global weights
+        // they were handed at dispatch time, exactly as in a sync round.
+        let anchor = Arc::new(self.global.state.params.values.clone());
+        let mu = self.mu;
+        let hook_for = move |_k: usize| {
+            let anchor = Arc::clone(&anchor);
+            Some(Box::new(move |net: &mut dyn Layer| {
+                add_prox_to_grads(net, &anchor, mu);
+            }) as BoxedGradHook)
+        };
+        Ok(train_cohort_states(&self.global, wave, sampled, ctx, &local, &hook_for, scope))
+    }
+
+    fn fuse(
+        &mut self,
+        _round: usize,
+        updates: Vec<(PreparedUpdate, f32)>,
+        _ctx: &FlContext,
+        scope: &mut RoundScope<'_>,
+    ) -> Result<RoundOutcome, EngineError> {
+        fuse_state_average("FedProx", &mut self.global, updates, scope)
+    }
+
     fn evaluate(&mut self, ctx: &FlContext) -> f32 {
         self.global.evaluate(ctx)
     }
 
-    fn state(&self) -> AlgorithmState {
+    fn state(&self) -> Result<AlgorithmState, EngineError> {
         // μ is construction config, not evolving state; only the global
         // weights move between rounds.
-        AlgorithmState::new(self.name(), 1).with_model("global", self.global.state.clone())
+        Ok(AlgorithmState::new(self.name(), 1).with_model("global", self.global.state.clone()))
     }
 
     fn restore(&mut self, state: &AlgorithmState) -> Result<(), RestoreError> {

@@ -17,6 +17,10 @@
 //!   terms, control variates);
 //! * [`lifecycle`] — the fault-aware round execution model: per-client
 //!   download → train → upload outcomes, fault injection, and quorum;
+//! * [`scheduler`] — the discrete-event buffered-asynchronous round
+//!   scheduler (FedBuff-style): simulated arrival times, a bounded
+//!   fusion buffer, and staleness-weighted updates behind
+//!   [`scheduler::RoundMode`];
 //! * [`comm`] / [`metrics`] — communication accounting and the derived
 //!   metrics of the paper's tables and figures;
 //! * [`trace`] — structured round-lifecycle observability: phase-timed
@@ -52,6 +56,7 @@ pub mod local;
 pub mod metrics;
 pub mod network;
 pub mod scaffold;
+pub mod scheduler;
 pub mod state;
 pub mod trace;
 pub mod weight_common;
@@ -79,6 +84,7 @@ pub mod prelude {
     pub use crate::metrics::{fairness_summary, FairnessSummary, History, RoundRecord};
     pub use crate::network::NetworkModel;
     pub use crate::scaffold::Scaffold;
+    pub use crate::scheduler::{AsyncConfig, PreparedUpdate, RoundMode, UpdatePayload};
     pub use crate::state::{AlgorithmState, RestoreError, TensorBlob};
     pub use crate::trace::{
         Counters, EventSink, NoopSink, Phase, PhaseSummary, RoundScope, RunTrace, Span, TraceSink,

@@ -283,7 +283,11 @@ fn draw_outcome(faults: &FaultConfig, rng: &mut StdRng) -> ClientOutcome {
     }
     let mut delay_s = 0.0f64;
     if faults.straggler_prob > 0.0 && rng.gen::<f32>() < faults.straggler_prob {
-        delay_s = rng.gen::<f32>() as f64 * faults.straggler_delay_s;
+        // Drawn directly in f64: the old `rng.gen::<f32>() as f64`
+        // quantized the uniform variate to ~2^24 lattice points, so
+        // delays clustered and deadline comparisons near the cut could
+        // only ever see f32-representable delays.
+        delay_s = rng.gen::<f64>() * faults.straggler_delay_s;
         if let Some(deadline) = faults.round_deadline_s {
             if delay_s > deadline {
                 return ClientOutcome::StragglerTimedOut { delay_s };
@@ -413,6 +417,63 @@ mod tests {
             .sum();
         assert_eq!(comm.wasted_up_bytes, expected_waste);
         assert!(comm.wasted_up_bytes > 0);
+    }
+
+    #[test]
+    fn straggler_delays_are_sampled_in_full_f64_precision() {
+        // Regression: delays used to be drawn as `rng.gen::<f32>() as
+        // f64`, collapsing the uniform variate onto the f32 lattice. A
+        // full-precision draw must produce delays that are *not* exactly
+        // representable as f32 once scaled.
+        let faults = FaultConfig {
+            straggler_prob: 1.0 - f32::EPSILON, // always a straggler, still draws
+            straggler_delay_s: 1.0,             // delay == the raw uniform variate
+            ..Default::default()
+        };
+        let plan = plan_with(&faults, 37, 256);
+        let delays: Vec<f64> = plan
+            .clients
+            .iter()
+            .filter_map(|c| match c.outcome {
+                ClientOutcome::Completed { delay_s, .. } => Some(delay_s),
+                ClientOutcome::StragglerTimedOut { delay_s } => Some(delay_s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delays.len(), 256);
+        let off_lattice = delays.iter().filter(|&&d| (d as f32) as f64 != d).count();
+        assert!(
+            off_lattice > 200,
+            "f64 draws should almost never land on the f32 lattice, got {off_lattice}/256"
+        );
+    }
+
+    #[test]
+    fn deadline_comparisons_match_the_drawn_delay_exactly() {
+        // Regression companion to the f64 fix: for seeded runs, the
+        // cut-vs-survive classification must be exactly `delay_s >
+        // deadline` on the delay actually recorded in the outcome — no
+        // hidden re-rounding between the draw and the comparison.
+        let faults = FaultConfig {
+            straggler_prob: 0.8,
+            straggler_delay_s: 40.0,
+            round_deadline_s: Some(20.0),
+            ..Default::default()
+        };
+        for seed in [41u64, 42, 43] {
+            let plan = plan_with(&faults, seed, 128);
+            for c in &plan.clients {
+                match c.outcome {
+                    ClientOutcome::StragglerTimedOut { delay_s } => {
+                        assert!(delay_s > 20.0, "cut straggler below deadline: {delay_s}")
+                    }
+                    ClientOutcome::Completed { delay_s, .. } => {
+                        assert!(delay_s <= 20.0, "surviving delay past deadline: {delay_s}")
+                    }
+                    other => panic!("unexpected outcome {other:?}"),
+                }
+            }
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::metrics::{History, RoundRecord};
 use serde::{Deserialize, Serialize};
 
 /// A symmetric client↔server link.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct NetworkModel {
     /// Sustained throughput in bytes per second.
     pub bandwidth_bps: f64,
@@ -108,9 +108,12 @@ impl NetworkModel {
             let finish = match c.outcome {
                 ClientOutcome::DroppedBeforeDownload => 0.0,
                 ClientOutcome::DroppedAfterDownload => t_down,
-                ClientOutcome::StragglerTimedOut { .. } => {
-                    deadline_s.expect("timed-out straggler requires a deadline")
-                }
+                // A cut straggler holds the round open to the deadline.
+                // A plan can only contain this outcome if a deadline was
+                // configured when it was drawn; if the caller passes
+                // `None` anyway, fall back to the drawn delay (≥ the
+                // deadline by construction) instead of panicking.
+                ClientOutcome::StragglerTimedOut { delay_s } => deadline_s.unwrap_or(delay_s),
                 ClientOutcome::UploadFailed { attempts } => t_down + attempts as f64 * t_up,
                 ClientOutcome::Completed { attempts, delay_s } => {
                     t_down + delay_s + attempts as f64 * t_up
@@ -130,12 +133,18 @@ mod tests {
 
     fn hist(accs: &[f32], bytes_per_round: u64) -> History {
         let mut h = History::new("t");
+        // Checked running total — `bytes_per_round * (i + 1)` silently
+        // wrapped u64 at large round counts × payloads.
+        let mut cum = 0u64;
         for (i, &a) in accs.iter().enumerate() {
+            cum = cum
+                .checked_add(bytes_per_round)
+                .unwrap_or_else(|| panic!("cumulative bytes overflow u64 at round {i}"));
             h.push(RoundRecord {
                 round: i,
                 test_acc: a,
                 train_loss: 0.0,
-                cum_bytes: bytes_per_round * (i as u64 + 1),
+                cum_bytes: cum,
                 down_bytes: bytes_per_round / 2,
                 up_bytes: bytes_per_round / 2,
                 down_clients: 4,

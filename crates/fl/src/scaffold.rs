@@ -18,6 +18,7 @@ use crate::context::FlContext;
 use crate::engine::{EngineError, FedAlgorithm, RoundOutcome};
 use crate::lifecycle::WirePayload;
 use crate::local::{add_flat_to_grads, LocalCfg};
+use crate::scheduler::{PreparedUpdate, UpdatePayload};
 use crate::state::{check_model_layout, check_tensor_dims, AlgorithmState, RestoreError};
 use crate::trace::{Phase, RoundScope};
 use crate::weight_common::{fan_out_clients, GlobalModel, StateAverage};
@@ -214,11 +215,158 @@ impl FedAlgorithm for Scaffold {
         Ok(RoundOutcome { train_loss: loss_sum / n_sampled as f32 })
     }
 
+    fn train_cohort(
+        &mut self,
+        wave: usize,
+        sampled: &[usize],
+        ctx: &FlContext,
+        scope: &mut RoundScope<'_>,
+    ) -> Result<Vec<PreparedUpdate>, EngineError> {
+        self.store.begin_round(wave);
+        if sampled.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut sgd = ctx.cfg.sgd_at(wave);
+        sgd.momentum = 0.0;
+        sgd.nesterov = false;
+        let local = LocalCfg { epochs: ctx.cfg.local_epochs, batch: ctx.cfg.batch_size, sgd };
+        let eta = local.sgd.lr;
+        let dim = self.c.len();
+        let chunk = ctx.cfg.cohort_chunk(sampled.len());
+        let mut out = Vec::with_capacity(sampled.len());
+        scope.phase(Phase::LocalUpdate, |ctr| -> Result<(), EngineError> {
+            for batch in sampled.chunks(chunk) {
+                let mut variates = Vec::with_capacity(batch.len());
+                for &k in batch {
+                    let blob = self.store.fetch(k, |_| zero_variate(dim))?;
+                    variates.push(variate_from_blob(&blob, k, dim)?);
+                }
+                let corrections: Vec<Arc<Vec<f32>>> = variates
+                    .iter()
+                    .map(|ck| {
+                        Arc::new(
+                            self.c
+                                .iter()
+                                .zip(ck.iter())
+                                .map(|(&c, &ck)| c - ck)
+                                .collect::<Vec<f32>>(),
+                        )
+                    })
+                    .collect();
+                let index_of: HashMap<usize, usize> =
+                    batch.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+                let corrections_ref = &corrections;
+                let index_ref = &index_of;
+                let results = fan_out_clients(
+                    &self.global.state,
+                    self.global.spec,
+                    wave,
+                    batch,
+                    ctx,
+                    &local,
+                    &move |k| {
+                        let corr = Arc::clone(&corrections_ref[index_ref[&k]]);
+                        Some(Box::new(move |net: &mut dyn Layer| {
+                            add_flat_to_grads(net, &corr, 1.0);
+                        }) as Box<dyn Fn(&mut dyn Layer) + Send + Sync>)
+                    },
+                );
+                ctr.clients += results.len();
+                ctr.steps += results.iter().map(|r| r.outcome.steps as u64).sum::<u64>();
+                ctr.batches = ctr.steps;
+                // The variate refresh is client-side work: it happens at
+                // dispatch time against the global weights and server
+                // variate the client was handed, but the store commit is
+                // deferred into the update so an evicted (or quorum-
+                // aborted) client keeps its previous variate.
+                for (i, r) in results.into_iter().enumerate() {
+                    let steps = r.outcome.steps.max(1) as f32;
+                    let inv = 1.0 / (steps * eta);
+                    let g = &self.global.state.params.values;
+                    let w = &r.state.params.values;
+                    let ck = &variates[i];
+                    let mut ck_new = vec![0.0f32; dim];
+                    let mut aux = vec![0.0f32; dim];
+                    for j in 0..dim {
+                        ck_new[j] = ck[j] - self.c[j] + (g[j] - w[j]) * inv;
+                        aux[j] = ck_new[j] - ck[j];
+                    }
+                    out.push(PreparedUpdate {
+                        client: r.client,
+                        n_samples: r.n_samples,
+                        steps: r.outcome.steps,
+                        loss: r.outcome.mean_loss,
+                        payload: UpdatePayload::StateAux { state: r.state, aux },
+                        commit: Some(
+                            ClientBlob::new().with_tensor("c", vec![dim], ck_new),
+                        ),
+                    });
+                }
+            }
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    fn fuse(
+        &mut self,
+        round: usize,
+        updates: Vec<(PreparedUpdate, f32)>,
+        ctx: &FlContext,
+        scope: &mut RoundScope<'_>,
+    ) -> Result<RoundOutcome, EngineError> {
+        self.store.begin_round(round);
+        if updates.is_empty() {
+            return Ok(RoundOutcome { train_loss: f32::NAN });
+        }
+        let dim = self.c.len();
+        let reported = updates.len();
+        let total: f32 = updates.iter().map(|(_, w)| *w).sum();
+        let mut avg = StateAverage::new(&self.global.state, total);
+        let mut delta_c_mean = vec![0.0f32; dim];
+        let mut loss_sum = 0.0f32;
+        for (u, w) in updates {
+            let UpdatePayload::StateAux { state, aux } = &u.payload else {
+                return Err(EngineError::Config(ConfigError::AlgorithmSetup {
+                    algorithm: self.name(),
+                    reason: format!("client {}: expected a state+variate payload", u.client),
+                }));
+            };
+            if aux.len() != dim {
+                return Err(EngineError::Config(ConfigError::AlgorithmSetup {
+                    algorithm: self.name(),
+                    reason: format!(
+                        "client {}: variate delta has {} values, model has {dim}",
+                        u.client,
+                        aux.len()
+                    ),
+                }));
+            }
+            for (d, &a) in delta_c_mean.iter_mut().zip(aux.iter()) {
+                *d += (w * a) / total;
+            }
+            avg.add(state, w);
+            loss_sum += u.loss;
+            if let Some(blob) = u.commit {
+                self.store.commit(u.client, blob)?;
+            }
+        }
+        scope.phase(Phase::Fusion, |ctr| {
+            ctr.clients = reported;
+            let frac = reported as f32 / ctx.cfg.n_clients as f32;
+            for (c, &d) in self.c.iter_mut().zip(delta_c_mean.iter()) {
+                *c += frac * d;
+            }
+            self.global.state = avg.finish();
+        });
+        Ok(RoundOutcome { train_loss: loss_sum / reported as f32 })
+    }
+
     fn evaluate(&mut self, ctx: &FlContext) -> f32 {
         self.global.evaluate(ctx)
     }
 
-    fn state(&self) -> AlgorithmState {
+    fn state(&self) -> Result<AlgorithmState, EngineError> {
         let n = self.store.n_clients();
         let dim = self.c.len();
         let base = AlgorithmState::new(self.name(), 1)
@@ -228,19 +376,18 @@ impl FedAlgorithm for Scaffold {
             // Per-client variates already live in the spill directory
             // (write-through commits); the checkpoint carries only the
             // population size so restore can refuse a mismatched spill.
-            base.with_scalar("sharded_clients", n as f64)
+            Ok(base.with_scalar("sharded_clients", n as f64))
         } else {
             let mut flat = Vec::with_capacity(n * dim);
             for k in 0..n {
-                let blob = self
-                    .store
-                    .read(k, |_| zero_variate(dim))
-                    .expect("memory store is seeded at init");
-                flat.extend_from_slice(
-                    &blob.tensor("c").expect("variate tensor present").values,
-                );
+                let blob = self.store.read(k, |_| zero_variate(dim))?;
+                let t = blob.tensor("c").ok_or(StoreError::Corrupt {
+                    client: k,
+                    detail: "missing control-variate tensor `c`".into(),
+                })?;
+                flat.extend_from_slice(&t.values);
             }
-            base.with_tensor("c_clients", vec![n, dim], flat)
+            Ok(base.with_tensor("c_clients", vec![n, dim], flat))
         }
     }
 
@@ -269,7 +416,7 @@ impl FedAlgorithm for Scaffold {
                 let ck = cc.values[k * dim..(k + 1) * dim].to_vec();
                 self.store
                     .commit(k, ClientBlob::new().with_tensor("c", vec![dim], ck))
-                    .expect("memory commit cannot fail");
+                    .map_err(|e| RestoreError::Store { detail: e.to_string() })?;
             }
         }
         self.global.state = incoming.clone();

@@ -1,0 +1,552 @@
+//! Discrete-event asynchronous round scheduler (FedBuff-style).
+//!
+//! The synchronous engine trains a cohort and fuses it in the same
+//! round. Real federations do not work that way: clients finish at
+//! wildly different times, and a server that waits for the slowest
+//! straggler burns wall-clock for nothing. The buffered-asynchronous
+//! design (Nguyen et al., FedBuff) lets the server aggregate as soon
+//! as a *buffer* of updates has arrived, weighting each update down by
+//! its staleness — the number of aggregation cycles that elapsed since
+//! the contributing client last saw the global model.
+//!
+//! This module is the simulation core of that design:
+//!
+//! * **Events, not threads.** Each client completion becomes a
+//!   [`PendingEvent`] stamped with a simulated arrival time, reusing
+//!   the lifecycle draws ([`ClientOutcome::Completed`]'s straggler
+//!   delay and upload attempts) and an optional [`NetworkModel`] for
+//!   transfer times. A binary-exact virtual clock (`f64` bits) orders
+//!   the queue deterministically.
+//! * **Buffered aggregation.** [`AsyncScheduler::drain`] pops events in
+//!   arrival order until [`AsyncConfig::buffer_size`] updates have been
+//!   *accepted*; events whose staleness exceeds
+//!   [`AsyncConfig::max_staleness`] are evicted and do not count
+//!   toward the buffer.
+//! * **Staleness-weighted fusion.** Each accepted update carries the
+//!   weight `staleness_decay^staleness`. A fresh update (staleness 0)
+//!   gets weight exactly `1.0`, which is what makes the synchronous
+//!   history reproducible bit-for-bit: with `buffer_size == cohort`
+//!   and no injected delay every update folds fresh, `x * 1.0` is `x`
+//!   in IEEE-754, and the fold order equals the sampled order.
+//!
+//! The scheduler owns no model state. Algorithms hand it opaque
+//! [`PreparedUpdate`]s (built by `FedAlgorithm::train_cohort`) and get
+//! them back, weighted, from the engine's drain for
+//! `FedAlgorithm::fuse`. Deferred side effects — client-store commits
+//! that the synchronous path applies at aggregation time — ride along
+//! in [`PreparedUpdate::commit`] so that an update evicted for
+//! staleness (or discarded by a quorum abort) leaves no trace, exactly
+//! like a synchronous round that never aggregated.
+
+use crate::client_store::ClientBlob;
+use crate::config::ConfigError;
+use crate::lifecycle::{ClientOutcome, RoundPlan, WirePayload};
+use crate::network::NetworkModel;
+use crate::state::TensorBlob;
+use kemf_nn::serialize::ModelState;
+
+/// How [`crate::engine::Engine::run`] advances rounds.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum RoundMode {
+    /// Classic synchronous rounds: sample, train, fuse, repeat. The
+    /// default, and byte-identical to every run recorded before this
+    /// mode existed.
+    #[default]
+    Sync,
+    /// Buffered-asynchronous rounds: client completions arrive at
+    /// simulated timestamps and the server fuses a staleness-weighted
+    /// buffer per cycle.
+    Async(AsyncConfig),
+}
+
+/// Knobs of the buffered-asynchronous mode.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AsyncConfig {
+    /// Updates the server accepts before fusing (the FedBuff `K`).
+    /// Must be in `1..=sampled_per_round`; at the upper bound with no
+    /// injected delay, async reproduces sync bit-for-bit.
+    pub buffer_size: usize,
+    /// Oldest staleness (in aggregation cycles) the server still
+    /// accepts; anything older is evicted unfused. `0` accepts only
+    /// same-cycle updates.
+    pub max_staleness: usize,
+    /// Per-cycle decay of an update's fusion weight:
+    /// `weight = staleness_decay^staleness`. Must be in `(0, 1]`;
+    /// `1.0` disables down-weighting.
+    pub staleness_decay: f32,
+    /// Optional link model for transfer times. `None` prices transfers
+    /// at zero seconds — arrival order is then driven purely by the
+    /// lifecycle's injected straggler delays.
+    pub network: Option<NetworkModel>,
+}
+
+impl AsyncConfig {
+    /// A conservative default: half-cohort buffer, staleness capped at
+    /// 4 cycles with a gentle 0.6 decay, no network model.
+    pub fn new(buffer_size: usize) -> Self {
+        AsyncConfig { buffer_size, max_staleness: 4, staleness_decay: 0.6, network: None }
+    }
+
+    /// Fluent setter for [`AsyncConfig::max_staleness`].
+    pub fn max_staleness(mut self, cycles: usize) -> Self {
+        self.max_staleness = cycles;
+        self
+    }
+
+    /// Fluent setter for [`AsyncConfig::staleness_decay`].
+    pub fn staleness_decay(mut self, decay: f32) -> Self {
+        self.staleness_decay = decay;
+        self
+    }
+
+    /// Fluent setter for [`AsyncConfig::network`].
+    pub fn network(mut self, net: NetworkModel) -> Self {
+        self.network = Some(net);
+        self
+    }
+
+    /// Validate against the run's cohort size.
+    pub fn validate(&self, sampled_per_round: usize) -> Result<(), ConfigError> {
+        if self.buffer_size == 0 {
+            return Err(ConfigError::ZeroCount { field: "async.buffer_size" });
+        }
+        if self.buffer_size > sampled_per_round {
+            return Err(ConfigError::OutOfRange {
+                field: "async.buffer_size",
+                value: self.buffer_size as f64,
+                bounds: "1 ..= sampled_per_round (one wave cannot overfill the buffer)",
+            });
+        }
+        if !(self.staleness_decay > 0.0 && self.staleness_decay <= 1.0) {
+            return Err(ConfigError::OutOfRange {
+                field: "async.staleness_decay",
+                value: self.staleness_decay as f64,
+                bounds: "(0, 1]",
+            });
+        }
+        if let Some(net) = &self.network {
+            if !(net.bandwidth_bps.is_finite() && net.bandwidth_bps > 0.0) {
+                return Err(ConfigError::OutOfRange {
+                    field: "async.network.bandwidth_bps",
+                    value: net.bandwidth_bps,
+                    bounds: "(0, inf)",
+                });
+            }
+            if !(net.latency_s.is_finite() && net.latency_s >= 0.0) {
+                return Err(ConfigError::OutOfRange {
+                    field: "async.network.latency_s",
+                    value: net.latency_s,
+                    bounds: "[0, inf)",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Fusion weight of an update `staleness` cycles old. `powi(0)` is
+    /// exactly `1.0`, so fresh updates fold at full weight bit-for-bit.
+    pub fn staleness_weight(&self, staleness: usize) -> f32 {
+        self.staleness_decay.powi(staleness.min(i32::MAX as usize) as i32)
+    }
+
+    /// Fold the async knobs into a run fingerprint so a checkpoint
+    /// written in one mode (or with different async knobs) refuses to
+    /// resume in another. Synchronous fingerprints are untouched — the
+    /// tag below guarantees async never collides with sync.
+    pub(crate) fn mix_fingerprint(&self, base: u64) -> u64 {
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = base ^ 0x4153_594e_4321_7575; // "ASYN C!uu" domain tag
+        let eat = |h: &mut u64, bytes: &[u8]| {
+            for &b in bytes {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(&mut h, &(self.buffer_size as u64).to_le_bytes());
+        eat(&mut h, &(self.max_staleness as u64).to_le_bytes());
+        eat(&mut h, &self.staleness_decay.to_bits().to_le_bytes());
+        match &self.network {
+            None => eat(&mut h, &[0]),
+            Some(net) => {
+                eat(&mut h, &[1]);
+                eat(&mut h, &net.bandwidth_bps.to_bits().to_le_bytes());
+                eat(&mut h, &net.latency_s.to_bits().to_le_bytes());
+            }
+        }
+        h
+    }
+}
+
+/// The model-bearing part of one client's update, algorithm-defined.
+///
+/// Each algorithm picks the variant that matches what its synchronous
+/// fold consumes: weight-averaging algorithms ship a [`ModelState`]
+/// (FedNova ships its *delta* plus raw buffers in the same shape),
+/// SCAFFOLD adds its control-variate delta as a flat aux vector, and
+/// FedMD ships public-set logits.
+#[derive(Clone, Debug, PartialEq)]
+pub enum UpdatePayload {
+    /// No tensor payload (test probes, byte-accounting-only runs).
+    Empty,
+    /// A full model state (or, for FedNova, the normalized delta in
+    /// `params` next to the raw client `buffers`).
+    State(ModelState),
+    /// A model state plus a flat auxiliary vector (SCAFFOLD's
+    /// control-variate delta).
+    StateAux {
+        /// The trained client model.
+        state: ModelState,
+        /// Flat auxiliary values, algorithm-defined.
+        aux: Vec<f32>,
+    },
+    /// Dimension-tagged logits over a public pool (FedMD).
+    Logits(TensorBlob),
+}
+
+/// One client's finished local work, frozen at dispatch time and fused
+/// later — possibly cycles later — at a staleness-dependent weight.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PreparedUpdate {
+    /// Population index of the contributing client.
+    pub client: usize,
+    /// Local sample count (the FedAvg-family fold coefficient).
+    pub n_samples: usize,
+    /// Local optimizer steps taken (FedNova's `tau`).
+    pub steps: usize,
+    /// Mean local training loss (reported, not fused).
+    pub loss: f32,
+    /// The tensors the server fuses.
+    pub payload: UpdatePayload,
+    /// Deferred per-client store commit, applied by `fuse` only if this
+    /// update actually folds in. An evicted or quorum-discarded update
+    /// must leave no store trace, exactly like a synchronous round that
+    /// never aggregated.
+    pub commit: Option<ClientBlob>,
+}
+
+/// A dispatched update waiting in the arrival queue.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PendingEvent {
+    /// Arrival time in seconds, stored as raw `f64` bits so ordering,
+    /// checkpointing, and resume are binary-exact. Arrival times are
+    /// non-negative, so bit order equals numeric order.
+    pub time_bits: u64,
+    /// Aggregation cycle whose global model this client trained
+    /// against; `cycle - wave` is the update's staleness at fold time.
+    pub wave: usize,
+    /// Position within the wave's sampled order — the tie-breaker that
+    /// pins the fold order to the sampled order when arrival times are
+    /// equal (the synchronous-equivalence case).
+    pub idx: usize,
+    /// The frozen update itself.
+    pub update: PreparedUpdate,
+}
+
+impl PendingEvent {
+    /// Arrival time in seconds.
+    pub fn arrival_s(&self) -> f64 {
+        f64::from_bits(self.time_bits)
+    }
+}
+
+/// What one [`AsyncScheduler::drain`] produced.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DrainOutcome {
+    /// Accepted updates in fold order, each with its staleness weight.
+    pub folded: Vec<(PreparedUpdate, f32)>,
+    /// How many accepted updates were stale (staleness ≥ 1).
+    pub stale: u64,
+    /// How many updates were evicted for exceeding `max_staleness`.
+    pub evicted: u64,
+}
+
+/// Serializable scheduler snapshot for checkpoint/resume. The fusion
+/// buffer is transient within a cycle — only the virtual clock and the
+/// in-flight queue survive a crash.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SchedulerState {
+    /// Virtual clock, raw `f64` bits.
+    pub now_bits: u64,
+    /// In-flight events in queue order.
+    pub events: Vec<PendingEvent>,
+}
+
+/// The discrete-event queue driving buffered-asynchronous rounds.
+#[derive(Clone, Debug)]
+pub struct AsyncScheduler {
+    cfg: AsyncConfig,
+    /// Virtual clock in seconds; advances to each popped event's
+    /// arrival time, never backwards.
+    now: f64,
+    /// Pending events, kept sorted by `(time_bits, wave, idx)`.
+    queue: Vec<PendingEvent>,
+}
+
+impl AsyncScheduler {
+    /// A fresh scheduler at virtual time zero.
+    pub fn new(cfg: AsyncConfig) -> Self {
+        AsyncScheduler { cfg, now: 0.0, queue: Vec::new() }
+    }
+
+    /// The async knobs this scheduler runs under.
+    pub fn config(&self) -> &AsyncConfig {
+        &self.cfg
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of in-flight events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Enqueue one wave's completions. `updates` holds the prepared
+    /// updates of the plan's *reporters*, in sampled order — exactly
+    /// what `FedAlgorithm::train_cohort` returns for
+    /// `plan.reporters()`. Each completion arrives at
+    ///
+    /// ```text
+    /// now + t_down + delay_s + attempts * t_up
+    /// ```
+    ///
+    /// mirroring [`NetworkModel::lifecycle_round_time`]'s `Completed`
+    /// arm; with no network model both transfer times are zero and
+    /// arrival order is driven by the injected straggler delays alone.
+    pub fn dispatch(
+        &mut self,
+        wave: usize,
+        plan: &RoundPlan,
+        payload: WirePayload,
+        updates: Vec<PreparedUpdate>,
+    ) {
+        let (t_down, t_up) = match &self.cfg.network {
+            Some(net) => (net.transfer_time(payload.down_bytes), net.transfer_time(payload.up_bytes)),
+            None => (0.0, 0.0),
+        };
+        let mut it = updates.into_iter();
+        let mut idx = 0usize;
+        for c in &plan.clients {
+            if let ClientOutcome::Completed { attempts, delay_s } = c.outcome {
+                let Some(update) = it.next() else { break };
+                debug_assert_eq!(update.client, c.client, "updates must follow sampled order");
+                let arrive = self.now + t_down + delay_s + attempts as f64 * t_up;
+                self.queue.push(PendingEvent { time_bits: arrive.to_bits(), wave, idx, update });
+                idx += 1;
+            }
+        }
+        debug_assert!(it.next().is_none(), "more updates than completed reporters");
+        // Stable sort on the full key keeps dispatch idempotent and the
+        // pop order independent of insertion history.
+        self.queue.sort_by_key(|e| (e.time_bits, e.wave, e.idx));
+    }
+
+    /// Pop events in arrival order until `buffer_size` updates are
+    /// accepted or the queue runs dry. The virtual clock advances to
+    /// each popped event's arrival time (monotonically — a same-time
+    /// tie cannot move it backwards). Events whose staleness at this
+    /// cycle exceeds `max_staleness` are evicted and do *not* count
+    /// toward the buffer; accepted updates carry
+    /// `staleness_decay^staleness` as their fusion weight.
+    pub fn drain(&mut self, cycle: usize) -> DrainOutcome {
+        let mut out = DrainOutcome { folded: Vec::new(), stale: 0, evicted: 0 };
+        while out.folded.len() < self.cfg.buffer_size && !self.queue.is_empty() {
+            let ev = self.queue.remove(0);
+            let t = ev.arrival_s();
+            if t > self.now {
+                self.now = t;
+            }
+            debug_assert!(ev.wave <= cycle, "an event cannot arrive before its wave");
+            let staleness = cycle.saturating_sub(ev.wave);
+            if staleness > self.cfg.max_staleness {
+                out.evicted += 1;
+                continue;
+            }
+            if staleness > 0 {
+                out.stale += 1;
+            }
+            out.folded.push((ev.update, self.cfg.staleness_weight(staleness)));
+        }
+        out
+    }
+
+    /// Snapshot for checkpointing; binary-exact round trip with
+    /// [`AsyncScheduler::restore`].
+    pub fn state(&self) -> SchedulerState {
+        SchedulerState { now_bits: self.now.to_bits(), events: self.queue.clone() }
+    }
+
+    /// Restore a snapshot taken by [`AsyncScheduler::state`].
+    pub fn restore(&mut self, state: SchedulerState) {
+        self.now = f64::from_bits(state.now_bits);
+        self.queue = state.events;
+        self.queue.sort_by_key(|e| (e.time_bits, e.wave, e.idx));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifecycle::ClientRound;
+
+    fn probe_update(client: usize) -> PreparedUpdate {
+        PreparedUpdate {
+            client,
+            n_samples: 10,
+            steps: 5,
+            loss: 1.0,
+            payload: UpdatePayload::Empty,
+            commit: None,
+        }
+    }
+
+    fn completed(client: usize, delay_s: f64) -> ClientRound {
+        ClientRound { client, outcome: ClientOutcome::Completed { attempts: 1, delay_s } }
+    }
+
+    fn plan_of(clients: Vec<ClientRound>) -> RoundPlan {
+        RoundPlan { clients, min_quorum: 1 }
+    }
+
+    #[test]
+    fn validate_rejects_bad_knobs() {
+        assert!(matches!(
+            AsyncConfig::new(0).validate(4),
+            Err(ConfigError::ZeroCount { field: "async.buffer_size" })
+        ));
+        assert!(matches!(
+            AsyncConfig::new(5).validate(4),
+            Err(ConfigError::OutOfRange { field: "async.buffer_size", .. })
+        ));
+        assert!(matches!(
+            AsyncConfig::new(2).staleness_decay(0.0).validate(4),
+            Err(ConfigError::OutOfRange { field: "async.staleness_decay", .. })
+        ));
+        assert!(matches!(
+            AsyncConfig::new(2).staleness_decay(1.5).validate(4),
+            Err(ConfigError::OutOfRange { field: "async.staleness_decay", .. })
+        ));
+        let bad_net = NetworkModel { bandwidth_bps: 0.0, latency_s: 0.0 };
+        assert!(AsyncConfig::new(2).network(bad_net).validate(4).is_err());
+        assert!(AsyncConfig::new(4).network(NetworkModel::broadband()).validate(4).is_ok());
+    }
+
+    #[test]
+    fn fresh_updates_fold_at_weight_exactly_one() {
+        let cfg = AsyncConfig::new(2).staleness_decay(0.37);
+        assert_eq!(cfg.staleness_weight(0).to_bits(), 1.0f32.to_bits());
+        assert!(cfg.staleness_weight(1) < cfg.staleness_weight(0));
+        assert!(cfg.staleness_weight(2) < cfg.staleness_weight(1));
+    }
+
+    #[test]
+    fn drain_pops_in_arrival_order_with_sampled_order_ties() {
+        let mut s = AsyncScheduler::new(AsyncConfig::new(4).max_staleness(8));
+        // Client 2 is slow; clients 0 and 1 tie at zero delay and must
+        // fold in sampled order.
+        let plan = plan_of(vec![completed(0, 0.0), completed(1, 0.0), completed(2, 7.5)]);
+        s.dispatch(0, &plan, WirePayload::symmetric(100), vec![
+            probe_update(0),
+            probe_update(1),
+            probe_update(2),
+        ]);
+        let d = s.drain(0);
+        let order: Vec<usize> = d.folded.iter().map(|(u, _)| u.client).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+        assert_eq!(d.stale, 0);
+        assert_eq!(d.evicted, 0);
+        assert!((s.now() - 7.5).abs() < 1e-12, "clock follows the slowest pop");
+    }
+
+    #[test]
+    fn network_model_spreads_arrivals_by_transfer_time() {
+        let net = NetworkModel { bandwidth_bps: 100.0, latency_s: 0.0 };
+        let mut s = AsyncScheduler::new(AsyncConfig::new(1).max_staleness(8).network(net));
+        // 100-byte payload each way → 1 s down + 1 s per upload attempt.
+        let plan = plan_of(vec![
+            ClientRound { client: 0, outcome: ClientOutcome::Completed { attempts: 2, delay_s: 0.5 } },
+        ]);
+        s.dispatch(0, &plan, WirePayload::symmetric(100), vec![probe_update(0)]);
+        assert_eq!(s.pending(), 1);
+        let d = s.drain(0);
+        assert_eq!(d.folded.len(), 1);
+        // 1 s down + 0.5 s delay + 2 × 1 s upload = 3.5 s.
+        assert!((s.now() - 3.5).abs() < 1e-12, "got {}", s.now());
+    }
+
+    #[test]
+    fn buffer_size_caps_accepted_updates_per_drain() {
+        let mut s = AsyncScheduler::new(AsyncConfig::new(2).max_staleness(8));
+        let plan = plan_of(vec![completed(0, 0.0), completed(1, 1.0), completed(2, 2.0)]);
+        s.dispatch(0, &plan, WirePayload::symmetric(10), vec![
+            probe_update(0),
+            probe_update(1),
+            probe_update(2),
+        ]);
+        let first = s.drain(0);
+        assert_eq!(first.folded.len(), 2);
+        assert_eq!(s.pending(), 1);
+        let second = s.drain(1);
+        assert_eq!(second.folded.len(), 1);
+        assert_eq!(second.stale, 1, "the leftover update folds one cycle stale");
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn updates_beyond_max_staleness_are_evicted_without_filling_the_buffer() {
+        let mut s = AsyncScheduler::new(AsyncConfig::new(2).max_staleness(0));
+        let plan = plan_of(vec![completed(0, 0.0), completed(1, 0.0)]);
+        s.dispatch(0, &plan, WirePayload::symmetric(10), vec![probe_update(0), probe_update(1)]);
+        // Drain two cycles later: both events are staleness 2 > 0.
+        let d = s.drain(2);
+        assert!(d.folded.is_empty());
+        assert_eq!(d.evicted, 2);
+        assert_eq!(s.pending(), 0, "evicted events leave the queue");
+    }
+
+    #[test]
+    fn stale_updates_fold_at_decayed_weight() {
+        let cfg = AsyncConfig::new(1).max_staleness(4).staleness_decay(0.5);
+        let mut s = AsyncScheduler::new(cfg.clone());
+        let plan = plan_of(vec![completed(3, 0.0)]);
+        s.dispatch(1, &plan, WirePayload::symmetric(10), vec![probe_update(3)]);
+        let d = s.drain(3);
+        assert_eq!(d.folded.len(), 1);
+        let (_, w) = &d.folded[0];
+        assert_eq!(w.to_bits(), cfg.staleness_weight(2).to_bits());
+        assert_eq!(w.to_bits(), 0.25f32.to_bits());
+    }
+
+    #[test]
+    fn state_restore_round_trips_binary_exact() {
+        let mut s = AsyncScheduler::new(AsyncConfig::new(1).max_staleness(8));
+        let plan = plan_of(vec![completed(0, 0.125), completed(1, 3.875)]);
+        s.dispatch(0, &plan, WirePayload::symmetric(10), vec![probe_update(0), probe_update(1)]);
+        let _ = s.drain(0); // advance the clock, leave one event in flight
+        let snap = s.state();
+        let mut r = AsyncScheduler::new(AsyncConfig::new(1).max_staleness(8));
+        r.restore(snap.clone());
+        assert_eq!(r.state(), snap);
+        assert_eq!(r.now().to_bits(), s.now().to_bits());
+        // The survivor drains identically from both schedulers.
+        assert_eq!(r.drain(1), s.drain(1));
+    }
+
+    #[test]
+    fn fingerprint_mixing_separates_modes_and_knobs() {
+        let base = 0x1234_5678_9abc_def0u64;
+        let a = AsyncConfig::new(2);
+        assert_ne!(a.mix_fingerprint(base), base, "async must not collide with sync");
+        assert_ne!(a.mix_fingerprint(base), AsyncConfig::new(3).mix_fingerprint(base));
+        assert_ne!(
+            a.mix_fingerprint(base),
+            AsyncConfig::new(2).max_staleness(9).mix_fingerprint(base)
+        );
+        assert_ne!(
+            a.mix_fingerprint(base),
+            AsyncConfig::new(2).network(NetworkModel::iot()).mix_fingerprint(base)
+        );
+    }
+}

@@ -79,6 +79,12 @@ pub enum RestoreError {
         /// What differed.
         detail: String,
     },
+    /// Writing restored per-client state back through the client-state
+    /// store failed (e.g. a spill-directory I/O error mid-restore).
+    Store {
+        /// The underlying store failure.
+        detail: String,
+    },
 }
 
 impl fmt::Display for RestoreError {
@@ -94,6 +100,9 @@ impl fmt::Display for RestoreError {
             RestoreError::MissingEntry { name } => write!(f, "state entry `{name}` is missing"),
             RestoreError::ShapeMismatch { name, detail } => {
                 write!(f, "state entry `{name}` has a mismatched shape: {detail}")
+            }
+            RestoreError::Store { detail } => {
+                write!(f, "restoring client state through the store failed: {detail}")
             }
         }
     }

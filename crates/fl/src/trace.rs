@@ -51,6 +51,11 @@ pub enum Phase {
     /// The client-side local-update fan-out (DML for FedKEMF, local SGD
     /// for the weight baselines). Real compute: nonzero wall and FLOPs.
     LocalUpdate,
+    /// Async-mode buffer drain: completed client updates are popped from
+    /// the simulated event queue into the aggregation buffer, evicting
+    /// updates staler than the cap. Carries the staleness counters.
+    /// Never emitted by synchronous rounds.
+    Buffer,
     /// Server-side fusion: ensemble distillation, weight averaging, or
     /// consensus aggregation. Real compute: nonzero wall and FLOPs.
     Fusion,
@@ -65,11 +70,13 @@ pub enum Phase {
 }
 
 impl Phase {
-    /// All phases of a full (quorum-met) round, in emission order.
-    pub const ALL: [Phase; 7] = [
+    /// All phases of a full (quorum-met) round, in emission order
+    /// (`buffer` appears only in async-mode rounds).
+    pub const ALL: [Phase; 8] = [
         Phase::Sample,
         Phase::Broadcast,
         Phase::LocalUpdate,
+        Phase::Buffer,
         Phase::Fusion,
         Phase::Upload,
         Phase::Eval,
@@ -82,6 +89,7 @@ impl Phase {
             Phase::Sample => "sample",
             Phase::Broadcast => "broadcast",
             Phase::LocalUpdate => "local_update",
+            Phase::Buffer => "buffer",
             Phase::Fusion => "fusion",
             Phase::Upload => "upload",
             Phase::Eval => "eval",
@@ -135,6 +143,14 @@ pub struct Counters {
     pub up_bytes: u64,
     /// Wasted uplink bytes (failed upload attempts) in the phase.
     pub wasted_up_bytes: u64,
+    /// Async mode: updates folded this aggregation whose dispatch wave
+    /// is older than the aggregating cycle (staleness > 0). Always zero
+    /// in synchronous rounds.
+    pub stale_updates: u64,
+    /// Async mode: buffered updates evicted for exceeding the staleness
+    /// cap (their uplink bytes count as wasted). Always zero in
+    /// synchronous rounds.
+    pub evicted_updates: u64,
     /// Whether the round met its reporting quorum (meaningful on the
     /// `round` span; `true` elsewhere).
     pub quorum_met: bool,
@@ -175,6 +191,8 @@ impl Serialize for Span {
             ("down_bytes".to_string(), c.down_bytes.to_value()),
             ("up_bytes".to_string(), c.up_bytes.to_value()),
             ("wasted_up_bytes".to_string(), c.wasted_up_bytes.to_value()),
+            ("stale_updates".to_string(), c.stale_updates.to_value()),
+            ("evicted_updates".to_string(), c.evicted_updates.to_value()),
             ("quorum_met".to_string(), c.quorum_met.to_value()),
         ])
     }
@@ -184,6 +202,15 @@ impl Deserialize for Span {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         let m = v.as_map().ok_or_else(|| DeError::custom("expected map for Span"))?;
         let field = |key: &str| serde::get_field(m, key);
+        // The staleness counters postdate the format: traces recorded
+        // before async rounds existed simply omit them, so they default
+        // to zero on read instead of failing the whole line.
+        let opt_u64 = |key: &str| -> Result<u64, DeError> {
+            match m.iter().find(|(k, _)| k == key) {
+                Some((_, v)) => u64::from_value(v),
+                None => Ok(0),
+            }
+        };
         Ok(Span {
             round: usize::from_value(field("round")?)?,
             phase: Phase::from_value(field("phase")?)?,
@@ -196,6 +223,8 @@ impl Deserialize for Span {
                 down_bytes: u64::from_value(field("down_bytes")?)?,
                 up_bytes: u64::from_value(field("up_bytes")?)?,
                 wasted_up_bytes: u64::from_value(field("wasted_up_bytes")?)?,
+                stale_updates: opt_u64("stale_updates")?,
+                evicted_updates: opt_u64("evicted_updates")?,
                 quorum_met: bool::from_value(field("quorum_met")?)?,
             },
         })
@@ -511,6 +540,25 @@ mod tests {
         for needle in ["\"round\":0", "\"phase\":\"sample\"", "\"wall_s\":", "\"steps\":0"] {
             assert!(first.contains(needle), "missing {needle} in {first}");
         }
+    }
+
+    #[test]
+    fn legacy_spans_without_staleness_counters_still_parse() {
+        // A line recorded before async rounds existed: no
+        // `stale_updates` / `evicted_updates` fields.
+        let legacy = r#"{"round":2,"phase":"fusion","wall_s":0.5,"clients":3,"steps":9,"batches":9,"flops":0,"down_bytes":10,"up_bytes":20,"wasted_up_bytes":0,"quorum_met":true}"#;
+        let trace = RunTrace::from_jsonl(legacy).unwrap();
+        assert_eq!(trace.spans[0].counters.stale_updates, 0);
+        assert_eq!(trace.spans[0].counters.evicted_updates, 0);
+        assert_eq!(trace.spans[0].counters.steps, 9);
+        // New spans round-trip the counters.
+        let mut s = span(0, Phase::Buffer, 0.0, 0);
+        s.counters.stale_updates = 4;
+        s.counters.evicted_updates = 1;
+        let t = RunTrace { spans: vec![s] };
+        let parsed = RunTrace::from_jsonl(&t.to_jsonl()).unwrap();
+        assert_eq!(parsed, t);
+        assert_eq!(Phase::from_name("buffer"), Some(Phase::Buffer));
     }
 
     #[test]

@@ -4,8 +4,12 @@
 //! let a round fold results in as they arrive instead of holding every
 //! client state until aggregation.
 
+use crate::config::ConfigError;
 use crate::context::FlContext;
+use crate::engine::{EngineError, RoundOutcome};
 use crate::local::{local_train, LocalCfg, LocalOutcome};
+use crate::scheduler::{PreparedUpdate, UpdatePayload};
+use crate::trace::{Phase, RoundScope};
 use kemf_nn::layer::Layer;
 use kemf_nn::model::Model;
 use kemf_nn::models::ModelSpec;
@@ -89,6 +93,82 @@ pub fn fan_out_clients(
             ClientResult { client: k, state: model.state(), n_samples: shard.len(), outcome }
         })
         .collect()
+}
+
+/// Shared `FedAlgorithm::train_cohort` body for algorithms whose update
+/// payload is the plain post-training model state (FedAvg, FedProx,
+/// FedDF): fan the cohort out exactly like the synchronous round's
+/// local-update phase — same chunking, same seeds, same counters — but
+/// return the results as [`PreparedUpdate`]s instead of folding them.
+pub fn train_cohort_states(
+    global: &GlobalModel,
+    wave: usize,
+    sampled: &[usize],
+    ctx: &FlContext,
+    local: &LocalCfg,
+    hook_for: &(dyn Fn(usize) -> Option<BoxedGradHook> + Sync),
+    scope: &mut RoundScope<'_>,
+) -> Vec<PreparedUpdate> {
+    if sampled.is_empty() {
+        return Vec::new();
+    }
+    let chunk = ctx.cfg.cohort_chunk(sampled.len());
+    let mut out = Vec::with_capacity(sampled.len());
+    scope.phase(Phase::LocalUpdate, |c| {
+        for batch in sampled.chunks(chunk) {
+            let results =
+                fan_out_clients(&global.state, global.spec, wave, batch, ctx, local, hook_for);
+            c.clients += results.len();
+            c.steps += results.iter().map(|r| r.outcome.steps as u64).sum::<u64>();
+            c.batches = c.steps;
+            for r in results {
+                out.push(PreparedUpdate {
+                    client: r.client,
+                    n_samples: r.n_samples,
+                    steps: r.outcome.steps,
+                    loss: r.outcome.mean_loss,
+                    payload: UpdatePayload::State(r.state),
+                    commit: None,
+                });
+            }
+        }
+    });
+    out
+}
+
+/// Shared `FedAlgorithm::fuse` body for the sample-count-weighted state
+/// average (FedAvg, FedProx): fold the buffered updates at coefficient
+/// `weight × n_samples`. With every staleness weight at `1.0` the
+/// coefficients, their total, and the fold order all equal the
+/// synchronous round's — the fused state is bit-identical.
+pub fn fuse_state_average(
+    algorithm: &str,
+    global: &mut GlobalModel,
+    updates: Vec<(PreparedUpdate, f32)>,
+    scope: &mut RoundScope<'_>,
+) -> Result<RoundOutcome, EngineError> {
+    if updates.is_empty() {
+        return Ok(RoundOutcome { train_loss: f32::NAN });
+    }
+    let total: f32 = updates.iter().map(|(u, w)| w * u.n_samples as f32).sum();
+    let mut avg = StateAverage::new(&global.state, total);
+    let mut loss_sum = 0.0f32;
+    let reported = updates.len();
+    for (u, w) in &updates {
+        let UpdatePayload::State(state) = &u.payload else {
+            return Err(EngineError::Config(ConfigError::AlgorithmSetup {
+                algorithm: algorithm.into(),
+                reason: format!("client {}: expected a model-state update payload", u.client),
+            }));
+        };
+        avg.add(state, w * u.n_samples as f32);
+        loss_sum += u.loss;
+    }
+    scope.phase(Phase::Fusion, |c| {
+        c.clients = reported;
+        global.state = avg.finish();
+    });
+    Ok(RoundOutcome { train_loss: loss_sum / reported as f32 })
 }
 
 /// Mean local loss across client results.

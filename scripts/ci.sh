@@ -19,6 +19,12 @@ cargo run --release -p kemf-bench --bin bench_kernels -- --smoke
 # must be bit-identical to the eager in-memory run. Asserts internally.
 cargo run --release -p kemf-bench --bin bench_population -- --smoke
 
+# Async smoke: the buffered-round equivalence anchor (buffer == cohort +
+# zero delay reproduces the synchronous history bit-for-bit) plus one
+# genuinely buffered straggler run that must advance the virtual clock.
+# Asserts internally.
+cargo run --release -p kemf-bench --bin bench_async -- --smoke
+
 # Native-tuned build: the runtime SIMD dispatch must not conflict with
 # target-cpu=native codegen (the autovectorizer emitting wider ops around
 # the explicit kernels). Build and run the fast test suite in a separate

@@ -52,6 +52,39 @@ impl FedAlgorithm for Probe {
     fn evaluate(&mut self, _ctx: &FlContext) -> f32 {
         0.5
     }
+    // The async arm: one free update per reporter, so the fault matrix
+    // sweeps buffered rounds at the same zero training cost.
+    fn train_cohort(
+        &mut self,
+        _wave: usize,
+        sampled: &[usize],
+        _ctx: &FlContext,
+        _scope: &mut RoundScope<'_>,
+    ) -> Result<Vec<PreparedUpdate>, EngineError> {
+        Ok(sampled
+            .iter()
+            .map(|&k| PreparedUpdate {
+                client: k,
+                n_samples: 1,
+                steps: 0,
+                loss: 1.0,
+                payload: UpdatePayload::Empty,
+                commit: None,
+            })
+            .collect())
+    }
+    fn fuse(
+        &mut self,
+        _round: usize,
+        updates: Vec<(PreparedUpdate, f32)>,
+        _ctx: &FlContext,
+        _scope: &mut RoundScope<'_>,
+    ) -> Result<RoundOutcome, EngineError> {
+        if updates.is_empty() {
+            return Ok(RoundOutcome { train_loss: f32::NAN });
+        }
+        Ok(RoundOutcome { train_loss: 1.0 })
+    }
 }
 
 fn probe_ctx(seed: u64) -> FlContext {
@@ -322,6 +355,81 @@ fn quorum_aborted_rounds_record_nan_loss() {
                 r.train_loss
             );
         }
+    }
+}
+
+/// The asynchronous row of the fault matrix: every fault mode finishes
+/// under buffered rounds, deterministically, with the same byte honesty
+/// the synchronous executor guarantees — downlink charged to the full
+/// broadcast set, uplink only to folded updates, cumulative bytes the
+/// running total of all three buckets.
+#[test]
+fn every_fault_mode_survives_async_rounds_with_honest_bytes() {
+    for (name, faults) in fault_modes() {
+        let run_once = || {
+            let ctx = probe_ctx(98);
+            let buffer = ctx.cfg.sampled_per_round();
+            Engine::run(
+                &mut Probe,
+                &ctx,
+                RunOptions::new().faults(faults).async_rounds(AsyncConfig::new(buffer)),
+            )
+            .unwrap()
+        };
+        let report = run_once();
+        let h = &report.history;
+        assert_eq!(h.rounds(), 6, "{name}: all cycles recorded");
+        let payload = Probe.payload_per_client();
+        for (r, plan) in h.records.iter().zip(&report.plans) {
+            // One wave per cycle: downlink is the wave's broadcast set.
+            assert_eq!(
+                r.down_bytes,
+                plan.broadcast_count() as u64 * payload.down_bytes,
+                "{name}: async downlink covers the broadcast set"
+            );
+            // Uplink is charged only to updates that folded this cycle.
+            assert_eq!(
+                r.up_bytes,
+                r.up_clients as u64 * payload.up_bytes,
+                "{name}: async uplink follows the fold"
+            );
+            assert_eq!(!r.quorum_met, r.train_loss.is_nan(), "{name}: NaN iff aborted");
+        }
+        let mut acc = 0u64;
+        for r in &h.records {
+            acc += r.down_bytes + r.up_bytes + r.wasted_up_bytes;
+            assert_eq!(r.cum_bytes, acc, "{name}: cumulative bytes");
+        }
+        assert!(report.sim_time_s.is_some(), "{name}: async reports a virtual clock");
+        // Same seed, same buffered history.
+        assert_eq!(report.history.to_json(), run_once().history.to_json(), "{name}");
+    }
+}
+
+/// For fault modes whose completers report with zero delay (every mode
+/// without straggler injection), a cohort-sized buffer folds each wave
+/// in its own cycle in sampled order at weight 1.0 — so the async
+/// history must equal the synchronous one even under injected faults.
+#[test]
+fn delay_free_fault_modes_are_sync_equivalent_under_a_full_buffer() {
+    for (name, faults) in fault_modes() {
+        if faults.straggler_prob > 0.0 {
+            continue; // straggler delays reorder the fold — async ≠ sync by design
+        }
+        let ctx = probe_ctx(99);
+        let sync = run_with_faults(&mut Probe, &ctx, &faults);
+        let buffer = ctx.cfg.sampled_per_round();
+        let report = Engine::run(
+            &mut Probe,
+            &ctx,
+            RunOptions::new().faults(faults).async_rounds(AsyncConfig::new(buffer)),
+        )
+        .unwrap();
+        assert_eq!(
+            report.history.to_json(),
+            sync.to_json(),
+            "{name}: delay-free faults must not break the equivalence anchor"
+        );
     }
 }
 

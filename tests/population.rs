@@ -150,7 +150,7 @@ fn sharded_restore_refuses_a_mismatched_population() {
     let (ctx, task) = kemf_world(93, 2, None);
     let mut algo = kemf_algo(&ctx, &task, Some(SpillConfig::new(&spill)));
     let _ = Engine::run(&mut algo, &ctx, RunOptions::new()).unwrap();
-    let state = algo.state();
+    let state = algo.state().unwrap();
 
     let bigger = SynthTask::new(SynthConfig::mnist_like(93));
     let train = bigger.generate(320, 0);

@@ -210,11 +210,11 @@ proptest! {
         };
         let mut fresh = all_algorithms(&ctx, &task);
         for (t, f) in trained.iter().zip(fresh.iter_mut()) {
-            let snapshot = t.state();
+            let snapshot = t.state().unwrap();
             f.init(&ctx).unwrap();
             f.restore(&snapshot).unwrap();
             prop_assert!(
-                f.state() == snapshot,
+                f.state().unwrap() == snapshot,
                 "{} state must survive a restore round-trip",
                 t.name()
             );
