@@ -35,6 +35,7 @@ use crate::metrics::RoundRecord;
 use crate::scheduler::{PendingEvent, PreparedUpdate, SchedulerState, UpdatePayload};
 use crate::state::{AlgorithmState, TensorBlob};
 use kemf_nn::checkpoint::{load_bundle, save_bundle, CheckpointBundle};
+use kemf_nn::optim::LrSchedule;
 use kemf_nn::serialize::{ModelState, Weights};
 use std::fmt;
 use std::io::{self, Read};
@@ -111,10 +112,92 @@ impl CheckpointPolicy {
     }
 }
 
+/// Why a run identity could not be fingerprinted.
+///
+/// The old code path `expect`ed JSON serialization to succeed — but the
+/// real hazard was never a serializer panic: the vendored `serde_json`
+/// renders non-finite floats as `null`, so a config holding a NaN
+/// (e.g. a corrupted learning rate) would silently fingerprint
+/// *identically* to a different broken config and resume across them.
+/// Non-finite identity fields are now refused up front with a typed
+/// error.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CheckpointError {
+    /// An identity-defining float is NaN or infinite.
+    NonFinite {
+        /// Which structure held it (`"config"` / `"faults"`).
+        what: &'static str,
+        /// The offending field.
+        field: &'static str,
+        /// Its value.
+        value: f64,
+    },
+    /// The identity structures failed to serialize.
+    Serialize {
+        /// Which structure failed.
+        what: &'static str,
+        /// The serializer's message.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::NonFinite { what, field, value } => {
+                write!(f, "cannot fingerprint the run: {what}.{field} is non-finite ({value})")
+            }
+            CheckpointError::Serialize { what, detail } => {
+                write!(f, "cannot fingerprint the run: {what} failed to serialize: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
 /// 64-bit FNV-1a over the run's identity: config JSON with `rounds`
 /// zeroed (the horizon may change between checkpoint and resume), the
 /// effective fault model, the algorithm name, and the engine seed.
-pub fn run_fingerprint(cfg: &FlConfig, faults: &FaultConfig, algorithm: &str, seed: u64) -> u64 {
+///
+/// Refuses configs whose identity-defining floats are non-finite — the
+/// JSON rendering would collapse them all to `null`, making distinct
+/// broken runs resume-compatible with each other.
+pub fn run_fingerprint(
+    cfg: &FlConfig,
+    faults: &FaultConfig,
+    algorithm: &str,
+    seed: u64,
+) -> Result<u64, CheckpointError> {
+    let finite = |what: &'static str, field: &'static str, value: f64| {
+        if value.is_finite() {
+            Ok(())
+        } else {
+            Err(CheckpointError::NonFinite { what, field, value })
+        }
+    };
+    finite("config", "sample_ratio", cfg.sample_ratio as f64)?;
+    finite("config", "lr", cfg.lr as f64)?;
+    finite("config", "momentum", cfg.momentum as f64)?;
+    finite("config", "weight_decay", cfg.weight_decay as f64)?;
+    finite("config", "alpha", cfg.alpha)?;
+    finite("config", "dropout_prob", cfg.dropout_prob as f64)?;
+    match cfg.lr_schedule {
+        LrSchedule::Constant => {}
+        LrSchedule::Step { gamma, .. } => finite("config", "lr_schedule.gamma", gamma as f64)?,
+        LrSchedule::Cosine { min_lr, .. } => {
+            finite("config", "lr_schedule.min_lr", min_lr as f64)?
+        }
+    }
+    finite("faults", "drop_before_download", faults.drop_before_download as f64)?;
+    finite("faults", "drop_after_download", faults.drop_after_download as f64)?;
+    finite("faults", "straggler_prob", faults.straggler_prob as f64)?;
+    finite("faults", "straggler_delay_s", faults.straggler_delay_s)?;
+    finite("faults", "upload_failure_prob", faults.upload_failure_prob as f64)?;
+    if let Some(d) = faults.round_deadline_s {
+        finite("faults", "round_deadline_s", d)?;
+    }
+
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut eat = |bytes: &[u8]| {
         for &b in bytes {
@@ -123,11 +206,15 @@ pub fn run_fingerprint(cfg: &FlConfig, faults: &FaultConfig, algorithm: &str, se
         }
     };
     let cfg_id = FlConfig { rounds: 0, ..*cfg };
-    eat(serde_json::to_string(&cfg_id).expect("config serializes").as_bytes());
-    eat(serde_json::to_string(faults).expect("faults serialize").as_bytes());
+    let cfg_json = serde_json::to_string(&cfg_id)
+        .map_err(|e| CheckpointError::Serialize { what: "config", detail: e.to_string() })?;
+    let faults_json = serde_json::to_string(faults)
+        .map_err(|e| CheckpointError::Serialize { what: "faults", detail: e.to_string() })?;
+    eat(cfg_json.as_bytes());
+    eat(faults_json.as_bytes());
     eat(algorithm.as_bytes());
     eat(&seed.to_le_bytes());
-    h
+    Ok(h)
 }
 
 // ---- meta encoding -----------------------------------------------------
@@ -868,17 +955,50 @@ mod tests {
     fn fingerprint_ignores_rounds_but_sees_everything_else() {
         let cfg = FlConfig::default();
         let faults = FaultConfig::reliable();
-        let base = run_fingerprint(&cfg, &faults, "FedAvg", 7);
+        let base = run_fingerprint(&cfg, &faults, "FedAvg", 7).unwrap();
         let longer = FlConfig { rounds: 100, ..cfg };
-        assert_eq!(run_fingerprint(&longer, &faults, "FedAvg", 7), base, "horizon is not identity");
-        let other_seed = run_fingerprint(&cfg, &faults, "FedAvg", 8);
+        assert_eq!(
+            run_fingerprint(&longer, &faults, "FedAvg", 7).unwrap(),
+            base,
+            "horizon is not identity"
+        );
+        let other_seed = run_fingerprint(&cfg, &faults, "FedAvg", 8).unwrap();
         assert_ne!(other_seed, base);
-        let other_algo = run_fingerprint(&cfg, &faults, "FedProx", 7);
+        let other_algo = run_fingerprint(&cfg, &faults, "FedProx", 7).unwrap();
         assert_ne!(other_algo, base);
         let other_cfg = FlConfig { n_clients: 11, ..cfg };
-        assert_ne!(run_fingerprint(&other_cfg, &faults, "FedAvg", 7), base);
+        assert_ne!(run_fingerprint(&other_cfg, &faults, "FedAvg", 7).unwrap(), base);
         let other_faults = FaultConfig { drop_after_download: 0.1, ..faults };
-        assert_ne!(run_fingerprint(&cfg, &other_faults, "FedAvg", 7), base);
+        assert_ne!(run_fingerprint(&cfg, &other_faults, "FedAvg", 7).unwrap(), base);
+    }
+
+    #[test]
+    fn fingerprint_refuses_non_finite_identity_fields() {
+        // The vendored serde_json writes NaN as `null`, so without the
+        // explicit guard two *different* broken configs would share one
+        // fingerprint. The guard must catch every float that defines
+        // run identity, in both the config and the fault model.
+        let faults = FaultConfig::reliable();
+        let bad_cfg = FlConfig { momentum: f32::NAN, ..FlConfig::default() };
+        let err = run_fingerprint(&bad_cfg, &faults, "FedAvg", 7).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::NonFinite { what: "config", field: "momentum", .. }),
+            "got: {err}"
+        );
+        let bad_lr = FlConfig { lr: f32::INFINITY, ..FlConfig::default() };
+        assert!(run_fingerprint(&bad_lr, &faults, "FedAvg", 7).is_err());
+        let bad_faults =
+            FaultConfig { straggler_delay_s: f64::NAN, ..FaultConfig::reliable() };
+        let err = run_fingerprint(&FlConfig::default(), &bad_faults, "FedAvg", 7).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::NonFinite { what: "faults", .. }),
+            "got: {err}"
+        );
+        let bad_deadline = FaultConfig {
+            round_deadline_s: Some(f64::INFINITY),
+            ..FaultConfig::reliable()
+        };
+        assert!(run_fingerprint(&FlConfig::default(), &bad_deadline, "FedAvg", 7).is_err());
     }
 
     #[test]

@@ -46,7 +46,7 @@ impl ComputePrecision {
 
 /// A uniformly-quantized weight snapshot: int8 codes plus a per-chunk
 /// affine dequantization `(scale, zero_point)`.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct QuantizedWeights {
     /// Int8 codes, one per scalar.
     pub codes: Vec<i8>,
@@ -83,6 +83,13 @@ pub enum CompressError {
     },
     /// A scale or offset is NaN/infinite, or input weights were.
     NonFinite,
+    /// A wire-encoded payload ended before its declared contents.
+    Truncated {
+        /// Bytes the declared structure needs.
+        needed: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for CompressError {
@@ -97,6 +104,9 @@ impl std::fmt::Display for CompressError {
                 write!(f, "lens sum to {lens_total} but payload has {codes} codes")
             }
             CompressError::NonFinite => write!(f, "non-finite value in payload"),
+            CompressError::Truncated { needed, got } => {
+                write!(f, "wire payload truncated: needs {needed} bytes, got {got}")
+            }
         }
     }
 }
@@ -186,6 +196,86 @@ impl QuantizedWeights {
     pub fn ratio(&self) -> f64 {
         (self.codes.len() * 4) as f64 / self.bytes() as f64
     }
+
+    /// Encode to the transport wire format: length-prefixed sections in
+    /// a fixed order, little-endian throughout. The inverse of
+    /// [`QuantizedWeights::from_wire`].
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            8 * 4 + self.codes.len() + 4 * (self.scales.len() + self.offsets.len())
+                + 8 * self.lens.len(),
+        );
+        out.extend_from_slice(&(self.codes.len() as u64).to_le_bytes());
+        out.extend(self.codes.iter().map(|&c| c as u8));
+        out.extend_from_slice(&(self.scales.len() as u64).to_le_bytes());
+        for s in &self.scales {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.offsets.len() as u64).to_le_bytes());
+        for o in &self.offsets {
+            out.extend_from_slice(&o.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.chunk as u64).to_le_bytes());
+        out.extend_from_slice(&(self.lens.len() as u64).to_le_bytes());
+        for l in &self.lens {
+            out.extend_from_slice(&(*l as u64).to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode the transport wire format written by
+    /// [`QuantizedWeights::to_wire`]. Every section length is checked
+    /// against the remaining bytes before allocation, so truncated or
+    /// corrupted inputs surface as [`CompressError::Truncated`] — never
+    /// a panic or an unbounded allocation.
+    pub fn from_wire(bytes: &[u8]) -> Result<Self, CompressError> {
+        fn take<'a>(
+            bytes: &'a [u8],
+            at: &mut usize,
+            n: usize,
+        ) -> Result<&'a [u8], CompressError> {
+            let end = at
+                .checked_add(n)
+                .ok_or(CompressError::Truncated { needed: usize::MAX, got: bytes.len() })?;
+            let s = bytes
+                .get(*at..end)
+                .ok_or(CompressError::Truncated { needed: end, got: bytes.len() })?;
+            *at = end;
+            Ok(s)
+        }
+        // A section length no input of this size could hold is
+        // corruption, not a request to allocate petabytes.
+        fn read_len(bytes: &[u8], at: &mut usize, cap: usize) -> Result<usize, CompressError> {
+            let raw = u64::from_le_bytes(take(bytes, at, 8)?.try_into().expect("8-byte slice"));
+            if raw > cap as u64 {
+                return Err(CompressError::Truncated { needed: raw as usize, got: cap });
+            }
+            Ok(raw as usize)
+        }
+        let mut at = 0usize;
+        let n_codes = read_len(bytes, &mut at, bytes.len())?;
+        let codes: Vec<i8> = take(bytes, &mut at, n_codes)?.iter().map(|&b| b as i8).collect();
+        let n_scales = read_len(bytes, &mut at, bytes.len() / 4 + 1)?;
+        let mut scales = Vec::with_capacity(n_scales);
+        for c in take(bytes, &mut at, n_scales * 4)?.chunks_exact(4) {
+            scales.push(f32::from_le_bytes(c.try_into().expect("4-byte slice")));
+        }
+        let n_offsets = read_len(bytes, &mut at, bytes.len() / 4 + 1)?;
+        let mut offsets = Vec::with_capacity(n_offsets);
+        for c in take(bytes, &mut at, n_offsets * 4)?.chunks_exact(4) {
+            offsets.push(f32::from_le_bytes(c.try_into().expect("4-byte slice")));
+        }
+        let chunk = read_len(bytes, &mut at, usize::MAX - 1)?;
+        let n_lens = read_len(bytes, &mut at, bytes.len() / 8 + 1)?;
+        let mut lens = Vec::with_capacity(n_lens);
+        for l in take(bytes, &mut at, n_lens * 8)?.chunks_exact(8) {
+            lens.push(u64::from_le_bytes(l.try_into().expect("8-byte slice")) as usize);
+        }
+        if at != bytes.len() {
+            return Err(CompressError::Truncated { needed: at, got: bytes.len() });
+        }
+        Ok(QuantizedWeights { codes, scales, offsets, chunk, lens })
+    }
 }
 
 /// Worst-case absolute reconstruction error of a quantize→dequantize
@@ -219,6 +309,44 @@ mod tests {
         let max_scale = q.scales.iter().copied().fold(0.0f32, f32::max);
         let err = max_abs_error(&w, &restored);
         assert!(err <= max_scale * 0.5 + 1e-6, "error {err} vs half-step {}", max_scale * 0.5);
+    }
+
+    #[test]
+    fn wire_codec_round_trips_exactly() {
+        let w = snapshot();
+        let q = quantize(&w, DEFAULT_CHUNK).unwrap();
+        let wire = q.to_wire();
+        let back = QuantizedWeights::from_wire(&wire).unwrap();
+        assert_eq!(back, q, "wire round trip must be lossless");
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn wire_codec_rejects_truncation_at_every_cut() {
+        let w = Weights { values: (0..80).map(|i| i as f32 * 0.1).collect(), lens: vec![50, 30] };
+        let q = quantize(&w, 32).unwrap();
+        let wire = q.to_wire();
+        // Any strict prefix must fail loudly, never panic or mis-decode.
+        for cut in 0..wire.len() {
+            let err = QuantizedWeights::from_wire(&wire[..cut]);
+            assert!(err.is_err(), "prefix of {cut}/{} bytes decoded", wire.len());
+        }
+        // Trailing garbage is corruption too.
+        let mut long = wire.clone();
+        long.push(0);
+        assert!(QuantizedWeights::from_wire(&long).is_err());
+    }
+
+    #[test]
+    fn wire_codec_rejects_hostile_section_lengths() {
+        // A header declaring more codes than the buffer could ever hold
+        // must be refused before any allocation happens.
+        let mut hostile = vec![0u8; 16];
+        hostile[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            QuantizedWeights::from_wire(&hostile),
+            Err(CompressError::Truncated { .. })
+        ));
     }
 
     #[test]

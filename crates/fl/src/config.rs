@@ -198,6 +198,23 @@ impl FlConfig {
                 bounds: "(0, inf)",
             });
         }
+        // Optimizer hyperparameters feed the resume fingerprint and
+        // every local step: non-finite or negative values would train
+        // garbage and collide checkpoint identities.
+        if !self.momentum.is_finite() || self.momentum < 0.0 || self.momentum >= 1.0 {
+            return Err(ConfigError::OutOfRange {
+                field: "momentum",
+                value: self.momentum as f64,
+                bounds: "[0, 1)",
+            });
+        }
+        if !self.weight_decay.is_finite() || self.weight_decay < 0.0 {
+            return Err(ConfigError::OutOfRange {
+                field: "weight_decay",
+                value: self.weight_decay as f64,
+                bounds: "[0, inf)",
+            });
+        }
         if self.alpha.is_nan() || self.alpha <= 0.0 {
             return Err(ConfigError::OutOfRange {
                 field: "alpha",
@@ -260,6 +277,23 @@ mod tests {
     #[test]
     fn default_is_valid() {
         FlConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_optimizer_hyperparameters() {
+        for cfg in [
+            FlConfig { momentum: f32::NAN, ..Default::default() },
+            FlConfig { momentum: -0.1, ..Default::default() },
+            FlConfig { momentum: 1.0, ..Default::default() },
+            FlConfig { weight_decay: f32::INFINITY, ..Default::default() },
+            FlConfig { weight_decay: -1e-4, ..Default::default() },
+        ] {
+            let err = cfg.validate().unwrap_err();
+            assert!(
+                matches!(err, ConfigError::OutOfRange { field: "momentum" | "weight_decay", .. }),
+                "got: {err:?}"
+            );
+        }
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! therefore serializes byte-identically to an uninterrupted run at the
 //! same seed (enforced by `tests/resume.rs` and the CI smoke).
 
-use crate::checkpoint::{self, CheckpointPolicy, LoadError, RunCheckpoint};
+use crate::checkpoint::{self, CheckpointError, CheckpointPolicy, LoadError, RunCheckpoint};
 use crate::client_store::StoreError;
 use crate::comm::{CommTracker, CostError};
 use crate::config::ConfigError;
@@ -27,6 +27,7 @@ use crate::lifecycle::{plan_round, FaultConfig, RoundComm, RoundPlan, WirePayloa
 use crate::metrics::{History, RoundRecord};
 use crate::scheduler::{AsyncScheduler, PreparedUpdate, RoundMode};
 use crate::state::{AlgorithmState, RestoreError};
+use crate::transport::{SocketConfig, SocketTransport, TransportError, TransportMode, TransportStats};
 use crate::trace::{Counters, EventSink, NoopSink, Phase, RoundScope, TraceSink};
 use kemf_tensor::rng::{child_seed, seeded_rng};
 use rand::rngs::StdRng;
@@ -197,6 +198,10 @@ pub struct RunOptions<'a> {
     /// How rounds advance: classic synchronous rounds (the default) or
     /// buffered-asynchronous cycles with staleness-weighted fusion.
     pub round_mode: RoundMode,
+    /// How traffic travels: simulated in-process (the default,
+    /// bit-identical to every earlier release) or real framed bytes over
+    /// localhost sockets to a worker pool (see [`crate::transport`]).
+    pub transport: TransportMode,
 }
 
 impl<'a> RunOptions<'a> {
@@ -254,6 +259,19 @@ impl<'a> RunOptions<'a> {
         self.round_mode = RoundMode::Async(cfg);
         self
     }
+
+    /// Select how traffic travels (see [`TransportMode`]).
+    pub fn transport(mut self, mode: TransportMode) -> Self {
+        self.transport = mode;
+        self
+    }
+
+    /// Shorthand for [`TransportMode::Socket`]: run every round's
+    /// traffic as real framed bytes over localhost sockets.
+    pub fn socket_transport(mut self, cfg: SocketConfig) -> Self {
+        self.transport = TransportMode::Socket(cfg);
+        self
+    }
 }
 
 /// What a finished run hands back.
@@ -275,6 +293,10 @@ pub struct RunReport {
     /// `None` for synchronous runs (wall-clock there is priced after
     /// the fact by [`crate::network::NetworkModel`]).
     pub sim_time_s: Option<f64>,
+    /// Wire-level counters when the run traveled over the socket
+    /// transport: frames, payload bytes by direction, and framing
+    /// overhead. `None` for in-process runs.
+    pub transport: Option<TransportStats>,
 }
 
 /// Why a run could not start or continue.
@@ -294,6 +316,12 @@ pub enum EngineError {
     /// Byte accounting overflowed u64 (cumulative totals or a buffered
     /// cycle's uplink sum).
     Cost(CostError),
+    /// The socket transport failed (worker spawn, socket i/o, protocol
+    /// violation, or plan/wire desync).
+    Transport(TransportError),
+    /// The run's identity could not be fingerprinted (non-finite config
+    /// floats would collide checkpoint identities).
+    Fingerprint(CheckpointError),
 }
 
 impl fmt::Display for EngineError {
@@ -305,6 +333,8 @@ impl fmt::Display for EngineError {
             EngineError::Resume(e) => write!(f, "resume failed: {e}"),
             EngineError::State(e) => write!(f, "client state store: {e}"),
             EngineError::Cost(e) => write!(f, "byte accounting: {e}"),
+            EngineError::Transport(e) => write!(f, "socket transport: {e}"),
+            EngineError::Fingerprint(e) => write!(f, "run identity: {e}"),
         }
     }
 }
@@ -326,6 +356,12 @@ impl From<StoreError> for EngineError {
 impl From<CostError> for EngineError {
     fn from(e: CostError) -> Self {
         EngineError::Cost(e)
+    }
+}
+
+impl From<TransportError> for EngineError {
+    fn from(e: TransportError) -> Self {
+        EngineError::Transport(e)
     }
 }
 
@@ -582,9 +618,30 @@ fn run_core(
     };
     algo.init(ctx).map_err(EngineError::Init)?;
 
+    // The transport moves bytes for an already-drawn plan; it never
+    // touches the RNG streams, so it stays out of the run fingerprint
+    // and a checkpoint written over sockets resumes in-process (and
+    // vice versa). Async cycles interleave arrivals across waves, which
+    // the strictly round-scoped wire protocol cannot express.
+    let socket_cfg = match &opts.transport {
+        TransportMode::InProc => None,
+        TransportMode::Socket(s) => {
+            s.validate()?;
+            if async_cfg.is_some() {
+                return Err(EngineError::Transport(TransportError::Config {
+                    reason: "buffered-asynchronous rounds are not supported over the socket \
+                             transport; use RoundMode::Sync or TransportMode::InProc"
+                        .into(),
+                }));
+            }
+            Some(s)
+        }
+    };
+
     let algo_name = algo.name();
     let engine_seed = opts.seed.unwrap_or(ctx.cfg.seed);
-    let fingerprint = checkpoint::run_fingerprint(&ctx.cfg, &faults, &algo_name, engine_seed);
+    let fingerprint = checkpoint::run_fingerprint(&ctx.cfg, &faults, &algo_name, engine_seed)
+        .map_err(EngineError::Fingerprint)?;
     // Async knobs change the trajectory, so they join the run identity;
     // synchronous fingerprints are exactly what they always were, and a
     // checkpoint can never resume across modes.
@@ -673,6 +730,13 @@ fn run_core(
         resumed_from = Some(start_round);
     }
 
+    // Spin the worker pool up only once the run is actually going to
+    // execute rounds — config/resume failures above never spawn sockets.
+    let mut transport = match socket_cfg {
+        Some(s) => Some(SocketTransport::start(s, faults.round_deadline_s)?),
+        None => None,
+    };
+
     let mut checkpoints = Vec::new();
     for round in start_round..ctx.cfg.rounds {
         let mut scope = RoundScope::new(&mut *sink, round);
@@ -684,12 +748,18 @@ fn run_core(
             (sampled, plan)
         });
         let payload = algo.payload_per_client();
+        // In-process, the round's traffic is priced by the closed-form
+        // plan arithmetic; over sockets, the same plan is *enacted* as
+        // framed bytes and the measurement comes back from the wire.
         let wave_comm = scope.phase(Phase::Broadcast, |c| {
-            let round_comm = plan.comm(payload);
+            let round_comm = match transport.as_mut() {
+                Some(t) => t.run_round(round, &plan, payload, algo.global_model())?,
+                None => plan.comm(payload),
+            };
             c.clients = round_comm.down_clients;
             c.down_bytes = round_comm.down_bytes;
-            round_comm
-        });
+            Ok::<RoundComm, TransportError>(round_comm)
+        })?;
         let (round_comm, quorum_met, train_loss) = if let Some(sched) = scheduler.as_mut() {
             run_async_cycle(algo, ctx, &faults, sched, round, &plan, payload, wave_comm, &mut scope)?
         } else {
@@ -764,7 +834,11 @@ fn run_core(
         }
     }
     let sim_time_s = scheduler.as_ref().map(|s| s.now());
-    Ok(RunReport { history, plans, resumed_from, checkpoints, sim_time_s })
+    let transport = match transport.take() {
+        Some(t) => Some(t.finish()?),
+        None => None,
+    };
+    Ok(RunReport { history, plans, resumed_from, checkpoints, sim_time_s, transport })
 }
 
 /// One buffered-asynchronous aggregation cycle: train the wave's
@@ -1395,5 +1469,82 @@ mod tests {
         assert_eq!(ctx.total_train_samples(), 120);
         assert!(ctx.heterogeneity > 0.0);
         assert_eq!(ctx.classes(), 10);
+    }
+
+    #[test]
+    fn socket_transport_matches_in_process_bit_for_bit() {
+        let ctx = tiny_ctx();
+        let mut a = Dummy::new();
+        let inproc = Engine::run(&mut a, &ctx, RunOptions::new().seed(11)).unwrap();
+        let mut b = Dummy::new();
+        let socket = Engine::run(
+            &mut b,
+            &ctx,
+            RunOptions::new().seed(11).socket_transport(SocketConfig::threads(2)),
+        )
+        .unwrap();
+        // Same seed, faults off: enacting the plan over real sockets
+        // must not perturb a single recorded byte or sampled client.
+        assert_eq!(inproc.history.to_json(), socket.history.to_json());
+        assert!(inproc.transport.is_none());
+        let stats = socket.transport.expect("socket run reports wire stats");
+        assert_eq!(stats.rounds as usize, ctx.cfg.rounds);
+        // The wire counters are fed from actual framed bytes — with
+        // faults off they must land exactly on the simulated accounting.
+        let down: u64 = socket.history.records.iter().map(|r| r.down_bytes).sum();
+        let up: u64 = socket.history.records.iter().map(|r| r.up_bytes).sum();
+        assert_eq!(stats.payload_down_bytes, down);
+        assert_eq!(stats.payload_up_bytes, up);
+        assert_eq!(stats.payload_wasted_bytes, 0);
+        assert!(stats.wire_bytes > stats.payload_total(), "framing overhead is real bytes");
+    }
+
+    #[test]
+    fn async_rounds_over_sockets_are_refused() {
+        let ctx = tiny_ctx();
+        let mut algo = Dummy::new();
+        let err = Engine::run(
+            &mut algo,
+            &ctx,
+            RunOptions::new()
+                .async_rounds(AsyncConfig::new(3))
+                .socket_transport(SocketConfig::threads(1)),
+        )
+        .unwrap_err();
+        match err {
+            EngineError::Transport(TransportError::Config { reason }) => {
+                assert!(reason.contains("asynchronous"), "unhelpful refusal: {reason}");
+            }
+            other => panic!("expected a typed transport-config refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_config_floats_are_refused_before_any_round_runs() {
+        let task = SynthTask::new(SynthConfig::mnist_like(0));
+        let train = task.generate(120, 0);
+        let test = task.generate(40, 1);
+        // An infinite lr sails past the NaN/positivity checks in
+        // FlConfig::validate, but the vendored JSON writer would
+        // serialize it as null — colliding run fingerprints — so the
+        // engine must refuse it before any round runs.
+        let cfg = FlConfig {
+            n_clients: 6,
+            sample_ratio: 0.5,
+            rounds: 4,
+            min_per_client: 2,
+            lr: f32::INFINITY,
+            ..Default::default()
+        };
+        let ctx = FlContext::new(cfg, &train, test);
+        let mut algo = Dummy::new();
+        let err = Engine::run(&mut algo, &ctx, RunOptions::new()).unwrap_err();
+        match err {
+            EngineError::Fingerprint(CheckpointError::NonFinite { field, .. }) => {
+                assert_eq!(field, "lr");
+            }
+            other => panic!("expected a fingerprint refusal, got {other:?}"),
+        }
+        assert_eq!(algo.evals, 0, "no round may run under an unidentifiable config");
     }
 }

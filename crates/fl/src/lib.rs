@@ -25,6 +25,10 @@
 //!   metrics of the paper's tables and figures;
 //! * [`trace`] — structured round-lifecycle observability: phase-timed
 //!   spans with step/batch/FLOP/byte counters behind an [`trace::EventSink`];
+//! * [`transport`] — the real-socket federation path: framed localhost
+//!   TCP traffic to a worker pool behind
+//!   [`transport::TransportMode::Socket`], with fault injection enacted
+//!   on real frames and byte counters measured at the wire;
 //! * [`fedavg`], [`fedprox`], [`fednova`], [`scaffold`] — the baselines.
 //!
 //! ```no_run
@@ -59,6 +63,7 @@ pub mod scaffold;
 pub mod scheduler;
 pub mod state;
 pub mod trace;
+pub mod transport;
 pub mod weight_common;
 
 pub mod prelude {
@@ -82,11 +87,15 @@ pub mod prelude {
     pub use crate::fedprox::FedProx;
     pub use crate::local::{local_train, LocalCfg};
     pub use crate::metrics::{fairness_summary, FairnessSummary, History, RoundRecord};
-    pub use crate::network::NetworkModel;
+    pub use crate::network::{NetworkModel, NetworkProfiles};
     pub use crate::scaffold::Scaffold;
     pub use crate::scheduler::{AsyncConfig, PreparedUpdate, RoundMode, UpdatePayload};
     pub use crate::state::{AlgorithmState, RestoreError, TensorBlob};
     pub use crate::trace::{
         Counters, EventSink, NoopSink, Phase, PhaseSummary, RoundScope, RunTrace, Span, TraceSink,
+    };
+    pub use crate::transport::{
+        worker_entry_if_requested, worker_main_from_env, SocketConfig, TransportError,
+        TransportMode, TransportStats, WorkerMode,
     };
 }

@@ -38,6 +38,11 @@ impl NetworkModel {
         NetworkModel { bandwidth_bps: 128.0 * 1024.0, latency_s: 0.2 }
     }
 
+    /// A 3G-class link: ~48 KB/s sustained, 300 ms round latency.
+    pub fn cellular_3g() -> Self {
+        NetworkModel { bandwidth_bps: 48.0 * 1024.0, latency_s: 0.3 }
+    }
+
     /// Transfer time for one payload (seconds). Clients within a phase
     /// transfer in parallel; the phase is gated by the *largest single
     /// client payload*, so the caller passes per-client bytes.
@@ -105,21 +110,121 @@ impl NetworkModel {
         let t_up = self.transfer_time(payload.up_bytes);
         let mut round = 0.0f64;
         for c in &plan.clients {
-            let finish = match c.outcome {
-                ClientOutcome::DroppedBeforeDownload => 0.0,
-                ClientOutcome::DroppedAfterDownload => t_down,
-                // A cut straggler holds the round open to the deadline.
-                // A plan can only contain this outcome if a deadline was
-                // configured when it was drawn; if the caller passes
-                // `None` anyway, fall back to the drawn delay (≥ the
-                // deadline by construction) instead of panicking.
-                ClientOutcome::StragglerTimedOut { delay_s } => deadline_s.unwrap_or(delay_s),
-                ClientOutcome::UploadFailed { attempts } => t_down + attempts as f64 * t_up,
-                ClientOutcome::Completed { attempts, delay_s } => {
-                    t_down + delay_s + attempts as f64 * t_up
-                }
-            };
-            round = round.max(finish);
+            round = round.max(client_finish_time(c.outcome, t_down, t_up, deadline_s));
+        }
+        round
+    }
+}
+
+/// Finish time of one client under its drawn outcome, given that
+/// client's per-direction transfer times.
+///
+/// A cut straggler holds the round open to the deadline. A plan can only
+/// contain that outcome if a deadline was configured when it was drawn;
+/// if the caller passes `None` anyway, fall back to the drawn delay
+/// (≥ the deadline by construction) instead of panicking.
+fn client_finish_time(
+    outcome: ClientOutcome,
+    t_down: f64,
+    t_up: f64,
+    deadline_s: Option<f64>,
+) -> f64 {
+    match outcome {
+        ClientOutcome::DroppedBeforeDownload => 0.0,
+        ClientOutcome::DroppedAfterDownload => t_down,
+        ClientOutcome::StragglerTimedOut { delay_s } => deadline_s.unwrap_or(delay_s),
+        ClientOutcome::UploadFailed { attempts } => t_down + attempts as f64 * t_up,
+        ClientOutcome::Completed { attempts, delay_s } => t_down + delay_s + attempts as f64 * t_up,
+    }
+}
+
+/// Per-client heterogeneous link assignment: client `i` uses
+/// `models[i % models.len()]`, so a fleet can mix broadband, 4G, and 3G
+/// devices the way real federations do. A single-entry profile is
+/// exactly the old fleet-wide [`NetworkModel`] — same computation, same
+/// f64s, bit-identical results.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetworkProfiles {
+    /// Link models, assigned round-robin by client index. Must be
+    /// non-empty (enforced by [`NetworkProfiles::validate`], which every
+    /// consuming configuration calls before use).
+    pub models: Vec<NetworkModel>,
+}
+
+impl NetworkProfiles {
+    /// One model for the whole fleet (the old behavior).
+    pub fn uniform(model: NetworkModel) -> Self {
+        NetworkProfiles { models: vec![model] }
+    }
+
+    /// Assign `models` round-robin by client index.
+    pub fn cycle(models: Vec<NetworkModel>) -> Self {
+        NetworkProfiles { models }
+    }
+
+    /// The canonical heterogeneous mix: a third of the fleet each on
+    /// home broadband ("wifi"), 4G, and 3G.
+    pub fn wifi_4g_3g() -> Self {
+        NetworkProfiles::cycle(vec![
+            NetworkModel::broadband(),
+            NetworkModel::cellular_4g(),
+            NetworkModel::cellular_3g(),
+        ])
+    }
+
+    /// The link model serving `client`.
+    pub fn model_for(&self, client: usize) -> &NetworkModel {
+        &self.models[client % self.models.len()]
+    }
+
+    /// True when every client sees the same link (equivalent to a
+    /// fleet-wide [`NetworkModel`]).
+    pub fn is_uniform(&self) -> bool {
+        self.models.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Reject profiles the time model cannot price: empty fleets,
+    /// non-positive or non-finite bandwidth, negative or non-finite
+    /// latency.
+    pub fn validate(&self) -> Result<(), crate::config::ConfigError> {
+        use crate::config::ConfigError;
+        if self.models.is_empty() {
+            return Err(ConfigError::ZeroCount { field: "network_profiles.models" });
+        }
+        for m in &self.models {
+            if !(m.bandwidth_bps.is_finite() && m.bandwidth_bps > 0.0) {
+                return Err(ConfigError::OutOfRange {
+                    field: "network_profiles.bandwidth_bps",
+                    value: m.bandwidth_bps,
+                    bounds: "(0, inf)",
+                });
+            }
+            if !(m.latency_s.is_finite() && m.latency_s >= 0.0) {
+                return Err(ConfigError::OutOfRange {
+                    field: "network_profiles.latency_s",
+                    value: m.latency_s,
+                    bounds: "[0, inf)",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Wall-clock of one round under its drawn lifecycle, with each
+    /// client's transfers priced by *its own* link — the heterogeneous
+    /// generalization of [`NetworkModel::lifecycle_round_time`].
+    pub fn lifecycle_round_time(
+        &self,
+        plan: &RoundPlan,
+        payload: WirePayload,
+        deadline_s: Option<f64>,
+    ) -> f64 {
+        let mut round = 0.0f64;
+        for c in &plan.clients {
+            let m = self.model_for(c.client);
+            let t_down = m.transfer_time(payload.down_bytes);
+            let t_up = m.transfer_time(payload.up_bytes);
+            round = round.max(client_finish_time(c.outcome, t_down, t_up, deadline_s));
         }
         round
     }
@@ -277,5 +382,60 @@ mod tests {
         let t = net.lifecycle_round_time(&cut, payload, Some(10.0));
         assert!((t - 10.0).abs() < 1e-9, "deadline bounds the round, got {t}");
         let _ = FaultConfig::default(); // keep the import honest
+    }
+
+    #[test]
+    fn uniform_profiles_price_exactly_like_the_fleet_wide_model() {
+        let net = NetworkModel::cellular_4g();
+        let profiles = NetworkProfiles::uniform(net);
+        assert!(profiles.is_uniform());
+        let payload = WirePayload { down_bytes: 123_457, up_bytes: 7_919 };
+        let plan = RoundPlan {
+            clients: vec![
+                ClientRound { client: 0, outcome: ClientOutcome::Completed { attempts: 2, delay_s: 1.25 } },
+                ClientRound { client: 5, outcome: ClientOutcome::UploadFailed { attempts: 3 } },
+                ClientRound { client: 9, outcome: ClientOutcome::DroppedAfterDownload },
+            ],
+            min_quorum: 1,
+        };
+        // Bit-identical, not approximately equal: the same f64 ops run
+        // in the same order.
+        assert_eq!(
+            profiles.lifecycle_round_time(&plan, payload, Some(30.0)).to_bits(),
+            net.lifecycle_round_time(&plan, payload, Some(30.0)).to_bits(),
+        );
+    }
+
+    #[test]
+    fn heterogeneous_profiles_assign_by_client_index_and_gate_on_slowest() {
+        let profiles = NetworkProfiles::wifi_4g_3g();
+        assert!(!profiles.is_uniform());
+        assert_eq!(profiles.model_for(0), &NetworkModel::broadband());
+        assert_eq!(profiles.model_for(4), &NetworkModel::cellular_4g());
+        assert_eq!(profiles.model_for(5), &NetworkModel::cellular_3g());
+        let payload = WirePayload::symmetric(1024 * 1024);
+        let completed = |client| ClientRound {
+            client,
+            outcome: ClientOutcome::Completed { attempts: 1, delay_s: 0.0 },
+        };
+        // Same outcome everywhere: the 3G client dominates the round.
+        let plan = RoundPlan { clients: vec![completed(0), completed(1), completed(2)], min_quorum: 1 };
+        let t_mixed = profiles.lifecycle_round_time(&plan, payload, None);
+        let t_3g = NetworkModel::cellular_3g().lifecycle_round_time(&plan, payload, None);
+        assert_eq!(t_mixed.to_bits(), t_3g.to_bits(), "slowest link gates the round");
+        // Drop the 3G client from the sample: the 4G one gates instead.
+        let fast = RoundPlan { clients: vec![completed(0), completed(1)], min_quorum: 1 };
+        assert!(profiles.lifecycle_round_time(&fast, payload, None) < t_mixed);
+    }
+
+    #[test]
+    fn profiles_validation_rejects_broken_links() {
+        assert!(NetworkProfiles::cycle(vec![]).validate().is_err());
+        let bad_bw = NetworkProfiles::uniform(NetworkModel { bandwidth_bps: 0.0, latency_s: 0.1 });
+        assert!(bad_bw.validate().is_err());
+        let bad_lat =
+            NetworkProfiles::uniform(NetworkModel { bandwidth_bps: 1e6, latency_s: f64::NAN });
+        assert!(bad_lat.validate().is_err());
+        assert!(NetworkProfiles::wifi_4g_3g().validate().is_ok());
     }
 }

@@ -41,7 +41,7 @@
 use crate::client_store::ClientBlob;
 use crate::config::ConfigError;
 use crate::lifecycle::{ClientOutcome, RoundPlan, WirePayload};
-use crate::network::NetworkModel;
+use crate::network::{NetworkModel, NetworkProfiles};
 use crate::state::TensorBlob;
 use kemf_nn::serialize::ModelState;
 
@@ -78,13 +78,33 @@ pub struct AsyncConfig {
     /// at zero seconds — arrival order is then driven purely by the
     /// lifecycle's injected straggler delays.
     pub network: Option<NetworkModel>,
+    /// Optional per-client heterogeneous links, assigned round-robin by
+    /// client index. Takes precedence over [`AsyncConfig::network`] when
+    /// set; a uniform single-entry profile reproduces the fleet-wide
+    /// model bit-for-bit.
+    pub profiles: Option<NetworkProfiles>,
+    /// Arrival-rate trigger: fuse after this many simulated seconds
+    /// have passed since the drain began, even if fewer than
+    /// [`AsyncConfig::buffer_size`] updates arrived by then. At least
+    /// one update always folds (the server never fuses nothing), and
+    /// zero-delay arrivals land inside any positive window — so the
+    /// synchronous-equivalence anchor is untouched. `None` (the
+    /// default) waits for a full buffer, exactly as before.
+    pub aggregate_after_s: Option<f64>,
 }
 
 impl AsyncConfig {
     /// A conservative default: half-cohort buffer, staleness capped at
     /// 4 cycles with a gentle 0.6 decay, no network model.
     pub fn new(buffer_size: usize) -> Self {
-        AsyncConfig { buffer_size, max_staleness: 4, staleness_decay: 0.6, network: None }
+        AsyncConfig {
+            buffer_size,
+            max_staleness: 4,
+            staleness_decay: 0.6,
+            network: None,
+            profiles: None,
+            aggregate_after_s: None,
+        }
     }
 
     /// Fluent setter for [`AsyncConfig::max_staleness`].
@@ -102,6 +122,18 @@ impl AsyncConfig {
     /// Fluent setter for [`AsyncConfig::network`].
     pub fn network(mut self, net: NetworkModel) -> Self {
         self.network = Some(net);
+        self
+    }
+
+    /// Fluent setter for [`AsyncConfig::profiles`].
+    pub fn profiles(mut self, profiles: NetworkProfiles) -> Self {
+        self.profiles = Some(profiles);
+        self
+    }
+
+    /// Fluent setter for [`AsyncConfig::aggregate_after_s`].
+    pub fn aggregate_after(mut self, secs: f64) -> Self {
+        self.aggregate_after_s = Some(secs);
         self
     }
 
@@ -140,6 +172,18 @@ impl AsyncConfig {
                 });
             }
         }
+        if let Some(p) = &self.profiles {
+            p.validate()?;
+        }
+        if let Some(t) = self.aggregate_after_s {
+            if !(t.is_finite() && t > 0.0) {
+                return Err(ConfigError::OutOfRange {
+                    field: "async.aggregate_after_s",
+                    value: t,
+                    bounds: "(0, inf)",
+                });
+            }
+        }
         Ok(())
     }
 
@@ -172,6 +216,21 @@ impl AsyncConfig {
                 eat(&mut h, &net.bandwidth_bps.to_bits().to_le_bytes());
                 eat(&mut h, &net.latency_s.to_bits().to_le_bytes());
             }
+        }
+        // Later knobs append tagged bytes only when set, so fingerprints
+        // of runs that never use them are unchanged from earlier builds
+        // (their checkpoints stay resumable).
+        if let Some(p) = &self.profiles {
+            eat(&mut h, &[2]);
+            eat(&mut h, &(p.models.len() as u64).to_le_bytes());
+            for m in &p.models {
+                eat(&mut h, &m.bandwidth_bps.to_bits().to_le_bytes());
+                eat(&mut h, &m.latency_s.to_bits().to_le_bytes());
+            }
+        }
+        if let Some(t) = self.aggregate_after_s {
+            eat(&mut h, &[3]);
+            eat(&mut h, &t.to_bits().to_le_bytes());
         }
         h
     }
@@ -322,7 +381,7 @@ impl AsyncScheduler {
         payload: WirePayload,
         updates: Vec<PreparedUpdate>,
     ) {
-        let (t_down, t_up) = match &self.cfg.network {
+        let fleet = match &self.cfg.network {
             Some(net) => (net.transfer_time(payload.down_bytes), net.transfer_time(payload.up_bytes)),
             None => (0.0, 0.0),
         };
@@ -332,6 +391,17 @@ impl AsyncScheduler {
             if let ClientOutcome::Completed { attempts, delay_s } = c.outcome {
                 let Some(update) = it.next() else { break };
                 debug_assert_eq!(update.client, c.client, "updates must follow sampled order");
+                // Per-client links take precedence; a uniform profile
+                // runs the identical computation on the identical model,
+                // so its arrival times are bit-equal to the fleet-wide
+                // path.
+                let (t_down, t_up) = match &self.cfg.profiles {
+                    Some(p) => {
+                        let m = p.model_for(c.client);
+                        (m.transfer_time(payload.down_bytes), m.transfer_time(payload.up_bytes))
+                    }
+                    None => fleet,
+                };
                 let arrive = self.now + t_down + delay_s + attempts as f64 * t_up;
                 self.queue.push(PendingEvent { time_bits: arrive.to_bits(), wave, idx, update });
                 idx += 1;
@@ -350,9 +420,22 @@ impl AsyncScheduler {
     /// cycle exceeds `max_staleness` are evicted and do *not* count
     /// toward the buffer; accepted updates carry
     /// `staleness_decay^staleness` as their fusion weight.
+    /// The arrival-rate trigger ([`AsyncConfig::aggregate_after_s`])
+    /// additionally closes the buffer early: once at least one update
+    /// has been accepted, the drain stops when the next arrival lands
+    /// past `drain start + aggregate_after_s`. Eviction-only pops keep
+    /// the buffer empty and never trip the trigger (the server never
+    /// fuses nothing), and zero-delay arrivals never exceed a positive
+    /// window — the synchronous-equivalence anchor is preserved.
     pub fn drain(&mut self, cycle: usize) -> DrainOutcome {
         let mut out = DrainOutcome { folded: Vec::new(), stale: 0, evicted: 0 };
+        let deadline = self.cfg.aggregate_after_s.map(|t| self.now + t);
         while out.folded.len() < self.cfg.buffer_size && !self.queue.is_empty() {
+            if let Some(dl) = deadline {
+                if !out.folded.is_empty() && self.queue[0].arrival_s() > dl {
+                    break;
+                }
+            }
             let ev = self.queue.remove(0);
             let t = ev.arrival_s();
             if t > self.now {
@@ -548,5 +631,120 @@ mod tests {
             a.mix_fingerprint(base),
             AsyncConfig::new(2).network(NetworkModel::iot()).mix_fingerprint(base)
         );
+        assert_ne!(
+            a.mix_fingerprint(base),
+            AsyncConfig::new(2).profiles(NetworkProfiles::wifi_4g_3g()).mix_fingerprint(base),
+            "per-client profiles are resume identity"
+        );
+        assert_ne!(
+            a.mix_fingerprint(base),
+            AsyncConfig::new(2).aggregate_after(5.0).mix_fingerprint(base),
+            "the arrival-rate trigger is resume identity"
+        );
+        assert_ne!(
+            AsyncConfig::new(2).aggregate_after(5.0).mix_fingerprint(base),
+            AsyncConfig::new(2).aggregate_after(6.0).mix_fingerprint(base),
+        );
+    }
+
+    #[test]
+    fn validate_rejects_bad_trigger_and_profiles() {
+        assert!(matches!(
+            AsyncConfig::new(2).aggregate_after(0.0).validate(4),
+            Err(ConfigError::OutOfRange { field: "async.aggregate_after_s", .. })
+        ));
+        assert!(AsyncConfig::new(2).aggregate_after(f64::NAN).validate(4).is_err());
+        assert!(AsyncConfig::new(2).aggregate_after(-1.0).validate(4).is_err());
+        assert!(AsyncConfig::new(2).aggregate_after(3.5).validate(4).is_ok());
+        assert!(AsyncConfig::new(2)
+            .profiles(NetworkProfiles::cycle(vec![]))
+            .validate(4)
+            .is_err());
+        assert!(AsyncConfig::new(2).profiles(NetworkProfiles::wifi_4g_3g()).validate(4).is_ok());
+    }
+
+    #[test]
+    fn uniform_profiles_dispatch_bit_identically_to_the_fleet_model() {
+        let net = NetworkModel { bandwidth_bps: 100.0, latency_s: 0.03 };
+        let plan = plan_of(vec![completed(0, 0.5), completed(3, 1.5), completed(7, 0.0)]);
+        let updates = || vec![probe_update(0), probe_update(3), probe_update(7)];
+        let mut fleet = AsyncScheduler::new(AsyncConfig::new(3).max_staleness(8).network(net));
+        fleet.dispatch(0, &plan, WirePayload::symmetric(100), updates());
+        let mut prof = AsyncScheduler::new(
+            AsyncConfig::new(3).max_staleness(8).profiles(NetworkProfiles::uniform(net)),
+        );
+        prof.dispatch(0, &plan, WirePayload::symmetric(100), updates());
+        assert_eq!(fleet.state(), prof.state(), "uniform profiles must be bit-identical");
+    }
+
+    #[test]
+    fn heterogeneous_profiles_reorder_arrivals_by_link_speed() {
+        // Client 2 lands on the 3G link of the wifi/4g/3g cycle: despite
+        // equal injected delays it arrives last.
+        let profiles = NetworkProfiles::wifi_4g_3g();
+        let mut s = AsyncScheduler::new(AsyncConfig::new(3).max_staleness(8).profiles(profiles));
+        let plan = plan_of(vec![completed(2, 0.0), completed(0, 0.0), completed(1, 0.0)]);
+        s.dispatch(0, &plan, WirePayload::symmetric(512 * 1024), vec![
+            probe_update(2),
+            probe_update(0),
+            probe_update(1),
+        ]);
+        let d = s.drain(0);
+        let order: Vec<usize> = d.folded.iter().map(|(u, _)| u.client).collect();
+        assert_eq!(order, vec![0, 1, 2], "broadband < 4g < 3g arrival order");
+    }
+
+    #[test]
+    fn arrival_rate_trigger_closes_a_short_buffer() {
+        // Buffer wants 3, but the second arrival is 10 s out and the
+        // window is 2 s: the drain folds the first update alone.
+        let mut s = AsyncScheduler::new(AsyncConfig::new(3).max_staleness(8).aggregate_after(2.0));
+        let plan = plan_of(vec![completed(0, 0.5), completed(1, 10.0), completed(2, 11.0)]);
+        s.dispatch(0, &plan, WirePayload::symmetric(10), vec![
+            probe_update(0),
+            probe_update(1),
+            probe_update(2),
+        ]);
+        let d = s.drain(0);
+        assert_eq!(d.folded.len(), 1, "the window closed after the first arrival");
+        assert_eq!(s.pending(), 2);
+        // Next cycle: the window re-anchors at the advanced clock
+        // (0.5 s → deadline 2.5 s). The 10 s arrival folds because at
+        // least one update always does; the 11 s one is past the window.
+        let d2 = s.drain(1);
+        assert_eq!(d2.folded.len(), 1);
+        assert_eq!(d2.stale, 1);
+        // Third cycle: clock at 10 s, window to 12 s covers the 11 s
+        // arrival.
+        let d3 = s.drain(2);
+        assert_eq!(d3.folded.len(), 1);
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn arrival_rate_trigger_never_fuses_an_empty_buffer() {
+        // The first arrival is far beyond the window; the trigger must
+        // not close the buffer before at least one update folds.
+        let mut s = AsyncScheduler::new(AsyncConfig::new(2).max_staleness(8).aggregate_after(1.0));
+        let plan = plan_of(vec![completed(0, 50.0), completed(1, 60.0)]);
+        s.dispatch(0, &plan, WirePayload::symmetric(10), vec![probe_update(0), probe_update(1)]);
+        let d = s.drain(0);
+        assert_eq!(d.folded.len(), 1, "the first update always folds");
+        assert_eq!(d.folded[0].0.client, 0);
+    }
+
+    #[test]
+    fn zero_delay_arrivals_fill_the_buffer_despite_a_tiny_window() {
+        // The sync-equivalence anchor: everything arrives at t=0, inside
+        // any positive window, so the trigger never fires and the drain
+        // is identical to the un-triggered one.
+        let plan = plan_of(vec![completed(0, 0.0), completed(1, 0.0), completed(2, 0.0)]);
+        let updates = || vec![probe_update(0), probe_update(1), probe_update(2)];
+        let mut plain = AsyncScheduler::new(AsyncConfig::new(3).max_staleness(8));
+        plain.dispatch(0, &plan, WirePayload::symmetric(10), updates());
+        let mut trig =
+            AsyncScheduler::new(AsyncConfig::new(3).max_staleness(8).aggregate_after(1e-9));
+        trig.dispatch(0, &plan, WirePayload::symmetric(10), updates());
+        assert_eq!(plain.drain(0), trig.drain(0));
     }
 }

@@ -36,6 +36,15 @@ RUSTFLAGS="-C target-cpu=native" CARGO_TARGET_DIR=target/native \
 # (drops, stragglers, upload retries, quorum aborts) end to end.
 cargo run --release --example unreliable_clients
 
+# Socket-transport smoke: a small federation over real localhost TCP
+# with two spawned worker processes and the fault storm on — broadcasts
+# carry the actual quantized model, drops arrive as corrupted/truncated
+# frames, and the example asserts the wire accounting matches the
+# simulator. bench_transport additionally pins faults-off byte-identity
+# between the socket and in-process runs.
+cargo run --release --example socket_federation
+cargo run --release -p kemf-bench --bin bench_transport -- --smoke
+
 # Trace smoke: a recorded run must export round-lifecycle JSONL with one
 # span per phase. The example itself asserts the export round-trips and
 # every round is complete; here we check the artifact landed.

@@ -1,0 +1,14 @@
+//! Standalone federation client worker: connects back to a server's
+//! socket transport (address and identity arrive via `KEMF_WORKER_*`
+//! environment variables) and speaks the framed protocol until told to
+//! shut down. Spawned by `SocketConfig::process`; useful on its own for
+//! watching a federation's traffic from a separate OS process.
+
+use std::process::exit;
+
+fn main() {
+    if let Err(e) = fedkemf::fl::transport::worker_main_from_env() {
+        eprintln!("kemf_worker: {e}");
+        exit(1);
+    }
+}

@@ -262,3 +262,118 @@ fn async_resume_refuses_other_modes_and_other_knobs() {
     assert_eq!(report.resumed_from, Some(4));
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// The arrival-rate trigger and per-client network profiles are part of
+/// the run identity: a checkpoint taken under one trajectory must refuse
+/// to seed another, and must resume cleanly under its own knobs.
+#[test]
+fn arrival_rate_trigger_and_profiles_are_part_of_the_run_identity() {
+    let dir = temp_dir("trigger");
+    let net = NetworkModel { bandwidth_bps: 1_000_000.0, latency_s: 0.05 };
+    let mode = || AsyncConfig::new(2).network(net).aggregate_after(3.0);
+    let (ctx, task) = world(106, 4);
+    let mut algos = all_algorithms(&ctx, &task);
+    Engine::run(
+        algos[0].as_mut(),
+        &ctx,
+        RunOptions::new().async_rounds(mode()).checkpoint(CheckpointPolicy::new(&dir, 2)),
+    )
+    .unwrap();
+
+    // A different aggregation window is a different trajectory.
+    let mut other = all_algorithms(&ctx, &task);
+    assert!(
+        Engine::run(
+            other[0].as_mut(),
+            &ctx,
+            RunOptions::new()
+                .async_rounds(AsyncConfig::new(2).network(net).aggregate_after(4.0))
+                .resume_from(&dir)
+        )
+        .is_err(),
+        "a different aggregation window must be refused"
+    );
+    // So is dropping the trigger entirely.
+    let mut bare = all_algorithms(&ctx, &task);
+    assert!(
+        Engine::run(
+            bare[0].as_mut(),
+            &ctx,
+            RunOptions::new()
+                .async_rounds(AsyncConfig::new(2).network(net))
+                .resume_from(&dir)
+        )
+        .is_err(),
+        "resuming without the trigger must be refused"
+    );
+    // And so is swapping the fleet-wide link for a heterogeneous mix.
+    let mut mixed = all_algorithms(&ctx, &task);
+    assert!(
+        Engine::run(
+            mixed[0].as_mut(),
+            &ctx,
+            RunOptions::new()
+                .async_rounds(mode().profiles(NetworkProfiles::wifi_4g_3g()))
+                .resume_from(&dir)
+        )
+        .is_err(),
+        "per-client profiles change the trajectory and must be refused"
+    );
+    // The original knobs resume to the full horizon.
+    let (ctx8, task8) = world(106, 8);
+    let mut same = all_algorithms(&ctx8, &task8);
+    let report = Engine::run(
+        same[0].as_mut(),
+        &ctx8,
+        RunOptions::new().async_rounds(mode()).resume_from(&dir),
+    )
+    .unwrap();
+    assert_eq!(report.resumed_from, Some(4));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Heterogeneous per-client links reorder arrivals, so the same seed
+/// under a wifi/4G/3G mix walks a different virtual clock than the
+/// fleet-wide model — while a uniform profile list stays bit-identical.
+#[test]
+fn heterogeneous_profiles_change_the_clock_but_uniform_profiles_do_not() {
+    let net = NetworkModel { bandwidth_bps: 1_000_000.0, latency_s: 0.05 };
+    let (ctx, task) = world(107, 4);
+
+    let mut fleet = all_algorithms(&ctx, &task);
+    let fleet_report = Engine::run(
+        fleet[0].as_mut(),
+        &ctx,
+        RunOptions::new().async_rounds(AsyncConfig::new(2).network(net)),
+    )
+    .unwrap();
+
+    let uniform = NetworkProfiles::uniform(net);
+    let mut unif = all_algorithms(&ctx, &task);
+    let unif_report = Engine::run(
+        unif[0].as_mut(),
+        &ctx,
+        RunOptions::new().async_rounds(AsyncConfig::new(2).network(net).profiles(uniform)),
+    )
+    .unwrap();
+    assert_eq!(
+        fleet_report.history.to_json(),
+        unif_report.history.to_json(),
+        "a uniform profile list must price exactly like the fleet-wide model"
+    );
+    assert_eq!(fleet_report.sim_time_s, unif_report.sim_time_s);
+
+    let mut mixed = all_algorithms(&ctx, &task);
+    let mixed_report = Engine::run(
+        mixed[0].as_mut(),
+        &ctx,
+        RunOptions::new()
+            .async_rounds(AsyncConfig::new(2).network(net).profiles(NetworkProfiles::wifi_4g_3g())),
+    )
+    .unwrap();
+    assert_ne!(
+        fleet_report.sim_time_s,
+        mixed_report.sim_time_s,
+        "a wifi/4G/3G mix must walk a different virtual clock"
+    );
+}
