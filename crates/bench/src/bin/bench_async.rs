@@ -122,7 +122,7 @@ fn run_mode(algo_name: &str, mode: &str, rounds: usize, buffer: usize, seed: u64
         other => panic!("unknown mode {other}"),
     };
     let wall = start.elapsed().as_secs_f64();
-    let payload = algo.payload_per_client();
+    let payload = algo.client_plans(0, &[0])[0].payload;
 
     // Cumulative simulated clock per round. Sync: the lifecycle gates on
     // the slowest surviving reporter, bounded by the deadline. Async:

@@ -20,7 +20,7 @@ use kemf_data::synth::{SynthConfig, SynthTask};
 use kemf_fl::config::FlConfig;
 use kemf_fl::context::FlContext;
 use kemf_fl::engine::{Engine, EngineError, FedAlgorithm, RoundOutcome, RunOptions};
-use kemf_fl::lifecycle::{FaultConfig, WirePayload};
+use kemf_fl::lifecycle::{ClientPlan, FaultConfig, ModelView, WirePayload};
 use kemf_fl::trace::RoundScope;
 use kemf_fl::transport::SocketConfig;
 use serde::{Deserialize, Serialize};
@@ -50,8 +50,8 @@ impl FedAlgorithm for Probe {
     fn name(&self) -> String {
         "probe".into()
     }
-    fn payload_per_client(&self) -> WirePayload {
-        self.payload
+    fn client_plans(&self, _round: usize, sampled: &[usize]) -> Vec<ClientPlan> {
+        ClientPlan::uniform(sampled, ModelView::Full, self.payload)
     }
     fn round(
         &mut self,

@@ -1,8 +1,10 @@
 //! Extension experiment: FedKEMF against the *heterogeneity-capable*
-//! distillation family — FedMD (logit sharing) and FedDF (ensemble
-//! distillation of full models) — on the same non-IID task, reporting
-//! accuracy, payload per round, and simulated time-to-accuracy on a
-//! 4G-class link. Complements the paper's weight-averaging baselines.
+//! distillation family — FedMD (logit sharing), FedDF (ensemble
+//! distillation of full models), and FedGEMS (selective logit fusion
+//! into a server larger than any client) — on the same non-IID task,
+//! reporting accuracy, payload per round, and simulated
+//! time-to-accuracy on a 4G-class link. Complements the paper's
+//! weight-averaging baselines.
 
 use kemf_bench::*;
 use kemf_core::prelude::*;
@@ -35,9 +37,16 @@ fn main() {
         )),
         Box::new(FedKemf::new(FedKemfConfig::uniform(
             knowledge,
-            clients,
+            clients.clone(),
             task.generate_unlabeled(spec.pool_samples(), 2),
         ))),
+        Box::new(FedGems::new(
+            clients,
+            ModelSpec { width: model.width * 4, ..model },
+            task.generate_unlabeled(spec.pool_samples(), 2),
+            10,
+            FedGemsConfig::default(),
+        )),
     ];
 
     let mut table = Table::new(

@@ -11,7 +11,7 @@ use crate::fusion::weight_average_fusion_weighted;
 use kemf_fl::config::ConfigError;
 use kemf_fl::context::FlContext;
 use kemf_fl::engine::{EngineError, FedAlgorithm, RoundOutcome};
-use kemf_fl::lifecycle::WirePayload;
+use kemf_fl::lifecycle::{ClientPlan, ModelView, WirePayload};
 use kemf_fl::local::LocalCfg;
 use kemf_fl::scheduler::{PreparedUpdate, UpdatePayload};
 use kemf_fl::state::{check_model_layout, AlgorithmState, RestoreError};
@@ -44,8 +44,12 @@ impl FedAlgorithm for FedDf {
         "FedDF".into()
     }
 
-    fn payload_per_client(&self) -> WirePayload {
-        WirePayload::symmetric(self.global.payload_bytes())
+    fn client_plans(&self, _round: usize, sampled: &[usize]) -> Vec<ClientPlan> {
+        ClientPlan::uniform(
+            sampled,
+            ModelView::Full,
+            WirePayload::symmetric(self.global.payload_bytes()),
+        )
     }
 
     fn round(

@@ -17,7 +17,7 @@ use kemf_fl::client_store::{ClientBlob, ClientStateStore, SpillConfig, StoreErro
 use kemf_fl::config::ConfigError;
 use kemf_fl::context::FlContext;
 use kemf_fl::engine::{EngineError, FedAlgorithm, RoundOutcome};
-use kemf_fl::lifecycle::WirePayload;
+use kemf_fl::lifecycle::{ClientPlan, ModelView, WirePayload};
 use kemf_fl::local::{local_train, LocalCfg};
 use kemf_fl::scheduler::{PreparedUpdate, UpdatePayload};
 use kemf_fl::state::{check_model_layout, AlgorithmState, RestoreError};
@@ -238,9 +238,9 @@ impl FedAlgorithm for FedKemf {
         Ok(())
     }
 
-    fn payload_per_client(&self) -> WirePayload {
+    fn client_plans(&self, _round: usize, sampled: &[usize]) -> Vec<ClientPlan> {
         // Only the tiny knowledge network crosses the wire, each way.
-        WirePayload::symmetric(self.payload_bytes())
+        ClientPlan::uniform(sampled, ModelView::Full, WirePayload::symmetric(self.payload_bytes()))
     }
 
     fn round(

@@ -21,7 +21,7 @@ use kemf_fl::client_store::{ClientBlob, ClientStateStore, SpillConfig, StoreErro
 use kemf_fl::config::ConfigError;
 use kemf_fl::context::FlContext;
 use kemf_fl::engine::{EngineError, FedAlgorithm, RoundOutcome};
-use kemf_fl::lifecycle::WirePayload;
+use kemf_fl::lifecycle::{ClientPlan, ModelView, WirePayload};
 use kemf_fl::local::{local_train, LocalCfg};
 use kemf_fl::scheduler::{PreparedUpdate, UpdatePayload};
 use kemf_fl::state::{
@@ -192,9 +192,9 @@ impl FedAlgorithm for FedMd {
         Ok(())
     }
 
-    fn payload_per_client(&self) -> WirePayload {
+    fn client_plans(&self, _round: usize, sampled: &[usize]) -> Vec<ClientPlan> {
         // The logit matrix on the public set, each way.
-        WirePayload::symmetric(self.payload_bytes())
+        ClientPlan::uniform(sampled, ModelView::Logits, WirePayload::symmetric(self.payload_bytes()))
     }
 
     fn round(

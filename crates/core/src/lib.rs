@@ -15,6 +15,9 @@
 //! * [`resource`] — device tiers and heterogeneous model assignment
 //!   (ResNet-20/32/44 side by side, Table 3).
 //! * [`fedkemf`] — the full algorithm, pluggable into `kemf-fl::engine`.
+//! * [`fedgems`] — the server-larger-than-client baseline: a big server
+//!   model fed by selective per-sample fusion of client logits
+//!   (communication stays logit-sized either way).
 //!
 //! ```no_run
 //! use kemf_core::prelude::*;
@@ -31,14 +34,15 @@
 //! let clients = uniform_specs(Arch::Vgg11, 8, 3, 16, 10, 1);
 //! let pool = task.generate_unlabeled(200, 7);
 //! let mut algo = FedKemf::new(FedKemfConfig::uniform(knowledge, clients, pool));
-//! let history = kemf_fl::engine::run(&mut algo, &ctx);
-//! println!("{}", history.to_csv());
+//! let report = Engine::run(&mut algo, &ctx, RunOptions::new()).unwrap();
+//! println!("{}", report.history.to_csv());
 //! ```
 
 pub mod distill;
 pub mod dml;
 pub mod ensemble;
 pub mod feddf;
+pub mod fedgems;
 pub mod fedkemf;
 pub mod fedmd;
 pub mod fusion;
@@ -52,6 +56,7 @@ pub mod prelude {
         ensemble_forward, ensemble_forward_with_precision, ensemble_logits, EnsembleStrategy,
     };
     pub use crate::feddf::FedDf;
+    pub use crate::fedgems::{FedGems, FedGemsConfig};
     pub use crate::fedkemf::{FedKemf, FedKemfConfig};
     pub use crate::fedmd::{FedMd, FedMdConfig};
     pub use crate::fusion::{weight_average_fusion, FusionMode};

@@ -50,8 +50,11 @@ use std::path::{Path, PathBuf};
 pub const RUN_CHECKPOINT_VERSION: u32 = 1;
 
 /// Meta version written when the checkpoint carries async scheduler
-/// state.
-pub const ASYNC_CHECKPOINT_VERSION: u32 = 2;
+/// state. v3 adds the frozen per-event uplink byte count (and the
+/// windowed sub-model payload variant) to each in-flight event; the
+/// short-lived v2 format, which lacked per-event billing, is refused on
+/// load rather than silently resumed with zeroed uplink bytes.
+pub const ASYNC_CHECKPOINT_VERSION: u32 = 3;
 
 /// File-name prefix/suffix of round checkpoints inside a checkpoint
 /// directory: `round_00004.ckpt` holds the state *after* 4 completed
@@ -257,7 +260,7 @@ fn get_str(inp: &mut impl Read) -> io::Result<String> {
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 string"))
 }
 
-// ---- scheduler-state encoding (meta v2) --------------------------------
+// ---- scheduler-state encoding (meta v3) --------------------------------
 //
 // In-flight updates carry raw f32 values in the opaque meta section:
 // little-endian bit patterns, so NaNs, -0.0, and every rounding artifact
@@ -367,11 +370,13 @@ const PAYLOAD_EMPTY: u8 = 0;
 const PAYLOAD_STATE: u8 = 1;
 const PAYLOAD_STATE_AUX: u8 = 2;
 const PAYLOAD_LOGITS: u8 = 3;
+const PAYLOAD_WINDOW: u8 = 4;
 
 fn put_event(out: &mut Vec<u8>, ev: &PendingEvent) {
     put_u64(out, ev.time_bits);
     put_u64(out, ev.wave as u64);
     put_u64(out, ev.idx as u64);
+    put_u64(out, ev.up_bytes);
     put_u64(out, ev.update.client as u64);
     put_u64(out, ev.update.n_samples as u64);
     put_u64(out, ev.update.steps as u64);
@@ -391,6 +396,11 @@ fn put_event(out: &mut Vec<u8>, ev: &PendingEvent) {
             out.push(PAYLOAD_LOGITS);
             put_tensor_blob(out, t);
         }
+        UpdatePayload::Window { offset, state } => {
+            out.push(PAYLOAD_WINDOW);
+            put_u64(out, *offset as u64);
+            put_model_state(out, state);
+        }
     }
     match &ev.update.commit {
         None => out.push(0),
@@ -405,6 +415,7 @@ fn get_event(inp: &mut impl Read) -> io::Result<PendingEvent> {
     let time_bits = get_u64(inp)?;
     let wave = get_u64(inp)? as usize;
     let idx = get_u64(inp)? as usize;
+    let up_bytes = get_u64(inp)?;
     let client = get_u64(inp)? as usize;
     let n_samples = get_u64(inp)? as usize;
     let steps = get_u64(inp)? as usize;
@@ -420,6 +431,11 @@ fn get_event(inp: &mut impl Read) -> io::Result<PendingEvent> {
             UpdatePayload::StateAux { state, aux }
         }
         PAYLOAD_LOGITS => UpdatePayload::Logits(get_tensor_blob(inp)?),
+        PAYLOAD_WINDOW => {
+            let offset = get_u64(inp)? as usize;
+            let state = get_model_state(inp)?;
+            UpdatePayload::Window { offset, state }
+        }
         other => {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -443,6 +459,7 @@ fn get_event(inp: &mut impl Read) -> io::Result<PendingEvent> {
         time_bits,
         wave,
         idx,
+        up_bytes,
         update: PreparedUpdate { client, n_samples, steps, loss, payload, commit },
     })
 }
@@ -500,6 +517,13 @@ struct DecodedMeta {
 fn decode_meta(meta: &[u8]) -> io::Result<DecodedMeta> {
     let mut inp = meta;
     let version = get_u32(&mut inp)?;
+    if version == 2 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "run-checkpoint version 2 predates per-event uplink accounting; \
+             re-run from scratch (or from a synchronous v1 checkpoint)",
+        ));
+    }
     if version != RUN_CHECKPOINT_VERSION && version != ASYNC_CHECKPOINT_VERSION {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -817,6 +841,7 @@ mod tests {
                 time_bits: 3.5f64.to_bits(),
                 wave: 0,
                 idx: 1,
+                up_bytes: 4096,
                 update: PreparedUpdate {
                     client: 7,
                     n_samples: 12,
@@ -830,6 +855,7 @@ mod tests {
                 time_bits: 4.25f64.to_bits(),
                 wave: 1,
                 idx: 0,
+                up_bytes: u64::MAX,
                 update: PreparedUpdate {
                     client: 2,
                     n_samples: 9,
@@ -850,6 +876,7 @@ mod tests {
                 time_bits: 9.0f64.to_bits(),
                 wave: 1,
                 idx: 2,
+                up_bytes: 0,
                 update: PreparedUpdate {
                     client: 4,
                     n_samples: 3,
@@ -862,17 +889,32 @@ mod tests {
                     commit: None,
                 },
             },
+            PendingEvent {
+                time_bits: 10.75f64.to_bits(),
+                wave: 2,
+                idx: 0,
+                up_bytes: 1313,
+                update: PreparedUpdate {
+                    client: 5,
+                    n_samples: 4,
+                    steps: 8,
+                    loss: 0.25,
+                    payload: UpdatePayload::Window { offset: 3, state: model.clone() },
+                    commit: None,
+                },
+            },
         ];
         let mut ckpt = sample_ckpt(2);
         ckpt.scheduler = Some(SchedulerState { now_bits: 1.125f64.to_bits(), events });
         let path = save_run(&ckpt, &dir).unwrap();
         let loaded = load_run(&path).unwrap();
-        let sched = loaded.scheduler.expect("v2 checkpoint carries the scheduler");
+        let sched = loaded.scheduler.expect("async checkpoint carries the scheduler");
         let want = ckpt.scheduler.as_ref().unwrap();
         assert_eq!(sched.now_bits, want.now_bits);
         assert_eq!(sched.events.len(), want.events.len());
         for (got, want) in sched.events.iter().zip(&want.events) {
             assert_eq!((got.time_bits, got.wave, got.idx), (want.time_bits, want.wave, want.idx));
+            assert_eq!(got.up_bytes, want.up_bytes, "frozen uplink bytes survive the round trip");
             assert_eq!(
                 (got.update.client, got.update.n_samples, got.update.steps),
                 (want.update.client, want.update.n_samples, want.update.steps)
@@ -893,6 +935,13 @@ mod tests {
         }
         match &sched.events[2].update.payload {
             UpdatePayload::Logits(t) => assert_eq!(t.dims, vec![2, 3]),
+            other => panic!("wrong payload variant: {other:?}"),
+        }
+        match &sched.events[3].update.payload {
+            UpdatePayload::Window { offset, state } => {
+                assert_eq!(*offset, 3);
+                assert_eq!(state, &model);
+            }
             other => panic!("wrong payload variant: {other:?}"),
         }
         assert!(matches!(sched.events[0].update.payload, UpdatePayload::Empty));
@@ -918,9 +967,21 @@ mod tests {
         assert_eq!(
             async_meta[4..sync_meta.len()],
             sync_meta[4..],
-            "v2 appends after the v1 fields, it does not reshuffle them"
+            "the async format appends after the v1 fields, it does not reshuffle them"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_two_checkpoints_are_refused_with_a_clear_message() {
+        // v2 async checkpoints carried no per-event uplink bytes; loading
+        // one would silently zero the billing of every in-flight event.
+        let err = match super::decode_meta(&2u32.to_le_bytes()) {
+            Ok(_) => panic!("a v2 checkpoint must be refused"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("version 2"), "bad message: {err}");
+        assert!(err.to_string().contains("uplink"), "bad message: {err}");
     }
 
     #[test]

@@ -190,6 +190,12 @@ pub enum CostError {
         /// Per-client uplink payload in bytes.
         bytes: u64,
     },
+    /// A buffered cycle's per-event uplink sum (accumulated exactly in
+    /// u128) does not fit a u64 byte count.
+    BufferedUplinkOverflow {
+        /// The true uplink total in bytes.
+        total: u128,
+    },
 }
 
 impl fmt::Display for CostError {
@@ -210,6 +216,10 @@ impl fmt::Display for CostError {
             CostError::UplinkOverflow { count, bytes } => write!(
                 f,
                 "buffered uplink {count} update(s) x {bytes} bytes overflows u64"
+            ),
+            CostError::BufferedUplinkOverflow { total } => write!(
+                f,
+                "buffered uplink total {total} bytes overflows u64"
             ),
         }
     }

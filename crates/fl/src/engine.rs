@@ -4,9 +4,7 @@
 //!
 //! The single entry point is [`Engine::run`] with a [`RunOptions`]
 //! bundle (faults, observability sink, checkpoint policy, resume
-//! source, seed override). The historical free functions (`run`,
-//! `run_with_faults`, `run_traced`, `run_recorded`, `run_with_sink`)
-//! survive as thin deprecated forwarders.
+//! source, seed override).
 //!
 //! **Resume is bit-exact.** All engine randomness flows through two
 //! seeded streams (client sampling and fault injection). A checkpoint
@@ -23,7 +21,7 @@ use crate::client_store::StoreError;
 use crate::comm::{CommTracker, CostError};
 use crate::config::ConfigError;
 use crate::context::FlContext;
-use crate::lifecycle::{plan_round, FaultConfig, RoundComm, RoundPlan, WirePayload};
+use crate::lifecycle::{plan_round, ClientPlan, FaultConfig, RoundComm, RoundPlan};
 use crate::metrics::{History, RoundRecord};
 use crate::scheduler::{AsyncScheduler, PreparedUpdate, RoundMode};
 use crate::state::{AlgorithmState, RestoreError};
@@ -38,7 +36,7 @@ use std::time::Instant;
 
 /// What one communication round reports back to the engine. Byte
 /// accounting no longer lives here: the engine derives it from the
-/// round's lifecycle plan and [`FedAlgorithm::payload_per_client`], so
+/// round's lifecycle plan and [`FedAlgorithm::client_plans`], so
 /// algorithms cannot under-count clients that failed mid-round.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RoundOutcome {
@@ -60,10 +58,16 @@ pub trait FedAlgorithm: Send {
         Ok(())
     }
 
-    /// Bytes a single client transfers this round, per direction. The
-    /// engine multiplies downlink by the broadcast set and uplink by the
-    /// completed-upload set, so per-phase failures are charged honestly.
-    fn payload_per_client(&self) -> WirePayload;
+    /// One [`ClientPlan`] per entry of `sampled`, in order: what view of
+    /// the server model each sampled client receives this round
+    /// (full weights, a rolling sub-model window, or logits) and the
+    /// bytes it moves per direction. The engine bills downlink for the
+    /// broadcast set and uplink for the completed-upload set *per
+    /// client*, so per-phase failures and heterogeneous payloads are
+    /// both charged honestly. Algorithms with one uniform payload build
+    /// their plans with [`ClientPlan::uniform`], which reproduces the
+    /// pre-redesign `payload × n` accounting bit for bit.
+    fn client_plans(&self, round: usize, sampled: &[usize]) -> Vec<ClientPlan>;
 
     /// Execute one communication round over the client indices whose
     /// full lifecycle (download → train → upload) succeeded. `scope` is
@@ -747,21 +751,49 @@ fn run_core(
             c.clients = sampled.len();
             (sampled, plan)
         });
-        let payload = algo.payload_per_client();
+        let client_plans = algo.client_plans(round, &sampled);
+        if client_plans.len() != sampled.len()
+            || client_plans.iter().zip(&sampled).any(|(p, &k)| p.client != k)
+        {
+            return Err(EngineError::Config(ConfigError::AlgorithmSetup {
+                algorithm: algo.name(),
+                reason: format!(
+                    "client_plans returned {} plan(s) for {} sampled client(s), or the plans' \
+                     client indices do not match the sample",
+                    client_plans.len(),
+                    sampled.len()
+                ),
+            }));
+        }
+        let payload_label = round_payload_label(&client_plans);
         // In-process, the round's traffic is priced by the closed-form
-        // plan arithmetic; over sockets, the same plan is *enacted* as
-        // framed bytes and the measurement comes back from the wire.
+        // per-client plan arithmetic; over sockets, the same plans are
+        // *enacted* as framed bytes and the measurement comes back from
+        // the wire.
         let wave_comm = scope.phase(Phase::Broadcast, |c| {
             let round_comm = match transport.as_mut() {
-                Some(t) => t.run_round(round, &plan, payload, algo.global_model())?,
-                None => plan.comm(payload),
+                Some(t) => t
+                    .run_round(round, &plan, &client_plans, algo.global_model())
+                    .map_err(EngineError::Transport)?,
+                None => plan.comm(&client_plans).map_err(EngineError::Cost)?,
             };
             c.clients = round_comm.down_clients;
             c.down_bytes = round_comm.down_bytes;
-            Ok::<RoundComm, TransportError>(round_comm)
+            c.payload_label = payload_label;
+            Ok::<RoundComm, EngineError>(round_comm)
         })?;
         let (round_comm, quorum_met, train_loss) = if let Some(sched) = scheduler.as_mut() {
-            run_async_cycle(algo, ctx, &faults, sched, round, &plan, payload, wave_comm, &mut scope)?
+            run_async_cycle(
+                algo,
+                ctx,
+                &faults,
+                sched,
+                round,
+                &plan,
+                &client_plans,
+                wave_comm,
+                &mut scope,
+            )?
         } else {
             let reporters = plan.reporters();
             let quorum_met = plan.quorum_met();
@@ -783,6 +815,9 @@ fn run_core(
             (wave_comm, quorum_met, train_loss)
         };
         comm.record_round(round_comm);
+        if let Some(label) = payload_label {
+            history.payload_kind = label.to_string();
+        }
         let acc = scope.phase(Phase::Eval, |_c| algo.evaluate(ctx));
         history.push(RoundRecord {
             round,
@@ -806,6 +841,7 @@ fn run_core(
                     up_bytes: round_comm.up_bytes,
                     wasted_up_bytes: round_comm.wasted_up_bytes,
                     quorum_met,
+                    payload_label,
                     ..Default::default()
                 },
             );
@@ -860,7 +896,7 @@ fn run_async_cycle(
     sched: &mut AsyncScheduler,
     cycle: usize,
     plan: &RoundPlan,
-    payload: WirePayload,
+    client_plans: &[ClientPlan],
     wave_comm: RoundComm,
     scope: &mut RoundScope<'_>,
 ) -> Result<(RoundComm, bool, f32), EngineError> {
@@ -883,7 +919,7 @@ fn run_async_cycle(
             ),
         }));
     }
-    sched.dispatch(cycle, plan, payload, updates);
+    sched.dispatch(cycle, plan, client_plans, updates);
     let drained = scope.phase(Phase::Buffer, |c| {
         let d = sched.drain(cycle);
         c.clients = d.folded.len();
@@ -903,13 +939,14 @@ fn run_async_cycle(
         // the algorithm never ran.
         f32::NAN
     };
-    let mul = |count: u64, bytes: u64| {
-        count
-            .checked_mul(bytes)
-            .ok_or(EngineError::Cost(CostError::UplinkOverflow { count, bytes }))
+    // Each event carries its own uplink bytes (summed in u128 by the
+    // scheduler), so heterogeneous per-client payloads bill exactly.
+    let to_u64 = |total: u128| {
+        u64::try_from(total)
+            .map_err(|_| EngineError::Cost(CostError::BufferedUplinkOverflow { total }))
     };
-    let fused_up = mul(folded_n as u64, payload.up_bytes)?;
-    let evicted_up = mul(drained.evicted, payload.up_bytes)?;
+    let fused_up = to_u64(drained.folded_up_bytes)?;
+    let evicted_up = to_u64(drained.evicted_up_bytes)?;
     let wasted_up_bytes = wave_comm.wasted_up_bytes.checked_add(evicted_up).ok_or(
         EngineError::Cost(CostError::ByteTotalOverflow {
             acc: wave_comm.wasted_up_bytes,
@@ -931,73 +968,23 @@ fn run_async_cycle(
     Ok((round_comm, quorum_met, train_loss))
 }
 
-/// Run a full federated training session and return its history. Fault
-/// injection comes from the context's config ([`crate::config::FlConfig::fault_plan`]).
-#[deprecated(note = "use Engine::run(algo, ctx, RunOptions::new())")]
-pub fn run(algo: &mut dyn FedAlgorithm, ctx: &FlContext) -> History {
-    Engine::run(algo, ctx, RunOptions::new()).expect("engine run failed").history
-}
-
-/// Run a session under an explicit fault model.
-#[deprecated(note = "use Engine::run with RunOptions::new().faults(..)")]
-pub fn run_with_faults(
-    algo: &mut dyn FedAlgorithm,
-    ctx: &FlContext,
-    faults: &FaultConfig,
-) -> History {
-    Engine::run(algo, ctx, RunOptions::new().faults(*faults))
-        .expect("engine run failed")
-        .history
-}
-
-/// Run a session and also return each round's lifecycle plan, for
-/// wall-clock simulation ([`crate::network::NetworkModel::lifecycle_round_time`])
-/// and fault post-mortems.
-#[deprecated(note = "use Engine::run with RunOptions::new().faults(..); plans are in RunReport")]
-pub fn run_traced(
-    algo: &mut dyn FedAlgorithm,
-    ctx: &FlContext,
-    faults: &FaultConfig,
-) -> (History, Vec<RoundPlan>) {
-    let report = Engine::run(algo, ctx, RunOptions::new().faults(*faults))
-        .expect("engine run failed");
-    (report.history, report.plans)
-}
-
-/// Run a session with a [`TraceSink`] recording every round-lifecycle
-/// span; the resulting trace is attached to the history
-/// ([`History::trace`]). Tracing reads clocks and counters but draws no
-/// randomness, so the per-round records are bit-identical to an
-/// untraced run at the same seed.
-#[deprecated(note = "use Engine::run with RunOptions::new().faults(..).record_trace()")]
-pub fn run_recorded(
-    algo: &mut dyn FedAlgorithm,
-    ctx: &FlContext,
-    faults: &FaultConfig,
-) -> (History, Vec<RoundPlan>) {
-    let report = Engine::run(algo, ctx, RunOptions::new().faults(*faults).record_trace())
-        .expect("engine run failed");
-    (report.history, report.plans)
-}
-
-/// Run a session with an external [`EventSink`] observing every
-/// round-lifecycle span.
-#[deprecated(note = "use Engine::run with RunOptions::new().faults(..).sink(..)")]
-pub fn run_with_sink(
-    algo: &mut dyn FedAlgorithm,
-    ctx: &FlContext,
-    faults: &FaultConfig,
-    sink: &mut dyn EventSink,
-) -> (History, Vec<RoundPlan>) {
-    let report = Engine::run(algo, ctx, RunOptions::new().faults(*faults).sink(sink))
-        .expect("engine run failed");
-    (report.history, report.plans)
+/// The label naming what this round's payloads carry: the uniform view
+/// label when every sampled client sees the same kind of payload,
+/// `"mixed"` otherwise, `None` for an empty cohort.
+fn round_payload_label(plans: &[ClientPlan]) -> Option<&'static str> {
+    let first = plans.first()?.view.label();
+    if plans.iter().all(|p| p.view.label() == first) {
+        Some(first)
+    } else {
+        Some("mixed")
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::FlConfig;
+    use crate::lifecycle::{ModelView, WirePayload};
     use crate::scheduler::{AsyncConfig, UpdatePayload};
     use kemf_data::synth::{SynthConfig, SynthTask};
 
@@ -1016,8 +1003,12 @@ mod tests {
         fn name(&self) -> String {
             "dummy".into()
         }
-        fn payload_per_client(&self) -> WirePayload {
-            WirePayload { down_bytes: 10, up_bytes: 5 }
+        fn client_plans(&self, _round: usize, sampled: &[usize]) -> Vec<ClientPlan> {
+            ClientPlan::uniform(
+                sampled,
+                ModelView::Full,
+                WirePayload { down_bytes: 10, up_bytes: 5 },
+            )
         }
         fn round(
             &mut self,
@@ -1259,8 +1250,7 @@ mod tests {
     fn faultless_run_is_identical_to_legacy_engine() {
         // The no-fault path must not consume fault randomness or alter
         // sampling: default options and explicit reliable faults agree
-        // exactly, including per-round byte records — and so do the
-        // deprecated forwarders.
+        // exactly, including per-round byte records.
         let ctx = tiny_ctx();
         let mut a = Dummy::new();
         let ha = run_default(&mut a, &ctx);
@@ -1270,10 +1260,50 @@ mod tests {
             .history;
         assert_eq!(a.rounds_seen, b.rounds_seen);
         assert_eq!(ha.to_json(), hb.to_json());
-        let mut c = Dummy::new();
-        #[allow(deprecated)]
-        let hc = run(&mut c, &ctx);
-        assert_eq!(ha.to_json(), hc.to_json(), "deprecated forwarder must not drift");
+    }
+
+    /// A probe whose plans deliberately misalign with the sample.
+    struct Misaligned;
+
+    impl FedAlgorithm for Misaligned {
+        fn name(&self) -> String {
+            "misaligned".into()
+        }
+        fn client_plans(&self, _round: usize, sampled: &[usize]) -> Vec<ClientPlan> {
+            // Wrong client indices: every plan claims client 0.
+            sampled
+                .iter()
+                .map(|_| ClientPlan {
+                    client: 0,
+                    view: ModelView::Full,
+                    payload: WirePayload::symmetric(1),
+                })
+                .collect()
+        }
+        fn round(
+            &mut self,
+            _round: usize,
+            _sampled: &[usize],
+            _ctx: &FlContext,
+            _scope: &mut RoundScope<'_>,
+        ) -> Result<RoundOutcome, EngineError> {
+            Ok(RoundOutcome { train_loss: 0.0 })
+        }
+        fn evaluate(&mut self, _ctx: &FlContext) -> f32 {
+            0.0
+        }
+    }
+
+    #[test]
+    fn engine_rejects_misaligned_client_plans() {
+        let ctx = tiny_ctx();
+        let mut algo = Misaligned;
+        match Engine::run(&mut algo, &ctx, RunOptions::new()) {
+            Err(EngineError::Config(ConfigError::AlgorithmSetup { reason, .. })) => {
+                assert!(reason.contains("client_plans"), "unhelpful rejection: {reason}");
+            }
+            other => panic!("expected a plan-alignment rejection, got {:?}", other.err()),
+        }
     }
 
     #[test]
@@ -1488,7 +1518,7 @@ mod tests {
         assert_eq!(inproc.history.to_json(), socket.history.to_json());
         assert!(inproc.transport.is_none());
         let stats = socket.transport.expect("socket run reports wire stats");
-        assert_eq!(stats.rounds as usize, ctx.cfg.rounds);
+        assert_eq!(stats.rounds, ctx.cfg.rounds);
         // The wire counters are fed from actual framed bytes — with
         // faults off they must land exactly on the simulated accounting.
         let down: u64 = socket.history.records.iter().map(|r| r.down_bytes).sum();

@@ -4,7 +4,7 @@
 
 use crate::context::FlContext;
 use crate::engine::{EngineError, FedAlgorithm, RoundOutcome};
-use crate::lifecycle::WirePayload;
+use crate::lifecycle::{ClientPlan, ModelView, WirePayload};
 use crate::local::LocalCfg;
 use crate::scheduler::PreparedUpdate;
 use crate::state::{check_model_layout, AlgorithmState, RestoreError};
@@ -37,8 +37,12 @@ impl FedAlgorithm for FedAvg {
         "FedAvg".into()
     }
 
-    fn payload_per_client(&self) -> WirePayload {
-        WirePayload::symmetric(self.global.payload_bytes())
+    fn client_plans(&self, _round: usize, sampled: &[usize]) -> Vec<ClientPlan> {
+        ClientPlan::uniform(
+            sampled,
+            ModelView::Full,
+            WirePayload::symmetric(self.global.payload_bytes()),
+        )
     }
 
     fn round(

@@ -13,7 +13,7 @@
 
 use crate::context::FlContext;
 use crate::engine::{EngineError, FedAlgorithm, RoundOutcome};
-use crate::lifecycle::WirePayload;
+use crate::lifecycle::{ClientPlan, ModelView, WirePayload};
 use crate::local::LocalCfg;
 use crate::scheduler::{PreparedUpdate, UpdatePayload};
 use crate::state::{check_model_layout, AlgorithmState, RestoreError};
@@ -39,9 +39,13 @@ impl FedAlgorithm for FedNova {
         "FedNova".into()
     }
 
-    fn payload_per_client(&self) -> WirePayload {
+    fn client_plans(&self, _round: usize, sampled: &[usize]) -> Vec<ClientPlan> {
         // 2× payload: weights plus normalization metadata each way.
-        WirePayload::symmetric(2 * self.global.payload_bytes())
+        ClientPlan::uniform(
+            sampled,
+            ModelView::Full,
+            WirePayload::symmetric(2 * self.global.payload_bytes()),
+        )
     }
 
     fn round(

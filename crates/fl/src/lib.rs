@@ -29,7 +29,10 @@
 //!   TCP traffic to a worker pool behind
 //!   [`transport::TransportMode::Socket`], with fault injection enacted
 //!   on real frames and byte counters measured at the wire;
-//! * [`fedavg`], [`fedprox`], [`fednova`], [`scaffold`] — the baselines.
+//! * [`fedavg`], [`fedprox`], [`fednova`], [`scaffold`] — the baselines;
+//! * [`fedrolex`] — rolling-window sub-model training: a server model
+//!   wider than any client, each client training an index-windowed
+//!   slice sized to its budget ([`lifecycle::ModelView::Window`]).
 //!
 //! ```no_run
 //! use kemf_fl::prelude::*;
@@ -55,6 +58,7 @@ pub mod engine;
 pub mod fedavg;
 pub mod fednova;
 pub mod fedprox;
+pub mod fedrolex;
 pub mod lifecycle;
 pub mod local;
 pub mod metrics;
@@ -74,17 +78,17 @@ pub mod prelude {
     pub use crate::compress::{dequantize, quantize, CompressError, QuantizedWeights};
     pub use crate::config::{ConfigError, FlConfig};
     pub use crate::context::FlContext;
-    #[allow(deprecated)]
-    pub use crate::engine::{run, run_recorded, run_traced, run_with_faults, run_with_sink};
     pub use crate::engine::{
         Engine, EngineError, FedAlgorithm, ResumeError, RoundOutcome, RunOptions, RunReport,
     };
     pub use crate::lifecycle::{
-        ClientOutcome, ClientRound, FaultConfig, RoundComm, RoundPlan, WirePayload,
+        ClientOutcome, ClientPlan, ClientRound, FaultConfig, ModelView, RoundComm, RoundPlan,
+        WirePayload,
     };
     pub use crate::fedavg::FedAvg;
     pub use crate::fednova::FedNova;
     pub use crate::fedprox::FedProx;
+    pub use crate::fedrolex::{FedRolex, FedRolexConfig};
     pub use crate::local::{local_train, LocalCfg};
     pub use crate::metrics::{fairness_summary, FairnessSummary, History, RoundRecord};
     pub use crate::network::{NetworkModel, NetworkProfiles};

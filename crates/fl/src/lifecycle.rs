@@ -22,6 +22,7 @@
 //! fully reliable configuration draws **nothing** — reliable fleets are
 //! bit-identical to an engine without fault injection at all.
 
+use crate::comm::CostError;
 use serde::{Deserialize, Serialize};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -197,7 +198,11 @@ pub struct RoundComm {
     pub up_clients: usize,
 }
 
-/// Per-client per-direction wire payload of one round.
+/// Per-client per-direction wire payload of one round. The bytes are
+/// whatever the algorithm actually transmits — full model weights, a
+/// rolling sub-model window, or logits on a public pool — so neither
+/// direction is assumed to carry "model weights"; the accompanying
+/// [`ModelView`] names the content.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WirePayload {
     /// Bytes one client downloads.
@@ -208,9 +213,67 @@ pub struct WirePayload {
 
 impl WirePayload {
     /// Identical payload both ways (the common case: the transmitted
-    /// model state).
+    /// state, whatever its view).
     pub fn symmetric(bytes: u64) -> Self {
         WirePayload { down_bytes: bytes, up_bytes: bytes }
+    }
+}
+
+/// What part of the server's knowledge one client receives (and
+/// reports against) this round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelView {
+    /// The full transmitted model state.
+    Full,
+    /// An index-windowed sub-model of a server net larger than the
+    /// client: the client holds the parameter window at `offset` within
+    /// a rolling cycle of `cycle` disjoint windows (FedRolex-style
+    /// rolling extraction).
+    Window {
+        /// Window offset within the rolling cycle.
+        offset: usize,
+        /// Number of disjoint windows covering the server model.
+        cycle: usize,
+    },
+    /// Logits on a shared public pool — no weights cross the wire.
+    Logits,
+}
+
+impl ModelView {
+    /// Short label naming what actually crosses the wire; surfaces in
+    /// trace spans and the history's CSV `payload` column.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ModelView::Full => "weights",
+            ModelView::Window { .. } => "window",
+            ModelView::Logits => "logits",
+        }
+    }
+}
+
+/// What one (client, round) pair transfers: the client index, the view
+/// of the server model it receives, and the priced wire payload. The
+/// engine asks the algorithm for one `ClientPlan` per sampled client
+/// per round, so heterogeneous payloads (sub-model windows of varying
+/// size, per-client compression) are billed at their true cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClientPlan {
+    /// Client index this plan belongs to.
+    pub client: usize,
+    /// What the payload contains.
+    pub view: ModelView,
+    /// Bytes this client moves in each direction.
+    pub payload: WirePayload,
+}
+
+impl ClientPlan {
+    /// The uniform adapter: every sampled client gets the same view and
+    /// payload — exactly the pre-redesign "one payload per algorithm"
+    /// contract. Summing `n` identical payloads equals the old
+    /// `payload × n` products, so algorithms migrating through this
+    /// constructor keep bit-identical byte accounting.
+    pub fn uniform(sampled: &[usize], view: ModelView, payload: WirePayload) -> Vec<ClientPlan> {
+        sampled.iter().map(|&client| ClientPlan { client, view, payload }).collect()
     }
 }
 
@@ -240,22 +303,35 @@ impl RoundPlan {
         self.reporters().len() >= self.min_quorum.max(1)
     }
 
-    /// Honest byte accounting of this plan at a given per-client payload.
-    pub fn comm(&self, payload: WirePayload) -> RoundComm {
-        let down_clients = self.broadcast_count();
-        let up_clients = self.clients.iter().filter(|c| c.outcome.uploaded()).count();
-        let wasted_attempts: u64 = self
-            .clients
-            .iter()
-            .map(|c| c.outcome.wasted_upload_attempts() as u64)
-            .sum();
-        RoundComm {
-            down_bytes: payload.down_bytes * down_clients as u64,
-            up_bytes: payload.up_bytes * up_clients as u64,
-            wasted_up_bytes: payload.up_bytes * wasted_attempts,
-            down_clients,
-            up_clients,
+    /// Honest byte accounting of this plan at per-client payloads.
+    /// `plans` aligns one-to-one with `self.clients` in sampled order
+    /// (the engine validates the algorithm's plans before any billing).
+    /// Checked: per-client sums refuse to wrap instead of silently
+    /// producing garbage totals at foundation-model payloads.
+    pub fn comm(&self, plans: &[ClientPlan]) -> Result<RoundComm, CostError> {
+        debug_assert_eq!(plans.len(), self.clients.len(), "plans must align with sampled clients");
+        let add = |acc: u64, b: u64| {
+            acc.checked_add(b).ok_or(CostError::ByteTotalOverflow { acc, add: b })
+        };
+        let mut comm = RoundComm::default();
+        for (c, p) in self.clients.iter().zip(plans) {
+            if c.outcome.downloaded() {
+                comm.down_clients += 1;
+                comm.down_bytes = add(comm.down_bytes, p.payload.down_bytes)?;
+            }
+            if c.outcome.uploaded() {
+                comm.up_clients += 1;
+                comm.up_bytes = add(comm.up_bytes, p.payload.up_bytes)?;
+            }
+            let attempts = c.outcome.wasted_upload_attempts() as u64;
+            if attempts > 0 {
+                let waste = p.payload.up_bytes.checked_mul(attempts).ok_or(
+                    CostError::UplinkOverflow { count: attempts, bytes: p.payload.up_bytes },
+                )?;
+                comm.wasted_up_bytes = add(comm.wasted_up_bytes, waste)?;
+            }
         }
+        Ok(comm)
     }
 }
 
@@ -318,6 +394,11 @@ mod tests {
         plan_round(&sampled, faults, &mut rng)
     }
 
+    fn uniform_for(plan: &RoundPlan, payload: WirePayload) -> Vec<ClientPlan> {
+        let ids: Vec<usize> = plan.clients.iter().map(|c| c.client).collect();
+        ClientPlan::uniform(&ids, ModelView::Full, payload)
+    }
+
     #[test]
     fn reliable_plan_completes_everyone_without_randomness() {
         let plan = plan_with(&FaultConfig::reliable(), 7, 10);
@@ -340,7 +421,7 @@ mod tests {
     fn drop_before_download_costs_nothing() {
         let faults = FaultConfig { drop_before_download: 0.99, ..Default::default() };
         let plan = plan_with(&faults, 11, 50);
-        let comm = plan.comm(WirePayload::symmetric(100));
+        let comm = plan.comm(&uniform_for(&plan, WirePayload::symmetric(100))).unwrap();
         assert!(plan.broadcast_count() < 50);
         assert_eq!(comm.down_bytes, plan.broadcast_count() as u64 * 100);
         assert_eq!(comm.up_bytes, plan.reporters().len() as u64 * 100);
@@ -350,7 +431,7 @@ mod tests {
     fn drop_after_download_charges_downlink_only() {
         let faults = FaultConfig { drop_after_download: 0.5, ..Default::default() };
         let plan = plan_with(&faults, 13, 40);
-        let comm = plan.comm(WirePayload::symmetric(10));
+        let comm = plan.comm(&uniform_for(&plan, WirePayload::symmetric(10))).unwrap();
         // Every client received the broadcast...
         assert_eq!(comm.down_clients, 40);
         assert_eq!(comm.down_bytes, 400);
@@ -380,7 +461,7 @@ mod tests {
         assert!(!cut.is_empty(), "with 90% stragglers up to 100s, some break a 10s deadline");
         assert!(cut.iter().all(|&d| d > 10.0));
         // Cut stragglers still cost downlink.
-        let comm = plan.comm(WirePayload::symmetric(1));
+        let comm = plan.comm(&uniform_for(&plan, WirePayload::symmetric(1))).unwrap();
         assert_eq!(comm.down_clients, 60);
         assert_eq!(comm.up_clients, plan.reporters().len());
     }
@@ -409,7 +490,7 @@ mod tests {
             }
         }
         assert!(saw_retry && saw_exhausted);
-        let comm = plan.comm(WirePayload::symmetric(7));
+        let comm = plan.comm(&uniform_for(&plan, WirePayload::symmetric(7))).unwrap();
         let expected_waste: u64 = plan
             .clients
             .iter()
@@ -505,6 +586,58 @@ mod tests {
         assert_eq!(a.clients, b.clients);
         let c = plan_with(&faults, 32, 64);
         assert_ne!(a.clients, c.clients, "different seed draws a different plan");
+    }
+
+    #[test]
+    fn per_client_payloads_bill_each_client_at_its_own_bytes() {
+        // Three clients with genuinely different payloads (a rolling
+        // window of varying width): the totals are per-client sums, not
+        // a payload × n product.
+        let plan = plan_with(&FaultConfig::reliable(), 3, 3);
+        let plans: Vec<ClientPlan> = [(0usize, 100u64), (1, 70), (2, 30)]
+            .iter()
+            .map(|&(client, b)| ClientPlan {
+                client,
+                view: ModelView::Window { offset: client, cycle: 3 },
+                payload: WirePayload::symmetric(b),
+            })
+            .collect();
+        let comm = plan.comm(&plans).unwrap();
+        assert_eq!(comm.down_bytes, 200);
+        assert_eq!(comm.up_bytes, 200);
+        assert_eq!((comm.down_clients, comm.up_clients), (3, 3));
+    }
+
+    #[test]
+    fn uniform_plans_match_the_old_multiplication_exactly() {
+        let faults = FaultConfig {
+            drop_after_download: 0.3,
+            upload_failure_prob: 0.4,
+            upload_retries: 2,
+            ..Default::default()
+        };
+        let plan = plan_with(&faults, 29, 80);
+        let payload = WirePayload { down_bytes: 1013, up_bytes: 307 };
+        let comm = plan.comm(&uniform_for(&plan, payload)).unwrap();
+        let wasted: u64 =
+            plan.clients.iter().map(|c| c.outcome.wasted_upload_attempts() as u64).sum();
+        assert_eq!(comm.down_bytes, plan.broadcast_count() as u64 * 1013);
+        assert_eq!(comm.up_bytes, plan.reporters().len() as u64 * 307);
+        assert_eq!(comm.wasted_up_bytes, wasted * 307);
+    }
+
+    #[test]
+    fn per_client_comm_refuses_overflow_with_a_typed_error() {
+        let plan = plan_with(&FaultConfig::reliable(), 7, 2);
+        let plans = uniform_for(&plan, WirePayload::symmetric(u64::MAX / 2 + 1));
+        assert!(matches!(plan.comm(&plans), Err(CostError::ByteTotalOverflow { .. })));
+    }
+
+    #[test]
+    fn model_views_label_what_crosses_the_wire() {
+        assert_eq!(ModelView::Full.label(), "weights");
+        assert_eq!(ModelView::Window { offset: 2, cycle: 5 }.label(), "window");
+        assert_eq!(ModelView::Logits.label(), "logits");
     }
 
     #[test]

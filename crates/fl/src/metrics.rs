@@ -57,9 +57,12 @@ pub struct RoundRecord {
     pub train_loss: f32,
     /// Cumulative communication bytes through this round.
     pub cum_bytes: u64,
-    /// Downlink bytes this round (payload × broadcast set).
+    /// Downlink bytes this round (summed over each broadcast-reached
+    /// client's own payload — uniform algorithms degenerate to payload ×
+    /// broadcast set).
     pub down_bytes: u64,
-    /// Accepted uplink bytes this round (payload × completed uploads).
+    /// Accepted uplink bytes this round (summed over each completed
+    /// upload's own payload).
     pub up_bytes: u64,
     /// Uplink bytes of failed upload attempts this round.
     pub wasted_up_bytes: u64,
@@ -97,10 +100,17 @@ pub struct History {
     /// Per-round records.
     pub records: Vec<RoundRecord>,
     /// Round-lifecycle trace, when the run was recorded through a
-    /// [`crate::trace::TraceSink`] (e.g. [`crate::engine::run_recorded`]).
-    /// Absent — and absent from the JSON — for untraced runs, so
-    /// observability never perturbs existing serialized histories.
+    /// [`crate::trace::TraceSink`]. Absent — and absent from the JSON —
+    /// for untraced runs, so observability never perturbs existing
+    /// serialized histories.
     pub trace: Option<RunTrace>,
+    /// What the byte columns actually price on the wire: `"weights"`
+    /// (full model state), `"window"` (a rolling sub-model), `"logits"`
+    /// (knowledge-only exchange), or `"mixed"` when clients of one round
+    /// received different view kinds. Empty — and omitted from both the
+    /// JSON and the CSV — when the run predates per-client plans, so
+    /// legacy histories re-serialize byte-identically.
+    pub payload_kind: String,
 }
 
 // Hand-written (rather than derived) so an absent trace is *omitted*
@@ -114,6 +124,9 @@ impl Serialize for History {
         ];
         if let Some(trace) = &self.trace {
             entries.push(("trace".to_string(), trace.to_value()));
+        }
+        if !self.payload_kind.is_empty() {
+            entries.push(("payload_kind".to_string(), self.payload_kind.to_value()));
         }
         Value::Map(entries)
     }
@@ -130,6 +143,12 @@ impl Deserialize for History {
                 .find(|(k, _)| k == "trace")
                 .map(|(_, t)| RunTrace::from_value(t))
                 .transpose()?,
+            payload_kind: m
+                .iter()
+                .find(|(k, _)| k == "payload_kind")
+                .map(|(_, v)| String::from_value(v))
+                .transpose()?
+                .unwrap_or_default(),
         })
     }
 }
@@ -137,7 +156,12 @@ impl Deserialize for History {
 impl History {
     /// Empty history for an algorithm.
     pub fn new(algorithm: impl Into<String>) -> Self {
-        History { algorithm: algorithm.into(), records: Vec::new(), trace: None }
+        History {
+            algorithm: algorithm.into(),
+            records: Vec::new(),
+            trace: None,
+            payload_kind: String::new(),
+        }
     }
 
     /// Append a round.
@@ -241,14 +265,22 @@ impl History {
     /// quorum outcome ride along with the byte split (they used to be
     /// silently dropped). A quorum-aborted round's missing loss renders
     /// as `NaN`, which every plotting stack treats as a gap — never as
-    /// a perfect zero.
+    /// a perfect zero. When the run recorded a [`History::payload_kind`],
+    /// a trailing `payload` column says what the byte columns actually
+    /// price (`weights` / `window` / `logits` / `mixed`) instead of
+    /// letting every consumer assume full model weights; legacy
+    /// histories keep the exact old schema.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "round,test_acc,train_loss,down_bytes,up_bytes,wasted_up_bytes,cum_bytes,down_clients,up_clients,quorum_met\n",
+            "round,test_acc,train_loss,down_bytes,up_bytes,wasted_up_bytes,cum_bytes,down_clients,up_clients,quorum_met",
         );
+        if !self.payload_kind.is_empty() {
+            out.push_str(",payload");
+        }
+        out.push('\n');
         for r in &self.records {
             out.push_str(&format!(
-                "{},{:.4},{:.4},{},{},{},{},{},{},{}\n",
+                "{},{:.4},{:.4},{},{},{},{},{},{},{}",
                 r.round + 1,
                 r.test_acc,
                 r.train_loss,
@@ -260,6 +292,11 @@ impl History {
                 r.up_clients,
                 r.quorum_met
             ));
+            if !self.payload_kind.is_empty() {
+                out.push(',');
+                out.push_str(&self.payload_kind);
+            }
+            out.push('\n');
         }
         out
     }
@@ -342,6 +379,25 @@ mod tests {
             csv.lines().nth(1).unwrap().ends_with(",2,2,true"),
             "lifecycle columns present: {csv}"
         );
+    }
+
+    #[test]
+    fn payload_kind_rides_the_csv_and_json_only_when_known() {
+        // Legacy histories (no payload kind) keep the exact old schema.
+        let legacy = hist(&[0.5]);
+        assert!(!legacy.to_csv().contains("payload"), "{}", legacy.to_csv());
+        assert!(!legacy.to_json().contains("payload_kind"), "{}", legacy.to_json());
+        // A run that recorded what crossed the wire labels its bytes.
+        let mut h = hist(&[0.5, 0.6]);
+        h.payload_kind = "window".to_string();
+        let csv = h.to_csv();
+        assert!(csv.lines().next().unwrap().ends_with(",quorum_met,payload"), "{csv}");
+        assert!(csv.lines().nth(1).unwrap().ends_with(",true,window"), "{csv}");
+        let parsed = History::from_json(&h.to_json()).unwrap();
+        assert_eq!(parsed.payload_kind, "window");
+        // And a legacy JSON (field absent) parses to the empty kind.
+        let reparsed = History::from_json(&legacy.to_json()).unwrap();
+        assert!(reparsed.payload_kind.is_empty());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! time is the *sum* of the two phase times — each gated by a single
 //! per-client payload since clients within a phase transfer in parallel.
 
-use crate::lifecycle::{ClientOutcome, RoundPlan, WirePayload};
+use crate::lifecycle::{ClientOutcome, ClientPlan, RoundPlan, WirePayload};
 use crate::metrics::{History, RoundRecord};
 use serde::{Deserialize, Serialize};
 
@@ -110,6 +110,28 @@ impl NetworkModel {
         let t_up = self.transfer_time(payload.up_bytes);
         let mut round = 0.0f64;
         for c in &plan.clients {
+            round = round.max(client_finish_time(c.outcome, t_down, t_up, deadline_s));
+        }
+        round
+    }
+
+    /// [`NetworkModel::lifecycle_round_time`] with each client's
+    /// transfers sized by its *own* [`ClientPlan`] — a FedRolex window
+    /// client finishes its download sooner than a full-model one.
+    /// `plans` must align index-for-index with `plan.clients`. For
+    /// uniform plans this runs the same f64 ops in the same order as
+    /// the fleet-wide variant, so the two are bit-identical.
+    pub fn lifecycle_round_time_planned(
+        &self,
+        plan: &RoundPlan,
+        plans: &[ClientPlan],
+        deadline_s: Option<f64>,
+    ) -> f64 {
+        debug_assert_eq!(plans.len(), plan.clients.len(), "plans must align with sampled clients");
+        let mut round = 0.0f64;
+        for (c, p) in plan.clients.iter().zip(plans) {
+            let t_down = self.transfer_time(p.payload.down_bytes);
+            let t_up = self.transfer_time(p.payload.up_bytes);
             round = round.max(client_finish_time(c.outcome, t_down, t_up, deadline_s));
         }
         round
@@ -224,6 +246,26 @@ impl NetworkProfiles {
             let m = self.model_for(c.client);
             let t_down = m.transfer_time(payload.down_bytes);
             let t_up = m.transfer_time(payload.up_bytes);
+            round = round.max(client_finish_time(c.outcome, t_down, t_up, deadline_s));
+        }
+        round
+    }
+
+    /// Per-client-plan pricing over heterogeneous links: each client's
+    /// own payload over its own link. `plans` must align
+    /// index-for-index with `plan.clients`.
+    pub fn lifecycle_round_time_planned(
+        &self,
+        plan: &RoundPlan,
+        plans: &[ClientPlan],
+        deadline_s: Option<f64>,
+    ) -> f64 {
+        debug_assert_eq!(plans.len(), plan.clients.len(), "plans must align with sampled clients");
+        let mut round = 0.0f64;
+        for (c, p) in plan.clients.iter().zip(plans) {
+            let m = self.model_for(c.client);
+            let t_down = m.transfer_time(p.payload.down_bytes);
+            let t_up = m.transfer_time(p.payload.up_bytes);
             round = round.max(client_finish_time(c.outcome, t_down, t_up, deadline_s));
         }
         round
@@ -426,6 +468,41 @@ mod tests {
         // Drop the 3G client from the sample: the 4G one gates instead.
         let fast = RoundPlan { clients: vec![completed(0), completed(1)], min_quorum: 1 };
         assert!(profiles.lifecycle_round_time(&fast, payload, None) < t_mixed);
+    }
+
+    #[test]
+    fn per_client_plans_price_each_client_at_its_own_payload() {
+        use crate::lifecycle::ModelView;
+        let net = NetworkModel { bandwidth_bps: 100.0, latency_s: 0.0 };
+        let completed = |client| ClientRound {
+            client,
+            outcome: ClientOutcome::Completed { attempts: 1, delay_s: 0.0 },
+        };
+        let plan = RoundPlan { clients: vec![completed(0), completed(1)], min_quorum: 1 };
+        // Uniform plans are bit-identical to the fleet-wide pricing.
+        let payload = WirePayload { down_bytes: 123, up_bytes: 45 };
+        let uniform = ClientPlan::uniform(&[0, 1], ModelView::Full, payload);
+        assert_eq!(
+            net.lifecycle_round_time_planned(&plan, &uniform, None).to_bits(),
+            net.lifecycle_round_time(&plan, payload, None).to_bits(),
+        );
+        let profiles = NetworkProfiles::wifi_4g_3g();
+        assert_eq!(
+            profiles.lifecycle_round_time_planned(&plan, &uniform, None).to_bits(),
+            profiles.lifecycle_round_time(&plan, payload, None).to_bits(),
+        );
+        // A window client (quarter-size download) finishes first; the
+        // full-model client gates the round.
+        let mixed = vec![
+            ClientPlan {
+                client: 0,
+                view: ModelView::Window { offset: 0, cycle: 4 },
+                payload: WirePayload::symmetric(100),
+            },
+            ClientPlan { client: 1, view: ModelView::Full, payload: WirePayload::symmetric(400) },
+        ];
+        let t = net.lifecycle_round_time_planned(&plan, &mixed, None);
+        assert!((t - 8.0).abs() < 1e-9, "full-model client gates: 4 s down + 4 s up, got {t}");
     }
 
     #[test]

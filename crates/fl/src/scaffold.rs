@@ -16,7 +16,7 @@ use crate::client_store::{ClientBlob, ClientStateStore, SpillConfig, StoreError}
 use crate::config::ConfigError;
 use crate::context::FlContext;
 use crate::engine::{EngineError, FedAlgorithm, RoundOutcome};
-use crate::lifecycle::WirePayload;
+use crate::lifecycle::{ClientPlan, ModelView, WirePayload};
 use crate::local::{add_flat_to_grads, LocalCfg};
 use crate::scheduler::{PreparedUpdate, UpdatePayload};
 use crate::state::{check_model_layout, check_tensor_dims, AlgorithmState, RestoreError};
@@ -99,9 +99,10 @@ impl FedAlgorithm for Scaffold {
         Ok(())
     }
 
-    fn payload_per_client(&self) -> WirePayload {
+    fn client_plans(&self, _round: usize, sampled: &[usize]) -> Vec<ClientPlan> {
         // Weights + control variate both ways → ≈2× payload.
-        WirePayload::symmetric(self.global.payload_bytes() + (self.c.len() * 4) as u64)
+        let payload = WirePayload::symmetric(self.global.payload_bytes() + (self.c.len() * 4) as u64);
+        ClientPlan::uniform(sampled, ModelView::Full, payload)
     }
 
     fn round(

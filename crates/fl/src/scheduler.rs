@@ -40,7 +40,7 @@
 
 use crate::client_store::ClientBlob;
 use crate::config::ConfigError;
-use crate::lifecycle::{ClientOutcome, RoundPlan, WirePayload};
+use crate::lifecycle::{ClientOutcome, ClientPlan, RoundPlan};
 use crate::network::{NetworkModel, NetworkProfiles};
 use crate::state::TensorBlob;
 use kemf_nn::serialize::ModelState;
@@ -258,8 +258,18 @@ pub enum UpdatePayload {
         /// Flat auxiliary values, algorithm-defined.
         aux: Vec<f32>,
     },
-    /// Dimension-tagged logits over a public pool (FedMD).
+    /// Dimension-tagged logits over a public pool (FedMD, FedGEMS).
     Logits(TensorBlob),
+    /// A rolling sub-model window (FedRolex): the trained window state
+    /// tagged with the window offset it was extracted at, so the fuse
+    /// step can scatter it back into the right server slice however
+    /// stale it folds.
+    Window {
+        /// Window offset within the rolling cycle at dispatch time.
+        offset: usize,
+        /// The trained sub-model state.
+        state: ModelState,
+    },
 }
 
 /// One client's finished local work, frozen at dispatch time and fused
@@ -297,6 +307,10 @@ pub struct PendingEvent {
     /// pins the fold order to the sampled order when arrival times are
     /// equal (the synchronous-equivalence case).
     pub idx: usize,
+    /// Uplink bytes this client's completed upload cost, frozen from its
+    /// [`ClientPlan`] at dispatch time; billed in the cycle whose drain
+    /// consumes (or evicts) the event.
+    pub up_bytes: u64,
     /// The frozen update itself.
     pub update: PreparedUpdate,
 }
@@ -317,6 +331,11 @@ pub struct DrainOutcome {
     pub stale: u64,
     /// How many updates were evicted for exceeding `max_staleness`.
     pub evicted: u64,
+    /// Uplink bytes of the accepted updates, summed per event in `u128`
+    /// so heterogeneous payloads bill exactly and the sum cannot wrap.
+    pub folded_up_bytes: u128,
+    /// Uplink bytes of the evicted updates (wasted traffic).
+    pub evicted_up_bytes: u128,
 }
 
 /// Serializable scheduler snapshot for checkpoint/resume. The fusion
@@ -362,15 +381,17 @@ impl AsyncScheduler {
         self.queue.len()
     }
 
-    /// Enqueue one wave's completions. `updates` holds the prepared
-    /// updates of the plan's *reporters*, in sampled order — exactly
-    /// what `FedAlgorithm::train_cohort` returns for
-    /// `plan.reporters()`. Each completion arrives at
+    /// Enqueue one wave's completions. `plans` aligns one-to-one with
+    /// `plan.clients` (the per-client payloads of the wave), and
+    /// `updates` holds the prepared updates of the plan's *reporters*,
+    /// in sampled order — exactly what `FedAlgorithm::train_cohort`
+    /// returns for `plan.reporters()`. Each completion arrives at
     ///
     /// ```text
     /// now + t_down + delay_s + attempts * t_up
     /// ```
     ///
+    /// with transfer times priced at that client's own payload,
     /// mirroring [`NetworkModel::lifecycle_round_time`]'s `Completed`
     /// arm; with no network model both transfer times are zero and
     /// arrival order is driven by the injected straggler delays alone.
@@ -378,19 +399,17 @@ impl AsyncScheduler {
         &mut self,
         wave: usize,
         plan: &RoundPlan,
-        payload: WirePayload,
+        plans: &[ClientPlan],
         updates: Vec<PreparedUpdate>,
     ) {
-        let fleet = match &self.cfg.network {
-            Some(net) => (net.transfer_time(payload.down_bytes), net.transfer_time(payload.up_bytes)),
-            None => (0.0, 0.0),
-        };
+        debug_assert_eq!(plans.len(), plan.clients.len(), "plans must align with the wave");
         let mut it = updates.into_iter();
         let mut idx = 0usize;
-        for c in &plan.clients {
+        for (c, cp) in plan.clients.iter().zip(plans) {
             if let ClientOutcome::Completed { attempts, delay_s } = c.outcome {
                 let Some(update) = it.next() else { break };
                 debug_assert_eq!(update.client, c.client, "updates must follow sampled order");
+                let payload = cp.payload;
                 // Per-client links take precedence; a uniform profile
                 // runs the identical computation on the identical model,
                 // so its arrival times are bit-equal to the fleet-wide
@@ -400,10 +419,22 @@ impl AsyncScheduler {
                         let m = p.model_for(c.client);
                         (m.transfer_time(payload.down_bytes), m.transfer_time(payload.up_bytes))
                     }
-                    None => fleet,
+                    None => match &self.cfg.network {
+                        Some(net) => (
+                            net.transfer_time(payload.down_bytes),
+                            net.transfer_time(payload.up_bytes),
+                        ),
+                        None => (0.0, 0.0),
+                    },
                 };
                 let arrive = self.now + t_down + delay_s + attempts as f64 * t_up;
-                self.queue.push(PendingEvent { time_bits: arrive.to_bits(), wave, idx, update });
+                self.queue.push(PendingEvent {
+                    time_bits: arrive.to_bits(),
+                    wave,
+                    idx,
+                    up_bytes: payload.up_bytes,
+                    update,
+                });
                 idx += 1;
             }
         }
@@ -428,7 +459,13 @@ impl AsyncScheduler {
     /// fuses nothing), and zero-delay arrivals never exceed a positive
     /// window — the synchronous-equivalence anchor is preserved.
     pub fn drain(&mut self, cycle: usize) -> DrainOutcome {
-        let mut out = DrainOutcome { folded: Vec::new(), stale: 0, evicted: 0 };
+        let mut out = DrainOutcome {
+            folded: Vec::new(),
+            stale: 0,
+            evicted: 0,
+            folded_up_bytes: 0,
+            evicted_up_bytes: 0,
+        };
         let deadline = self.cfg.aggregate_after_s.map(|t| self.now + t);
         while out.folded.len() < self.cfg.buffer_size && !self.queue.is_empty() {
             if let Some(dl) = deadline {
@@ -443,13 +480,18 @@ impl AsyncScheduler {
             }
             debug_assert!(ev.wave <= cycle, "an event cannot arrive before its wave");
             let staleness = cycle.saturating_sub(ev.wave);
+            // u128 accumulation of u64 addends cannot wrap within any
+            // drainable queue; the engine converts back to u64 with a
+            // typed error.
             if staleness > self.cfg.max_staleness {
                 out.evicted += 1;
+                out.evicted_up_bytes += ev.up_bytes as u128;
                 continue;
             }
             if staleness > 0 {
                 out.stale += 1;
             }
+            out.folded_up_bytes += ev.up_bytes as u128;
             out.folded.push((ev.update, self.cfg.staleness_weight(staleness)));
         }
         out
@@ -472,7 +514,12 @@ impl AsyncScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lifecycle::ClientRound;
+    use crate::lifecycle::{ClientRound, ModelView, WirePayload};
+
+    fn uniform(plan: &RoundPlan, payload: WirePayload) -> Vec<ClientPlan> {
+        let ids: Vec<usize> = plan.clients.iter().map(|c| c.client).collect();
+        ClientPlan::uniform(&ids, ModelView::Full, payload)
+    }
 
     fn probe_update(client: usize) -> PreparedUpdate {
         PreparedUpdate {
@@ -530,7 +577,7 @@ mod tests {
         // Client 2 is slow; clients 0 and 1 tie at zero delay and must
         // fold in sampled order.
         let plan = plan_of(vec![completed(0, 0.0), completed(1, 0.0), completed(2, 7.5)]);
-        s.dispatch(0, &plan, WirePayload::symmetric(100), vec![
+        s.dispatch(0, &plan, &uniform(&plan, WirePayload::symmetric(100)),vec![
             probe_update(0),
             probe_update(1),
             probe_update(2),
@@ -551,7 +598,7 @@ mod tests {
         let plan = plan_of(vec![
             ClientRound { client: 0, outcome: ClientOutcome::Completed { attempts: 2, delay_s: 0.5 } },
         ]);
-        s.dispatch(0, &plan, WirePayload::symmetric(100), vec![probe_update(0)]);
+        s.dispatch(0, &plan, &uniform(&plan, WirePayload::symmetric(100)),vec![probe_update(0)]);
         assert_eq!(s.pending(), 1);
         let d = s.drain(0);
         assert_eq!(d.folded.len(), 1);
@@ -563,7 +610,7 @@ mod tests {
     fn buffer_size_caps_accepted_updates_per_drain() {
         let mut s = AsyncScheduler::new(AsyncConfig::new(2).max_staleness(8));
         let plan = plan_of(vec![completed(0, 0.0), completed(1, 1.0), completed(2, 2.0)]);
-        s.dispatch(0, &plan, WirePayload::symmetric(10), vec![
+        s.dispatch(0, &plan, &uniform(&plan, WirePayload::symmetric(10)),vec![
             probe_update(0),
             probe_update(1),
             probe_update(2),
@@ -581,7 +628,7 @@ mod tests {
     fn updates_beyond_max_staleness_are_evicted_without_filling_the_buffer() {
         let mut s = AsyncScheduler::new(AsyncConfig::new(2).max_staleness(0));
         let plan = plan_of(vec![completed(0, 0.0), completed(1, 0.0)]);
-        s.dispatch(0, &plan, WirePayload::symmetric(10), vec![probe_update(0), probe_update(1)]);
+        s.dispatch(0, &plan, &uniform(&plan, WirePayload::symmetric(10)),vec![probe_update(0), probe_update(1)]);
         // Drain two cycles later: both events are staleness 2 > 0.
         let d = s.drain(2);
         assert!(d.folded.is_empty());
@@ -594,7 +641,7 @@ mod tests {
         let cfg = AsyncConfig::new(1).max_staleness(4).staleness_decay(0.5);
         let mut s = AsyncScheduler::new(cfg.clone());
         let plan = plan_of(vec![completed(3, 0.0)]);
-        s.dispatch(1, &plan, WirePayload::symmetric(10), vec![probe_update(3)]);
+        s.dispatch(1, &plan, &uniform(&plan, WirePayload::symmetric(10)),vec![probe_update(3)]);
         let d = s.drain(3);
         assert_eq!(d.folded.len(), 1);
         let (_, w) = &d.folded[0];
@@ -603,10 +650,39 @@ mod tests {
     }
 
     #[test]
+    fn drain_sums_each_event_at_its_own_uplink_bytes() {
+        // Three clients with different window payloads: accepted and
+        // evicted events bill their own bytes, not payload × n.
+        let mut s = AsyncScheduler::new(AsyncConfig::new(3).max_staleness(0));
+        let plan = plan_of(vec![completed(0, 0.0), completed(1, 0.0), completed(2, 0.0)]);
+        let plans: Vec<ClientPlan> = [(0usize, 100u64), (1, 70), (2, 30)]
+            .iter()
+            .map(|&(client, b)| ClientPlan {
+                client,
+                view: ModelView::Window { offset: client, cycle: 3 },
+                payload: WirePayload::symmetric(b),
+            })
+            .collect();
+        s.dispatch(0, &plan, &plans, vec![probe_update(0), probe_update(1), probe_update(2)]);
+        let d = s.drain(0);
+        assert_eq!(d.folded.len(), 3);
+        assert_eq!(d.folded_up_bytes, 200);
+        assert_eq!(d.evicted_up_bytes, 0);
+        // Same dispatch drained one cycle late: everything evicts at its
+        // own bytes (max_staleness 0).
+        let mut late = AsyncScheduler::new(AsyncConfig::new(3).max_staleness(0));
+        late.dispatch(0, &plan, &plans, vec![probe_update(0), probe_update(1), probe_update(2)]);
+        let d = late.drain(1);
+        assert!(d.folded.is_empty());
+        assert_eq!(d.evicted_up_bytes, 200);
+        assert_eq!(d.folded_up_bytes, 0);
+    }
+
+    #[test]
     fn state_restore_round_trips_binary_exact() {
         let mut s = AsyncScheduler::new(AsyncConfig::new(1).max_staleness(8));
         let plan = plan_of(vec![completed(0, 0.125), completed(1, 3.875)]);
-        s.dispatch(0, &plan, WirePayload::symmetric(10), vec![probe_update(0), probe_update(1)]);
+        s.dispatch(0, &plan, &uniform(&plan, WirePayload::symmetric(10)),vec![probe_update(0), probe_update(1)]);
         let _ = s.drain(0); // advance the clock, leave one event in flight
         let snap = s.state();
         let mut r = AsyncScheduler::new(AsyncConfig::new(1).max_staleness(8));
@@ -669,11 +745,11 @@ mod tests {
         let plan = plan_of(vec![completed(0, 0.5), completed(3, 1.5), completed(7, 0.0)]);
         let updates = || vec![probe_update(0), probe_update(3), probe_update(7)];
         let mut fleet = AsyncScheduler::new(AsyncConfig::new(3).max_staleness(8).network(net));
-        fleet.dispatch(0, &plan, WirePayload::symmetric(100), updates());
+        fleet.dispatch(0, &plan, &uniform(&plan, WirePayload::symmetric(100)),updates());
         let mut prof = AsyncScheduler::new(
             AsyncConfig::new(3).max_staleness(8).profiles(NetworkProfiles::uniform(net)),
         );
-        prof.dispatch(0, &plan, WirePayload::symmetric(100), updates());
+        prof.dispatch(0, &plan, &uniform(&plan, WirePayload::symmetric(100)),updates());
         assert_eq!(fleet.state(), prof.state(), "uniform profiles must be bit-identical");
     }
 
@@ -684,7 +760,7 @@ mod tests {
         let profiles = NetworkProfiles::wifi_4g_3g();
         let mut s = AsyncScheduler::new(AsyncConfig::new(3).max_staleness(8).profiles(profiles));
         let plan = plan_of(vec![completed(2, 0.0), completed(0, 0.0), completed(1, 0.0)]);
-        s.dispatch(0, &plan, WirePayload::symmetric(512 * 1024), vec![
+        s.dispatch(0, &plan, &uniform(&plan, WirePayload::symmetric(512 * 1024)),vec![
             probe_update(2),
             probe_update(0),
             probe_update(1),
@@ -700,7 +776,7 @@ mod tests {
         // window is 2 s: the drain folds the first update alone.
         let mut s = AsyncScheduler::new(AsyncConfig::new(3).max_staleness(8).aggregate_after(2.0));
         let plan = plan_of(vec![completed(0, 0.5), completed(1, 10.0), completed(2, 11.0)]);
-        s.dispatch(0, &plan, WirePayload::symmetric(10), vec![
+        s.dispatch(0, &plan, &uniform(&plan, WirePayload::symmetric(10)),vec![
             probe_update(0),
             probe_update(1),
             probe_update(2),
@@ -727,7 +803,7 @@ mod tests {
         // not close the buffer before at least one update folds.
         let mut s = AsyncScheduler::new(AsyncConfig::new(2).max_staleness(8).aggregate_after(1.0));
         let plan = plan_of(vec![completed(0, 50.0), completed(1, 60.0)]);
-        s.dispatch(0, &plan, WirePayload::symmetric(10), vec![probe_update(0), probe_update(1)]);
+        s.dispatch(0, &plan, &uniform(&plan, WirePayload::symmetric(10)),vec![probe_update(0), probe_update(1)]);
         let d = s.drain(0);
         assert_eq!(d.folded.len(), 1, "the first update always folds");
         assert_eq!(d.folded[0].0.client, 0);
@@ -741,10 +817,10 @@ mod tests {
         let plan = plan_of(vec![completed(0, 0.0), completed(1, 0.0), completed(2, 0.0)]);
         let updates = || vec![probe_update(0), probe_update(1), probe_update(2)];
         let mut plain = AsyncScheduler::new(AsyncConfig::new(3).max_staleness(8));
-        plain.dispatch(0, &plan, WirePayload::symmetric(10), updates());
+        plain.dispatch(0, &plan, &uniform(&plan, WirePayload::symmetric(10)),updates());
         let mut trig =
             AsyncScheduler::new(AsyncConfig::new(3).max_staleness(8).aggregate_after(1e-9));
-        trig.dispatch(0, &plan, WirePayload::symmetric(10), updates());
+        trig.dispatch(0, &plan, &uniform(&plan, WirePayload::symmetric(10)),updates());
         assert_eq!(plain.drain(0), trig.drain(0));
     }
 }

@@ -154,6 +154,13 @@ pub struct Counters {
     /// Whether the round met its reporting quorum (meaningful on the
     /// `round` span; `true` elsewhere).
     pub quorum_met: bool,
+    /// What the byte counters price on the wire — `"weights"`,
+    /// `"window"`, `"logits"`, or `"mixed"` (clients of this round got
+    /// different view kinds). `None` on spans that carry no payload
+    /// bytes and on traces recorded before per-client plans; the JSONL
+    /// field is omitted rather than null so old traces stay
+    /// byte-identical.
+    pub payload_label: Option<&'static str>,
 }
 
 impl Counters {
@@ -180,7 +187,7 @@ impl Serialize for Span {
         // Counters are flattened into the span object so each JSONL line
         // is one flat record.
         let c = &self.counters;
-        Value::Map(vec![
+        let mut entries = vec![
             ("round".to_string(), self.round.to_value()),
             ("phase".to_string(), self.phase.to_value()),
             ("wall_s".to_string(), self.wall_s.to_value()),
@@ -194,7 +201,11 @@ impl Serialize for Span {
             ("stale_updates".to_string(), c.stale_updates.to_value()),
             ("evicted_updates".to_string(), c.evicted_updates.to_value()),
             ("quorum_met".to_string(), c.quorum_met.to_value()),
-        ])
+        ];
+        if let Some(label) = c.payload_label {
+            entries.push(("payload".to_string(), Value::Str(label.to_string())));
+        }
+        Value::Map(entries)
     }
 }
 
@@ -211,6 +222,21 @@ impl Deserialize for Span {
                 None => Ok(0),
             }
         };
+        // The payload label also postdates the format (absent → None).
+        // It parses back to the same interned label the writer used, so
+        // round-tripping a trace is still exact equality.
+        let payload_label = match m.iter().find(|(k, _)| k == "payload") {
+            None => None,
+            Some((_, v)) => match String::from_value(v)?.as_str() {
+                "weights" => Some("weights"),
+                "window" => Some("window"),
+                "logits" => Some("logits"),
+                "mixed" => Some("mixed"),
+                other => {
+                    return Err(DeError::custom(&format!("unknown payload label `{other}`")))
+                }
+            },
+        };
         Ok(Span {
             round: usize::from_value(field("round")?)?,
             phase: Phase::from_value(field("phase")?)?,
@@ -226,6 +252,7 @@ impl Deserialize for Span {
                 stale_updates: opt_u64("stale_updates")?,
                 evicted_updates: opt_u64("evicted_updates")?,
                 quorum_met: bool::from_value(field("quorum_met")?)?,
+                payload_label,
             },
         })
     }
@@ -559,6 +586,20 @@ mod tests {
         let parsed = RunTrace::from_jsonl(&t.to_jsonl()).unwrap();
         assert_eq!(parsed, t);
         assert_eq!(Phase::from_name("buffer"), Some(Phase::Buffer));
+    }
+
+    #[test]
+    fn payload_label_is_omitted_when_absent_and_roundtrips_when_set() {
+        let unlabeled = RunTrace { spans: vec![span(0, Phase::Broadcast, 0.0, 0)] };
+        assert!(!unlabeled.to_jsonl().contains("payload"), "{}", unlabeled.to_jsonl());
+        let mut s = span(1, Phase::Broadcast, 0.0, 0);
+        s.counters.payload_label = Some("window");
+        let labeled = RunTrace { spans: vec![s] };
+        let line = labeled.to_jsonl();
+        assert!(line.contains("\"payload\":\"window\""), "{line}");
+        let parsed = RunTrace::from_jsonl(&line).unwrap();
+        assert_eq!(parsed, labeled);
+        assert!(RunTrace::from_jsonl(&line.replace("window", "telepathy")).is_err());
     }
 
     #[test]

@@ -35,7 +35,7 @@
 //! environment variables.
 
 use crate::compress::{self, CompressError, QuantizedWeights};
-use crate::lifecycle::{ClientOutcome, RoundComm, RoundPlan, WirePayload};
+use crate::lifecycle::{ClientOutcome, ClientPlan, ModelView, RoundComm, RoundPlan, WirePayload};
 use kemf_nn::models::ModelSpec;
 use kemf_nn::serialize::ModelState;
 use std::fmt;
@@ -874,30 +874,46 @@ impl SocketTransport {
     }
 
     /// Enact one drawn round plan as real traffic and return the
-    /// measured [`RoundComm`]. With faults off this equals
-    /// `plan.comm(payload)` exactly; under faults, truncated broadcasts
+    /// measured [`RoundComm`]. Each client's frames are sized by its
+    /// own [`ClientPlan`] (`plans` aligns index-for-index with
+    /// `plan.clients`), so with faults off the measurement equals
+    /// `plan.comm(plans)` exactly; under faults, truncated broadcasts
     /// may measure fewer downlink bytes than the simulator charges
-    /// (honesty: we count what actually crossed the wire).
+    /// (honesty: we count what actually crossed the wire). The quantized
+    /// global model is embedded only in [`ModelView::Full`] broadcasts —
+    /// window and logits views carry exactly their declared bytes of
+    /// CRC-protected filler, never a smuggled full model.
     pub fn run_round(
         &mut self,
         round: usize,
         plan: &RoundPlan,
-        payload: WirePayload,
+        plans: &[ClientPlan],
         global: Option<(ModelSpec, ModelState)>,
     ) -> Result<RoundComm, TransportError> {
-        if payload.down_bytes < MIN_WIRE_PAYLOAD || payload.up_bytes < MIN_WIRE_PAYLOAD {
+        if plans.len() != plan.clients.len() {
             return Err(TransportError::Config {
                 reason: format!(
-                    "payload ({} down / {} up) is below the {MIN_WIRE_PAYLOAD}-byte integrity \
-                     envelope the fault model needs",
-                    payload.down_bytes, payload.up_bytes
+                    "{} client plans for {} sampled clients",
+                    plans.len(),
+                    plan.clients.len()
                 ),
             });
         }
-        // Quantize the global model once per round; broadcasts embed it
-        // when it fits. Models the codec rejects (e.g. NaN weights after
-        // divergence) fall back to filler — payload size is identical
-        // either way, so accounting is unaffected.
+        for p in plans {
+            if p.payload.down_bytes < MIN_WIRE_PAYLOAD || p.payload.up_bytes < MIN_WIRE_PAYLOAD {
+                return Err(TransportError::Config {
+                    reason: format!(
+                        "client {} payload ({} down / {} up) is below the {MIN_WIRE_PAYLOAD}-byte \
+                         integrity envelope the fault model needs",
+                        p.client, p.payload.down_bytes, p.payload.up_bytes
+                    ),
+                });
+            }
+        }
+        // Quantize the global model once per round; full-view broadcasts
+        // embed it when it fits. Models the codec rejects (e.g. NaN
+        // weights after divergence) fall back to filler — payload size is
+        // identical either way, so accounting is unaffected.
         let encoded = if self.cfg.carry_model {
             global
                 .as_ref()
@@ -907,8 +923,12 @@ impl SocketTransport {
             None
         };
         let mut measured = RoundComm::default();
-        for (slot, c) in plan.clients.iter().enumerate() {
-            self.enact_client(round, slot, c.client, c.outcome, payload, encoded.as_deref(), &mut measured)?;
+        for (slot, (c, p)) in plan.clients.iter().zip(plans).enumerate() {
+            let model = match p.view {
+                ModelView::Full => encoded.as_deref(),
+                ModelView::Window { .. } | ModelView::Logits => None,
+            };
+            self.enact_client(round, slot, c.client, c.outcome, p.payload, model, &mut measured)?;
         }
         self.stats.rounds += 1;
         self.stats.payload_down_bytes += measured.down_bytes;
@@ -1179,6 +1199,12 @@ mod tests {
     use super::*;
     use crate::lifecycle::{ClientRound, FaultConfig};
 
+    /// Uniform full-model plans for every sampled client of `plan`.
+    fn uniform(plan: &RoundPlan, payload: WirePayload) -> Vec<ClientPlan> {
+        let sampled: Vec<usize> = plan.clients.iter().map(|c| c.client).collect();
+        ClientPlan::uniform(&sampled, ModelView::Full, payload)
+    }
+
     #[test]
     fn crc32_matches_known_vectors() {
         // IEEE CRC-32 of "123456789" is the classic check value.
@@ -1277,8 +1303,8 @@ mod tests {
             min_quorum: 1,
         };
         let mut t = SocketTransport::start(&SocketConfig::threads(2), Some(30.0)).unwrap();
-        let measured = t.run_round(0, &plan, payload, None).unwrap();
-        let expected = plan.comm(payload);
+        let measured = t.run_round(0, &plan, &uniform(&plan, payload), None).unwrap();
+        let expected = plan.comm(&uniform(&plan, payload)).unwrap();
         assert_eq!(measured, expected, "faults-on byte-flip path must still match the plan");
         let stats = t.finish().unwrap();
         assert_eq!(stats.rounds, 1);
@@ -1305,8 +1331,8 @@ mod tests {
             min_quorum: 1,
         };
         let mut t = SocketTransport::start(&SocketConfig::threads(1), None).unwrap();
-        let measured = t.run_round(0, &plan, payload, None).unwrap();
-        let charged = plan.comm(payload);
+        let measured = t.run_round(0, &plan, &uniform(&plan, payload), None).unwrap();
+        let charged = plan.comm(&uniform(&plan, payload)).unwrap();
         assert_eq!(measured.down_clients, charged.down_clients);
         assert_eq!(measured.down_bytes, charged.down_bytes - 50, "half the broadcast was cut");
         assert_eq!(measured.up_bytes, charged.up_bytes);
@@ -1316,9 +1342,18 @@ mod tests {
     #[test]
     fn tiny_payloads_are_refused_with_a_typed_error() {
         let payload = WirePayload { down_bytes: 3, up_bytes: 2 };
-        let plan = RoundPlan { clients: vec![], min_quorum: 0 };
+        let plan = RoundPlan {
+            clients: vec![ClientRound {
+                client: 0,
+                outcome: ClientOutcome::Completed { attempts: 1, delay_s: 0.0 },
+            }],
+            min_quorum: 1,
+        };
         let mut t = SocketTransport::start(&SocketConfig::threads(1), None).unwrap();
-        let err = t.run_round(0, &plan, payload, None).unwrap_err();
+        let err = t.run_round(0, &plan, &uniform(&plan, payload), None).unwrap_err();
+        assert!(matches!(err, TransportError::Config { .. }), "got: {err}");
+        // Misaligned plans are refused before anything crosses the wire.
+        let err = t.run_round(0, &plan, &[], None).unwrap_err();
         assert!(matches!(err, TransportError::Config { .. }), "got: {err}");
         t.finish().unwrap();
     }
@@ -1344,10 +1379,42 @@ mod tests {
         let mut runs = Vec::new();
         for _ in 0..2 {
             let mut t = SocketTransport::start(&SocketConfig::threads(3), Some(20.0)).unwrap();
-            let m = t.run_round(5, &plan, payload, None).unwrap();
+            let m = t.run_round(5, &plan, &uniform(&plan, payload), None).unwrap();
             t.finish().unwrap();
             runs.push(m);
         }
         assert_eq!(runs[0], runs[1]);
+    }
+
+    /// Per-client plans drive per-client frame sizes: a window client's
+    /// broadcast really is smaller on the wire, and the measurement
+    /// matches the per-client closed form.
+    #[test]
+    fn mixed_plans_measure_each_client_at_its_own_bytes() {
+        let plan = RoundPlan {
+            clients: vec![
+                ClientRound { client: 0, outcome: ClientOutcome::Completed { attempts: 1, delay_s: 0.0 } },
+                ClientRound { client: 1, outcome: ClientOutcome::Completed { attempts: 1, delay_s: 0.0 } },
+            ],
+            min_quorum: 1,
+        };
+        let plans = vec![
+            ClientPlan {
+                client: 0,
+                view: ModelView::Window { offset: 0, cycle: 2 },
+                payload: WirePayload { down_bytes: 48, up_bytes: 24 },
+            },
+            ClientPlan {
+                client: 1,
+                view: ModelView::Window { offset: 1, cycle: 2 },
+                payload: WirePayload { down_bytes: 64, up_bytes: 32 },
+            },
+        ];
+        let mut t = SocketTransport::start(&SocketConfig::threads(2), None).unwrap();
+        let measured = t.run_round(0, &plan, &plans, None).unwrap();
+        assert_eq!(measured.down_bytes, 48 + 64);
+        assert_eq!(measured.up_bytes, 24 + 32);
+        assert_eq!(measured, plan.comm(&plans).unwrap());
+        t.finish().unwrap();
     }
 }

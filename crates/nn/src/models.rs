@@ -28,6 +28,11 @@ pub enum Arch {
     Vgg11,
     /// LEAF-style 2-layer CNN (two 5×5 conv + pool stages and a classifier).
     Cnn2,
+    /// One-hidden-layer MLP (flatten → linear(width) → ReLU → classifier).
+    /// Width-elastic by construction: every hidden unit owns a disjoint
+    /// parameter slice, which is what rolling sub-model extraction
+    /// (FedRolex) needs to cover a wide server net window by window.
+    Mlp1,
 }
 
 impl Arch {
@@ -49,6 +54,7 @@ impl Arch {
             Arch::ResNet44 => "ResNet-44",
             Arch::Vgg11 => "VGG-11",
             Arch::Cnn2 => "2-layer CNN",
+            Arch::Mlp1 => "1-hidden MLP",
         }
     }
 
@@ -58,6 +64,7 @@ impl Arch {
             Arch::ResNet20 | Arch::ResNet32 | Arch::ResNet44 => 16,
             Arch::Vgg11 => 64,
             Arch::Cnn2 => 16,
+            Arch::Mlp1 => 256,
         }
     }
 }
@@ -89,6 +96,7 @@ impl ModelSpec {
             Arch::ResNet20 | Arch::ResNet32 | Arch::ResNet44 => 4,
             Arch::Vgg11 => 8,
             Arch::Cnn2 => 4,
+            Arch::Mlp1 => 32,
         };
         ModelSpec { arch, in_channels, input_hw, classes, width, norm: NormKind::Batch, seed }
     }
@@ -103,7 +111,7 @@ impl ModelSpec {
     /// parameter and communication-byte accounting.
     pub fn paper_scale(arch: Arch) -> Self {
         let (in_channels, input_hw) = match arch {
-            Arch::Cnn2 => (1, 28),
+            Arch::Cnn2 | Arch::Mlp1 => (1, 28),
             _ => (3, 32),
         };
         ModelSpec {
@@ -123,6 +131,7 @@ impl ModelSpec {
             Arch::ResNet20 | Arch::ResNet32 | Arch::ResNet44 => build_resnet(self),
             Arch::Vgg11 => build_vgg11(self),
             Arch::Cnn2 => build_cnn2(self),
+            Arch::Mlp1 => build_mlp1(self),
         }
     }
 }
@@ -204,6 +213,26 @@ fn build_cnn2(spec: &ModelSpec) -> Sequential {
         .push(Linear::new(4 * w * hw_after * hw_after, spec.classes, next_seed()))
 }
 
+/// One-hidden-layer MLP: flatten, `in → width` linear, ReLU, `width →
+/// classes` classifier. No normalization layers, so the state is pure
+/// parameters (no buffers) and each hidden unit `j` owns exactly one
+/// input-weight row, one hidden bias, and one classifier column —
+/// disjoint slices a rolling window can extract and scatter back.
+fn build_mlp1(spec: &ModelSpec) -> Sequential {
+    let w = spec.width;
+    let mut seed = spec.seed.wrapping_mul(48611).wrapping_add(5);
+    let mut next_seed = || {
+        seed = seed.wrapping_add(1);
+        seed
+    };
+    let in_dim = spec.in_channels * spec.input_hw * spec.input_hw;
+    Sequential::new()
+        .push(Flatten::new())
+        .push(Linear::new(in_dim, w, next_seed()))
+        .push(ReLU::new())
+        .push(Linear::new(w, spec.classes, next_seed()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,6 +272,22 @@ mod tests {
     fn cnn2_forward_shape_mnist_like() {
         let spec = ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 0);
         assert_eq!(forward_shape(&spec, 3), vec![3, 10]);
+    }
+
+    #[test]
+    fn mlp1_forward_shape_and_param_layout() {
+        let spec = ModelSpec::scaled(Arch::Mlp1, 1, 12, 10, 0);
+        assert_eq!(forward_shape(&spec, 3), vec![3, 10]);
+        // Pure parameters: W1[w, in], b1[w], W2[classes, w], b2[classes]
+        // and no normalization buffers — the layout rolling extraction
+        // depends on.
+        let net = spec.build();
+        let in_dim = 12 * 12;
+        let expected = 32 * in_dim + 32 + 10 * 32 + 10;
+        assert_eq!(net.param_count(), expected);
+        let mut buffers = 0;
+        net.visit_buffers(&mut |_| buffers += 1);
+        assert_eq!(buffers, 0, "MLP-1 must carry no running stats");
     }
 
     #[test]

@@ -94,7 +94,7 @@ fn main() {
         let mut fedavg = FedAvg::new(spec);
         let ra = Engine::run(&mut fedavg, &ctx, RunOptions::new().faults(plan))
             .expect("fedavg run failed");
-        report(&ra.history, &ra.plans, fedavg.payload_per_client(), &net, plan.round_deadline_s);
+        report(&ra.history, &ra.plans, fedavg.client_plans(0, &[0])[0].payload, &net, plan.round_deadline_s);
 
         // FedKEMF under the same regime: only the knowledge network
         // crosses the (unreliable) wire.
@@ -104,7 +104,7 @@ fn main() {
         let mut kemf = FedKemf::new(FedKemfConfig::uniform(knowledge, clients, pool));
         let rk = Engine::run(&mut kemf, &ctx, RunOptions::new().faults(plan))
             .expect("fedkemf run failed");
-        report(&rk.history, &rk.plans, kemf.payload_per_client(), &net, plan.round_deadline_s);
+        report(&rk.history, &rk.plans, kemf.client_plans(0, &[0])[0].payload, &net, plan.round_deadline_s);
 
         // Fairness: per-client accuracy of each method's deployed model on
         // every client's own data distribution (a fresh sample per client).

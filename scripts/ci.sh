@@ -45,6 +45,13 @@ cargo run --release --example unreliable_clients
 cargo run --release --example socket_federation
 cargo run --release -p kemf-bench --bin bench_transport -- --smoke
 
+# Server-larger-than-client smoke: FedRolex's windowed per-client
+# downlink must be well under the full wide-MLP model at nonzero
+# accuracy, one FedRolex federation must run over real localhost TCP
+# byte-identically to the simulator, and FedGEMS must learn through a
+# ≥2× server while billing logit-sized payloads. Asserts internally.
+cargo run --release -p kemf-bench --bin bench_rolex -- --smoke
+
 # Trace smoke: a recorded run must export round-lifecycle JSONL with one
 # span per phase. The example itself asserts the export round-trips and
 # every round is complete; here we check the artifact landed.

@@ -39,6 +39,8 @@ fn all_algorithms(ctx: &FlContext, task: &SynthTask) -> Vec<Box<dyn FedAlgorithm
     let knowledge = ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 99);
     let clients = uniform_specs(Arch::Cnn2, ctx.cfg.n_clients, 1, 12, 10, 5);
     let pool = task.generate_unlabeled(40, 2);
+    let wide_mlp = ModelSpec { width: 32, ..ModelSpec::scaled(Arch::Mlp1, 1, 12, 10, 7) };
+    let big_server = ModelSpec { width: 8, ..ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 900) };
     vec![
         Box::new(FedAvg::new(spec)),
         Box::new(FedProx::new(spec, 0.01)),
@@ -46,7 +48,9 @@ fn all_algorithms(ctx: &FlContext, task: &SynthTask) -> Vec<Box<dyn FedAlgorithm
         Box::new(Scaffold::new(spec)),
         Box::new(FedDf::new(spec, pool.clone())),
         Box::new(FedMd::new(clients.clone(), pool.clone(), 10, FedMdConfig::default())),
-        Box::new(FedKemf::new(FedKemfConfig::uniform(knowledge, clients, pool))),
+        Box::new(FedKemf::new(FedKemfConfig::uniform(knowledge, clients.clone(), pool.clone()))),
+        Box::new(FedRolex::new(FedRolexConfig { server_spec: wide_mlp, client_width: 8 })),
+        Box::new(FedGems::new(clients, big_server, pool, 10, FedGemsConfig::default())),
     ]
 }
 
@@ -116,7 +120,7 @@ fn staleness_cap_evicts_queued_updates_and_charges_their_uplink_as_waste() {
     let (ctx, task) = world(103, 6);
     let mut algos = all_algorithms(&ctx, &task);
     let algo = algos[0].as_mut();
-    let per_up = algo.payload_per_client().up_bytes;
+    let per_up = algo.client_plans(0, &[0])[0].payload.up_bytes;
     let mut sink = TraceSink::new();
     let report = Engine::run(
         algo,
@@ -165,8 +169,10 @@ fn staleness_cap_evicts_queued_updates_and_charges_their_uplink_as_waste() {
 fn async_killed_and_resumed_runs_are_byte_identical() {
     let net = NetworkModel { bandwidth_bps: 5e5, latency_s: 0.1 };
     let mode = || AsyncConfig::new(2).max_staleness(3).staleness_decay(0.7).network(net);
-    for idx in [0usize, 3] {
-        // FedAvg and SCAFFOLD.
+    for idx in [0usize, 3, 7, 8] {
+        // FedAvg, SCAFFOLD, and the server-larger-than-client pair —
+        // the last two park Window and Logits payloads in the in-flight
+        // queue at the cut, the cases the v3 checkpoint format carries.
         let (ctx8, task) = world(104, 8);
         let mut straight = all_algorithms(&ctx8, &task);
         let name = straight[idx].name();
@@ -216,51 +222,56 @@ fn async_killed_and_resumed_runs_are_byte_identical() {
 
 /// Cross-mode resume is refused in both directions, and so is resuming
 /// under different async knobs: the knobs are part of the run identity.
+/// Runs for FedAvg and both server-larger-than-client algorithms — the
+/// refusal must not depend on the payload shape in the queue.
 #[test]
 fn async_resume_refuses_other_modes_and_other_knobs() {
-    let dir = temp_dir("crossmode");
-    let (ctx, task) = world(105, 4);
-    let mut algos = all_algorithms(&ctx, &task);
-    Engine::run(
-        algos[0].as_mut(),
-        &ctx,
-        RunOptions::new()
-            .async_rounds(AsyncConfig::new(2))
-            .checkpoint(CheckpointPolicy::new(&dir, 2)),
-    )
-    .unwrap();
-    // Async checkpoint, sync resume.
-    let mut sync = all_algorithms(&ctx, &task);
-    assert!(
-        Engine::run(sync[0].as_mut(), &ctx, RunOptions::new().resume_from(&dir)).is_err(),
-        "sync resume from an async checkpoint must be refused"
-    );
-    // Async resume with different knobs.
-    let mut other = all_algorithms(&ctx, &task);
-    assert!(
+    for idx in [0usize, 7, 8] {
+        let dir = temp_dir(&format!("crossmode_{idx}"));
+        let (ctx, task) = world(105, 4);
+        let mut algos = all_algorithms(&ctx, &task);
+        let name = algos[idx].name();
         Engine::run(
-            other[0].as_mut(),
+            algos[idx].as_mut(),
             &ctx,
             RunOptions::new()
-                .async_rounds(AsyncConfig::new(3))
-                .resume_from(&dir)
+                .async_rounds(AsyncConfig::new(2))
+                .checkpoint(CheckpointPolicy::new(&dir, 2)),
         )
-        .is_err(),
-        "a different buffer size is a different run"
-    );
-    // The original knobs resume fine.
-    let (ctx8, task8) = world(105, 8);
-    let mut same = all_algorithms(&ctx8, &task8);
-    let report = Engine::run(
-        same[0].as_mut(),
-        &ctx8,
-        RunOptions::new()
-            .async_rounds(AsyncConfig::new(2))
-            .resume_from(&dir),
-    )
-    .unwrap();
-    assert_eq!(report.resumed_from, Some(4));
-    let _ = std::fs::remove_dir_all(&dir);
+        .unwrap();
+        // Async checkpoint, sync resume.
+        let mut sync = all_algorithms(&ctx, &task);
+        assert!(
+            Engine::run(sync[idx].as_mut(), &ctx, RunOptions::new().resume_from(&dir)).is_err(),
+            "{name}: sync resume from an async checkpoint must be refused"
+        );
+        // Async resume with different knobs.
+        let mut other = all_algorithms(&ctx, &task);
+        assert!(
+            Engine::run(
+                other[idx].as_mut(),
+                &ctx,
+                RunOptions::new()
+                    .async_rounds(AsyncConfig::new(3))
+                    .resume_from(&dir)
+            )
+            .is_err(),
+            "{name}: a different buffer size is a different run"
+        );
+        // The original knobs resume fine.
+        let (ctx8, task8) = world(105, 8);
+        let mut same = all_algorithms(&ctx8, &task8);
+        let report = Engine::run(
+            same[idx].as_mut(),
+            &ctx8,
+            RunOptions::new()
+                .async_rounds(AsyncConfig::new(2))
+                .resume_from(&dir),
+        )
+        .unwrap();
+        assert_eq!(report.resumed_from, Some(4), "{name}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
 
 /// The arrival-rate trigger and per-client network profiles are part of

@@ -33,12 +33,21 @@ fn run_traced(
 /// without paying for training: fixed asymmetric payload, constant loss.
 struct Probe;
 
+/// The probe's fixed asymmetric per-client payload.
+const PROBE_PAYLOAD: WirePayload = WirePayload { down_bytes: 1000, up_bytes: 100 };
+
+/// Uniform plans for a drawn round, in the plan's own client order.
+fn uniform_plans(plan: &RoundPlan, payload: WirePayload) -> Vec<ClientPlan> {
+    let sampled: Vec<usize> = plan.clients.iter().map(|c| c.client).collect();
+    ClientPlan::uniform(&sampled, ModelView::Full, payload)
+}
+
 impl FedAlgorithm for Probe {
     fn name(&self) -> String {
         "probe".into()
     }
-    fn payload_per_client(&self) -> WirePayload {
-        WirePayload { down_bytes: 1000, up_bytes: 100 }
+    fn client_plans(&self, _round: usize, sampled: &[usize]) -> Vec<ClientPlan> {
+        ClientPlan::uniform(sampled, ModelView::Full, PROBE_PAYLOAD)
     }
     fn round(
         &mut self,
@@ -152,10 +161,10 @@ fn every_fault_mode_finishes_with_lifecycle_consistent_bytes() {
         let (h, plans) = run_traced(&mut probe, &ctx, &faults);
         assert_eq!(h.rounds(), 6, "{name}: all rounds recorded");
         assert_eq!(plans.len(), 6, "{name}: one plan per round");
-        let payload = probe.payload_per_client();
+        let payload = PROBE_PAYLOAD;
         for (r, plan) in h.records.iter().zip(&plans) {
             // Recorded bytes are exactly the plan's honest accounting.
-            let expected = plan.comm(payload);
+            let expected = plan.comm(&uniform_plans(plan, payload)).unwrap();
             assert_eq!(r.down_bytes, expected.down_bytes, "{name}: downlink");
             assert_eq!(r.up_bytes, expected.up_bytes, "{name}: uplink");
             assert_eq!(r.wasted_up_bytes, expected.wasted_up_bytes, "{name}: waste");
@@ -203,7 +212,7 @@ fn dropout_downlink_covers_full_broadcast_set() {
     ctx.cfg.dropout_prob = 0.5;
     let sampled = ctx.cfg.sampled_per_round() as u64;
     let mut probe = Probe;
-    let payload = probe.payload_per_client();
+    let payload = PROBE_PAYLOAD;
     let h = run(&mut probe, &ctx);
     let down: u64 = h.records.iter().map(|r| r.down_bytes).sum();
     let up: u64 = h.records.iter().map(|r| r.up_bytes).sum();
@@ -278,7 +287,7 @@ fn all_algorithms_survive_combined_faults() {
         algorithms(&ctx, &task)
             .iter_mut()
             .map(|algo| {
-                let payload = algo.payload_per_client();
+                let payload = algo.client_plans(0, &[0])[0].payload;
                 let (h, plans) =
                     run_traced(algo.as_mut(), &ctx, &storm);
                 assert_eq!(h.rounds(), 2, "{}", h.algorithm);
@@ -379,7 +388,7 @@ fn every_fault_mode_survives_async_rounds_with_honest_bytes() {
         let report = run_once();
         let h = &report.history;
         assert_eq!(h.rounds(), 6, "{name}: all cycles recorded");
-        let payload = Probe.payload_per_client();
+        let payload = PROBE_PAYLOAD;
         for (r, plan) in h.records.iter().zip(&report.plans) {
             // One wave per cycle: downlink is the wave's broadcast set.
             assert_eq!(

@@ -34,12 +34,18 @@ fn algorithms(ctx: &FlContext, task: &SynthTask) -> Vec<Box<dyn FedAlgorithm>> {
     let knowledge = ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 99);
     let clients = uniform_specs(Arch::Cnn2, ctx.cfg.n_clients, 1, 12, 10, 5);
     let pool = task.generate_unlabeled(100, 2);
+    // Server-larger-than-client pair: a wide MLP carved into rolling
+    // windows, and a big CNN server fed by selective logit fusion.
+    let wide_mlp = ModelSpec { width: 32, ..ModelSpec::scaled(Arch::Mlp1, 1, 12, 10, 7) };
+    let big_server = ModelSpec { width: 8, ..ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 900) };
     vec![
         Box::new(FedAvg::new(spec)),
         Box::new(FedProx::new(spec, 0.01)),
         Box::new(FedNova::new(spec)),
         Box::new(Scaffold::new(spec)),
-        Box::new(FedKemf::new(FedKemfConfig::uniform(knowledge, clients, pool))),
+        Box::new(FedKemf::new(FedKemfConfig::uniform(knowledge, clients.clone(), pool.clone()))),
+        Box::new(FedRolex::new(FedRolexConfig { server_spec: wide_mlp, client_width: 8 })),
+        Box::new(FedGems::new(clients, big_server, pool, 10, FedGemsConfig::default())),
     ]
 }
 
@@ -64,7 +70,7 @@ fn all_algorithms_learn_above_chance() {
 
 #[test]
 fn every_algorithm_is_deterministic() {
-    for idx in 0..5 {
+    for idx in 0..7 {
         let run_once = || {
             let (ctx, task) = world(13);
             let mut algos = algorithms(&ctx, &task);
@@ -119,6 +125,42 @@ fn fedkemf_ships_fewer_bytes_than_weight_baselines_with_large_locals() {
         hk.total_bytes(),
         ha.total_bytes()
     );
+}
+
+#[test]
+fn server_larger_than_client_algorithms_never_ship_the_full_server() {
+    // The acceptance bar for the per-client plan API: FedRolex bills each
+    // client its window, FedGEMS bills logits — neither ever charges the
+    // full server model, even though both deploy one ≥2× any client.
+    let (ctx, task) = world(55);
+    let cohort = ctx.cfg.sampled_per_round() as u64;
+    let rounds = ctx.cfg.rounds as u64;
+
+    let wide_mlp = ModelSpec { width: 32, ..ModelSpec::scaled(Arch::Mlp1, 1, 12, 10, 7) };
+    let mut rolex = FedRolex::new(FedRolexConfig { server_spec: wide_mlp, client_width: 8 });
+    let hr = run(&mut rolex, &ctx);
+    assert!(rolex.server_params() >= 2 * rolex.largest_client_params());
+    let full_server_traffic = rounds * cohort * 2 * 4 * rolex.server_params() as u64;
+    assert!(
+        hr.total_bytes() * 2 < full_server_traffic,
+        "FedRolex bytes {} should be well under full-server traffic {full_server_traffic}",
+        hr.total_bytes()
+    );
+    assert_eq!(hr.payload_kind, "window");
+
+    let clients = uniform_specs(Arch::Cnn2, ctx.cfg.n_clients, 1, 12, 10, 5);
+    let big_server = ModelSpec { width: 8, ..ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 900) };
+    let pool = task.generate_unlabeled(100, 2);
+    let mut gems = FedGems::new(clients, big_server, pool, 10, FedGemsConfig::default());
+    let hg = run(&mut gems, &ctx);
+    assert!(gems.server_params() >= 2 * gems.largest_client_params());
+    assert_eq!(
+        hg.total_bytes(),
+        rounds * cohort * 2 * gems.payload_bytes(),
+        "FedGEMS traffic is logits each way, independent of server size"
+    );
+    assert!(gems.payload_bytes() < 4 * gems.server_params() as u64);
+    assert_eq!(hg.payload_kind, "logits");
 }
 
 #[test]

@@ -180,8 +180,12 @@ impl FedAlgorithm for Probe {
     fn name(&self) -> String {
         "probe".into()
     }
-    fn payload_per_client(&self) -> WirePayload {
-        WirePayload { down_bytes: 1000, up_bytes: 100 }
+    fn client_plans(&self, _round: usize, sampled: &[usize]) -> Vec<ClientPlan> {
+        ClientPlan::uniform(
+            sampled,
+            ModelView::Full,
+            WirePayload { down_bytes: 1000, up_bytes: 100 },
+        )
     }
     fn round(
         &mut self,

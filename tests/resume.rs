@@ -32,20 +32,32 @@ fn world(seed: u64, rounds: usize) -> (FlContext, SynthTask) {
     (FlContext::new(cfg, &train, test), task)
 }
 
-/// The kill-and-resume matrix: the paper's algorithm plus the two
-/// baselines that carry the most server-side state.
+/// The kill-and-resume matrix: the paper's algorithm, the two baselines
+/// that carry the most server-side state, and the two
+/// server-larger-than-client algorithms (a rolling-window MLP and a
+/// logit-fused big server whose `server_trained` flag must survive).
 fn matrix(ctx: &FlContext, task: &SynthTask) -> Vec<Box<dyn FedAlgorithm>> {
     let spec = ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 3);
     let knowledge = ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 99);
     let clients = uniform_specs(Arch::Cnn2, ctx.cfg.n_clients, 1, 12, 10, 5);
+    let wide_mlp = ModelSpec { width: 32, ..ModelSpec::scaled(Arch::Mlp1, 1, 12, 10, 7) };
+    let big_server = ModelSpec { width: 8, ..ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 900) };
     vec![
         Box::new(FedKemf::new(FedKemfConfig::uniform(
             knowledge,
-            clients,
+            clients.clone(),
             task.generate_unlabeled(60, 2),
         ))),
         Box::new(Scaffold::new(spec)),
         Box::new(FedNova::new(spec)),
+        Box::new(FedRolex::new(FedRolexConfig { server_spec: wide_mlp, client_width: 8 })),
+        Box::new(FedGems::new(
+            clients,
+            big_server,
+            task.generate_unlabeled(40, 3),
+            10,
+            FedGemsConfig::default(),
+        )),
     ]
 }
 
@@ -59,7 +71,7 @@ fn temp_dir(tag: &str) -> PathBuf {
 
 #[test]
 fn killed_and_resumed_runs_are_byte_identical() {
-    for idx in 0..3 {
+    for idx in 0..5 {
         // Uninterrupted reference: 8 rounds straight through.
         let (ctx8, task) = world(41, 8);
         let mut straight = matrix(&ctx8, &task);
@@ -181,6 +193,8 @@ fn all_algorithms(ctx: &FlContext, task: &SynthTask) -> Vec<Box<dyn FedAlgorithm
     let knowledge = ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 99);
     let clients = uniform_specs(Arch::Cnn2, ctx.cfg.n_clients, 1, 12, 10, 5);
     let pool = task.generate_unlabeled(40, 2);
+    let wide_mlp = ModelSpec { width: 32, ..ModelSpec::scaled(Arch::Mlp1, 1, 12, 10, 7) };
+    let big_server = ModelSpec { width: 8, ..ModelSpec::scaled(Arch::Cnn2, 1, 12, 10, 900) };
     vec![
         Box::new(FedAvg::new(spec)),
         Box::new(FedProx::new(spec, 0.01)),
@@ -188,7 +202,9 @@ fn all_algorithms(ctx: &FlContext, task: &SynthTask) -> Vec<Box<dyn FedAlgorithm
         Box::new(Scaffold::new(spec)),
         Box::new(FedDf::new(spec, pool.clone())),
         Box::new(FedMd::new(clients.clone(), pool.clone(), 10, FedMdConfig::default())),
-        Box::new(FedKemf::new(FedKemfConfig::uniform(knowledge, clients, pool))),
+        Box::new(FedKemf::new(FedKemfConfig::uniform(knowledge, clients.clone(), pool.clone()))),
+        Box::new(FedRolex::new(FedRolexConfig { server_spec: wide_mlp, client_width: 8 })),
+        Box::new(FedGems::new(clients, big_server, pool, 10, FedGemsConfig::default())),
     ]
 }
 

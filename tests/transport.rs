@@ -54,8 +54,12 @@ impl FedAlgorithm for Probe {
     fn name(&self) -> String {
         "probe".into()
     }
-    fn payload_per_client(&self) -> WirePayload {
-        WirePayload { down_bytes: 1000, up_bytes: 100 }
+    fn client_plans(&self, _round: usize, sampled: &[usize]) -> Vec<ClientPlan> {
+        ClientPlan::uniform(
+            sampled,
+            ModelView::Full,
+            WirePayload { down_bytes: 1000, up_bytes: 100 },
+        )
     }
     fn round(
         &mut self,
@@ -96,7 +100,7 @@ fn assert_stats_match_history(stats: &TransportStats, history: &History) {
     assert_eq!(stats.payload_down_bytes, down, "downlink: wire vs recorded");
     assert_eq!(stats.payload_up_bytes, up, "uplink: wire vs recorded");
     assert_eq!(stats.payload_wasted_bytes, wasted, "wasted uplink: wire vs recorded");
-    assert_eq!(stats.rounds as usize, history.rounds());
+    assert_eq!(stats.rounds, history.rounds());
     assert!(
         stats.wire_bytes >= stats.payload_total(),
         "framing overhead cannot be negative"
